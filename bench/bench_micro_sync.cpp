@@ -1,0 +1,137 @@
+// Micro-benchmarks of the HLS runtime primitives (paper §IV.A-B):
+//  - hls_get_addr resolution cost (the per-access overhead the paper
+//    calls "negligible" in §V.B),
+//  - barrier: flat counter algorithm vs the shared-cache-aware
+//    hierarchical algorithm (design decision 2 in DESIGN.md),
+//  - single (modified barrier, §IV.B) vs the naive barrier/flag/barrier
+//    formulation it replaces (design decision 1),
+//  - single nowait (generation counters).
+//
+// Multi-threaded numbers are relative: this host may oversubscribe the
+// benchmark threads onto fewer physical cores.
+#include <benchmark/benchmark.h>
+
+#include "hls/var.hpp"
+#include "ult/task_context.hpp"
+
+using namespace hlsmpc;
+
+namespace {
+
+/// Shared fixture for N-thread synchronization benches. Leaked on purpose
+/// (google-benchmark offers no cross-thread teardown point).
+struct SyncFixture {
+  topo::Machine machine = topo::Machine::nehalem_ex(4);
+  hls::Runtime rt;
+  hls::Var<int> var;
+
+  SyncFixture(int nthreads, const topo::ScopeSpec& scope, bool force_flat)
+      : rt(machine, nthreads) {
+    rt.sync().force_flat(force_flat);
+    hls::ModuleBuilder mb(rt.registry(), "bench");
+    var = hls::add_var<int>(mb, "v", scope);
+    mb.commit();
+  }
+};
+
+/// Thread-local context pinned so that threads spread across sockets.
+ult::ThreadTaskContext make_ctx(const benchmark::State& state,
+                                const topo::Machine& machine) {
+  ult::ThreadTaskContext ctx;
+  ctx.set_task_id(state.thread_index());
+  // Spread across sockets: thread i -> cpu i*stride.
+  const int stride = machine.num_cpus() / state.threads();
+  ctx.set_cpu(state.thread_index() * (stride > 0 ? stride : 1));
+  return ctx;
+}
+
+void BM_GetAddrNode(benchmark::State& state) {
+  static SyncFixture* f =
+      new SyncFixture(1, topo::node_scope(), /*force_flat=*/false);
+  ult::ThreadTaskContext ctx = make_ctx(state, f->machine);
+  f->rt.bind_task(ctx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f->rt.get_addr(f->var.handle(), ctx));
+  }
+}
+BENCHMARK(BM_GetAddrNode);
+
+void BM_GetAddrViaTypedVar(benchmark::State& state) {
+  static SyncFixture* f =
+      new SyncFixture(1, topo::numa_scope(), /*force_flat=*/false);
+  ult::ThreadTaskContext ctx = make_ctx(state, f->machine);
+  hls::TaskView view(f->rt, ctx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&view.get(f->var));
+  }
+}
+BENCHMARK(BM_GetAddrViaTypedVar);
+
+void BM_BarrierFlat(benchmark::State& state) {
+  static SyncFixture* f =
+      new SyncFixture(8, topo::node_scope(), /*force_flat=*/true);
+  ult::ThreadTaskContext ctx = make_ctx(state, f->machine);
+  f->rt.bind_task(ctx);
+  for (auto _ : state) {
+    f->rt.barrier({f->var.handle()}, ctx);
+  }
+}
+BENCHMARK(BM_BarrierFlat)->Threads(8)->UseRealTime();
+
+void BM_BarrierHierarchical(benchmark::State& state) {
+  static SyncFixture* f =
+      new SyncFixture(8, topo::node_scope(), /*force_flat=*/false);
+  ult::ThreadTaskContext ctx = make_ctx(state, f->machine);
+  f->rt.bind_task(ctx);
+  for (auto _ : state) {
+    f->rt.barrier({f->var.handle()}, ctx);
+  }
+}
+BENCHMARK(BM_BarrierHierarchical)->Threads(8)->UseRealTime();
+
+void BM_Single(benchmark::State& state) {
+  static SyncFixture* f =
+      new SyncFixture(8, topo::node_scope(), /*force_flat=*/false);
+  ult::ThreadTaskContext ctx = make_ctx(state, f->machine);
+  hls::TaskView view(f->rt, ctx);
+  int sink = 0;
+  for (auto _ : state) {
+    view.single({f->var.handle()}, [&] { ++sink; });
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_Single)->Threads(8)->UseRealTime();
+
+void BM_SingleNaiveBarrierPair(benchmark::State& state) {
+  // The formulation the paper's modified-barrier single avoids: barrier,
+  // one designated task runs the block, barrier.
+  static SyncFixture* f =
+      new SyncFixture(8, topo::node_scope(), /*force_flat=*/false);
+  ult::ThreadTaskContext ctx = make_ctx(state, f->machine);
+  hls::TaskView view(f->rt, ctx);
+  int sink = 0;
+  for (auto _ : state) {
+    view.barrier({f->var.handle()});
+    if (state.thread_index() == 0) ++sink;
+    view.barrier({f->var.handle()});
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_SingleNaiveBarrierPair)->Threads(8)->UseRealTime();
+
+void BM_SingleNowait(benchmark::State& state) {
+  static SyncFixture* f =
+      new SyncFixture(8, topo::node_scope(), /*force_flat=*/false);
+  ult::ThreadTaskContext ctx = make_ctx(state, f->machine);
+  hls::TaskView view(f->rt, ctx);
+  int sink = 0;
+  for (auto _ : state) {
+    view.single_nowait({f->var.handle()}, [&] { ++sink; });
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_SingleNowait)->Threads(8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

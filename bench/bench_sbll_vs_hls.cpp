@@ -1,0 +1,84 @@
+// Quantifies the paper's §VI comparison with SBLLmalloc: automatic page
+// merging reaches a similar steady-state footprint for read-only shared
+// data, but (a) pays scan + copy-on-write overhead, (b) loses sharing at
+// page granularity, and (c) collapses badly when the shared data is
+// updated every step — while HLS with a `single` keeps one copy at zero
+// overhead and lets the user pick the scope.
+//
+// Workload: the mesh-update app's memory structure — an 8-rank node, one
+// shared table, one private mesh per rank — over T timesteps with one
+// scanner pass per step.
+//
+// Usage: bench_sbll_vs_hls
+#include <cstdio>
+
+#include "sbll/page_merge.hpp"
+
+using namespace hlsmpc;
+
+namespace {
+
+struct Outcome {
+  double avg_mb;
+  std::uint64_t overhead_cycles;
+};
+
+Outcome run_sbll(bool update_table, std::size_t table_bytes,
+                 std::size_t mesh_bytes, int steps) {
+  sbll::PageMergeModel m;
+  const int table = m.add_region(table_bytes, 8);
+  const int mesh = m.add_region(mesh_bytes, 8);
+
+  double sum_mb = 0;
+  for (int step = 0; step < steps; ++step) {
+    if (update_table && step > 0) {
+      // The SPMD update: every rank rewrites its copy identically.
+      for (int rank = 0; rank < 8; ++rank) {
+        m.write(table, rank, 0, table_bytes, 100 + step, false);
+      }
+    }
+    // Each rank updates its own mesh (rank-dependent content).
+    for (int rank = 0; rank < 8; ++rank) {
+      m.write(mesh, rank, 0, mesh_bytes, 100 + step, true);
+    }
+    m.scan();
+    sum_mb += static_cast<double>(m.physical_bytes()) / (1 << 20);
+  }
+  return {sum_mb / steps, m.stats().overhead_cycles};
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kTable = 2u << 20;  // 2 MB shared table
+  constexpr std::size_t kMesh = 512u << 10;  // 512 KB private mesh per rank
+  constexpr int kSteps = 10;
+
+  // HLS: the table exists once (declared node scope), meshes stay
+  // private; no scanning, no faults.
+  const double hls_mb =
+      static_cast<double>(kTable + 8 * kMesh) / (1 << 20);
+  // Plain MPI: everything replicated.
+  const double plain_mb =
+      static_cast<double>(8 * (kTable + kMesh)) / (1 << 20);
+
+  std::printf("HLS vs SBLLmalloc-style page merging (8-rank node, 2 MB "
+              "table + 8 x 512 KB private mesh, %d steps)\n\n", kSteps);
+  std::printf("%-26s %12s %18s\n", "configuration", "avg MB/node",
+              "overhead cycles");
+  std::printf("%-26s %12.2f %18s\n", "plain MPI", plain_mb, "0");
+  std::printf("%-26s %12.2f %18s\n", "HLS node scope", hls_mb, "0");
+  const Outcome ro = run_sbll(false, kTable, kMesh, kSteps);
+  std::printf("%-26s %12.2f %18llu\n", "SBLLmalloc, table const", ro.avg_mb,
+              static_cast<unsigned long long>(ro.overhead_cycles));
+  const Outcome up = run_sbll(true, kTable, kMesh, kSteps);
+  std::printf("%-26s %12.2f %18llu\n", "SBLLmalloc, table updated",
+              up.avg_mb, static_cast<unsigned long long>(up.overhead_cycles));
+
+  std::printf(
+      "\nreading (paper §VI): page merging approaches the HLS footprint "
+      "for constant data but pays scan/fault overhead; with the table "
+      "updated each step it oscillates between merged and split and the "
+      "overhead grows, while the HLS single keeps one copy for free.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Reproduces Table I: "Performance improvement due to cache footprint
+// reduction on the mesh update benchmark on 4 Nehalem-EX processors."
+//
+// Weak-scaling parallel efficiency (t_seq / t_par) of the mesh-update
+// benchmark for sub-domain sizes small/medium/large x {no-update, update}
+// x {without HLS, HLS node, HLS numa}, on the simulated 4-socket
+// Nehalem-EX machine. Caches and working sets are both scaled by
+// 1/kScale relative to the paper's hardware, preserving all capacity
+// ratios (see DESIGN.md). Expected shape: without-HLS rows in the
+// 30-40 % range, HLS rows near 100 %, numa >= node on the update side.
+//
+// Usage: bench_table1_mesh_update [--quick] [--sockets N]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/meshupdate/mesh_update.hpp"
+
+using namespace hlsmpc;
+using apps::meshupdate::Config;
+using apps::meshupdate::Mode;
+
+namespace {
+
+constexpr int kScale = 64;  // capacity divisor vs the paper's machine
+
+struct Setting {
+  const char* name;
+  std::size_t cells;  // paper: 50^3 / 100^3 / 200^3 doubles, scaled
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int sockets = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--sockets") == 0 && i + 1 < argc) {
+      sockets = std::atoi(argv[++i]);
+    }
+  }
+  const topo::Machine machine = topo::Machine::nehalem_ex(sockets, kScale);
+  const int ntasks = machine.num_cpus();
+
+  // Paper sizes (bytes per task): 1 MB / 8 MB / 60 MB; table 8 MB.
+  const Setting settings[] = {
+      {"small", (1u << 20) / kScale / sizeof(double)},
+      {"medium", (8u << 20) / kScale / sizeof(double)},
+      {"large", (60u << 20) / kScale / sizeof(double)},
+  };
+  const std::size_t table_cells = (8u << 20) / kScale / sizeof(double);
+
+  std::printf("Table I reproduction: mesh update parallel efficiency\n");
+  std::printf("machine: %s (x1/%d capacity), %d tasks, table %zu KB/copy\n\n",
+              machine.name().c_str(), kScale, ntasks,
+              table_cells * sizeof(double) >> 10);
+  std::printf("%-14s | %-28s | %-28s\n", "", "without update", "with update");
+  std::printf("%-14s | %8s %8s %8s | %8s %8s %8s\n", "mesh size", "small",
+              "medium", "large", "small", "medium", "large");
+  std::printf("---------------+------------------------------+-----------"
+              "-------------------\n");
+
+  const Mode modes[] = {Mode::no_hls, Mode::hls_node, Mode::hls_numa};
+  for (Mode mode : modes) {
+    double eff[2][3];
+    for (int upd = 0; upd < 2; ++upd) {
+      for (int s = 0; s < 3; ++s) {
+        Config cfg;
+        cfg.mode = mode;
+        cfg.update_table = upd == 1;
+        cfg.cells_per_task = quick ? settings[s].cells / 4 : settings[s].cells;
+        cfg.table_cells = table_cells;
+        // Enough steps that the one-off table load amortizes, as in the
+        // paper's long runs.
+        cfg.timesteps = quick ? 3 : 5;
+        const auto r = apps::meshupdate::simulate(machine, cfg, ntasks);
+        eff[upd][s] = r.efficiency;
+      }
+    }
+    std::printf("%-14s | %7.0f%% %7.0f%% %7.0f%% | %7.0f%% %7.0f%% %7.0f%%\n",
+                to_string(mode), 100 * eff[0][0], 100 * eff[0][1],
+                100 * eff[0][2], 100 * eff[1][0], 100 * eff[1][1],
+                100 * eff[1][2]);
+  }
+  std::printf(
+      "\npaper (4 sockets, real hardware):\n"
+      "without HLS    |      37%%      39%%      40%% |      30%%      37%%"
+      "      40%%\n"
+      "HLS node       |      94%%      93%%      99%% |      65%%      87%%"
+      "      95%%\n"
+      "HLS numa       |      94%%      93%%      99%% |      88%%      92%%"
+      "      97%%\n");
+  return 0;
+}

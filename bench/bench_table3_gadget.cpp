@@ -1,0 +1,46 @@
+// Reproduces Table III: "Execution time and memory consumption for
+// Gadget-2" at 256 cores.
+//
+// The HLS variable is the Ewald-summation correction table (paper: 33 MB,
+// scaled 1/64 here => 512 KB, a 40^3 grid of doubles); expected per-node
+// gain ~ 7 x table on 8-core nodes.
+//
+// Usage: bench_table3_gadget [--quick]
+#include <cstring>
+
+#include "apps/gadget/gadget.hpp"
+#include "table_common.hpp"
+
+using namespace hlsmpc;
+using benchtab::RuntimeConfig;
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const topo::Machine machine = topo::Machine::core2_cluster_node();
+
+  benchtab::print_header(
+      "Table III reproduction: Gadget-2 (33 MB Ewald table scaled 1/64; "
+      "8-core nodes)");
+  const int cores = 256;
+  for (RuntimeConfig rc : {RuntimeConfig::mpc_hls, RuntimeConfig::mpc,
+                           RuntimeConfig::open_mpi_like}) {
+    apps::gadget::Config cfg;
+    cfg.ewald_dim = 40;  // 40^3 doubles = 512 KB = 33 MB / 64
+    cfg.particles_per_rank = quick ? 1024 : 4096;
+    cfg.timesteps = quick ? 2 : 3;
+    cfg.total_ranks = cores;
+    cfg.use_hls = benchtab::uses_hls(rc);
+    mpc::Node node(machine, benchtab::node_options(rc, 8, cores));
+    const auto stats = apps::gadget::run(node, cfg);
+    benchtab::print_row(cores, rc, stats.seconds, stats.avg_mb,
+                        stats.max_mb);
+  }
+  std::printf(
+      "\npaper (MB, unscaled): HLS 703/747, MPC 938/988, OpenMPI 1731/1742;"
+      " expected HLS gain ~ 7 x 33/64 MB = %.1f MB here.\n",
+      7.0 * 33.0 / 64.0);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared scaffolding for the Table II-IV reproductions: the three runtime
+// configurations compared in the paper and the row printer.
+#pragma once
+
+#include <cstdio>
+
+#include "mpc/node.hpp"
+
+namespace hlsmpc::benchtab {
+
+enum class RuntimeConfig { mpc_hls, mpc, open_mpi_like };
+
+inline const char* to_string(RuntimeConfig c) {
+  switch (c) {
+    case RuntimeConfig::mpc_hls:
+      return "MPC HLS";
+    case RuntimeConfig::mpc:
+      return "MPC";
+    case RuntimeConfig::open_mpi_like:
+      return "Open MPI*";
+  }
+  return "?";
+}
+
+/// Node options for one of the paper's three rows. `total_ranks` drives
+/// the per-pair reservation of the Open-MPI-like buffer policy.
+inline mpc::NodeOptions node_options(RuntimeConfig c, int local_ranks,
+                                     int total_ranks) {
+  mpc::NodeOptions o;
+  o.mpi.nranks = local_ranks;
+  o.mpi.total_ranks = total_ranks;
+  switch (c) {
+    case RuntimeConfig::mpc_hls:
+    case RuntimeConfig::mpc:
+      o.mpi.buffers.kind = mpi::BufferPolicyKind::pooled;
+      break;
+    case RuntimeConfig::open_mpi_like:
+      // The aggressive per-peer reservation the paper attributes the
+      // MPC-vs-OpenMPI memory gap to (§V.B.1).
+      o.mpi.buffers.kind = mpi::BufferPolicyKind::per_pair;
+      break;
+  }
+  return o;
+}
+
+inline bool uses_hls(RuntimeConfig c) { return c == RuntimeConfig::mpc_hls; }
+
+inline void print_header(const char* title) {
+  std::printf("%s\n", title);
+  std::printf("%8s  %-10s %9s %15s %15s\n", "# cores", "MPI", "time (s)",
+              "avg. mem. (MB)", "max. mem. (MB)");
+}
+
+inline void print_row(int cores, RuntimeConfig c, double seconds,
+                      double avg_mb, double max_mb) {
+  std::printf("%8d  %-10s %9.2f %15.1f %15.1f\n", cores, to_string(c),
+              seconds, avg_mb, max_mb);
+}
+
+}  // namespace hlsmpc::benchtab

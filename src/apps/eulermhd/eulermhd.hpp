@@ -1,0 +1,41 @@
+// EulerMHD mini-app (paper §V.B.1, Table II).
+//
+// A 2-D Cartesian solver whose gas equation of state is a large constant
+// 2-D table (pressure as a function of density and internal energy),
+// identical in every MPI task — the paper's HLS candidate. One node of
+// the cluster is simulated: it hosts 8 of `total_ranks` job ranks, each
+// owning a block of rows of the fixed global mesh, exchanging halo rows
+// with ring neighbours and reducing a global dt each step. With HLS the
+// EOS table is declared node-scope and initialized under a single; the
+// expected per-node gain is 7x the table size.
+#pragma once
+
+#include <cstdint>
+
+#include "mpc/node.hpp"
+
+namespace hlsmpc::apps {
+
+/// Per-run measurements matching the tables' columns.
+struct RunStats {
+  double seconds = 0.0;
+  double avg_mb = 0.0;   ///< time-average of node memory (paper's probe)
+  double max_mb = 0.0;   ///< max over time
+  double checksum = 0.0; ///< mode-independent result checksum
+};
+
+namespace eulermhd {
+
+struct Config {
+  int global_nx = 256;     ///< global mesh columns (scaled from 4096)
+  int global_ny = 256;     ///< global mesh rows, split across the job
+  int eos_dim = 256;       ///< EOS table is eos_dim^2 doubles
+  int timesteps = 4;
+  int total_ranks = 256;   ///< job size (this node hosts its 8 local ranks)
+  bool use_hls = false;
+};
+
+RunStats run(mpc::Node& node, const Config& cfg);
+
+}  // namespace eulermhd
+}  // namespace hlsmpc::apps

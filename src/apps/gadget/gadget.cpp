@@ -1,0 +1,173 @@
+#include "apps/gadget/gadget.hpp"
+
+#include <chrono>
+#include <cmath>
+
+namespace hlsmpc::apps::gadget {
+
+namespace {
+
+double ewald_value(int i, int j, int k, int dim) {
+  const double x = (static_cast<double>(i) + 0.5) / dim - 0.5;
+  const double y = (static_cast<double>(j) + 0.5) / dim - 0.5;
+  const double z = (static_cast<double>(k) + 0.5) / dim - 0.5;
+  const double r2 = x * x + y * y + z * z + 1e-4;
+  return x / (r2 * std::sqrt(r2));  // leading Ewald force component
+}
+
+double trilinear(const double* t, int dim, double x, double y, double z) {
+  const auto clampf = [dim](double v) {
+    return std::min(std::max(v, 0.0), 0.999) * (dim - 1);
+  };
+  const double fx = clampf(x), fy = clampf(y), fz = clampf(z);
+  const int ix = static_cast<int>(fx), iy = static_cast<int>(fy),
+            iz = static_cast<int>(fz);
+  const double ax = fx - ix, ay = fy - iy, az = fz - iz;
+  const auto at = [&](int a, int b, int c) {
+    return t[(static_cast<std::size_t>(a) * dim + b) * dim + c];
+  };
+  double v = 0.0;
+  for (int da = 0; da < 2; ++da) {
+    for (int db = 0; db < 2; ++db) {
+      for (int dc = 0; dc < 2; ++dc) {
+        const double w = (da ? ax : 1 - ax) * (db ? ay : 1 - ay) *
+                         (dc ? az : 1 - az);
+        v += w * at(ix + da, iy + db, iz + dc);
+      }
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+RunStats run(mpc::Node& node, const Config& cfg) {
+  const std::size_t table_cells = static_cast<std::size_t>(cfg.ewald_dim) *
+                                  cfg.ewald_dim * cfg.ewald_dim;
+  const int np = cfg.particles_per_rank;
+
+  hls::ArrayVar<double> hls_table;
+  if (cfg.use_hls) {
+    hls::ModuleBuilder mb(node.hls_rt().registry(), "gadget");
+    hls_table = hls::add_array<double>(mb, "ewald_table", table_cells,
+                                       topo::node_scope());
+    mb.commit();
+  }
+
+  RunStats stats;
+  memtrack::Sampler sampler(node.tracker());
+  std::mutex mu;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  node.run([&](mpi::Comm& world, hls::TaskView& view) {
+    auto& ctx = view.context();
+    const int me = world.rank(ctx);
+    const int n = world.size();
+
+    // Particle state: position (3), velocity (3), one array each.
+    memtrack::Buffer pbuf(node.tracker(), memtrack::Category::app,
+                          static_cast<std::size_t>(np) * 6 * sizeof(double));
+    double* pos = pbuf.as<double>();
+    double* vel = pos + static_cast<std::size_t>(np) * 3;
+    for (int p = 0; p < np; ++p) {
+      for (int d = 0; d < 3; ++d) {
+        pos[p * 3 + d] =
+            0.5 + 0.4 * std::sin(0.1 * (p + d) + 0.01 * me);
+        vel[p * 3 + d] = 0.0;
+      }
+    }
+
+    const auto fill_table = [&](double* t) {
+      for (int i = 0; i < cfg.ewald_dim; ++i) {
+        for (int j = 0; j < cfg.ewald_dim; ++j) {
+          for (int k = 0; k < cfg.ewald_dim; ++k) {
+            t[(static_cast<std::size_t>(i) * cfg.ewald_dim + j) *
+                  cfg.ewald_dim +
+              k] = ewald_value(i, j, k, cfg.ewald_dim);
+          }
+        }
+      }
+    };
+    memtrack::Buffer private_table;
+    double* table = nullptr;
+    if (cfg.use_hls) {
+      table = view.get(hls_table);
+      view.single({hls_table.handle()}, [&] { fill_table(table); });
+    } else {
+      private_table = memtrack::Buffer(node.tracker(),
+                                       memtrack::Category::app,
+                                       table_cells * sizeof(double));
+      table = private_table.as<double>();
+      fill_table(table);
+    }
+
+    for (int step = 0; step < cfg.timesteps; ++step) {
+      // Domain statistics exchanged like gadget's load balancing chatter.
+      double local_min = 1e30, local_max = -1e30;
+      for (int p = 0; p < np; ++p) {
+        local_min = std::min(local_min, pos[p * 3]);
+        local_max = std::max(local_max, pos[p * 3]);
+      }
+      (void)world.allreduce_value(ctx, local_min, mpi::Op::min);
+      (void)world.allreduce_value(ctx, local_max, mpi::Op::max);
+
+      // Forces: neighbour sample + Ewald correction from the table.
+      for (int p = 0; p < np; ++p) {
+        double f[3] = {0, 0, 0};
+        for (int s = 1; s <= cfg.neighbor_sample; ++s) {
+          const int q = (p + s * 97) % np;
+          double d2 = 1e-5;
+          double dx[3];
+          for (int d = 0; d < 3; ++d) {
+            dx[d] = pos[q * 3 + d] - pos[p * 3 + d];
+            d2 += dx[d] * dx[d];
+          }
+          const double inv = 1.0 / (d2 * std::sqrt(d2));
+          for (int d = 0; d < 3; ++d) f[d] += dx[d] * inv * 1e-6;
+        }
+        const double corr = trilinear(table, cfg.ewald_dim, pos[p * 3],
+                                      pos[p * 3 + 1], pos[p * 3 + 2]);
+        f[0] += 1e-6 * corr;
+        for (int d = 0; d < 3; ++d) {
+          vel[p * 3 + d] += f[d];
+          pos[p * 3 + d] =
+              std::fmod(pos[p * 3 + d] + vel[p * 3 + d] + 1.0, 1.0);
+        }
+      }
+
+      // Boundary particle exchange with the ring neighbour.
+      const int count = 16;
+      std::vector<double> out(static_cast<std::size_t>(count) * 3);
+      std::vector<double> in(out.size());
+      for (int i = 0; i < count * 3; ++i) {
+        out[static_cast<std::size_t>(i)] = pos[i];
+      }
+      world.sendrecv(ctx, out.data(), out.size() * sizeof(double),
+                     (me + 1) % n, 20, in.data(), in.size() * sizeof(double),
+                     (me - 1 + n) % n, 20);
+
+      if (me == 0) {
+        std::lock_guard<std::mutex> lk(mu);
+        sampler.sample();
+      }
+      world.barrier(ctx);
+    }
+
+    double local = 0.0;
+    for (int p = 0; p < np; ++p) local += vel[p * 3] * vel[p * 3];
+    const double global = world.allreduce_value(ctx, local, mpi::Op::sum);
+    if (me == 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      stats.checksum = global;
+    }
+  });
+
+  stats.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  stats.avg_mb = sampler.avg_mb();
+  stats.max_mb = sampler.max_mb();
+  return stats;
+}
+
+}  // namespace hlsmpc::apps::gadget

@@ -1,0 +1,26 @@
+// Gadget-2 mini-app (paper §V.B.2, Table III).
+//
+// Cosmological N-body step: short-range forces over a neighbour sample
+// plus the periodic-boundary Ewald correction, obtained by trilinear
+// interpolation from a precomputed 3-D table — constant across all MPI
+// tasks, hence the HLS candidate. With HLS the table is node-scope and
+// filled once per node under a single.
+#pragma once
+
+#include "apps/eulermhd/eulermhd.hpp"  // RunStats
+#include "mpc/node.hpp"
+
+namespace hlsmpc::apps::gadget {
+
+struct Config {
+  int particles_per_rank = 2048;
+  int ewald_dim = 24;      ///< table is ewald_dim^3 doubles per component
+  int timesteps = 3;
+  int total_ranks = 256;
+  int neighbor_sample = 24;
+  bool use_hls = false;
+};
+
+RunStats run(mpc::Node& node, const Config& cfg);
+
+}  // namespace hlsmpc::apps::gadget

@@ -1,0 +1,295 @@
+#include "apps/matmul/matmul.hpp"
+
+#include <vector>
+
+namespace hlsmpc::apps::matmul {
+
+namespace {
+
+/// Block-level access trace of C <- A*B + C, ikj-blocked. For each block
+/// triple (ib,kb,jb) the stream touches each line of A(ib,kb), B(kb,jb)
+/// and C(ib,jb) once, with the block's compute charged across the
+/// touches. Matrices are row-major n*n doubles.
+class DgemmStream final : public cachesim::CoreStream {
+ public:
+  DgemmStream(const Config& cfg, std::uint64_t a, std::uint64_t b,
+              std::uint64_t c, bool b_writer)
+      : cfg_(cfg), a_(a), b_(b), c_(c), b_writer_(b_writer) {
+    nb_ = (cfg_.n + cfg_.block - 1) / cfg_.block;
+    // flops per block triple spread over its line touches.
+    const double flops = 2.0 * cfg_.block * cfg_.block * cfg_.block;
+    const double touches = 3.0 * cfg_.block * cfg_.block * 8.0 / 64.0;
+    compute_per_touch_ = static_cast<std::uint32_t>(
+        flops / touches * cfg_.cycles_per_flop);
+  }
+
+  bool next(cachesim::Access& out) override {
+    while (true) {
+      if (step_ >= cfg_.timesteps) return false;
+      if (phase_ == Phase::enter_single) {
+        phase_ = Phase::update_b;
+        out = cachesim::barrier_access();  // single entry / MPI_Barrier
+        return true;
+      }
+      if (phase_ == Phase::update_b) {
+        const bool writes_now = b_writer_ && (cfg_.update_b || step_ == 0);
+        const std::uint64_t bytes =
+            static_cast<std::uint64_t>(cfg_.n) * cfg_.n * sizeof(double);
+        if (writes_now && bpos_ < bytes) {
+          out = {b_ + bpos_, true, 1, false};
+          bpos_ += 64;
+          return true;
+        }
+        bpos_ = 0;
+        phase_ = Phase::multiply;
+        out = cachesim::barrier_access();  // single exit
+        return true;
+      }
+      // multiply phase: iterate block triples, inside them line touches.
+      if (ib_ >= nb_) {
+        ib_ = 0;
+        ++step_;
+        phase_ = Phase::enter_single;
+        continue;
+      }
+      // Current block triple (ib_,kb_,jb_); emit its touches.
+      if (emit_block_touch(out)) return true;
+      // Advance the triple: jb fastest, then kb, then ib.
+      if (++jb_ >= nb_) {
+        jb_ = 0;
+        if (++kb_ >= nb_) {
+          kb_ = 0;
+          ++ib_;
+        }
+      }
+      touch_ = 0;
+    }
+  }
+
+ private:
+  enum class Phase { enter_single, update_b, multiply };
+
+  /// Emit touch number touch_ of the current block triple; false when the
+  /// triple is exhausted.
+  bool emit_block_touch(cachesim::Access& out) {
+    // Touch order: A block lines, then B block lines, then C block lines.
+    const int lines_per_row = (cfg_.block * 8 + 63) / 64;
+    const int rows = std::min(cfg_.block, cfg_.n - ib_ * cfg_.block);
+    const int lines_per_block = rows * lines_per_row;
+    if (touch_ >= 3 * lines_per_block) return false;
+    const int which = touch_ / lines_per_block;  // 0=A, 1=B, 2=C
+    const int within = touch_ % lines_per_block;
+    const int row = within / lines_per_row;
+    const int line = within % lines_per_row;
+    std::uint64_t base;
+    int brow, bcol;
+    bool write = false;
+    if (which == 0) {
+      base = a_;
+      brow = ib_ * cfg_.block + row;
+      bcol = kb_ * cfg_.block;
+    } else if (which == 1) {
+      base = b_;
+      brow = kb_ * cfg_.block + row;
+      bcol = jb_ * cfg_.block;
+    } else {
+      base = c_;
+      brow = ib_ * cfg_.block + row;
+      bcol = jb_ * cfg_.block;
+      write = true;  // C accumulates
+    }
+    const std::uint64_t addr =
+        base + (static_cast<std::uint64_t>(brow) * cfg_.n + bcol) *
+                   sizeof(double) +
+        static_cast<std::uint64_t>(line) * 64;
+    out = {addr, write, compute_per_touch_};
+    ++touch_;
+    return true;
+  }
+
+  Config cfg_;
+  std::uint64_t a_, b_, c_;
+  bool b_writer_;
+  int nb_ = 0;
+  std::uint32_t compute_per_touch_ = 0;
+  Phase phase_ = Phase::enter_single;
+  int step_ = 0;
+  std::uint64_t bpos_ = 0;
+  int ib_ = 0, kb_ = 0, jb_ = 0;
+  int touch_ = 0;
+};
+
+topo::ScopeSpec scope_for(Mode m) {
+  return m == Mode::hls_node ? topo::node_scope() : topo::numa_scope();
+}
+
+}  // namespace
+
+const char* to_string(Mode m) {
+  switch (m) {
+    case Mode::sequential:
+      return "sequential";
+    case Mode::mpi_private:
+      return "MPI";
+    case Mode::hls_node:
+      return "HLS node";
+    case Mode::hls_numa:
+      return "HLS numa";
+  }
+  return "?";
+}
+
+SimResult simulate(const topo::Machine& machine, const Config& cfg,
+                   Mode mode, int ntasks) {
+  if (mode == Mode::sequential) ntasks = 1;
+  cachesim::Hierarchy hier(machine);
+  const topo::ScopeMap sm(machine);
+  const std::size_t mat_bytes =
+      static_cast<std::size_t>(cfg.n) * cfg.n * sizeof(double);
+
+  std::vector<std::uint64_t> b_of_task(static_cast<std::size_t>(ntasks));
+  std::vector<bool> writer(static_cast<std::size_t>(ntasks), false);
+  if (mode == Mode::sequential || mode == Mode::mpi_private) {
+    for (int t = 0; t < ntasks; ++t) {
+      b_of_task[static_cast<std::size_t>(t)] = hier.alloc_region(mat_bytes);
+      writer[static_cast<std::size_t>(t)] = true;
+    }
+  } else {
+    const topo::ScopeSpec scope = scope_for(mode);
+    std::vector<std::uint64_t> region(
+        static_cast<std::size_t>(sm.num_instances(scope)), 0);
+    for (int t = 0; t < ntasks; ++t) {
+      const int inst = sm.instance_of(scope, t);
+      if (region[static_cast<std::size_t>(inst)] == 0) {
+        region[static_cast<std::size_t>(inst)] = hier.alloc_region(mat_bytes);
+        writer[static_cast<std::size_t>(t)] = true;
+      }
+      b_of_task[static_cast<std::size_t>(t)] =
+          region[static_cast<std::size_t>(inst)];
+    }
+  }
+
+  std::vector<int> cpus;
+  std::vector<std::unique_ptr<cachesim::CoreStream>> streams;
+  for (int t = 0; t < ntasks; ++t) {
+    const std::uint64_t a = hier.alloc_region(mat_bytes);
+    const std::uint64_t c = hier.alloc_region(mat_bytes);
+    cpus.push_back(t);
+    streams.push_back(std::make_unique<DgemmStream>(
+        cfg, a, b_of_task[static_cast<std::size_t>(t)], c,
+        writer[static_cast<std::size_t>(t)]));
+  }
+  cachesim::Runner runner(hier, std::move(cpus), std::move(streams));
+  const cachesim::RunResult rr = runner.run();
+
+  SimResult result;
+  result.makespan = rr.makespan;
+  result.total_flops = 2.0 * cfg.n * cfg.n * cfg.n * cfg.timesteps * ntasks;
+  result.perf = result.makespan == 0
+                    ? 0.0
+                    : result.total_flops /
+                          static_cast<double>(result.makespan) /
+                          static_cast<double>(ntasks);
+  result.stats = hier.stats();
+  return result;
+}
+
+double run_on_node(mpc::Node& node, const Config& cfg, Mode mode) {
+  const int n = cfg.n;
+  const std::size_t nn = static_cast<std::size_t>(n) * n;
+  const auto b_value = [n](int i, int j, int step) {
+    return 0.25 * ((i * 31 + j * 17 + step * 7) % 16 - 8);
+  };
+  double checksum = 0.0;
+  std::mutex mu;
+
+  hls::ArrayVar<double> hls_b;
+  const bool use_hls = mode == Mode::hls_node || mode == Mode::hls_numa;
+  if (use_hls) {
+    hls::ModuleBuilder mb(node.hls_rt().registry(), "matmul");
+    hls_b = hls::add_array<double>(mb, "B", nn, scope_for(mode));
+    mb.commit();
+  }
+
+  node.run([&](mpi::Comm& world, hls::TaskView& view) {
+    auto& ctx = view.context();
+    const int me = world.rank(ctx);
+
+    memtrack::Buffer a_buf(node.tracker(), memtrack::Category::app,
+                           nn * sizeof(double));
+    memtrack::Buffer c_buf(node.tracker(), memtrack::Category::app,
+                           nn * sizeof(double));
+    double* A = a_buf.as<double>();
+    double* C = c_buf.as<double>();
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        A[static_cast<std::size_t>(i) * n + j] =
+            0.125 * ((i * 13 + j * 5) % 8);
+        C[static_cast<std::size_t>(i) * n + j] = 0.0;
+      }
+    }
+
+    memtrack::Buffer b_private;
+    double* B = nullptr;
+    const auto fill_b = [&](int step) {
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+          B[static_cast<std::size_t>(i) * n + j] = b_value(i, j, step);
+        }
+      }
+    };
+    if (use_hls) {
+      B = view.get(hls_b);
+      // Listing 4: allocation/initialization under a single.
+      view.single({hls_b.handle()}, [&] { fill_b(0); });
+    } else {
+      b_private = memtrack::Buffer(node.tracker(), memtrack::Category::app,
+                                   nn * sizeof(double));
+      B = b_private.as<double>();
+      fill_b(0);
+    }
+
+    const int bs = cfg.block;
+    for (int step = 0; step < cfg.timesteps; ++step) {
+      if (cfg.update_b && step > 0) {
+        if (use_hls) {
+          view.single({hls_b.handle()}, [&] { fill_b(step); });
+        } else {
+          fill_b(step);
+        }
+      }
+      // Blocked C += A*B.
+      for (int ib = 0; ib < n; ib += bs) {
+        for (int kb = 0; kb < n; kb += bs) {
+          for (int jb = 0; jb < n; jb += bs) {
+            const int imax = std::min(ib + bs, n);
+            const int kmax = std::min(kb + bs, n);
+            const int jmax = std::min(jb + bs, n);
+            for (int i = ib; i < imax; ++i) {
+              for (int k = kb; k < kmax; ++k) {
+                const double a = A[static_cast<std::size_t>(i) * n + k];
+                for (int j = jb; j < jmax; ++j) {
+                  C[static_cast<std::size_t>(i) * n + j] +=
+                      a * B[static_cast<std::size_t>(k) * n + j];
+                }
+              }
+            }
+          }
+        }
+      }
+      world.barrier(ctx);
+      if (use_hls) view.barrier({hls_b.handle()});
+    }
+
+    double local = 0.0;
+    for (std::size_t i = 0; i < nn; ++i) local += C[i];
+    const double global = world.allreduce_value(ctx, local, mpi::Op::sum);
+    if (me == 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      checksum = global;
+    }
+  });
+  return checksum;
+}
+
+}  // namespace hlsmpc::apps::matmul

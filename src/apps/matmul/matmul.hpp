@@ -1,0 +1,48 @@
+// Matrix-multiplication benchmark (paper §II.D.2, Figure 3).
+//
+// Every MPI task repeatedly computes C <- A*B + C where B is common to
+// all tasks (listing 4). With HLS the single shared copy of B both frees
+// LLC capacity and lets tasks reuse each other's fetches of B. The
+// `update` variant rewrites B between timesteps inside a single.
+//
+// simulate() models a blocked dgemm's memory behaviour at cache-line
+// granularity (block-panel traversal, compute cycles charged per line
+// touch) and reports performance in flops/cycle — the y-axis shape of
+// Figure 3. run_on_node() executes a real blocked dgemm on the runtime
+// for correctness and memory accounting.
+#pragma once
+
+#include <cstdint>
+
+#include "cachesim/runner.hpp"
+#include "mpc/node.hpp"
+
+namespace hlsmpc::apps::matmul {
+
+enum class Mode { sequential, mpi_private, hls_node, hls_numa };
+const char* to_string(Mode m);
+
+struct Config {
+  int n = 96;          ///< square matrix dimension
+  int block = 8;       ///< blocking factor (doubles per block edge)
+  int timesteps = 2;   ///< repeated multiplications (reuse across steps)
+  bool update_b = false;
+  double cycles_per_flop = 0.5;
+};
+
+struct SimResult {
+  std::uint64_t makespan = 0;
+  double total_flops = 0.0;
+  /// flops per cycle per task: the normalized performance of Figure 3.
+  double perf = 0.0;
+  cachesim::HierarchyStats stats;
+};
+
+SimResult simulate(const topo::Machine& machine, const Config& cfg,
+                   Mode mode, int ntasks);
+
+/// Real blocked dgemm on the runtime. Returns the checksum of C summed
+/// over ranks; identical across modes for identical inputs.
+double run_on_node(mpc::Node& node, const Config& cfg, Mode mode);
+
+}  // namespace hlsmpc::apps::matmul

@@ -1,0 +1,300 @@
+#include "apps/meshupdate/mesh_update.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace hlsmpc::apps::meshupdate {
+
+namespace {
+
+/// splitmix64: small deterministic PRNG for the random table indices.
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// Trace generator for one task: per timestep, optionally rewrite the
+/// table (the `single`), then sweep the sub-domain with random table
+/// reads per cell.
+class MeshStream final : public cachesim::CoreStream {
+ public:
+  MeshStream(const Config& cfg, std::uint64_t table_base,
+             std::uint64_t mesh_base, bool table_writer, std::uint64_t seed)
+      : cfg_(cfg),
+        table_base_(table_base),
+        mesh_base_(mesh_base),
+        table_writer_(table_writer),
+        rng_{seed} {}
+
+  bool next(cachesim::Access& out) override {
+    while (true) {
+      if (step_ >= cfg_.timesteps) return false;
+      if (phase_ == Phase::enter_single) {
+        // The single's entry barrier (everyone waits for the writer).
+        phase_ = Phase::write_table;
+        out = cachesim::barrier_access();
+        return true;
+      }
+      if (phase_ == Phase::write_table) {
+        const bool writes_now =
+            table_writer_ && (cfg_.update_table || step_ == 0);
+        if (writes_now && write_pos_ < table_bytes()) {
+          // Sequential rewrite of the whole table, one access per line.
+          out = {table_base_ + write_pos_, true, 1, false};
+          write_pos_ += 64;
+          return true;
+        }
+        write_pos_ = 0;
+        phase_ = Phase::leave_single;
+        out = cachesim::barrier_access();  // the single's exit barrier
+        return true;
+      }
+      if (phase_ == Phase::leave_single) {
+        phase_ = Phase::sweep;
+        continue;
+      }
+      // Sweep phase: table reads then the cell write.
+      if (cell_ >= cfg_.cells_per_task) {
+        cell_ = 0;
+        read_ = 0;
+        ++step_;
+        phase_ = Phase::enter_single;
+        continue;
+      }
+      if (read_ < cfg_.table_reads_per_cell) {
+        const std::uint64_t idx = rng_.next() % cfg_.table_cells;
+        ++read_;
+        out = {table_base_ + idx * sizeof(double), false,
+               cfg_.compute_per_access, false};
+        return true;
+      }
+      out = {mesh_base_ + cell_ * sizeof(double), true,
+             cfg_.compute_per_access, false};
+      ++cell_;
+      read_ = 0;
+      return true;
+    }
+  }
+
+ private:
+  enum class Phase { enter_single, write_table, leave_single, sweep };
+  std::uint64_t table_bytes() const {
+    return cfg_.table_cells * sizeof(double);
+  }
+
+  Config cfg_;
+  std::uint64_t table_base_;
+  std::uint64_t mesh_base_;
+  bool table_writer_;
+  Rng rng_;
+  Phase phase_ = Phase::enter_single;
+  int step_ = 0;
+  std::uint64_t write_pos_ = 0;
+  std::size_t cell_ = 0;
+  int read_ = 0;
+};
+
+topo::ScopeSpec scope_for(Mode m) {
+  switch (m) {
+    case Mode::hls_node:
+      return topo::node_scope();
+    case Mode::hls_numa:
+      return topo::numa_scope();
+    case Mode::hls_cache_llc:
+      return topo::cache_scope(0);
+    case Mode::hls_core:
+      return topo::core_scope();
+    case Mode::no_hls:
+      break;
+  }
+  throw std::logic_error("meshupdate: no scope for this mode");
+}
+
+}  // namespace
+
+const char* to_string(Mode m) {
+  switch (m) {
+    case Mode::no_hls:
+      return "without HLS";
+    case Mode::hls_node:
+      return "HLS node";
+    case Mode::hls_numa:
+      return "HLS numa";
+    case Mode::hls_cache_llc:
+      return "HLS cache(llc)";
+    case Mode::hls_core:
+      return "HLS core";
+  }
+  return "?";
+}
+
+SimResult simulate(const topo::Machine& machine, const Config& cfg,
+                   int ntasks) {
+  SimResult result;
+
+  // ---- parallel run ----
+  {
+    cachesim::Hierarchy hier(machine);
+    const topo::ScopeMap sm(machine);
+    const std::size_t table_bytes = cfg.table_cells * sizeof(double);
+
+    // Table placement: one region per copy that exists in this mode.
+    std::vector<std::uint64_t> table_of_task(
+        static_cast<std::size_t>(ntasks));
+    std::vector<bool> writer(static_cast<std::size_t>(ntasks), false);
+    if (cfg.mode == Mode::no_hls) {
+      for (int t = 0; t < ntasks; ++t) {
+        table_of_task[static_cast<std::size_t>(t)] =
+            hier.alloc_region(table_bytes);
+        writer[static_cast<std::size_t>(t)] = true;  // everyone owns a copy
+      }
+    } else {
+      const topo::ScopeSpec scope = scope_for(cfg.mode);
+      std::vector<std::uint64_t> region_of_instance(
+          static_cast<std::size_t>(sm.num_instances(scope)), 0);
+      std::vector<bool> instance_seen(region_of_instance.size(), false);
+      for (int t = 0; t < ntasks; ++t) {
+        const int inst = sm.instance_of(scope, t);  // task t pinned to cpu t
+        if (region_of_instance[static_cast<std::size_t>(inst)] == 0) {
+          region_of_instance[static_cast<std::size_t>(inst)] =
+              hier.alloc_region(table_bytes);
+        }
+        table_of_task[static_cast<std::size_t>(t)] =
+            region_of_instance[static_cast<std::size_t>(inst)];
+        if (!instance_seen[static_cast<std::size_t>(inst)]) {
+          instance_seen[static_cast<std::size_t>(inst)] = true;
+          writer[static_cast<std::size_t>(t)] = true;  // the `single` task
+        }
+      }
+    }
+
+    std::vector<int> cpus;
+    std::vector<std::unique_ptr<cachesim::CoreStream>> streams;
+    for (int t = 0; t < ntasks; ++t) {
+      const std::uint64_t mesh =
+          hier.alloc_region(cfg.cells_per_task * sizeof(double));
+      cpus.push_back(t);
+      streams.push_back(std::make_unique<MeshStream>(
+          cfg, table_of_task[static_cast<std::size_t>(t)], mesh,
+          writer[static_cast<std::size_t>(t)],
+          cfg.seed + static_cast<std::uint64_t>(t)));
+    }
+    cachesim::Runner runner(hier, std::move(cpus), std::move(streams));
+    const cachesim::RunResult rr = runner.run();
+    result.t_par = rr.makespan;
+    result.par_stats = hier.stats();
+  }
+
+  // ---- sequential baseline: same per-task work, alone on the machine ----
+  {
+    cachesim::Hierarchy hier(machine);
+    const std::uint64_t table =
+        hier.alloc_region(cfg.table_cells * sizeof(double));
+    const std::uint64_t mesh =
+        hier.alloc_region(cfg.cells_per_task * sizeof(double));
+    std::vector<int> cpus = {0};
+    std::vector<std::unique_ptr<cachesim::CoreStream>> streams;
+    streams.push_back(
+        std::make_unique<MeshStream>(cfg, table, mesh, true, cfg.seed));
+    cachesim::Runner runner(hier, std::move(cpus), std::move(streams));
+    result.t_seq = runner.run().makespan;
+  }
+
+  result.efficiency = result.t_par == 0
+                          ? 0.0
+                          : static_cast<double>(result.t_seq) /
+                                static_cast<double>(result.t_par);
+  return result;
+}
+
+double run_on_node(mpc::Node& node, const Config& cfg) {
+  // Deterministic "physics": table value depends only on (index, step),
+  // so private and shared copies hold identical data and the checksum is
+  // mode-independent.
+  const auto table_value = [](std::size_t j, int step) {
+    return std::sin(static_cast<double>(j % 1000) * 0.001) +
+           0.01 * static_cast<double>(step);
+  };
+  double checksum = 0.0;
+  std::mutex checksum_mu;
+
+  hls::ArrayVar<double> hls_table;
+  if (cfg.mode != Mode::no_hls) {
+    hls::ModuleBuilder mb(node.hls_rt().registry(), "meshupdate");
+    hls_table = hls::add_array<double>(mb, "table", cfg.table_cells,
+                                       scope_for(cfg.mode));
+    mb.commit();
+  }
+
+  node.run([&](mpi::Comm& world, hls::TaskView& view) {
+    auto& ctx = view.context();
+    const int me = world.rank(ctx);
+
+    memtrack::Buffer mesh_buf(node.tracker(), memtrack::Category::app,
+                              cfg.cells_per_task * sizeof(double));
+    double* mesh = mesh_buf.as<double>();
+    for (std::size_t i = 0; i < cfg.cells_per_task; ++i) {
+      mesh[i] = static_cast<double>(me % 7) * 0.125;
+    }
+
+    memtrack::Buffer private_table;
+    double* table = nullptr;
+    if (cfg.mode == Mode::no_hls) {
+      private_table = memtrack::Buffer(node.tracker(),
+                                       memtrack::Category::app,
+                                       cfg.table_cells * sizeof(double));
+      table = private_table.as<double>();
+      for (std::size_t j = 0; j < cfg.table_cells; ++j) {
+        table[j] = table_value(j, 0);
+      }
+    } else {
+      table = view.get(hls_table);
+      // Listing 3: the table is loaded by one task per scope instance.
+      view.single({hls_table.handle()}, [&] {
+        for (std::size_t j = 0; j < cfg.table_cells; ++j) {
+          table[j] = table_value(j, 0);
+        }
+      });
+    }
+
+    Rng rng{cfg.seed + static_cast<std::uint64_t>(me)};
+    for (int step = 0; step < cfg.timesteps; ++step) {
+      if (cfg.update_table && step > 0) {
+        if (cfg.mode == Mode::no_hls) {
+          for (std::size_t j = 0; j < cfg.table_cells; ++j) {
+            table[j] = table_value(j, step);
+          }
+        } else {
+          view.single({hls_table.handle()}, [&] {
+            for (std::size_t j = 0; j < cfg.table_cells; ++j) {
+              table[j] = table_value(j, step);
+            }
+          });
+        }
+      }
+      for (std::size_t i = 0; i < cfg.cells_per_task; ++i) {
+        const std::size_t idx = rng.next() % cfg.table_cells;
+        mesh[i] = 0.5 * (mesh[i] + table[idx]);
+      }
+      world.barrier(ctx);
+      if (cfg.mode != Mode::no_hls) view.barrier({hls_table.handle()});
+    }
+
+    double local = 0.0;
+    for (std::size_t i = 0; i < cfg.cells_per_task; ++i) local += mesh[i];
+    const double global = world.allreduce_value(ctx, local, mpi::Op::sum);
+    if (me == 0) {
+      std::lock_guard<std::mutex> lk(checksum_mu);
+      checksum = global;
+    }
+  });
+  return checksum;
+}
+
+}  // namespace hlsmpc::apps::meshupdate

@@ -1,0 +1,207 @@
+#include "apps/tachyon/tachyon.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+namespace hlsmpc::apps::tachyon {
+
+namespace {
+
+struct Sphere {
+  double cx, cy, cz, r;
+  int texture_offset;
+};
+
+/// Deterministic scene build so every copy is identical.
+void build_spheres(Sphere* s, int n, std::size_t texture_floats) {
+  for (int i = 0; i < n; ++i) {
+    s[i].cx = -2.0 + 4.0 * ((i * 37) % 97) / 97.0;
+    s[i].cy = -2.0 + 4.0 * ((i * 53) % 89) / 89.0;
+    s[i].cz = 3.0 + ((i * 29) % 11);
+    s[i].r = 0.3 + 0.2 * ((i * 13) % 7) / 7.0;
+    s[i].texture_offset =
+        static_cast<int>((static_cast<std::size_t>(i) * 7919) %
+                         (texture_floats - 256));
+  }
+}
+
+void build_textures(float* t, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i] = 0.5f + 0.5f * std::sin(0.001f * static_cast<float>(i % 10007));
+  }
+}
+
+/// Trace one primary ray; returns an RGB-ish scalar triple.
+void trace(double px, double py, const Sphere* spheres, int ns,
+           const float* textures, float rgb[3]) {
+  // Camera at origin looking down +z.
+  const double dx = px, dy = py, dz = 1.0;
+  const double norm = 1.0 / std::sqrt(dx * dx + dy * dy + dz * dz);
+  double best_t = 1e30;
+  int hit = -1;
+  for (int i = 0; i < ns; ++i) {
+    const Sphere& s = spheres[i];
+    const double ox = -s.cx, oy = -s.cy, oz = -s.cz;
+    const double b = 2.0 * (ox * dx + oy * dy + oz * dz) * norm;
+    const double c = ox * ox + oy * oy + oz * oz - s.r * s.r;
+    const double disc = b * b - 4 * c;
+    if (disc < 0) continue;
+    const double t = (-b - std::sqrt(disc)) / 2.0;
+    if (t > 1e-6 && t < best_t) {
+      best_t = t;
+      hit = i;
+    }
+  }
+  if (hit < 0) {
+    rgb[0] = 0.1f;
+    rgb[1] = 0.1f;
+    rgb[2] = static_cast<float>(0.2 + 0.1 * py);
+    return;
+  }
+  const Sphere& s = spheres[hit];
+  const int tex = s.texture_offset +
+                  static_cast<int>(std::fabs(px * 100 + py * 71)) % 256;
+  const float shade = textures[tex];
+  rgb[0] = shade;
+  rgb[1] = shade * 0.8f;
+  rgb[2] = shade * 0.6f;
+}
+
+}  // namespace
+
+TachyonStats run(mpc::Node& node, const Config& cfg) {
+  const int nlocal = node.mpi_rt().nranks();
+  const std::size_t image_floats =
+      static_cast<std::size_t>(cfg.width) * cfg.height * 3;
+  const std::size_t scene_bytes =
+      cfg.texture_floats * sizeof(float) +
+      static_cast<std::size_t>(cfg.num_spheres) * sizeof(Sphere);
+
+  // HLS variables: the split structure of the paper — the shareable part
+  // (scene + image) is HLS, communication state stays private per task.
+  hls::ArrayVar<std::byte> hls_scene;
+  hls::ArrayVar<float> hls_image;
+  if (cfg.use_hls) {
+    hls::ModuleBuilder mb(node.hls_rt().registry(), "tachyon");
+    hls_scene = hls::add_array<std::byte>(mb, "scene", scene_bytes,
+                                          topo::node_scope());
+    hls_image = hls::add_array<float>(mb, "image", image_floats,
+                                      topo::node_scope());
+    mb.commit();
+  }
+
+  TachyonStats stats;
+  memtrack::Sampler sampler(node.tracker());
+  std::mutex mu;
+  const std::uint64_t elided_before =
+      node.mpi_rt().stats().copies_elided.load();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  node.run([&](mpi::Comm& world, hls::TaskView& view) {
+    auto& ctx = view.context();
+    const int me = world.rank(ctx);
+
+    // ---- scene ----
+    memtrack::Buffer private_scene;
+    std::byte* scene = nullptr;
+    if (cfg.use_hls) {
+      scene = view.get(hls_scene);
+      view.single({hls_scene.handle()}, [&] {
+        build_spheres(reinterpret_cast<Sphere*>(scene), cfg.num_spheres,
+                      cfg.texture_floats);
+        build_textures(reinterpret_cast<float*>(
+                           scene + static_cast<std::size_t>(cfg.num_spheres) *
+                                       sizeof(Sphere)),
+                       cfg.texture_floats);
+      });
+    } else {
+      private_scene = memtrack::Buffer(node.tracker(),
+                                       memtrack::Category::app, scene_bytes);
+      scene = private_scene.data();
+      build_spheres(reinterpret_cast<Sphere*>(scene), cfg.num_spheres,
+                    cfg.texture_floats);
+      build_textures(reinterpret_cast<float*>(
+                         scene + static_cast<std::size_t>(cfg.num_spheres) *
+                                     sizeof(Sphere)),
+                     cfg.texture_floats);
+    }
+    const Sphere* spheres = reinterpret_cast<const Sphere*>(scene);
+    const float* textures = reinterpret_cast<const float*>(
+        scene + static_cast<std::size_t>(cfg.num_spheres) * sizeof(Sphere));
+
+    // ---- image (full resolution everywhere, as in the original code) ----
+    memtrack::Buffer private_image;
+    float* image = nullptr;
+    if (cfg.use_hls) {
+      image = view.get(hls_image);
+    } else {
+      private_image = memtrack::Buffer(node.tracker(),
+                                       memtrack::Category::app,
+                                       image_floats * sizeof(float));
+      image = private_image.as<float>();
+    }
+
+    // Row partition over local ranks.
+    const int rows = cfg.height / nlocal;
+    const int row0 = me * rows;
+    const int row1 = me == nlocal - 1 ? cfg.height : row0 + rows;
+
+    for (int frame = 0; frame < cfg.frames; ++frame) {
+      for (int y = row0; y < row1; ++y) {
+        for (int x = 0; x < cfg.width; ++x) {
+          const double px = -1.0 + 2.0 * x / cfg.width + 1e-4 * frame;
+          const double py = -1.0 + 2.0 * y / cfg.height;
+          float rgb[3];
+          trace(px, py, spheres, cfg.num_spheres, textures, rgb);
+          float* dst = image + (static_cast<std::size_t>(y) * cfg.width + x) * 3;
+          dst[0] = rgb[0];
+          dst[1] = rgb[1];
+          dst[2] = rgb[2];
+        }
+      }
+      // Task 0 assembles the frame from everyone's rows. With the HLS
+      // image, source and destination coincide and the copy is elided.
+      const std::size_t my_floats =
+          static_cast<std::size_t>(row1 - row0) * cfg.width * 3;
+      if (me == 0) {
+        for (int r = 1; r < nlocal; ++r) {
+          const int rr0 = r * rows;
+          const int rr1 = r == nlocal - 1 ? cfg.height : rr0 + rows;
+          float* dst = image + static_cast<std::size_t>(rr0) * cfg.width * 3;
+          world.recv(ctx, dst,
+                     static_cast<std::size_t>(rr1 - rr0) * cfg.width * 3 *
+                         sizeof(float),
+                     r, 30 + frame);
+        }
+        std::lock_guard<std::mutex> lk(mu);
+        sampler.sample();
+      } else {
+        world.send(ctx, image + static_cast<std::size_t>(row0) * cfg.width * 3,
+                   my_floats * sizeof(float), 0, 30 + frame);
+      }
+      world.barrier(ctx);
+      if (cfg.use_hls) view.barrier({hls_image.handle()});
+    }
+
+    if (me == 0) {
+      double local = 0.0;
+      for (std::size_t i = 0; i < image_floats; i += 101) {
+        local += image[i];
+      }
+      std::lock_guard<std::mutex> lk(mu);
+      stats.checksum = local;
+    }
+  });
+
+  stats.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  stats.avg_mb = sampler.avg_mb();
+  stats.max_mb = sampler.max_mb();
+  stats.gather_copies_elided =
+      node.mpi_rt().stats().copies_elided.load() - elided_before;
+  return stats;
+}
+
+}  // namespace hlsmpc::apps::tachyon

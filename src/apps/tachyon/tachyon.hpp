@@ -1,0 +1,36 @@
+// Tachyon mini-app (paper §V.B.3, Table IV).
+//
+// Ray tracer with the paper's memory structure: a scene (objects +
+// textures) replicated in every MPI task because rays bounce
+// unpredictably, and a full-resolution image also replicated "for code
+// simplicity" although each task only renders its rows; task 0 assembles
+// the frame from everyone's rows. Both structures are HLS candidates: the
+// scene is read-only during rendering, and the image's per-task regions
+// do not overlap. Sharing the image additionally removes the intra-node
+// gather copies on task 0's node — the runtime detects that source and
+// destination coincide and elides the memcpy (§IV / §V.B.3), which is
+// why the paper measured *faster* execution with HLS here.
+#pragma once
+
+#include "apps/eulermhd/eulermhd.hpp"  // RunStats
+#include "mpc/node.hpp"
+
+namespace hlsmpc::apps::tachyon {
+
+struct Config {
+  int width = 256;
+  int height = 256;
+  int num_spheres = 32;
+  std::size_t texture_floats = 1 << 20;  ///< bulk of the scene's bytes
+  int frames = 2;
+  int total_ranks = 736;
+  bool use_hls = false;  ///< scene + image node-scope
+};
+
+struct TachyonStats : RunStats {
+  std::uint64_t gather_copies_elided = 0;
+};
+
+TachyonStats run(mpc::Node& node, const Config& cfg);
+
+}  // namespace hlsmpc::apps::tachyon

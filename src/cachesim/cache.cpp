@@ -1,0 +1,105 @@
+#include "cachesim/cache.hpp"
+
+#include <stdexcept>
+
+namespace hlsmpc::cachesim {
+
+Cache::Cache(std::size_t size_bytes, std::size_t line_bytes,
+             int associativity)
+    : size_bytes_(size_bytes), assoc_(associativity) {
+  if (line_bytes == 0 || associativity < 1) {
+    throw std::invalid_argument("Cache: degenerate geometry");
+  }
+  const std::size_t lines = size_bytes / line_bytes;
+  if (lines < static_cast<std::size_t>(associativity)) {
+    throw std::invalid_argument("Cache: fewer lines than ways");
+  }
+  num_sets_ = static_cast<int>(lines / static_cast<std::size_t>(associativity));
+  entries_.resize(static_cast<std::size_t>(num_sets_) *
+                  static_cast<std::size_t>(assoc_));
+}
+
+Cache::Entry* Cache::set_begin(std::uint64_t line) {
+  return entries_.data() +
+         static_cast<std::size_t>(set_of(line)) *
+             static_cast<std::size_t>(assoc_);
+}
+
+Cache::AccessResult Cache::access(std::uint64_t line, bool write) {
+  Entry* set = set_begin(line);
+  ++clock_;
+  for (int w = 0; w < assoc_; ++w) {
+    Entry& e = set[w];
+    if (e.valid && e.tag == line) {
+      e.lru = clock_;
+      e.dirty = e.dirty || write;
+      ++stats_.hits;
+      return {.hit = true};
+    }
+  }
+  ++stats_.misses;
+  AccessResult r = fill(line, write);
+  r.hit = false;
+  return r;
+}
+
+Cache::AccessResult Cache::fill(std::uint64_t line, bool write) {
+  Entry* set = set_begin(line);
+  ++clock_;
+  // Reuse an existing copy (fill after invalidate race) or a free way.
+  Entry* victim = nullptr;
+  for (int w = 0; w < assoc_; ++w) {
+    Entry& e = set[w];
+    if (e.valid && e.tag == line) {
+      e.lru = clock_;
+      e.dirty = e.dirty || write;
+      return {};
+    }
+    if (!e.valid) {
+      victim = &e;
+    }
+  }
+  AccessResult r;
+  if (victim == nullptr) {
+    victim = &set[0];
+    for (int w = 1; w < assoc_; ++w) {
+      if (set[w].lru < victim->lru) victim = &set[w];
+    }
+    r.evicted = true;
+    r.victim_line = victim->tag;
+    r.victim_dirty = victim->dirty;
+    ++stats_.evictions;
+    if (victim->dirty) ++stats_.writebacks;
+  }
+  victim->tag = line;
+  victim->valid = true;
+  victim->dirty = write;
+  victim->lru = clock_;
+  return r;
+}
+
+bool Cache::contains(std::uint64_t line) const {
+  const Entry* set = entries_.data() +
+                     static_cast<std::size_t>(set_of(line)) *
+                         static_cast<std::size_t>(assoc_);
+  for (int w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].tag == line) return true;
+  }
+  return false;
+}
+
+bool Cache::invalidate(std::uint64_t line) {
+  Entry* set = set_begin(line);
+  for (int w = 0; w < assoc_; ++w) {
+    Entry& e = set[w];
+    if (e.valid && e.tag == line) {
+      e.valid = false;
+      e.dirty = false;
+      ++stats_.invalidations;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hlsmpc::cachesim

@@ -1,0 +1,203 @@
+#include "cachesim/hierarchy.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace hlsmpc::cachesim {
+
+Hierarchy::Hierarchy(const topo::Machine& machine)
+    : machine_(machine),
+      line_bytes_(machine.cache_level(1).line_bytes),
+      lines_per_cycle_(machine.desc().memory_lines_per_cycle),
+      memory_latency_(machine.desc().memory_latency_cycles) {
+  line_shift_ = static_cast<unsigned>(std::countr_zero(line_bytes_));
+  for (int l = 1; l <= machine.num_cache_levels(); ++l) {
+    const topo::CacheLevelDesc& d = machine.cache_level(l);
+    if (d.line_bytes != line_bytes_) {
+      throw std::invalid_argument(
+          "Hierarchy: all levels must share one line size");
+    }
+    Level level;
+    level.latency = d.latency_cycles;
+    level.cpus_per_instance = d.cpus_per_instance;
+    const int n = machine.num_cache_instances(l);
+    for (int i = 0; i < n; ++i) {
+      level.instances.push_back(
+          std::make_unique<Cache>(d.size_bytes, d.line_bytes,
+                                  d.associativity));
+    }
+    level_offsets_.push_back(total_instances_);
+    total_instances_ += n;
+    levels_.push_back(std::move(level));
+  }
+  if (total_instances_ > 256) {
+    throw std::invalid_argument(
+        "Hierarchy: more than 256 cache instances unsupported");
+  }
+  channel_free_.assign(static_cast<std::size_t>(machine.num_sockets()), 0);
+}
+
+std::uint64_t Hierarchy::alloc_region(std::size_t bytes) {
+  const std::uint64_t base = next_region_;
+  const std::uint64_t lines =
+      (bytes + line_bytes_ - 1) / line_bytes_;
+  next_region_ += (lines + 16) * line_bytes_;  // pad to avoid false sharing
+  return base;
+}
+
+int Hierarchy::flat_index(int level, int instance) const {
+  return level_offsets_[static_cast<std::size_t>(level - 1)] + instance;
+}
+
+void Hierarchy::set_present(PresenceMask& m, int level, int instance) const {
+  const int idx = flat_index(level, instance);
+  m[static_cast<std::size_t>(idx >> 6)] |= (std::uint64_t{1} << (idx & 63));
+}
+
+void Hierarchy::clear_present(PresenceMask& m, int level,
+                              int instance) const {
+  const int idx = flat_index(level, instance);
+  m[static_cast<std::size_t>(idx >> 6)] &= ~(std::uint64_t{1} << (idx & 63));
+}
+
+bool Hierarchy::any_present(const PresenceMask& m) const {
+  return (m[0] | m[1] | m[2] | m[3]) != 0;
+}
+
+void Hierarchy::directory_add(std::uint64_t line, int level, int instance) {
+  PresenceMask& m = directory_[line];
+  set_present(m, level, instance);
+}
+
+void Hierarchy::directory_remove(std::uint64_t line, int level,
+                                 int instance) {
+  auto it = directory_.find(line);
+  if (it == directory_.end()) return;
+  clear_present(it->second, level, instance);
+  if (!any_present(it->second)) directory_.erase(it);
+}
+
+void Hierarchy::back_invalidate(std::uint64_t line, int level,
+                                int instance) {
+  // Inclusion: when (level, instance) loses a line, every inner cache
+  // whose cpus are covered by this instance must drop it too.
+  const int span = levels_[static_cast<std::size_t>(level - 1)]
+                       .cpus_per_instance;
+  const int first_cpu = instance * span;
+  for (int l = 1; l < level; ++l) {
+    Level& inner = levels_[static_cast<std::size_t>(l - 1)];
+    const int inner_span = inner.cpus_per_instance;
+    for (int cpu = first_cpu; cpu < first_cpu + span; cpu += inner_span) {
+      const int ii = cpu / inner_span;
+      if (inner.instances[static_cast<std::size_t>(ii)]->invalidate(line)) {
+        directory_remove(line, l, ii);
+      }
+    }
+  }
+}
+
+void Hierarchy::invalidate_other_holders(std::uint64_t line, int writer_cpu) {
+  auto it = directory_.find(line);
+  if (it == directory_.end()) return;
+  const PresenceMask m = it->second;  // copy: we mutate the directory below
+  for (int l = 1; l <= num_levels(); ++l) {
+    Level& level = levels_[static_cast<std::size_t>(l - 1)];
+    const int writer_inst = writer_cpu / level.cpus_per_instance;
+    for (int i = 0; i < static_cast<int>(level.instances.size()); ++i) {
+      if (i == writer_inst) continue;
+      const int idx = flat_index(l, i);
+      if ((m[static_cast<std::size_t>(idx >> 6)] >> (idx & 63)) & 1) {
+        if (level.instances[static_cast<std::size_t>(i)]->invalidate(line)) {
+          directory_remove(line, l, i);
+          ++coherence_invalidations_;
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t Hierarchy::access(int cpu, std::uint64_t addr, bool write,
+                                std::uint64_t now) {
+  const std::uint64_t line = addr >> line_shift_;
+  std::uint64_t cycles = 0;
+  int hit_level = 0;  // 0 = memory
+  for (int l = 1; l <= num_levels(); ++l) {
+    Level& level = levels_[static_cast<std::size_t>(l - 1)];
+    const int inst = cpu / level.cpus_per_instance;
+    Cache& c = *level.instances[static_cast<std::size_t>(inst)];
+    cycles += static_cast<std::uint64_t>(level.latency);
+    Cache::AccessResult r = c.access(line, write);
+    if (r.evicted) {
+      directory_remove(r.victim_line, l, inst);
+      back_invalidate(r.victim_line, l, inst);
+    }
+    if (!r.hit) directory_add(line, l, inst);
+    if (r.hit) {
+      hit_level = l;
+      break;
+    }
+  }
+  if (hit_level == 0) {
+    // Miss everywhere: fetch from the socket's memory channel with a
+    // simple queueing model — each line occupies the channel for
+    // 1 / lines_per_cycle cycles.
+    ++memory_accesses_;
+    const int socket = machine_.socket_of_cpu(cpu);
+    std::uint64_t& free_at = channel_free_[static_cast<std::size_t>(socket)];
+    const std::uint64_t issue = now + cycles;
+    const std::uint64_t start = issue > free_at ? issue : free_at;
+    const std::uint64_t occupancy =
+        static_cast<std::uint64_t>(1.0 / lines_per_cycle_);
+    free_at = start + occupancy;
+    cycles = (start - now) + static_cast<std::uint64_t>(memory_latency_);
+  } else if (hit_level > 1) {
+    // Fill the line into the inner levels on the path (inclusive).
+    for (int l = hit_level - 1; l >= 1; --l) {
+      Level& level = levels_[static_cast<std::size_t>(l - 1)];
+      const int inst = cpu / level.cpus_per_instance;
+      Cache& c = *level.instances[static_cast<std::size_t>(inst)];
+      Cache::AccessResult r = c.fill(line, write);
+      if (r.evicted) {
+        directory_remove(r.victim_line, l, inst);
+        back_invalidate(r.victim_line, l, inst);
+      }
+      directory_add(line, l, inst);
+    }
+  }
+  if (write) invalidate_other_holders(line, cpu);
+  return cycles;
+}
+
+HierarchyStats Hierarchy::stats() const {
+  HierarchyStats s;
+  for (const Level& level : levels_) {
+    CacheStats agg;
+    for (const auto& c : level.instances) {
+      const CacheStats& cs = c->stats();
+      agg.hits += cs.hits;
+      agg.misses += cs.misses;
+      agg.evictions += cs.evictions;
+      agg.writebacks += cs.writebacks;
+      agg.invalidations += cs.invalidations;
+    }
+    s.per_level.push_back(agg);
+  }
+  s.memory_accesses = memory_accesses_;
+  s.coherence_invalidations = coherence_invalidations_;
+  return s;
+}
+
+void Hierarchy::reset_stats() {
+  for (Level& level : levels_) {
+    for (auto& c : level.instances) c->reset_stats();
+  }
+  memory_accesses_ = 0;
+  coherence_invalidations_ = 0;
+}
+
+const Cache& Hierarchy::cache(int level, int instance) const {
+  return *levels_[static_cast<std::size_t>(level - 1)]
+              .instances[static_cast<std::size_t>(instance)];
+}
+
+}  // namespace hlsmpc::cachesim

@@ -1,0 +1,99 @@
+// Multi-level cache hierarchy with write-invalidate coherence and a
+// memory-bandwidth queueing model, instantiated from a topo::Machine.
+//
+// What the HLS experiments need from this model (paper §V.A):
+//  - capacity: a table duplicated per core overflows the shared LLC, one
+//    shared copy fits;
+//  - coherence: a write to a node-scope variable invalidates the copies
+//    cached by *other* sockets, a numa-scope copy is only written by its
+//    own socket;
+//  - bandwidth: cores of a socket share one memory channel, so misses
+//    queue (this is what caps the no-HLS parallel efficiency near 40 %).
+//
+// Accesses are line-granular, inclusive across levels; evictions from the
+// LLC back-invalidate inner caches of the same domain. A directory maps
+// each resident line to the set of cache instances holding it, so
+// invalidations are exact rather than broadcast scans.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "topo/topology.hpp"
+
+namespace hlsmpc::cachesim {
+
+struct HierarchyStats {
+  std::vector<CacheStats> per_level;  // aggregated over instances
+  std::uint64_t memory_accesses = 0;
+  std::uint64_t coherence_invalidations = 0;
+};
+
+class Hierarchy {
+ public:
+  explicit Hierarchy(const topo::Machine& machine);
+
+  const topo::Machine& machine() const { return machine_; }
+
+  /// Allocate a byte region in the simulated address space (line aligned).
+  /// Returns the base byte address.
+  std::uint64_t alloc_region(std::size_t bytes);
+
+  /// One memory access by the task pinned to `cpu`, issued at local time
+  /// `now` (cycles). Returns the access latency in cycles.
+  std::uint64_t access(int cpu, std::uint64_t addr, bool write,
+                       std::uint64_t now);
+
+  HierarchyStats stats() const;
+  void reset_stats();
+
+  std::size_t line_bytes() const { return line_bytes_; }
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  const Cache& cache(int level, int instance) const;
+
+ private:
+  struct Level {
+    std::vector<std::unique_ptr<Cache>> instances;
+    int latency = 0;
+    int cpus_per_instance = 1;
+  };
+
+  using PresenceMask = std::array<std::uint64_t, 4>;
+
+  int flat_index(int level, int instance) const;
+  void set_present(PresenceMask& m, int level, int instance) const;
+  void clear_present(PresenceMask& m, int level, int instance) const;
+  bool any_present(const PresenceMask& m) const;
+
+  void directory_add(std::uint64_t line, int level, int instance);
+  void directory_remove(std::uint64_t line, int level, int instance);
+  /// Drop the line from all inner (smaller-level) caches inside the
+  /// eviction domain of (level, instance) — inclusion maintenance.
+  void back_invalidate(std::uint64_t line, int level, int instance);
+  /// Write-invalidate: drop the line everywhere except the writer's path.
+  void invalidate_other_holders(std::uint64_t line, int writer_cpu);
+
+  topo::Machine machine_;
+  std::size_t line_bytes_;
+  unsigned line_shift_;
+  std::vector<Level> levels_;
+  std::vector<int> level_offsets_;  // into flat instance index space
+  int total_instances_ = 0;
+
+  std::unordered_map<std::uint64_t, PresenceMask> directory_;
+
+  // Per-socket memory channel: time the channel becomes free again.
+  std::vector<std::uint64_t> channel_free_;
+  double lines_per_cycle_;
+  int memory_latency_;
+
+  std::uint64_t next_region_ = 1 << 20;  // leave page 0 unused
+  std::uint64_t coherence_invalidations_ = 0;
+  std::uint64_t memory_accesses_ = 0;
+};
+
+}  // namespace hlsmpc::cachesim

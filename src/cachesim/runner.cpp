@@ -1,0 +1,79 @@
+#include "cachesim/runner.hpp"
+
+#include <stdexcept>
+
+namespace hlsmpc::cachesim {
+
+Runner::Runner(Hierarchy& hier, std::vector<int> cpus,
+               std::vector<std::unique_ptr<CoreStream>> streams)
+    : hier_(&hier), cpus_(std::move(cpus)), streams_(std::move(streams)) {
+  if (cpus_.size() != streams_.size()) {
+    throw std::invalid_argument("Runner: one cpu per stream required");
+  }
+  for (int cpu : cpus_) {
+    if (cpu < 0 || cpu >= hier.machine().num_cpus()) {
+      throw std::invalid_argument("Runner: cpu outside the machine");
+    }
+  }
+}
+
+RunResult Runner::run() {
+  const std::size_t n = streams_.size();
+  RunResult result;
+  result.cycles_per_core.assign(n, 0);
+  std::vector<bool> alive(n, true);
+  std::vector<bool> at_barrier(n, false);
+  std::size_t remaining = n;
+  std::size_t waiting = 0;
+
+  // Advance the core with the smallest local clock; linear scan is fine
+  // for node-scale core counts. Cores parked at a barrier are skipped
+  // until every live core arrives, then all clocks align to the max.
+  while (remaining > 0) {
+    if (waiting == remaining) {
+      std::uint64_t t = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (alive[i] && result.cycles_per_core[i] > t) {
+          t = result.cycles_per_core[i];
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (alive[i]) {
+          result.cycles_per_core[i] = t;
+          at_barrier[i] = false;
+        }
+      }
+      waiting = 0;
+      continue;
+    }
+    std::size_t best = 0;
+    std::uint64_t best_time = UINT64_MAX;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (alive[i] && !at_barrier[i] && result.cycles_per_core[i] < best_time) {
+        best_time = result.cycles_per_core[i];
+        best = i;
+      }
+    }
+    Access a;
+    if (!streams_[best]->next(a)) {
+      alive[best] = false;
+      --remaining;
+      continue;
+    }
+    if (a.is_barrier) {
+      at_barrier[best] = true;
+      ++waiting;
+      continue;
+    }
+    const std::uint64_t latency =
+        hier_->access(cpus_[best], a.addr, a.write, result.cycles_per_core[best]);
+    result.cycles_per_core[best] += latency + a.compute_cycles;
+    ++result.total_accesses;
+  }
+  for (std::uint64_t c : result.cycles_per_core) {
+    if (c > result.makespan) result.makespan = c;
+  }
+  return result;
+}
+
+}  // namespace hlsmpc::cachesim

@@ -1,0 +1,97 @@
+// Trace runner: interleaves per-core access streams through a Hierarchy.
+//
+// Each simulated core owns a stream of (address, write, compute-cycles)
+// accesses. The runner always advances the core with the smallest local
+// clock, which interleaves concurrent cores the way a real machine's
+// simultaneous execution would (and makes socket-level bandwidth
+// contention meaningful). The run result's makespan plays the role of the
+// parallel execution time in the paper's efficiency numbers, so
+//   efficiency = t_seq / t_par
+// with t_seq measured by running the same stream on a single core.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cachesim/hierarchy.hpp"
+
+namespace hlsmpc::cachesim {
+
+struct Access {
+  std::uint64_t addr = 0;
+  bool write = false;
+  /// Computation between this access and the next (pipeline work the
+  /// access feeds); advances only this core's clock.
+  std::uint32_t compute_cycles = 0;
+  /// Synchronization point: the core blocks until every live core reaches
+  /// a barrier, then all clocks align to the maximum (models the
+  /// `single`/`barrier` directives and MPI_Barrier in traced programs).
+  /// addr/write/compute_cycles are ignored on barrier records.
+  bool is_barrier = false;
+};
+
+/// Convenience constructor for barrier records.
+inline Access barrier_access() {
+  Access a;
+  a.is_barrier = true;
+  return a;
+}
+
+/// A core's memory-access generator. next() returns false at end of
+/// stream. Generators are pull-based so arbitrarily long traces never
+/// materialize in memory.
+class CoreStream {
+ public:
+  virtual ~CoreStream() = default;
+  virtual bool next(Access& out) = 0;
+};
+
+/// Stream over a pre-built trace (testing, short workloads).
+class VectorStream final : public CoreStream {
+ public:
+  explicit VectorStream(std::vector<Access> trace)
+      : trace_(std::move(trace)) {}
+  bool next(Access& out) override {
+    if (pos_ >= trace_.size()) return false;
+    out = trace_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<Access> trace_;
+  std::size_t pos_ = 0;
+};
+
+/// Stream backed by a generator callback returning false at end.
+class FnStream final : public CoreStream {
+ public:
+  explicit FnStream(std::function<bool(Access&)> fn) : fn_(std::move(fn)) {}
+  bool next(Access& out) override { return fn_(out); }
+
+ private:
+  std::function<bool(Access&)> fn_;
+};
+
+struct RunResult {
+  std::vector<std::uint64_t> cycles_per_core;  // local clock at stream end
+  std::uint64_t makespan = 0;                  // max over cores
+  std::uint64_t total_accesses = 0;
+};
+
+class Runner {
+ public:
+  /// `streams[i]` runs on hardware thread `cpus[i]`.
+  Runner(Hierarchy& hier, std::vector<int> cpus,
+         std::vector<std::unique_ptr<CoreStream>> streams);
+
+  RunResult run();
+
+ private:
+  Hierarchy* hier_;
+  std::vector<int> cpus_;
+  std::vector<std::unique_ptr<CoreStream>> streams_;
+};
+
+}  // namespace hlsmpc::cachesim

@@ -1,0 +1,78 @@
+#include "hb/advisor.hpp"
+
+namespace hlsmpc::hb {
+
+const char* to_string(Recommendation r) {
+  switch (r) {
+    case Recommendation::share_as_is:
+      return "share as-is";
+    case Recommendation::wrap_writes_in_single:
+      return "wrap writes in single";
+    case Recommendation::keep_private:
+      return "keep private";
+  }
+  return "?";
+}
+
+bool Advisor::spmd_identical_writes(const Trace& trace,
+                                    const std::string& var) {
+  const auto& events = trace.events();
+  std::vector<std::vector<long>> seq(
+      static_cast<std::size_t>(trace.ntasks()));
+  for (int t = 0; t < trace.ntasks(); ++t) {
+    for (int id : trace.program_order(t)) {
+      const Event& e = events[static_cast<std::size_t>(id)];
+      if (e.kind == EventKind::write && e.var == var) {
+        seq[static_cast<std::size_t>(t)].push_back(e.value);
+      }
+    }
+  }
+  for (int t = 1; t < trace.ntasks(); ++t) {
+    if (seq[static_cast<std::size_t>(t)] != seq[0]) return false;
+  }
+  return !seq[0].empty();
+}
+
+std::vector<Advice> Advisor::advise(const Trace& trace) {
+  Analyzer analyzer(trace);
+  const AnalysisResult analysis = analyzer.analyze();
+  std::vector<Advice> out;
+  for (const VarReport& report : analysis.vars) {
+    Advice a;
+    a.var = report.var;
+    a.eligibility = report.eligibility;
+    a.spmd_identical_writes = spmd_identical_writes(trace, report.var);
+    switch (report.eligibility) {
+      case Eligibility::eligible:
+        a.recommendation = Recommendation::share_as_is;
+        a.text = "'" + a.var +
+                 "' is coherent under the existing synchronizations; mark "
+                 "it `#pragma hls <scope>` with no further changes.";
+        break;
+      case Eligibility::needs_synchronization:
+        if (a.spmd_identical_writes) {
+          a.recommendation = Recommendation::wrap_writes_in_single;
+          a.text = "'" + a.var +
+                   "' is written identically by every task; wrap each "
+                   "write in `#pragma hls single` to make it HLS (paper "
+                   "§III.C).";
+        } else {
+          a.recommendation = Recommendation::keep_private;
+          a.text = "'" + a.var +
+                   "' could satisfy condition (3) but its writes are not "
+                   "SPMD-identical; no mechanical single insertion applies.";
+        }
+        break;
+      case Eligibility::ineligible:
+        a.recommendation = Recommendation::keep_private;
+        a.text = "'" + a.var +
+                 "' has reads no added synchronization can make coherent; "
+                 "keep it private.";
+        break;
+    }
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace hlsmpc::hb

@@ -1,0 +1,41 @@
+// Synchronization advisor (paper §III.C + the conclusion's future work).
+//
+// For variables that are not HLS-eligible as-is, the paper observes that
+// SPMD programs usually write such variables identically in every task:
+// "If each MPI task executes the same sequence of write operations to a
+// variable ... we can encapsulate each of those write operations with
+// single pragmas." The advisor detects that pattern per variable and
+// emits a concrete recommendation.
+#pragma once
+
+#include "hb/analyzer.hpp"
+
+namespace hlsmpc::hb {
+
+enum class Recommendation {
+  share_as_is,            ///< eligible without changes
+  wrap_writes_in_single,  ///< SPMD-identical writes: add singles
+  keep_private,           ///< cannot be made HLS
+};
+
+const char* to_string(Recommendation r);
+
+struct Advice {
+  std::string var;
+  Eligibility eligibility;
+  bool spmd_identical_writes = false;
+  Recommendation recommendation = Recommendation::keep_private;
+  std::string text;  ///< human-readable summary
+};
+
+class Advisor {
+ public:
+  /// Analyze the trace and advise per variable.
+  static std::vector<Advice> advise(const Trace& trace);
+
+  /// True if every task writes the same sequence of values to `var`.
+  static bool spmd_identical_writes(const Trace& trace,
+                                    const std::string& var);
+};
+
+}  // namespace hlsmpc::hb

@@ -1,0 +1,72 @@
+#include "hb/runtime_tracer.hpp"
+
+namespace hlsmpc::hb {
+
+RuntimeTracer::RuntimeTracer(int ntasks)
+    : ntasks_(ntasks), per_task_(static_cast<std::size_t>(ntasks)) {
+  if (ntasks < 1) throw hls::HlsError("RuntimeTracer: need >= 1 task");
+}
+
+void RuntimeTracer::on_read(int task, const std::string& var, long value) {
+  PerTask& pt = per_task_.at(static_cast<std::size_t>(task));
+  std::lock_guard<std::mutex> lk(pt.mu);
+  pt.events.push_back({EventKind::read, var, value, -1, 0});
+}
+
+void RuntimeTracer::on_write(int task, const std::string& var, long value) {
+  PerTask& pt = per_task_.at(static_cast<std::size_t>(task));
+  std::lock_guard<std::mutex> lk(pt.mu);
+  pt.events.push_back({EventKind::write, var, value, -1, 0});
+}
+
+void RuntimeTracer::on_send(int task, int peer_task, int context, int tag) {
+  PerTask& pt = per_task_.at(static_cast<std::size_t>(task));
+  std::lock_guard<std::mutex> lk(pt.mu);
+  pt.events.push_back(
+      {EventKind::send, {}, 0, peer_task, combined_tag(context, tag)});
+}
+
+void RuntimeTracer::on_recv(int task, int peer_task, int context, int tag) {
+  PerTask& pt = per_task_.at(static_cast<std::size_t>(task));
+  std::lock_guard<std::mutex> lk(pt.mu);
+  pt.events.push_back(
+      {EventKind::recv, {}, 0, peer_task, combined_tag(context, tag)});
+}
+
+Trace RuntimeTracer::trace() const {
+  Trace t(ntasks_);
+  for (int task = 0; task < ntasks_; ++task) {
+    const PerTask& pt = per_task_[static_cast<std::size_t>(task)];
+    std::lock_guard<std::mutex> lk(pt.mu);
+    for (const Recorded& r : pt.events) {
+      switch (r.kind) {
+        case EventKind::read:
+          t.read(task, r.var, r.value);
+          break;
+        case EventKind::write:
+          t.write(task, r.var, r.value);
+          break;
+        case EventKind::send:
+          t.send(task, r.peer, r.tag);
+          break;
+        case EventKind::recv:
+          t.recv(task, r.peer, r.tag);
+          break;
+        case EventKind::barrier:
+          break;  // not produced by the tracer
+      }
+    }
+  }
+  return t;
+}
+
+std::size_t RuntimeTracer::num_events() const {
+  std::size_t n = 0;
+  for (const PerTask& pt : per_task_) {
+    std::lock_guard<std::mutex> lk(pt.mu);
+    n += pt.events.size();
+  }
+  return n;
+}
+
+}  // namespace hlsmpc::hb

@@ -1,0 +1,153 @@
+#include "hls/registry.hpp"
+
+#include <algorithm>
+
+namespace hlsmpc::hls {
+
+CanonicalScope canonicalize(const topo::ScopeMap& sm,
+                            const topo::ScopeSpec& s) {
+  CanonicalScope c;
+  c.kind = s.kind;
+  if (s.kind == topo::ScopeKind::cache) {
+    c.cache_level = sm.resolved_cache_level(s);
+  } else if (s.kind == topo::ScopeKind::numa && s.level >= 2 &&
+             sm.machine().desc().numa_per_socket > 1) {
+    // numa level(2) = per socket; collapses to plain numa when each
+    // socket holds a single NUMA domain.
+    c.cache_level = 2;
+  }
+  return c;
+}
+
+std::string to_string(const CanonicalScope& s) {
+  if (s.kind == topo::ScopeKind::cache) {
+    return "cache(" + std::to_string(s.cache_level) + ")";
+  }
+  return topo::to_string(topo::ScopeSpec{s.kind, 0});
+}
+
+std::size_t Module::region_size(const CanonicalScope& s) const {
+  for (const auto& [scope, bytes] : region_bytes) {
+    if (scope == s) return bytes;
+  }
+  return 0;
+}
+
+int Registry::reserve_module(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  modules_.push_back({name, Module{}});
+  committed_.push_back(false);
+  return static_cast<int>(modules_.size()) - 1;
+}
+
+void Registry::commit_module(int id, Module m) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (id < 0 || id >= static_cast<int>(modules_.size())) {
+    throw HlsError("commit_module: unknown module id");
+  }
+  if (committed_[static_cast<std::size_t>(id)]) {
+    throw HlsError("commit_module: module '" +
+                   modules_[static_cast<std::size_t>(id)].first +
+                   "' already committed");
+  }
+  m.committed = true;
+  modules_[static_cast<std::size_t>(id)].second = std::move(m);
+  committed_[static_cast<std::size_t>(id)] = true;
+}
+
+int Registry::num_modules() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(modules_.size());
+}
+
+bool Registry::committed(int id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return id >= 0 && id < static_cast<int>(committed_.size()) &&
+         committed_[static_cast<std::size_t>(id)];
+}
+
+const Module& Registry::module(int id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (id < 0 || id >= static_cast<int>(modules_.size())) {
+    throw HlsError("Registry::module: unknown module id");
+  }
+  if (!committed_[static_cast<std::size_t>(id)]) {
+    throw HlsError("Registry::module: module '" +
+                   modules_[static_cast<std::size_t>(id)].first +
+                   "' used before commit");
+  }
+  return modules_[static_cast<std::size_t>(id)].second;
+}
+
+const VarInfo& Registry::var(const VarHandle& h) const {
+  const Module& m = module(h.module);
+  if (h.var < 0 || h.var >= static_cast<int>(m.vars.size())) {
+    throw HlsError("Registry::var: bad variable index");
+  }
+  return m.vars[static_cast<std::size_t>(h.var)];
+}
+
+ModuleBuilder::ModuleBuilder(Registry& reg, std::string name)
+    : reg_(&reg), id_(reg.reserve_module(name)) {
+  m_.name = std::move(name);
+}
+
+VarHandle ModuleBuilder::add_raw(const std::string& var_name,
+                                 const topo::ScopeSpec& scope,
+                                 std::size_t size, std::size_t align,
+                                 VarInitFn init) {
+  if (committed_) {
+    throw HlsError("ModuleBuilder: cannot add '" + var_name +
+                   "' after commit (variable would already be in use)");
+  }
+  if (size == 0) throw HlsError("ModuleBuilder: zero-sized variable");
+  if (align == 0 || (align & (align - 1)) != 0) {
+    throw HlsError("ModuleBuilder: alignment must be a power of two");
+  }
+  for (const VarInfo& v : m_.vars) {
+    if (v.name == var_name) {
+      throw HlsError("ModuleBuilder: duplicate variable '" + var_name + "'");
+    }
+  }
+  const CanonicalScope canon = canonicalize(reg_->scope_map(), scope);
+
+  // Bump-allocate within this module's region for the variable's scope.
+  std::size_t* cur = nullptr;
+  for (auto& [s, bytes] : cursor_) {
+    if (s == canon) cur = &bytes;
+  }
+  if (cur == nullptr) {
+    cursor_.push_back({canon, 0});
+    cur = &cursor_.back().second;
+  }
+  const std::size_t offset = (*cur + align - 1) & ~(align - 1);
+  *cur = offset + size;
+
+  VarInfo info;
+  info.name = var_name;
+  info.scope = scope;
+  info.canonical = canon;
+  info.size = size;
+  info.align = align;
+  info.offset = offset;
+  info.init = std::move(init);
+  m_.vars.push_back(std::move(info));
+
+  VarHandle h;
+  h.module = id_;
+  h.var = static_cast<int>(m_.vars.size()) - 1;
+  h.scope = canon;
+  h.offset = offset;
+  h.size = size;
+  return h;
+}
+
+int ModuleBuilder::commit() {
+  if (committed_) throw HlsError("ModuleBuilder: double commit");
+  committed_ = true;
+  m_.region_bytes = cursor_;
+  reg_->commit_module(id_, std::move(m_));
+  return id_;
+}
+
+}  // namespace hlsmpc::hls

@@ -1,0 +1,132 @@
+// HLS variable registry: modules, variables, offsets.
+//
+// The paper's compiler flags each `#pragma hls`-marked global like a TLS
+// variable and identifies it at run time by a (module, offset) pair filled
+// in by the linker (§IV.A). This registry is that mechanism made explicit:
+// a Module groups the HLS variables of one translation unit / library,
+// assigns each an offset inside a per-scope region, and records an
+// initializer (the value the variable would have been statically
+// initialized with). Storage instances are materialized lazily per scope
+// instance by the StorageManager.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "topo/scope_map.hpp"
+
+namespace hlsmpc::hls {
+
+class HlsError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Scope with the cache level resolved against a concrete machine, so it
+/// can key maps ((cache,0) and (cache,llc_level) collapse to one entry).
+struct CanonicalScope {
+  topo::ScopeKind kind = topo::ScopeKind::node;
+  int cache_level = 0;  // only for kind == cache
+
+  friend auto operator<=>(const CanonicalScope&,
+                          const CanonicalScope&) = default;
+};
+
+CanonicalScope canonicalize(const topo::ScopeMap& sm,
+                            const topo::ScopeSpec& s);
+std::string to_string(const CanonicalScope& s);
+
+/// Initializer run exactly once per scope instance when the module's
+/// region is first touched there (paper: "allocate and initialize memory
+/// if first use").
+using VarInitFn = std::function<void(void*)>;
+
+struct VarInfo {
+  std::string name;
+  topo::ScopeSpec scope;     // as declared
+  CanonicalScope canonical;  // resolved against the machine
+  std::size_t size = 0;
+  std::size_t align = alignof(std::max_align_t);
+  std::size_t offset = 0;  // within the module's region for `canonical`
+  VarInitFn init;          // may be empty (zero-initialized)
+};
+
+/// Untyped reference to a registered HLS variable: exactly the
+/// (module, offset) pair of the paper plus the scope the access functions
+/// are selected by.
+struct VarHandle {
+  int module = -1;
+  int var = -1;  // index within the module (for diagnostics)
+  CanonicalScope scope;
+  std::size_t offset = 0;
+  std::size_t size = 0;
+
+  bool valid() const { return module >= 0; }
+};
+
+struct Module {
+  std::string name;
+  std::vector<VarInfo> vars;
+  /// Bytes of storage one scope instance needs for this module, per scope
+  /// that appears in `vars`.
+  std::vector<std::pair<CanonicalScope, std::size_t>> region_bytes;
+  bool committed = false;
+
+  std::size_t region_size(const CanonicalScope& s) const;
+};
+
+/// Node-wide table of loaded modules ("the module array", §IV.A).
+class Registry {
+ public:
+  explicit Registry(const topo::ScopeMap& sm) : sm_(&sm) {}
+
+  /// Reserve a module slot; filled by commit_module.
+  int reserve_module(const std::string& name);
+  void commit_module(int id, Module m);
+
+  int num_modules() const;
+  bool committed(int id) const;
+  const Module& module(int id) const;
+  const topo::ScopeMap& scope_map() const { return *sm_; }
+
+  /// Diagnostic lookup for error messages.
+  const VarInfo& var(const VarHandle& h) const;
+
+ private:
+  const topo::ScopeMap* sm_;
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, Module>> modules_;  // name, module
+  std::vector<bool> committed_;
+};
+
+/// Builds one module: the API equivalent of writing `#pragma hls
+/// scope(var)` on a set of globals. Offsets are assigned on the fly;
+/// commit() publishes the module, after which no more variables may be
+/// added (the directive's "variable must not have been accessed yet"
+/// constraint maps to "module must not be in use yet").
+class ModuleBuilder {
+ public:
+  ModuleBuilder(Registry& reg, std::string name);
+  ModuleBuilder(const ModuleBuilder&) = delete;
+  ModuleBuilder& operator=(const ModuleBuilder&) = delete;
+
+  /// Register an untyped blob (typed helpers in var.hpp wrap this).
+  VarHandle add_raw(const std::string& var_name, const topo::ScopeSpec& scope,
+                    std::size_t size, std::size_t align, VarInitFn init);
+
+  /// Publish the module; returns the module id.
+  int commit();
+  int id() const { return id_; }
+
+ private:
+  Registry* reg_;
+  int id_;
+  Module m_;
+  std::vector<std::pair<CanonicalScope, std::size_t>> cursor_;  // per scope
+  bool committed_ = false;
+};
+
+}  // namespace hlsmpc::hls

@@ -1,0 +1,142 @@
+#include "hls/runtime.hpp"
+
+namespace hlsmpc::hls {
+
+Runtime::Runtime(const topo::Machine& machine, int ntasks,
+                 memtrack::Tracker* tracker)
+    : machine_(machine),
+      sm_(machine_),
+      owned_tracker_(tracker == nullptr ? std::make_unique<memtrack::Tracker>()
+                                        : nullptr),
+      tracker_(tracker != nullptr ? tracker : owned_tracker_.get()),
+      reg_(sm_),
+      storage_(reg_, *tracker_),
+      sync_(sm_, ntasks),
+      ntasks_(ntasks) {}
+
+void Runtime::bind_task(const ult::TaskContext& ctx) {
+  sync_.set_task_cpu(ctx.task_id(), ctx.cpu());
+}
+
+void* Runtime::get_addr(const VarHandle& h, const ult::TaskContext& ctx) {
+  if (!h.valid()) throw HlsError("get_addr: invalid variable handle");
+  return storage_.get_addr(h, ctx.cpu());
+}
+
+CanonicalScope Runtime::common_scope(
+    std::initializer_list<VarHandle> vars) const {
+  if (vars.size() == 0) {
+    throw HlsError("single: empty variable list");
+  }
+  const CanonicalScope first = vars.begin()->scope;
+  for (const VarHandle& h : vars) {
+    if (!h.valid()) throw HlsError("single: invalid variable handle");
+    if (!(h.scope == first)) {
+      throw HlsError(
+          "single: variables with different HLS scopes in one directive (" +
+          to_string(first) + " vs " + to_string(h.scope) +
+          ") — the compiler rejects this (paper §II.B.2)");
+    }
+  }
+  return first;
+}
+
+CanonicalScope Runtime::widest_scope(
+    std::initializer_list<VarHandle> vars) const {
+  if (vars.size() == 0) {
+    throw HlsError("barrier: empty variable list");
+  }
+  CanonicalScope widest = vars.begin()->scope;
+  auto spec = [](const CanonicalScope& c) {
+    return topo::ScopeSpec{c.kind, c.cache_level};
+  };
+  for (const VarHandle& h : vars) {
+    if (!h.valid()) throw HlsError("barrier: invalid variable handle");
+    if (sm_.wider_or_equal(spec(h.scope), spec(widest))) widest = h.scope;
+  }
+  return widest;
+}
+
+void Runtime::barrier(std::initializer_list<VarHandle> vars,
+                      ult::TaskContext& ctx) {
+  barrier_scope(widest_scope(vars), ctx);
+}
+
+bool Runtime::single_enter(std::initializer_list<VarHandle> vars,
+                           ult::TaskContext& ctx) {
+  return single_enter_scope(common_scope(vars), ctx);
+}
+
+void Runtime::single_done(std::initializer_list<VarHandle> vars,
+                          ult::TaskContext& ctx) {
+  single_done_scope(common_scope(vars), ctx);
+}
+
+bool Runtime::single_nowait_enter(std::initializer_list<VarHandle> vars,
+                                  ult::TaskContext& ctx) {
+  return single_nowait_scope(common_scope(vars), ctx);
+}
+
+void Runtime::barrier_scope(const CanonicalScope& s, ult::TaskContext& ctx) {
+  sync_.barrier(s, ctx);
+}
+
+bool Runtime::single_enter_scope(const CanonicalScope& s,
+                                 ult::TaskContext& ctx) {
+  return sync_.single_enter(s, ctx);
+}
+
+void Runtime::single_done_scope(const CanonicalScope& s,
+                                ult::TaskContext& ctx) {
+  sync_.single_done(s, ctx);
+}
+
+bool Runtime::single_nowait_scope(const CanonicalScope& s,
+                                  ult::TaskContext& ctx) {
+  return sync_.single_nowait(s, ctx);
+}
+
+void Runtime::migrate(ult::TaskContext& ctx, int new_cpu) {
+  if (new_cpu < 0 || new_cpu >= machine_.num_cpus()) {
+    throw HlsError("migrate: bad cpu");
+  }
+  // Paper §IV.A: a task may only move if it has encountered the same
+  // number of single and barrier directives as the destination.
+  for (const topo::ScopeKind kind :
+       {topo::ScopeKind::node, topo::ScopeKind::numa, topo::ScopeKind::cache,
+        topo::ScopeKind::core}) {
+    if (kind == topo::ScopeKind::cache) {
+      for (int level = 1; level <= machine_.num_cache_levels(); ++level) {
+        const CanonicalScope s{kind, level};
+        const auto task_count = sync_.task_sync_count(ctx.task_id(), s);
+        const auto dest_count = sync_.instance_sync_count(s, new_cpu);
+        if (task_count != dest_count) {
+          throw HlsError("migrate: task saw " + std::to_string(task_count) +
+                         " episodes for " + to_string(s) +
+                         " but destination saw " + std::to_string(dest_count));
+        }
+      }
+    } else {
+      // numa has two possible canonical levels (domain / socket).
+      const int max_level = kind == topo::ScopeKind::numa &&
+                                    machine_.desc().numa_per_socket > 1
+                                ? 2
+                                : 0;
+      for (int level = 0; level <= max_level; level += 2) {
+        const CanonicalScope s{kind, level};
+        const auto task_count = sync_.task_sync_count(ctx.task_id(), s);
+        const auto dest_count = sync_.instance_sync_count(s, new_cpu);
+        if (task_count != dest_count) {
+          throw HlsError("migrate: task saw " + std::to_string(task_count) +
+                         " episodes for " + to_string(s) +
+                         " but destination saw " +
+                         std::to_string(dest_count));
+        }
+      }
+    }
+  }
+  ctx.set_cpu(new_cpu);
+  sync_.set_task_cpu(ctx.task_id(), new_cpu);
+}
+
+}  // namespace hlsmpc::hls

@@ -1,0 +1,84 @@
+// HLS runtime facade: ties registry, storage and synchronization together.
+//
+// This is the library a `-fhls`-style compiler would generate calls into
+// (paper §IV): get_addr resolves a (module, offset, scope) triple for the
+// calling task; single_enter/single_done and barrier implement the
+// directives; migrate implements MPC_Move's counter check. The typed
+// front end (Var<T>, TaskView) lives in var.hpp.
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+
+#include "hls/registry.hpp"
+#include "hls/storage.hpp"
+#include "hls/sync.hpp"
+#include "memtrack/memtrack.hpp"
+
+namespace hlsmpc::hls {
+
+class Runtime {
+ public:
+  /// `ntasks` MPI tasks will use this runtime; pass the node tracker to
+  /// account HLS storage alongside app/runtime memory.
+  Runtime(const topo::Machine& machine, int ntasks,
+          memtrack::Tracker* tracker = nullptr);
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  const topo::Machine& machine() const { return machine_; }
+  const topo::ScopeMap& scope_map() const { return sm_; }
+  Registry& registry() { return reg_; }
+  StorageManager& storage() { return storage_; }
+  SyncManager& sync() { return sync_; }
+  int ntasks() const { return ntasks_; }
+
+  /// Must be called by each task before any other HLS operation
+  /// (TaskView's constructor does it): records the task's pinning.
+  void bind_task(const ult::TaskContext& ctx);
+
+  /// hls_get_addr_<scope> — the accessor the compiler would emit.
+  void* get_addr(const VarHandle& h, const ult::TaskContext& ctx);
+
+  // Directive-shaped entry points. The list forms validate variables the
+  // way the compiler would: `single` requires all variables to share one
+  // scope (compile error otherwise, §II.B.2); `barrier` synchronizes the
+  // *largest* scope in its list.
+  void barrier(std::initializer_list<VarHandle> vars, ult::TaskContext& ctx);
+  bool single_enter(std::initializer_list<VarHandle> vars,
+                    ult::TaskContext& ctx);
+  void single_done(std::initializer_list<VarHandle> vars,
+                   ult::TaskContext& ctx);
+  bool single_nowait_enter(std::initializer_list<VarHandle> vars,
+                           ult::TaskContext& ctx);
+
+  /// Scope-level entry points (what the compiled calls pass after the
+  /// compiler resolved the variable lists).
+  void barrier_scope(const CanonicalScope& s, ult::TaskContext& ctx);
+  bool single_enter_scope(const CanonicalScope& s, ult::TaskContext& ctx);
+  void single_done_scope(const CanonicalScope& s, ult::TaskContext& ctx);
+  bool single_nowait_scope(const CanonicalScope& s, ult::TaskContext& ctx);
+
+  /// MPC_Move: re-pin the task to `new_cpu`. Throws HlsError unless the
+  /// task has seen exactly as many single/barrier episodes as the
+  /// destination's scope instances (paper §IV.A).
+  void migrate(ult::TaskContext& ctx, int new_cpu);
+
+  /// Scope shared by all variables of the list (throws if mixed: the
+  /// paper's "same HLS scope" compile-time check for single).
+  CanonicalScope common_scope(std::initializer_list<VarHandle> vars) const;
+  /// Widest scope of the list (for barrier).
+  CanonicalScope widest_scope(std::initializer_list<VarHandle> vars) const;
+
+ private:
+  topo::Machine machine_;
+  topo::ScopeMap sm_;
+  std::unique_ptr<memtrack::Tracker> owned_tracker_;
+  memtrack::Tracker* tracker_;
+  Registry reg_;
+  StorageManager storage_;
+  SyncManager sync_;
+  int ntasks_;
+};
+
+}  // namespace hlsmpc::hls

@@ -1,0 +1,98 @@
+#include "hls/storage.hpp"
+
+namespace hlsmpc::hls {
+
+StorageManager::StorageManager(const Registry& reg,
+                               memtrack::Tracker& tracker)
+    : reg_(&reg), tracker_(&tracker) {}
+
+topo::ScopeSpec StorageManager::spec_of(const CanonicalScope& scope) const {
+  // cache_level doubles as the numa level for numa(2) scopes.
+  return topo::ScopeSpec{scope.kind, scope.cache_level};
+}
+
+StorageManager::InstanceStorage& StorageManager::instance(
+    const CanonicalScope& scope, int inst) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& vec = instances_[scope];
+  if (vec.empty()) {
+    const int n = reg_->scope_map().num_instances(spec_of(scope));
+    vec.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      vec.push_back(std::make_unique<InstanceStorage>());
+    }
+  }
+  if (inst < 0 || inst >= static_cast<int>(vec.size())) {
+    throw HlsError("StorageManager: bad scope instance");
+  }
+  return *vec[static_cast<std::size_t>(inst)];
+}
+
+void* StorageManager::get_addr(const CanonicalScope& scope, int module,
+                               std::size_t offset, int cpu) {
+  const Module& m = reg_->module(module);  // throws if not committed
+  const int inst = reg_->scope_map().instance_of(spec_of(scope), cpu);
+  InstanceStorage& st = instance(scope, inst);
+
+  ModuleRegion* region_ptr = nullptr;
+  {
+    // Pointer must be captured under the map lock: a concurrent first
+    // access to another module may resize the vector.
+    std::lock_guard<std::mutex> lk(mu_);
+    if (st.regions.size() < static_cast<std::size_t>(reg_->num_modules())) {
+      st.regions.resize(static_cast<std::size_t>(reg_->num_modules()));
+    }
+    if (!st.regions[static_cast<std::size_t>(module)]) {
+      st.regions[static_cast<std::size_t>(module)] =
+          std::make_unique<ModuleRegion>();
+    }
+    region_ptr = st.regions[static_cast<std::size_t>(module)].get();
+  }
+  ModuleRegion& region = *region_ptr;
+
+  // Lazy allocation + one-time initialization under the module lock
+  // ("allocate and initialize memory if first use", §IV.A).
+  {
+    std::lock_guard<std::mutex> lk(region.mu);
+    if (!region.initialized) {
+      const std::size_t bytes = m.region_size(scope);
+      if (bytes == 0) {
+        throw HlsError("get_addr: module '" + m.name +
+                       "' has no variables with scope " + to_string(scope));
+      }
+      region.mem = memtrack::Buffer(*tracker_,
+                                    memtrack::Category::hls_shared, bytes);
+      for (const VarInfo& v : m.vars) {
+        if (v.canonical == scope && v.init) {
+          v.init(region.mem.data() + v.offset);
+        }
+      }
+      region.initialized = true;
+    }
+  }
+  if (offset >= region.mem.size()) {
+    throw HlsError("get_addr: offset beyond module region");
+  }
+  return region.mem.data() + offset;
+}
+
+std::size_t StorageManager::bytes_allocated() const {
+  return tracker_->current(memtrack::Category::hls_shared);
+}
+
+int StorageManager::copies(const CanonicalScope& scope, int module) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = instances_.find(scope);
+  if (it == instances_.end()) return 0;
+  int count = 0;
+  for (const auto& inst : it->second) {
+    if (inst && static_cast<std::size_t>(module) < inst->regions.size() &&
+        inst->regions[static_cast<std::size_t>(module)] &&
+        inst->regions[static_cast<std::size_t>(module)]->initialized) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace hlsmpc::hls

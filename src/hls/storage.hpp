@@ -1,0 +1,60 @@
+// Per-scope-instance storage: the hls_get_addr_<scope> machinery.
+//
+// One ScopeInstanceStorage exists per (canonical scope, instance index);
+// tasks pinned to cpus of the same instance resolve a VarHandle to the
+// same address, which is the entire HLS sharing mechanism (paper fig. 2).
+// Module regions are allocated and initialized lazily on first access,
+// under a per-(instance, module) lock, exactly as described in §IV.A.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "hls/registry.hpp"
+#include "memtrack/memtrack.hpp"
+
+namespace hlsmpc::hls {
+
+class StorageManager {
+ public:
+  StorageManager(const Registry& reg, memtrack::Tracker& tracker);
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  /// hls_get_addr_<scope>(module, offset) for the task pinned to `cpu`.
+  void* get_addr(const CanonicalScope& scope, int module, std::size_t offset,
+                 int cpu);
+  void* get_addr(const VarHandle& h, int cpu) {
+    return get_addr(h.scope, h.module, h.offset, cpu);
+  }
+
+  /// Bytes currently materialized for HLS storage (all scopes/instances).
+  std::size_t bytes_allocated() const;
+  /// Number of distinct materialized copies of `module`'s region for
+  /// `scope` — the data-duplication factor the paper's tables measure.
+  int copies(const CanonicalScope& scope, int module) const;
+
+ private:
+  struct ModuleRegion {
+    std::mutex mu;  // paper: "a lock is associated to each module"
+    memtrack::Buffer mem;
+    bool initialized = false;
+  };
+  struct InstanceStorage {
+    // Lazily sized to the registry's module count on first use.
+    std::vector<std::unique_ptr<ModuleRegion>> regions;
+  };
+
+  InstanceStorage& instance(const CanonicalScope& scope, int inst);
+  topo::ScopeSpec spec_of(const CanonicalScope& scope) const;
+
+  const Registry* reg_;
+  memtrack::Tracker* tracker_;
+  mutable std::mutex mu_;  // guards the instance map ("module array" lock)
+  std::map<CanonicalScope, std::vector<std::unique_ptr<InstanceStorage>>>
+      instances_;
+};
+
+}  // namespace hlsmpc::hls

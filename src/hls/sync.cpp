@@ -1,0 +1,269 @@
+#include "hls/sync.hpp"
+
+namespace hlsmpc::hls {
+
+SyncManager::SyncManager(const topo::ScopeMap& sm, int ntasks)
+    : sm_(&sm),
+      task_cpu_(static_cast<std::size_t>(ntasks)),
+      task_counts_(static_cast<std::size_t>(ntasks)),
+      task_nowait_counts_(static_cast<std::size_t>(ntasks)) {
+  if (ntasks < 1) throw HlsError("SyncManager: need at least one task");
+  // Default MPC pinning (task i -> cpu i, wrapping) is established up
+  // front: barrier arrival counts must be stable before the first task
+  // reaches a synchronization point, not trickle in as tasks start.
+  const int ncpus = sm.machine().num_cpus();
+  for (std::size_t i = 0; i < task_cpu_.size(); ++i) {
+    task_cpu_[i].store(static_cast<int>(i) % ncpus);
+  }
+}
+
+void SyncManager::set_task_cpu(int task, int cpu) {
+  if (task < 0 || task >= static_cast<int>(task_cpu_.size())) {
+    throw HlsError("SyncManager: bad task id");
+  }
+  if (cpu < 0 || cpu >= sm_->machine().num_cpus()) {
+    throw HlsError("SyncManager: bad cpu");
+  }
+  task_cpu_[static_cast<std::size_t>(task)].store(cpu);
+}
+
+int SyncManager::task_cpu(int task) const {
+  return task_cpu_[static_cast<std::size_t>(task)].load();
+}
+
+topo::ScopeSpec SyncManager::spec_of(const CanonicalScope& scope) const {
+  // cache_level doubles as the numa level for numa(2) scopes.
+  return topo::ScopeSpec{scope.kind, scope.cache_level};
+}
+
+bool SyncManager::uses_hierarchy(const CanonicalScope& scope) const {
+  if (force_flat_) return false;
+  const int llc = sm_->machine().llc_level();
+  const int llc_span = sm_->machine().cache_level(llc).cpus_per_instance;
+  return sm_->cpus_per_instance(spec_of(scope)) > llc_span;
+}
+
+SyncManager::InstanceSync& SyncManager::instance(const CanonicalScope& scope,
+                                                 int cpu, int* inst_out) {
+  const topo::ScopeSpec spec = spec_of(scope);
+  const int inst = sm_->instance_of(spec, cpu);
+  if (inst_out != nullptr) *inst_out = inst;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& vec = instances_[scope];
+  if (vec.empty()) {
+    const int n = sm_->num_instances(spec);
+    const int llc = sm_->machine().llc_level();
+    const int llc_span = sm_->machine().cache_level(llc).cpus_per_instance;
+    const int ngroups =
+        std::max(1, sm_->cpus_per_instance(spec) / llc_span);
+    for (int i = 0; i < n; ++i) {
+      auto is = std::make_unique<InstanceSync>();
+      for (int gi = 0; gi < ngroups; ++gi) {
+        is->groups.push_back(std::make_unique<Flat>());
+      }
+      vec.push_back(std::move(is));
+    }
+  }
+  return *vec[static_cast<std::size_t>(inst)];
+}
+
+int SyncManager::group_index(const CanonicalScope& scope, int inst,
+                             int cpu) const {
+  const int llc = sm_->machine().llc_level();
+  const int llc_inst = sm_->machine().cache_instance_of_cpu(llc, cpu);
+  const int llc_span = sm_->machine().cache_level(llc).cpus_per_instance;
+  const int first_cpu = inst * sm_->cpus_per_instance(spec_of(scope));
+  const int first_group = first_cpu / llc_span;
+  return llc_inst - first_group;
+}
+
+int SyncManager::group_participants(const CanonicalScope& scope, int inst,
+                                    int group) const {
+  const int llc_span =
+      sm_->machine().cache_level(sm_->machine().llc_level())
+          .cpus_per_instance;
+  const int first_cpu =
+      inst * sm_->cpus_per_instance(spec_of(scope)) + group * llc_span;
+  int count = 0;
+  for (const auto& c : task_cpu_) {
+    const int cpu = c.load();
+    if (cpu >= first_cpu && cpu < first_cpu + llc_span) ++count;
+  }
+  return count;
+}
+
+int SyncManager::active_groups(const CanonicalScope& scope, int inst) const {
+  const int llc_span =
+      sm_->machine().cache_level(sm_->machine().llc_level())
+          .cpus_per_instance;
+  const int span = sm_->cpus_per_instance(spec_of(scope));
+  const int first_cpu = inst * span;
+  const int ngroups = std::max(1, span / llc_span);
+  int active = 0;
+  for (int g = 0; g < ngroups; ++g) {
+    for (const auto& c : task_cpu_) {
+      const int cpu = c.load();
+      if (cpu >= first_cpu + g * llc_span &&
+          cpu < first_cpu + (g + 1) * llc_span) {
+        ++active;
+        break;
+      }
+    }
+  }
+  return active;
+}
+
+int SyncManager::participants(const CanonicalScope& scope, int cpu) const {
+  const topo::ScopeSpec spec = spec_of(scope);
+  const int inst = sm_->instance_of(spec, cpu);
+  const int span = sm_->cpus_per_instance(spec);
+  const int first = inst * span;
+  int count = 0;
+  for (const auto& c : task_cpu_) {
+    const int t_cpu = c.load();
+    if (t_cpu >= first && t_cpu < first + span) ++count;
+  }
+  return count;
+}
+
+bool SyncManager::flat_arrive(Flat& f, int expected, ult::TaskContext& ctx,
+                              bool hold_last) {
+  std::unique_lock<std::mutex> lk(f.mu);
+  const std::uint64_t g = f.generation;
+  if (++f.arrived == expected) {
+    if (hold_last) {
+      f.single_active = true;
+      return true;  // caller runs the block, then flat_release()s
+    }
+    f.arrived = 0;
+    ++f.generation;
+    lk.unlock();
+    f.cv.notify_all();
+    return true;
+  }
+  ult::wait_until(ctx, lk, f.cv, [&] { return f.generation != g; });
+  return false;
+}
+
+void SyncManager::flat_release(Flat& f) {
+  {
+    std::lock_guard<std::mutex> lk(f.mu);
+    f.arrived = 0;
+    f.single_active = false;
+    ++f.generation;
+  }
+  f.cv.notify_all();
+}
+
+void SyncManager::bump_task(int task, const CanonicalScope& scope) {
+  ++task_counts_[static_cast<std::size_t>(task)][scope];
+}
+
+void SyncManager::barrier(const CanonicalScope& scope,
+                          ult::TaskContext& ctx) {
+  int inst = 0;
+  InstanceSync& is = instance(scope, ctx.cpu(), &inst);
+  if (!uses_hierarchy(scope)) {
+    const int expected = participants(scope, ctx.cpu());
+    if (flat_arrive(is.top, expected, ctx, /*hold_last=*/false)) {
+      is.episodes.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    // Shared-cache-aware barrier: synchronize inside the LLC group, send
+    // one representative up, then release the group (paper §IV.B).
+    const int gi = group_index(scope, inst, ctx.cpu());
+    Flat& group = *is.groups[static_cast<std::size_t>(gi)];
+    const int eg = group_participants(scope, inst, gi);
+    if (flat_arrive(group, eg, ctx, /*hold_last=*/true)) {
+      const int ng = active_groups(scope, inst);
+      if (flat_arrive(is.top, ng, ctx, /*hold_last=*/false)) {
+        is.episodes.fetch_add(1, std::memory_order_relaxed);
+      }
+      flat_release(group);
+    }
+  }
+  bump_task(ctx.task_id(), scope);
+}
+
+bool SyncManager::single_enter(const CanonicalScope& scope,
+                               ult::TaskContext& ctx) {
+  int inst = 0;
+  InstanceSync& is = instance(scope, ctx.cpu(), &inst);
+  bool executor = false;
+  if (!uses_hierarchy(scope)) {
+    const int expected = participants(scope, ctx.cpu());
+    executor = flat_arrive(is.top, expected, ctx, /*hold_last=*/true);
+  } else {
+    const int gi = group_index(scope, inst, ctx.cpu());
+    Flat& group = *is.groups[static_cast<std::size_t>(gi)];
+    const int eg = group_participants(scope, inst, gi);
+    if (flat_arrive(group, eg, ctx, /*hold_last=*/true)) {
+      const int ng = active_groups(scope, inst);
+      if (flat_arrive(is.top, ng, ctx, /*hold_last=*/true)) {
+        executor = true;  // releases happen in single_done
+      } else {
+        // Top single completed by the executor; release my LLC group.
+        flat_release(group);
+      }
+    }
+  }
+  if (!executor) bump_task(ctx.task_id(), scope);
+  return executor;
+}
+
+void SyncManager::single_done(const CanonicalScope& scope,
+                              ult::TaskContext& ctx) {
+  int inst = 0;
+  InstanceSync& is = instance(scope, ctx.cpu(), &inst);
+  is.episodes.fetch_add(1, std::memory_order_relaxed);
+  if (!uses_hierarchy(scope)) {
+    flat_release(is.top);
+  } else {
+    flat_release(is.top);  // other representatives release their groups
+    const int gi = group_index(scope, inst, ctx.cpu());
+    flat_release(*is.groups[static_cast<std::size_t>(gi)]);
+  }
+  bump_task(ctx.task_id(), scope);
+}
+
+bool SyncManager::single_nowait(const CanonicalScope& scope,
+                                ult::TaskContext& ctx) {
+  int inst = 0;
+  InstanceSync& is = instance(scope, ctx.cpu(), &inst);
+  // Paper §IV.B: each task counts the nowait sites it passed; a task whose
+  // private counter runs ahead of the instance counter claims the site.
+  const std::uint64_t mine =
+      ++task_nowait_counts_[static_cast<std::size_t>(ctx.task_id())][scope];
+  std::uint64_t shared = is.nowait_count.load(std::memory_order_relaxed);
+  while (mine > shared) {
+    if (is.nowait_count.compare_exchange_weak(shared, mine,
+                                              std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t SyncManager::task_sync_count(int task,
+                                           const CanonicalScope& scope) const {
+  const auto& counts = task_counts_[static_cast<std::size_t>(task)];
+  const auto& nowaits = task_nowait_counts_[static_cast<std::size_t>(task)];
+  auto it = counts.find(scope);
+  auto itn = nowaits.find(scope);
+  return (it == counts.end() ? 0 : it->second) +
+         (itn == nowaits.end() ? 0 : itn->second);
+}
+
+std::uint64_t SyncManager::instance_sync_count(const CanonicalScope& scope,
+                                               int cpu) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = instances_.find(scope);
+  if (it == instances_.end()) return 0;
+  const topo::ScopeSpec spec{scope.kind, scope.cache_level};
+  const int inst = sm_->instance_of(spec, cpu);
+  const InstanceSync& is = *it->second[static_cast<std::size_t>(inst)];
+  return is.episodes.load(std::memory_order_relaxed) +
+         is.nowait_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace hlsmpc::hls

@@ -1,0 +1,110 @@
+// HLS synchronization: barrier, single, single nowait (paper §IV.B).
+//
+// Three mechanisms per scope instance:
+//  - barrier: for scopes no wider than a shared cache, a flat
+//    counter+generation barrier; for wider scopes (numa/node spanning
+//    several LLC domains) the paper's shared-cache-aware algorithm: tasks
+//    synchronize within their LLC group first, one representative per
+//    group proceeds to a top-level barrier, then releases its group.
+//  - single: a *modified barrier* — the last task to arrive executes the
+//    code block before releasing the others (no second barrier needed).
+//  - single nowait: generation counters; the first task whose private
+//    counter runs ahead of the instance counter executes the block.
+//
+// Every completed episode advances per-task and per-instance counters;
+// migration (MPC_Move) is legal only when the task's counters match the
+// destination's (§IV.A).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hls/registry.hpp"
+#include "ult/task_context.hpp"
+
+namespace hlsmpc::hls {
+
+class SyncManager {
+ public:
+  /// `ntasks` MPI tasks; initial pinning provided via set_task_cpu before
+  /// any synchronization call.
+  SyncManager(const topo::ScopeMap& sm, int ntasks);
+  SyncManager(const SyncManager&) = delete;
+  SyncManager& operator=(const SyncManager&) = delete;
+
+  void set_task_cpu(int task, int cpu);
+  int task_cpu(int task) const;
+
+  void barrier(const CanonicalScope& scope, ult::TaskContext& ctx);
+  /// Returns true for exactly one task (the last to arrive), which must
+  /// execute the protected block and then call single_done. All other
+  /// tasks return false only after single_done ran.
+  bool single_enter(const CanonicalScope& scope, ult::TaskContext& ctx);
+  void single_done(const CanonicalScope& scope, ult::TaskContext& ctx);
+  /// Returns true for the first task reaching this (per-task counted)
+  /// nowait site; never blocks.
+  bool single_nowait(const CanonicalScope& scope, ult::TaskContext& ctx);
+
+  /// Synchronization episodes the task has completed for `scope`.
+  std::uint64_t task_sync_count(int task, const CanonicalScope& scope) const;
+  /// Episodes completed by the instance of `scope` containing `cpu`.
+  std::uint64_t instance_sync_count(const CanonicalScope& scope,
+                                    int cpu) const;
+  /// Number of tasks currently pinned inside the instance of `scope`
+  /// containing `cpu` — the barrier's expected arrival count.
+  int participants(const CanonicalScope& scope, int cpu) const;
+
+  /// Use the hierarchical algorithm for scopes spanning several LLC
+  /// domains (true on multi-socket machines for numa/node). Exposed for
+  /// the micro-benchmarks' flat-vs-hierarchical comparison.
+  bool uses_hierarchy(const CanonicalScope& scope) const;
+  void force_flat(bool v) { force_flat_ = v; }
+
+ private:
+  struct Flat {
+    std::mutex mu;
+    std::condition_variable cv;
+    int arrived = 0;
+    std::uint64_t generation = 0;
+    bool single_active = false;
+  };
+
+  struct InstanceSync {
+    Flat top;
+    std::vector<std::unique_ptr<Flat>> groups;  // one per LLC domain inside
+    std::atomic<std::uint64_t> episodes{0};
+    std::atomic<std::uint64_t> nowait_count{0};
+  };
+
+  topo::ScopeSpec spec_of(const CanonicalScope& scope) const;
+  InstanceSync& instance(const CanonicalScope& scope, int cpu, int* inst_out);
+  /// Arrive at a flat barrier. With `hold_last` the last arriver returns
+  /// true immediately (generation not yet advanced: single semantics);
+  /// otherwise the last arriver releases everyone.
+  bool flat_arrive(Flat& f, int expected, ult::TaskContext& ctx,
+                   bool hold_last);
+  void flat_release(Flat& f);
+  int group_index(const CanonicalScope& scope, int inst, int cpu) const;
+  int group_participants(const CanonicalScope& scope, int inst,
+                         int group) const;
+  int active_groups(const CanonicalScope& scope, int inst) const;
+  void bump_task(int task, const CanonicalScope& scope);
+
+  const topo::ScopeMap* sm_;
+  std::vector<std::atomic<int>> task_cpu_;
+  // Per-task counters; each entry written only by its own task. Barrier /
+  // single episodes and nowait sites are counted separately because the
+  // nowait claim compares the task's site count against the instance's
+  // nowait counter alone.
+  std::vector<std::map<CanonicalScope, std::uint64_t>> task_counts_;
+  std::vector<std::map<CanonicalScope, std::uint64_t>> task_nowait_counts_;
+  mutable std::mutex mu_;
+  std::map<CanonicalScope, std::vector<std::unique_ptr<InstanceSync>>>
+      instances_;
+  bool force_flat_ = false;
+};
+
+}  // namespace hlsmpc::hls

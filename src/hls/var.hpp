@@ -1,0 +1,133 @@
+// Typed HLS variables and the per-task view.
+//
+// The paper's directives annotate C/Fortran globals; this header is the
+// equivalent declaration surface for the C++ API. A Var<T>/ArrayVar<T>
+// corresponds to `T v; #pragma hls <scope>(v)`, and a TaskView bundles the
+// runtime with the calling task so application code reads like the
+// directive examples of §II.D:
+//
+//   auto table = hls::add_array<double>(mb, "table", N, topo::node_scope());
+//   ...
+//   hls::TaskView view(rt, ctx);
+//   view.single({table.handle()}, [&] { load(view.get(table)); });
+//   double* t = view.get(table);
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "hls/runtime.hpp"
+
+namespace hlsmpc::hls {
+
+template <typename T>
+class Var {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "HLS variables mirror C globals: trivially copyable only");
+
+ public:
+  Var() = default;
+  explicit Var(VarHandle h) : h_(h) {}
+  const VarHandle& handle() const { return h_; }
+  bool valid() const { return h_.valid(); }
+
+ private:
+  VarHandle h_;
+};
+
+template <typename T>
+class ArrayVar {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "HLS variables mirror C globals: trivially copyable only");
+
+ public:
+  ArrayVar() = default;
+  ArrayVar(VarHandle h, std::size_t count) : h_(h), count_(count) {}
+  const VarHandle& handle() const { return h_; }
+  std::size_t size() const { return count_; }
+  bool valid() const { return h_.valid(); }
+
+ private:
+  VarHandle h_;
+  std::size_t count_ = 0;
+};
+
+/// Declare a scalar HLS variable with an initial value.
+template <typename T>
+Var<T> add_var(ModuleBuilder& mb, const std::string& name,
+               const topo::ScopeSpec& scope, T initial = T{}) {
+  VarHandle h = mb.add_raw(name, scope, sizeof(T), alignof(T),
+                           [initial](void* p) { new (p) T(initial); });
+  return Var<T>(h);
+}
+
+/// Declare an HLS array; `init` (optional) fills each fresh copy.
+template <typename T, typename InitFn = std::nullptr_t>
+ArrayVar<T> add_array(ModuleBuilder& mb, const std::string& name,
+                      std::size_t count, const topo::ScopeSpec& scope,
+                      InitFn init = nullptr) {
+  VarInitFn fn;
+  if constexpr (!std::is_same_v<InitFn, std::nullptr_t>) {
+    fn = [init, count](void* p) { init(static_cast<T*>(p), count); };
+  }
+  VarHandle h =
+      mb.add_raw(name, scope, sizeof(T) * count, alignof(T), std::move(fn));
+  return ArrayVar<T>(h, count);
+}
+
+/// The calling task's window onto the HLS runtime. Cheap to construct;
+/// binds the task's pinning on construction.
+class TaskView {
+ public:
+  TaskView(Runtime& rt, ult::TaskContext& ctx) : rt_(&rt), ctx_(&ctx) {
+    rt_->bind_task(ctx);
+  }
+
+  Runtime& runtime() { return *rt_; }
+  ult::TaskContext& context() { return *ctx_; }
+  int cpu() const { return ctx_->cpu(); }
+
+  template <typename T>
+  T& get(const Var<T>& v) {
+    return *static_cast<T*>(rt_->get_addr(v.handle(), *ctx_));
+  }
+  template <typename T>
+  T* get(const ArrayVar<T>& v) {
+    return static_cast<T*>(rt_->get_addr(v.handle(), *ctx_));
+  }
+
+  /// #pragma hls barrier(vars...)
+  void barrier(std::initializer_list<VarHandle> vars) {
+    rt_->barrier(vars, *ctx_);
+  }
+
+  /// #pragma hls single(vars...) { fn(); } — one task (the last to
+  /// arrive) runs fn; everyone leaves together.
+  template <typename Fn>
+  void single(std::initializer_list<VarHandle> vars, Fn&& fn) {
+    if (rt_->single_enter(vars, *ctx_)) {
+      std::forward<Fn>(fn)();
+      rt_->single_done(vars, *ctx_);
+    }
+  }
+
+  /// #pragma hls single(vars...) nowait { fn(); } — the first task to
+  /// reach the site runs fn; nobody waits. Returns true for the runner.
+  template <typename Fn>
+  bool single_nowait(std::initializer_list<VarHandle> vars, Fn&& fn) {
+    if (rt_->single_nowait_enter(vars, *ctx_)) {
+      std::forward<Fn>(fn)();
+      return true;
+    }
+    return false;
+  }
+
+  /// MPC_Move.
+  void migrate(int new_cpu) { rt_->migrate(*ctx_, new_cpu); }
+
+ private:
+  Runtime* rt_;
+  ult::TaskContext* ctx_;
+};
+
+}  // namespace hlsmpc::hls

@@ -1,0 +1,117 @@
+#include "memtrack/memtrack.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hlsmpc::memtrack {
+
+const char* to_string(Category c) {
+  switch (c) {
+    case Category::app:
+      return "app";
+    case Category::hls_shared:
+      return "hls_shared";
+    case Category::runtime_buffers:
+      return "runtime_buffers";
+    case Category::runtime_other:
+      return "runtime_other";
+  }
+  return "?";
+}
+
+void Tracker::on_alloc(Category c, std::size_t bytes) {
+  by_category_[static_cast<int>(c)].fetch_add(bytes, std::memory_order_relaxed);
+  const std::size_t now =
+      total_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // Lock-free peak update.
+  std::size_t prev = peak_.load(std::memory_order_relaxed);
+  while (prev < now &&
+         !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+}
+
+void Tracker::on_free(Category c, std::size_t bytes) {
+  const std::size_t cat_before = by_category_[static_cast<int>(c)].fetch_sub(
+      bytes, std::memory_order_relaxed);
+  const std::size_t tot_before =
+      total_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (cat_before < bytes || tot_before < bytes) {
+    throw std::logic_error("Tracker::on_free: freeing more than allocated");
+  }
+}
+
+std::size_t Tracker::current(Category c) const {
+  return by_category_[static_cast<int>(c)].load(std::memory_order_relaxed);
+}
+
+std::size_t Tracker::current_total() const {
+  return total_.load(std::memory_order_relaxed);
+}
+
+std::size_t Tracker::peak_total() const {
+  return peak_.load(std::memory_order_relaxed);
+}
+
+Snapshot Tracker::snapshot() const {
+  Snapshot s;
+  for (int i = 0; i < kNumCategories; ++i) {
+    s.current_by_category[i] = by_category_[i].load(std::memory_order_relaxed);
+  }
+  s.current_total = current_total();
+  s.peak_total = peak_total();
+  return s;
+}
+
+Buffer::Buffer(Tracker& t, Category c, std::size_t bytes)
+    : data_(new std::byte[bytes]()), size_(bytes), tracker_(&t), category_(c) {
+  tracker_->on_alloc(category_, size_);
+}
+
+Buffer::Buffer(Buffer&& other) noexcept
+    : data_(std::move(other.data_)),
+      size_(other.size_),
+      tracker_(other.tracker_),
+      category_(other.category_) {
+  other.size_ = 0;
+  other.tracker_ = nullptr;
+}
+
+Buffer& Buffer::operator=(Buffer&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = std::move(other.data_);
+    size_ = other.size_;
+    tracker_ = other.tracker_;
+    category_ = other.category_;
+    other.size_ = 0;
+    other.tracker_ = nullptr;
+  }
+  return *this;
+}
+
+Buffer::~Buffer() { reset(); }
+
+void Buffer::reset() {
+  if (tracker_ != nullptr && size_ > 0) {
+    tracker_->on_free(category_, size_);
+  }
+  data_.reset();
+  size_ = 0;
+  tracker_ = nullptr;
+}
+
+void Sampler::sample() { samples_.push_back(tracker_->current_total()); }
+
+double Sampler::avg_bytes() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t s : samples_) sum += static_cast<double>(s);
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::size_t Sampler::max_bytes() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+}  // namespace hlsmpc::memtrack

@@ -1,0 +1,32 @@
+#include "mpc/node.hpp"
+
+namespace hlsmpc::mpc {
+
+Node::Node(const topo::Machine& machine, NodeOptions opts,
+           memtrack::Tracker* tracker)
+    : owned_tracker_(tracker == nullptr ? std::make_unique<memtrack::Tracker>()
+                                        : nullptr),
+      tracker_(tracker != nullptr ? tracker : owned_tracker_.get()),
+      mpi_(machine, opts.mpi, tracker_),
+      hls_(machine, mpi_.nranks(), tracker_) {}
+
+void Node::run(const std::function<void(mpi::Comm&, hls::TaskView&)>& body) {
+  mpi_.run([&](mpi::Comm& world, ult::TaskContext& ctx) {
+    hls::TaskView view(hls_, ctx);
+    body(world, view);
+  });
+}
+
+void Node::move_task(hls::TaskView& view, int new_cpu) {
+  // The HLS migration check first: an ineligible move must not re-pin.
+  view.migrate(new_cpu);
+  // Fiber back end: actually move the user-level thread to the worker
+  // responsible for the destination cpu (takes effect at the yield).
+  if (auto* fiber_ctx =
+          dynamic_cast<ult::FiberTaskContext*>(&view.context())) {
+    fiber_ctx->set_target_worker(new_cpu);  // scheduler maps cpu % workers
+    fiber_ctx->yield();
+  }
+}
+
+}  // namespace hlsmpc::mpc

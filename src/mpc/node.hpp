@@ -1,0 +1,48 @@
+// One simulated computational node running an MPI program with HLS
+// support — the "MPC with the HLS mechanism enabled" configuration of the
+// paper's experiments. Combines the thread-based MPI runtime and the HLS
+// runtime over a single memory tracker, so per-node measurements cover
+// application data, HLS storage and MPI runtime buffers together, like
+// the paper's whole-node probe (§V.B).
+#pragma once
+
+#include <functional>
+
+#include "hls/var.hpp"
+#include "mpi/runtime.hpp"
+
+namespace hlsmpc::mpc {
+
+struct NodeOptions {
+  mpi::Options mpi;
+};
+
+class Node {
+ public:
+  Node(const topo::Machine& machine, NodeOptions opts,
+       memtrack::Tracker* tracker = nullptr);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Run the MPI+HLS program: `body(world, hls_view)` once per rank.
+  void run(const std::function<void(mpi::Comm&, hls::TaskView&)>& body);
+
+  /// MPC_Move: migrate the calling task to `new_cpu`. Performs the HLS
+  /// counter check (§IV.A, throws hls::HlsError on mismatch), updates the
+  /// task's pinning, and — on the fiber back end — re-pins the fiber to
+  /// the worker carrying that cpu at the next yield.
+  static void move_task(hls::TaskView& view, int new_cpu);
+
+  mpi::Runtime& mpi_rt() { return mpi_; }
+  hls::Runtime& hls_rt() { return hls_; }
+  memtrack::Tracker& tracker() { return *tracker_; }
+  const topo::Machine& machine() const { return mpi_.machine(); }
+
+ private:
+  std::unique_ptr<memtrack::Tracker> owned_tracker_;
+  memtrack::Tracker* tracker_;
+  mpi::Runtime mpi_;
+  hls::Runtime hls_;
+};
+
+}  // namespace hlsmpc::mpc

@@ -1,0 +1,82 @@
+#include "mpi/buffers.hpp"
+
+#include <stdexcept>
+
+namespace hlsmpc::mpi {
+
+BufferManager::BufferManager(const BufferConfig& cfg, int local_ranks,
+                             int total_ranks, memtrack::Tracker& tracker)
+    : cfg_(cfg), tracker_(&tracker) {
+  if (local_ranks < 1 || total_ranks < local_ranks) {
+    throw std::invalid_argument("BufferManager: bad rank counts");
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (cfg_.kind == BufferPolicyKind::per_pair) {
+    // Aggressive policy: endpoint state for every (local rank, job peer)
+    // connection reserved up front — footprint scales with the job size.
+    pair_reservation_bytes_ = static_cast<std::size_t>(local_ranks) *
+                              static_cast<std::size_t>(total_ranks - 1) *
+                              cfg_.per_pair_bytes;
+    pair_reservation_ = std::make_unique<std::byte[]>(pair_reservation_bytes_);
+    tracker_->on_alloc(memtrack::Category::runtime_buffers,
+                       pair_reservation_bytes_);
+  }
+  grow(cfg_.pool_initial);
+}
+
+BufferManager::~BufferManager() {
+  std::lock_guard<std::mutex> lk(mu_);
+  tracker_->on_free(memtrack::Category::runtime_buffers,
+                    storage_.size() * cfg_.eager_buffer_bytes +
+                        pair_reservation_bytes_);
+}
+
+void BufferManager::grow(int count) {
+  for (int i = 0; i < count; ++i) {
+    storage_.push_back(std::make_unique<std::byte[]>(cfg_.eager_buffer_bytes));
+    free_.push_back(storage_.back().get());
+    tracker_->on_alloc(memtrack::Category::runtime_buffers,
+                       cfg_.eager_buffer_bytes);
+  }
+}
+
+BufferManager::Lease BufferManager::acquire(std::size_t bytes) {
+  if (bytes > cfg_.eager_buffer_bytes) {
+    throw std::logic_error(
+        "BufferManager::acquire: message exceeds eager threshold; use "
+        "rendezvous");
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (free_.empty()) grow(1);
+  std::byte* data = free_.front();
+  free_.pop_front();
+  ++leased_;
+  return Lease(this, data, cfg_.eager_buffer_bytes);
+}
+
+void BufferManager::give_back(std::byte* data) {
+  std::lock_guard<std::mutex> lk(mu_);
+  free_.push_back(data);
+  --leased_;
+}
+
+void BufferManager::Lease::release() {
+  if (mgr_ != nullptr) {
+    mgr_->give_back(data_);
+    mgr_ = nullptr;
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+std::size_t BufferManager::bytes_reserved() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return storage_.size() * cfg_.eager_buffer_bytes + pair_reservation_bytes_;
+}
+
+int BufferManager::leased() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return leased_;
+}
+
+}  // namespace hlsmpc::mpi

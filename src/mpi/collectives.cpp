@@ -1,0 +1,271 @@
+// Collective operations, implemented over the p2p engine in a dedicated
+// context so they can never match application point-to-point traffic.
+//
+// Algorithms target intra-node scale (<= a few dozen ranks): dissemination
+// barrier, binomial bcast/reduce, linear gather/scatter, chain scan.
+#include <cstring>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/runtime.hpp"
+
+namespace hlsmpc::mpi {
+
+void Comm::barrier(ult::TaskContext& ctx) {
+  const int me = rank(ctx);
+  const int n = size();
+  const int tag = next_coll_tag(me);
+  if (n == 1) return;
+  // Dissemination: after ceil(log2 n) rounds every rank has transitively
+  // heard from every other rank.
+  for (int step = 1; step < n; step <<= 1) {
+    const int dst = (me + step) % n;
+    const int src = (me - step % n + n) % n;
+    Request r = irecv_ctx(ctx, nullptr, 0, src, tag, coll_context_);
+    Request s = isend_ctx(ctx, nullptr, 0, dst, tag, coll_context_);
+    wait(ctx, s);
+    wait(ctx, r);
+  }
+}
+
+void Comm::bcast(ult::TaskContext& ctx, void* buf, std::size_t bytes,
+                 int root) {
+  check_rank(root, "bcast");
+  const int me = rank(ctx);
+  const int n = size();
+  const int tag = next_coll_tag(me);
+  if (n == 1) return;
+  const int vr = (me - root + n) % n;  // rank relative to root
+
+  // Binomial tree: receive from the parent, then forward to children.
+  int mask = 1;
+  while (mask < n) {
+    if (vr & mask) {
+      const int parent = (vr - mask + root) % n;
+      recv_ctx(ctx, buf, bytes, parent, tag, coll_context_, nullptr);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < n) {
+      const int child = (vr + mask + root) % n;
+      send_ctx(ctx, buf, bytes, child, tag, coll_context_);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::reduce(ult::TaskContext& ctx, const void* sendbuf, void* recvbuf,
+                  std::size_t count, std::size_t elem_bytes,
+                  const ReduceFn& fn, int root) {
+  check_rank(root, "reduce");
+  const int me = rank(ctx);
+  const int n = size();
+  const int tag = next_coll_tag(me);
+  const std::size_t bytes = count * elem_bytes;
+
+  // Local accumulator: root may reduce in place into recvbuf; others use a
+  // scratch buffer. sendbuf == recvbuf (in-place reduction) is allowed.
+  std::vector<std::byte> scratch;
+  void* acc;
+  if (me == root && recvbuf != nullptr) {
+    acc = recvbuf;
+  } else {
+    scratch.resize(bytes);
+    acc = scratch.data();
+  }
+  if (bytes > 0 && acc != sendbuf) std::memcpy(acc, sendbuf, bytes);
+
+  std::vector<std::byte> incoming(bytes);
+  const int vr = (me - root + n) % n;
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if ((vr & mask) == 0) {
+      const int partner_vr = vr | mask;
+      if (partner_vr < n) {
+        const int partner = (partner_vr + root) % n;
+        recv_ctx(ctx, incoming.data(), bytes, partner, tag, coll_context_,
+                 nullptr);
+        fn(acc, incoming.data(), count);
+      }
+    } else {
+      const int parent = ((vr & ~mask) + root) % n;
+      send_ctx(ctx, acc, bytes, parent, tag, coll_context_);
+      break;
+    }
+  }
+}
+
+void Comm::allreduce(ult::TaskContext& ctx, const void* sendbuf,
+                     void* recvbuf, std::size_t count, std::size_t elem_bytes,
+                     const ReduceFn& fn) {
+  reduce(ctx, sendbuf, recvbuf, count, elem_bytes, fn, 0);
+  bcast(ctx, recvbuf, count * elem_bytes, 0);
+}
+
+void Comm::gather(ult::TaskContext& ctx, const void* sendbuf,
+                  std::size_t bytes, void* recvbuf, int root) {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(size()), bytes);
+  std::vector<std::size_t> displs(static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    displs[static_cast<std::size_t>(r)] = static_cast<std::size_t>(r) * bytes;
+  }
+  gatherv(ctx, sendbuf, bytes, recvbuf, counts, displs, root);
+}
+
+void Comm::gatherv(ult::TaskContext& ctx, const void* sendbuf,
+                   std::size_t bytes, void* recvbuf,
+                   std::span<const std::size_t> counts,
+                   std::span<const std::size_t> displs, int root) {
+  check_rank(root, "gatherv");
+  const int me = rank(ctx);
+  const int n = size();
+  if (counts.size() != static_cast<std::size_t>(n) ||
+      displs.size() != static_cast<std::size_t>(n)) {
+    throw MpiError("gatherv: counts/displs must have one entry per rank");
+  }
+  const int tag = next_coll_tag(me);
+  if (me == root) {
+    auto* out = static_cast<std::byte*>(recvbuf);
+    // Post every receive first so senders complete without serialising on
+    // the root's loop order; the self block is a plain (elidable) copy.
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(n - 1));
+    for (int r = 0; r < n; ++r) {
+      if (r == me) continue;
+      reqs.push_back(irecv_ctx(ctx, out + displs[static_cast<std::size_t>(r)],
+                               counts[static_cast<std::size_t>(r)], r, tag,
+                               coll_context_));
+    }
+    if (bytes != counts[static_cast<std::size_t>(me)]) {
+      throw MpiError("gatherv: send size disagrees with counts[rank]");
+    }
+    void* self_dst = out + displs[static_cast<std::size_t>(me)];
+    if (self_dst != sendbuf && bytes > 0) {
+      std::memcpy(self_dst, sendbuf, bytes);
+    } else if (self_dst == sendbuf) {
+      rt_->stats().copies_elided.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (Request& r : reqs) wait(ctx, r);
+  } else {
+    if (bytes != counts[static_cast<std::size_t>(me)]) {
+      throw MpiError("gatherv: send size disagrees with counts[rank]");
+    }
+    send_ctx(ctx, sendbuf, bytes, root, tag, coll_context_);
+  }
+}
+
+void Comm::scatter(ult::TaskContext& ctx, const void* sendbuf,
+                   std::size_t bytes, void* recvbuf, int root) {
+  check_rank(root, "scatter");
+  const int me = rank(ctx);
+  const int n = size();
+  const int tag = next_coll_tag(me);
+  if (me == root) {
+    const auto* in = static_cast<const std::byte*>(sendbuf);
+    for (int r = 0; r < n; ++r) {
+      const std::byte* block = in + static_cast<std::size_t>(r) * bytes;
+      if (r == me) {
+        if (recvbuf != block && bytes > 0) std::memcpy(recvbuf, block, bytes);
+      } else {
+        send_ctx(ctx, block, bytes, r, tag, coll_context_);
+      }
+    }
+  } else {
+    recv_ctx(ctx, recvbuf, bytes, root, tag, coll_context_, nullptr);
+  }
+}
+
+void Comm::allgather(ult::TaskContext& ctx, const void* sendbuf,
+                     std::size_t bytes, void* recvbuf) {
+  // Gather to rank 0, then broadcast the assembled vector. Two internal
+  // collectives; per-rank tag counters advance identically on all ranks.
+  gather(ctx, sendbuf, bytes, recvbuf, 0);
+  bcast(ctx, recvbuf, bytes * static_cast<std::size_t>(size()), 0);
+}
+
+void Comm::alltoall(ult::TaskContext& ctx, const void* sendbuf,
+                    std::size_t bytes_per_rank, void* recvbuf) {
+  const int me = rank(ctx);
+  const int n = size();
+  const int tag = next_coll_tag(me);
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  // Self block.
+  if (bytes_per_rank > 0) {
+    std::memcpy(out + static_cast<std::size_t>(me) * bytes_per_rank,
+                in + static_cast<std::size_t>(me) * bytes_per_rank,
+                bytes_per_rank);
+  }
+  // Rotated pairwise exchange: at step s talk to me+s (send) / me-s (recv).
+  for (int step = 1; step < n; ++step) {
+    const int dst = (me + step) % n;
+    const int src = (me - step + n) % n;
+    Request r = irecv_ctx(ctx,
+                          out + static_cast<std::size_t>(src) * bytes_per_rank,
+                          bytes_per_rank, src, tag, coll_context_);
+    Request s = isend_ctx(ctx,
+                          in + static_cast<std::size_t>(dst) * bytes_per_rank,
+                          bytes_per_rank, dst, tag, coll_context_);
+    wait(ctx, s);
+    wait(ctx, r);
+  }
+}
+
+void Comm::scan(ult::TaskContext& ctx, const void* sendbuf, void* recvbuf,
+                std::size_t count, std::size_t elem_bytes,
+                const ReduceFn& fn) {
+  const int me = rank(ctx);
+  const int n = size();
+  const int tag = next_coll_tag(me);
+  const std::size_t bytes = count * elem_bytes;
+  if (bytes > 0 && recvbuf != sendbuf) std::memcpy(recvbuf, sendbuf, bytes);
+  // Chain: receive the prefix of ranks [0, me), fold own value in, pass on.
+  if (me > 0) {
+    std::vector<std::byte> prefix(bytes);
+    recv_ctx(ctx, prefix.data(), bytes, me - 1, tag, coll_context_, nullptr);
+    fn(recvbuf, prefix.data(), count);
+  }
+  if (me + 1 < n) {
+    send_ctx(ctx, recvbuf, bytes, me + 1, tag, coll_context_);
+  }
+}
+
+void Comm::exscan(ult::TaskContext& ctx, const void* sendbuf, void* recvbuf,
+                  std::size_t count, std::size_t elem_bytes,
+                  const ReduceFn& fn) {
+  const int me = rank(ctx);
+  const int n = size();
+  const int tag = next_coll_tag(me);
+  const std::size_t bytes = count * elem_bytes;
+  // Chain carrying the inclusive prefix; each rank hands its successor
+  // prefix(0..me) but keeps prefix(0..me-1) for itself. Rank 0's recvbuf
+  // is untouched (MPI_Exscan semantics).
+  std::vector<std::byte> inclusive(bytes);
+  if (bytes > 0) std::memcpy(inclusive.data(), sendbuf, bytes);
+  if (me > 0) {
+    recv_ctx(ctx, recvbuf, bytes, me - 1, tag, coll_context_, nullptr);
+    fn(inclusive.data(), recvbuf, count);
+  }
+  if (me + 1 < n) {
+    send_ctx(ctx, inclusive.data(), bytes, me + 1, tag, coll_context_);
+  }
+}
+
+void Comm::reduce_scatter_block(ult::TaskContext& ctx, const void* sendbuf,
+                                void* recvbuf, std::size_t count,
+                                std::size_t elem_bytes, const ReduceFn& fn) {
+  const int me = rank(ctx);
+  const int n = size();
+  const std::size_t block = count * elem_bytes;
+  // Reduce the full vector to rank 0, then scatter the blocks. Simple and
+  // correct at node scale; both phases use their own collective tags.
+  std::vector<std::byte> full(me == 0 ? block * static_cast<std::size_t>(n)
+                                      : 0);
+  reduce(ctx, sendbuf, me == 0 ? full.data() : nullptr,
+         count * static_cast<std::size_t>(n), elem_bytes, fn, 0);
+  scatter(ctx, me == 0 ? full.data() : nullptr, block, recvbuf, 0);
+}
+
+}  // namespace hlsmpc::mpi

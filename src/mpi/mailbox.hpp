@@ -1,0 +1,69 @@
+// Per-rank message matching structures (runtime-internal).
+//
+// Thread-based MPI: all ranks of a node share one address space, so a
+// send is either (a) a direct copy into an already-posted receive buffer,
+// (b) an eager copy into a leased buffer queued as "unexpected", or
+// (c) for large messages, a rendezvous record pointing at the sender's
+// buffer, copied when the receive is posted and only then completing the
+// sender. Matching follows MPI's non-overtaking rule: queues are scanned
+// front to back, so messages from the same (source, tag, context) match
+// in order.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "mpi/buffers.hpp"
+#include "mpi/types.hpp"
+
+namespace hlsmpc::mpi {
+
+struct PostedRecv {
+  void* buf = nullptr;
+  std::size_t capacity = 0;
+  int src = kAnySource;
+  int tag = kAnyTag;
+  int context = 0;
+  std::shared_ptr<RequestState> req;
+};
+
+struct UnexpectedMsg {
+  int src = 0;
+  int tag = 0;
+  int context = 0;
+  std::size_t bytes = 0;
+  /// Eager protocol: the payload copy.
+  BufferManager::Lease payload;
+  /// Rendezvous protocol: sender's buffer; valid until sender_req is
+  /// completed by the receiver after copying.
+  const void* rdv_src = nullptr;
+  std::shared_ptr<RequestState> sender_req;
+
+  bool is_rendezvous() const { return sender_req != nullptr; }
+  bool matches(int want_src, int want_tag, int want_ctx) const {
+    return context == want_ctx &&
+           (want_src == kAnySource || want_src == src) &&
+           (want_tag == kAnyTag || want_tag == tag);
+  }
+};
+
+struct Mailbox {
+  std::mutex mu;
+  std::deque<UnexpectedMsg> unexpected;
+  std::deque<PostedRecv> posted;
+};
+
+/// Node-wide message-path statistics (observable in tests and benches).
+struct TransportStats {
+  std::atomic<std::uint64_t> messages{0};
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> eager_sends{0};
+  std::atomic<std::uint64_t> rendezvous_sends{0};
+  /// Copies skipped because source and destination buffers were the same
+  /// address (HLS-shared image trick, paper §V.B.3).
+  std::atomic<std::uint64_t> copies_elided{0};
+};
+
+}  // namespace hlsmpc::mpi

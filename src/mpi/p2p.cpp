@@ -1,0 +1,274 @@
+// Point-to-point engine: eager / rendezvous protocols over shared memory.
+#include <cstring>
+
+#include "mpi/comm.hpp"
+#include "mpi/runtime.hpp"
+
+namespace hlsmpc::mpi {
+
+namespace {
+
+/// Copy that skips the memcpy when source and destination alias — the
+/// intra-node optimisation the paper exploits for Tachyon's shared image
+/// (§V.B.3): "if the source and the destination are identical ... this
+/// copy is not realized".
+void copy_payload(void* dst, const void* src, std::size_t bytes,
+                  TransportStats& stats) {
+  if (bytes == 0) return;
+  if (dst == src) {
+    stats.copies_elided.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::memcpy(dst, src, bytes);
+}
+
+bool posted_matches(const PostedRecv& pr, int src_rank, int tag,
+                    int context) {
+  return pr.context == context &&
+         (pr.src == kAnySource || pr.src == src_rank) &&
+         (pr.tag == kAnyTag || pr.tag == tag);
+}
+
+}  // namespace
+
+Request Comm::isend_ctx(ult::TaskContext& ctx, const void* buf,
+                        std::size_t bytes, int dst, int tag, int context) {
+  check_rank(dst, "send");
+  const int me = rank(ctx);
+  TransportStats& stats = rt_->stats();
+  stats.messages.fetch_add(1, std::memory_order_relaxed);
+  stats.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  if (TraceHook* hook = rt_->trace_hook()) {
+    hook->on_send(ctx.task_id(), global_task(dst), context, tag);
+  }
+
+  Mailbox& mb = rt_->mailbox(global_task(dst));
+  auto req = std::make_shared<RequestState>();
+
+  std::unique_lock<std::mutex> lk(mb.mu);
+  // Fast path: a matching receive is already posted — copy straight into
+  // the user buffer (this is what makes thread-based intra-node MPI fast).
+  for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
+    if (!posted_matches(*it, me, tag, context)) continue;
+    PostedRecv pr = *it;
+    mb.posted.erase(it);
+    lk.unlock();
+    if (bytes > pr.capacity) {
+      pr.req->complete_error("recv truncated: message of " +
+                             std::to_string(bytes) + " bytes into " +
+                             std::to_string(pr.capacity) + " byte buffer");
+      req->complete_error("send: matching receive buffer too small");
+      return Request(req);
+    }
+    copy_payload(pr.buf, buf, bytes, stats);
+    pr.req->complete(Status{me, tag, bytes});
+    req->complete(Status{dst, tag, bytes});
+    return Request(req);
+  }
+
+  if (bytes <= rt_->buffers().eager_threshold()) {
+    // Eager: copy into a leased buffer; the send completes immediately
+    // (buffered-send semantics, like any eager protocol).
+    UnexpectedMsg msg;
+    msg.src = me;
+    msg.tag = tag;
+    msg.context = context;
+    msg.bytes = bytes;
+    msg.payload = rt_->buffers().acquire(bytes);
+    if (bytes > 0) std::memcpy(msg.payload.data(), buf, bytes);
+    mb.unexpected.push_back(std::move(msg));
+    lk.unlock();
+    stats.eager_sends.fetch_add(1, std::memory_order_relaxed);
+    req->complete(Status{dst, tag, bytes});
+    return Request(req);
+  }
+
+  // Rendezvous: leave a descriptor pointing at the caller's buffer; the
+  // receiver copies and only then completes this request, so the caller's
+  // buffer stays live while the message is in flight.
+  UnexpectedMsg msg;
+  msg.src = me;
+  msg.tag = tag;
+  msg.context = context;
+  msg.bytes = bytes;
+  msg.rdv_src = buf;
+  msg.sender_req = req;
+  mb.unexpected.push_back(std::move(msg));
+  lk.unlock();
+  stats.rendezvous_sends.fetch_add(1, std::memory_order_relaxed);
+  return Request(req);
+}
+
+Request Comm::irecv_ctx(ult::TaskContext& ctx, void* buf,
+                        std::size_t capacity, int src, int tag, int context) {
+  if (src != kAnySource) check_rank(src, "recv");
+  TransportStats& stats = rt_->stats();
+  Mailbox& mb = rt_->mailbox(ctx.task_id());
+  auto req = std::make_shared<RequestState>();
+  req->trace_is_recv = true;
+  req->trace_context = context;
+
+  std::unique_lock<std::mutex> lk(mb.mu);
+  for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
+    if (!it->matches(src, tag, context)) continue;
+    UnexpectedMsg msg = std::move(*it);
+    mb.unexpected.erase(it);
+    lk.unlock();
+    if (msg.bytes > capacity) {
+      if (msg.is_rendezvous()) {
+        msg.sender_req->complete_error("send: receive buffer too small");
+      }
+      req->complete_error("recv truncated: message of " +
+                          std::to_string(msg.bytes) + " bytes into " +
+                          std::to_string(capacity) + " byte buffer");
+      return Request(req);
+    }
+    if (msg.is_rendezvous()) {
+      copy_payload(buf, msg.rdv_src, msg.bytes, stats);
+      msg.sender_req->complete(Status{/*source=*/-1, msg.tag, msg.bytes});
+    } else {
+      // Note: no same-address elision here. An eager send completes
+      // immediately, so by match time the sender's buffer may be freed
+      // and its address legitimately reused — only the payload copy is
+      // trustworthy. Same-address elision applies on the synchronous
+      // paths (posted-receive match and rendezvous), where the sender's
+      // buffer is still live.
+      copy_payload(buf, msg.payload.data(), msg.bytes, stats);
+    }
+    req->complete(Status{msg.src, msg.tag, msg.bytes});
+    return Request(req);
+  }
+
+  mb.posted.push_back(PostedRecv{buf, capacity, src, tag, context, req});
+  return Request(req);
+}
+
+Request Comm::isend(ult::TaskContext& ctx, const void* buf, std::size_t bytes,
+                    int dst, int tag) {
+  check_tag(tag);
+  return isend_ctx(ctx, buf, bytes, dst, tag, pt2pt_context_);
+}
+
+Request Comm::irecv(ult::TaskContext& ctx, void* buf, std::size_t capacity,
+                    int src, int tag) {
+  if (tag != kAnyTag) check_tag(tag);
+  return irecv_ctx(ctx, buf, capacity, src, tag, pt2pt_context_);
+}
+
+void Comm::wait(ult::TaskContext& ctx, Request& req, Status* status) {
+  auto st = req.state();
+  if (!st) throw MpiError("wait: invalid request");
+  {
+    std::unique_lock<std::mutex> lk(st->mu);
+    ult::wait_until(ctx, lk, st->cv, [&] { return st->done; });
+    if (!st->error.empty()) throw MpiError(st->error);
+    if (status != nullptr) *status = st->status;
+  }
+  if (st->trace_is_recv && st->status.source >= 0) {
+    if (TraceHook* hook = rt_->trace_hook()) {
+      hook->on_recv(ctx.task_id(), global_task(st->status.source),
+                    st->trace_context, st->status.tag);
+    }
+  }
+  req.state().reset();
+}
+
+void Comm::waitall(ult::TaskContext& ctx, std::span<Request> reqs) {
+  // Waiting in order is correct: completion is monotone and every wait
+  // blocks cooperatively.
+  for (Request& r : reqs) {
+    if (r.valid()) wait(ctx, r);
+  }
+}
+
+int Comm::waitany(ult::TaskContext& ctx, std::span<Request> reqs,
+                  Status* status) {
+  bool any_valid = false;
+  for (const Request& r : reqs) any_valid |= r.valid();
+  if (!any_valid) throw MpiError("waitany: no active requests");
+  while (true) {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (!reqs[i].valid()) continue;
+      auto st = reqs[i].state();
+      bool done;
+      {
+        std::lock_guard<std::mutex> lk(st->mu);
+        done = st->done;
+        if (done && !st->error.empty()) throw MpiError(st->error);
+        if (done && status != nullptr) *status = st->status;
+      }
+      if (done) {
+        // Route through wait() for the tracing side effects.
+        wait(ctx, reqs[i]);
+        return static_cast<int>(i);
+      }
+    }
+    ctx.yield();
+  }
+}
+
+bool Comm::test(Request& req, Status* status) {
+  auto st = req.state();
+  if (!st) throw MpiError("test: invalid request");
+  std::lock_guard<std::mutex> lk(st->mu);
+  if (!st->done) return false;
+  if (!st->error.empty()) throw MpiError(st->error);
+  if (status != nullptr) *status = st->status;
+  return true;
+}
+
+void Comm::send(ult::TaskContext& ctx, const void* buf, std::size_t bytes,
+                int dst, int tag) {
+  check_tag(tag);
+  Request req = isend_ctx(ctx, buf, bytes, dst, tag, pt2pt_context_);
+  wait(ctx, req);
+}
+
+void Comm::send_ctx(ult::TaskContext& ctx, const void* buf, std::size_t bytes,
+                    int dst, int tag, int context) {
+  Request req = isend_ctx(ctx, buf, bytes, dst, tag, context);
+  wait(ctx, req);
+}
+
+void Comm::recv(ult::TaskContext& ctx, void* buf, std::size_t capacity,
+                int src, int tag, Status* status) {
+  if (tag != kAnyTag) check_tag(tag);
+  Request req = irecv_ctx(ctx, buf, capacity, src, tag, pt2pt_context_);
+  wait(ctx, req, status);
+}
+
+void Comm::recv_ctx(ult::TaskContext& ctx, void* buf, std::size_t capacity,
+                    int src, int tag, int context, Status* status) {
+  Request req = irecv_ctx(ctx, buf, capacity, src, tag, context);
+  wait(ctx, req, status);
+}
+
+bool Comm::iprobe(ult::TaskContext& ctx, int src, int tag, Status* status) {
+  if (src != kAnySource) check_rank(src, "iprobe");
+  Mailbox& mb = rt_->mailbox(ctx.task_id());
+  std::lock_guard<std::mutex> lk(mb.mu);
+  for (const UnexpectedMsg& msg : mb.unexpected) {
+    if (msg.matches(src, tag, pt2pt_context_)) {
+      if (status != nullptr) *status = Status{msg.src, msg.tag, msg.bytes};
+      return true;
+    }
+  }
+  return false;
+}
+
+void Comm::probe(ult::TaskContext& ctx, int src, int tag, Status* status) {
+  while (!iprobe(ctx, src, tag, status)) ctx.yield();
+}
+
+void Comm::sendrecv(ult::TaskContext& ctx, const void* sendbuf,
+                    std::size_t send_bytes, int dst, int sendtag,
+                    void* recvbuf, std::size_t recv_capacity, int src,
+                    int recvtag, Status* status) {
+  // Post both sides before waiting: the MPI-mandated deadlock-free shape.
+  Request r = irecv(ctx, recvbuf, recv_capacity, src, recvtag);
+  Request s = isend(ctx, sendbuf, send_bytes, dst, sendtag);
+  wait(ctx, s);
+  wait(ctx, r, status);
+}
+
+}  // namespace hlsmpc::mpi

@@ -1,0 +1,93 @@
+#include "mpi/runtime.hpp"
+
+#include <numeric>
+#include <thread>
+
+namespace hlsmpc::mpi {
+
+Runtime::Runtime(const topo::Machine& machine, Options opts,
+                 memtrack::Tracker* tracker)
+    : machine_(machine), opts_(opts) {
+  if (tracker != nullptr) {
+    tracker_ = tracker;
+  } else {
+    owned_tracker_ = std::make_unique<memtrack::Tracker>();
+    tracker_ = owned_tracker_.get();
+  }
+  nranks_ = opts_.nranks > 0 ? opts_.nranks : machine_.num_cpus();
+  const int total = opts_.total_ranks > 0 ? opts_.total_ranks : nranks_;
+  if (total < nranks_) {
+    throw MpiError("Runtime: total_ranks smaller than local nranks");
+  }
+  buffers_ = std::make_unique<BufferManager>(opts_.buffers, nranks_, total,
+                                             *tracker_);
+  mailboxes_.reserve(static_cast<std::size_t>(nranks_));
+  for (int i = 0; i < nranks_; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  tracker_->on_alloc(memtrack::Category::runtime_other,
+                     static_cast<std::size_t>(nranks_) *
+                         opts_.per_task_overhead_bytes);
+
+  std::vector<int> world_group(static_cast<std::size_t>(nranks_));
+  std::iota(world_group.begin(), world_group.end(), 0);
+  auto world = std::make_unique<Comm>(*this, std::move(world_group),
+                                      alloc_context(), alloc_context(),
+                                      "world");
+  world_ = &register_comm(std::move(world));
+
+  switch (opts_.executor) {
+    case ExecutorKind::thread:
+      executor_ = std::make_unique<ult::ThreadExecutor>();
+      break;
+    case ExecutorKind::fiber: {
+      int workers = opts_.fiber_workers;
+      if (workers <= 0) {
+        const int hw =
+            static_cast<int>(std::thread::hardware_concurrency());
+        workers = std::min(machine_.num_cpus(), std::max(hw, 1));
+      }
+      executor_ = std::make_unique<ult::FiberExecutor>(workers);
+      break;
+    }
+  }
+}
+
+Runtime::~Runtime() {
+  tracker_->on_free(memtrack::Category::runtime_other,
+                    static_cast<std::size_t>(nranks_) *
+                        opts_.per_task_overhead_bytes);
+}
+
+int Runtime::cpu_of_rank(int rank) const {
+  if (rank < 0 || rank >= nranks_) {
+    throw MpiError("cpu_of_rank: bad rank");
+  }
+  return rank % machine_.num_cpus();
+}
+
+Mailbox& Runtime::mailbox(int task_id) {
+  if (task_id < 0 || task_id >= nranks_) {
+    throw MpiError("mailbox: bad task id");
+  }
+  return *mailboxes_[static_cast<std::size_t>(task_id)];
+}
+
+int Runtime::alloc_context() { return next_context_.fetch_add(1); }
+
+Comm& Runtime::register_comm(std::unique_ptr<Comm> comm) {
+  std::lock_guard<std::mutex> lk(comms_mu_);
+  comms_.push_back(std::move(comm));
+  return *comms_.back();
+}
+
+void Runtime::run(const std::function<void(Comm&, ult::TaskContext&)>& body) {
+  std::vector<int> pins(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    pins[static_cast<std::size_t>(r)] = cpu_of_rank(r);
+  }
+  executor_->run(nranks_, pins,
+                 [&](ult::TaskContext& ctx) { body(*world_, ctx); });
+}
+
+}  // namespace hlsmpc::mpi

@@ -1,0 +1,90 @@
+// Node runtime: hosts the MPI tasks of one computational node.
+//
+// Mirrors MPC's design (paper §IV): MPI tasks share one address space and
+// are pinned to hardware threads of the machine's topology; the executor
+// back end chooses between kernel threads and user-level fibers. The
+// runtime owns the communicator registry, per-rank mailboxes, the eager
+// buffer manager and the memory tracker the benchmarks read.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "memtrack/memtrack.hpp"
+#include "mpi/buffers.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/mailbox.hpp"
+#include "mpi/trace_hook.hpp"
+#include "topo/topology.hpp"
+#include "ult/scheduler.hpp"
+
+namespace hlsmpc::mpi {
+
+enum class ExecutorKind { thread, fiber };
+
+struct Options {
+  int nranks = 0;  ///< 0 = one rank per hardware thread.
+  BufferConfig buffers;
+  ExecutorKind executor = ExecutorKind::thread;
+  /// Fiber back end: kernel threads carrying the fibers. 0 = one per
+  /// machine cpu, capped at the host's hardware concurrency.
+  int fiber_workers = 0;
+  /// Job-wide rank count for the per-pair buffer reservation model
+  /// (ranks on other nodes of the cluster). 0 = nranks (single node job).
+  int total_ranks = 0;
+  /// Charged per task to Category::runtime_other (descriptor + stack).
+  std::size_t per_task_overhead_bytes = 64 * 1024;
+};
+
+class Runtime {
+ public:
+  /// If `tracker` is null the runtime owns a private one.
+  Runtime(const topo::Machine& machine, Options opts,
+          memtrack::Tracker* tracker = nullptr);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Run `body` once per rank to completion (the whole MPI program).
+  /// May be called repeatedly; communicators created by split/dup in a
+  /// previous run stay registered.
+  void run(const std::function<void(Comm&, ult::TaskContext&)>& body);
+
+  Comm& world() { return *world_; }
+  int nranks() const { return nranks_; }
+  const topo::Machine& machine() const { return machine_; }
+  memtrack::Tracker& tracker() { return *tracker_; }
+  BufferManager& buffers() { return *buffers_; }
+  TransportStats& stats() { return stats_; }
+  /// Cpu each rank is pinned to (rank-major round robin over the machine).
+  int cpu_of_rank(int rank) const;
+
+  /// Attach a synchronization tracer (nullptr to detach). The hook sees
+  /// every p2p completion; it must outlive subsequent run() calls.
+  void set_trace_hook(TraceHook* hook) { trace_hook_ = hook; }
+  TraceHook* trace_hook() const { return trace_hook_; }
+
+  // -- internals used by Comm --
+  Mailbox& mailbox(int task_id);
+  int alloc_context();
+  Comm& register_comm(std::unique_ptr<Comm> comm);
+
+ private:
+  topo::Machine machine_;
+  Options opts_;
+  std::unique_ptr<memtrack::Tracker> owned_tracker_;
+  memtrack::Tracker* tracker_;
+  std::unique_ptr<BufferManager> buffers_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<Comm>> comms_;
+  std::mutex comms_mu_;
+  std::atomic<int> next_context_{0};
+  TransportStats stats_;
+  TraceHook* trace_hook_ = nullptr;
+  Comm* world_ = nullptr;
+  int nranks_ = 0;
+  std::unique_ptr<ult::Executor> executor_;
+};
+
+}  // namespace hlsmpc::mpi

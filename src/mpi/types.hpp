@@ -1,0 +1,142 @@
+// Basic types of the MPI-subset runtime.
+//
+// The runtime is byte-oriented (everything is MPI_BYTE underneath, as in a
+// real implementation's progress engine); typed convenience wrappers live
+// on Comm. Requests are shared completion records: blocking calls are
+// nonblocking calls plus wait, exactly the MPI formulation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace hlsmpc::mpi {
+
+/// Wildcards, same semantics as MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Largest tag value an application may use (small internal headroom is
+/// reserved above it for collective protocols).
+inline constexpr int kMaxUserTag = 1 << 24;
+
+class MpiError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+};
+
+/// Completion record shared between the initiating task and the peer that
+/// completes the operation.
+struct RequestState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  /// Non-empty if the operation failed (e.g. truncation); surfaced as an
+  /// MpiError from wait()/test() in the initiating task.
+  std::string error;
+  /// Tracing metadata: receives are reported to the TraceHook at wait()
+  /// time (when the synchronization takes effect and the source is
+  /// resolved).
+  bool trace_is_recv = false;
+  int trace_context = -1;
+
+  void complete(const Status& st) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      status = st;
+      done = true;
+    }
+    cv.notify_all();
+  }
+
+  void complete_error(std::string message) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      error = std::move(message);
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+/// Handle to an in-flight nonblocking operation. Copyable (shared state);
+/// wait/test live on Comm because they need the task context.
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<RequestState> st) : st_(std::move(st)) {}
+
+  bool valid() const { return st_ != nullptr; }
+  std::shared_ptr<RequestState>& state() { return st_; }
+
+ private:
+  std::shared_ptr<RequestState> st_;
+};
+
+/// Built-in reduction operators (MPI_SUM and friends).
+enum class Op { sum, prod, min, max, land, lor, band, bor };
+
+template <typename T>
+void apply_op(Op op, T& inout, const T& in) {
+  switch (op) {
+    case Op::sum:
+      inout = static_cast<T>(inout + in);
+      return;
+    case Op::prod:
+      inout = static_cast<T>(inout * in);
+      return;
+    case Op::min:
+      if (in < inout) inout = in;
+      return;
+    case Op::max:
+      if (inout < in) inout = in;
+      return;
+    case Op::land:
+      inout = static_cast<T>(inout && in);
+      return;
+    case Op::lor:
+      inout = static_cast<T>(inout || in);
+      return;
+    case Op::band:
+      if constexpr (std::is_integral_v<T>) {
+        inout = static_cast<T>(inout & in);
+        return;
+      }
+      break;
+    case Op::bor:
+      if constexpr (std::is_integral_v<T>) {
+        inout = static_cast<T>(inout | in);
+        return;
+      }
+      break;
+  }
+  throw MpiError("apply_op: bitwise op on non-integral type");
+}
+
+/// Type-erased elementwise reduction `inout[i] = op(inout[i], in[i])`,
+/// what the untyped collective engine calls back into.
+using ReduceFn =
+    std::function<void(void* inout, const void* in, std::size_t count)>;
+
+template <typename T>
+ReduceFn make_reduce_fn(Op op) {
+  return [op](void* inout, const void* in, std::size_t count) {
+    T* a = static_cast<T*>(inout);
+    const T* b = static_cast<const T*>(in);
+    for (std::size_t i = 0; i < count; ++i) apply_op(op, a[i], b[i]);
+  };
+}
+
+}  // namespace hlsmpc::mpi

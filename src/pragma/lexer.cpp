@@ -1,0 +1,176 @@
+#include "pragma/lexer.hpp"
+
+#include <cctype>
+
+namespace hlsmpc::pragma {
+
+namespace {
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& line) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token t;
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < line.size() && ident_char(line[j])) ++j;
+      t.kind = Token::Kind::ident;
+      t.text = line.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < line.size() &&
+             std::isdigit(static_cast<unsigned char>(line[j]))) {
+        ++j;
+      }
+      t.kind = Token::Kind::number;
+      t.text = line.substr(i, j - i);
+      i = j;
+    } else {
+      t.kind = Token::Kind::punct;
+      t.text = std::string(1, c);
+      ++i;
+    }
+    tokens.push_back(std::move(t));
+  }
+  return tokens;
+}
+
+bool is_hls_pragma(const std::string& line) {
+  std::size_t i = line.find_first_not_of(" \t");
+  if (i == std::string::npos || line[i] != '#') return false;
+  const std::vector<Token> toks = tokenize(line.substr(i));
+  return toks.size() >= 3 && toks[0].text == "#" && toks[1].text == "pragma" &&
+         toks[2].text == "hls";
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string strip_noncode(const std::string& line, bool& in_block) {
+  std::string out;
+  out.reserve(line.size());
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (in_block) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block = false;
+        out += "  ";
+        i += 2;
+      } else {
+        out += ' ';
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      out.append(line.size() - i, ' ');
+      break;
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block = true;
+      out += "  ";
+      i += 2;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out += quote;
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          out += "  ";
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) {
+          out += quote;
+          ++i;
+          break;
+        }
+        out += ' ';
+        ++i;
+      }
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+namespace {
+bool word_at(const std::string& code, std::size_t pos,
+             const std::string& ident) {
+  if (pos + ident.size() > code.size()) return false;
+  if (code.compare(pos, ident.size(), ident) != 0) return false;
+  if (pos > 0 && ident_char(code[pos - 1])) return false;
+  const std::size_t end = pos + ident.size();
+  if (end < code.size() && ident_char(code[end])) return false;
+  return true;
+}
+}  // namespace
+
+bool contains_identifier(const std::string& code, const std::string& ident) {
+  for (std::size_t pos = code.find(ident); pos != std::string::npos;
+       pos = code.find(ident, pos + 1)) {
+    if (word_at(code, pos, ident)) return true;
+  }
+  return false;
+}
+
+std::string replace_identifier(const std::string& code,
+                               const std::string& ident,
+                               const std::string& replacement) {
+  return replace_identifier_in_code(code, code, ident, replacement);
+}
+
+std::string replace_identifier_in_code(const std::string& raw,
+                                       const std::string& code,
+                                       const std::string& ident,
+                                       const std::string& replacement) {
+  if (raw.size() != code.size()) {
+    // Defensive: strip_noncode is length-preserving; fall back to raw.
+    return replace_identifier(raw, ident, replacement);
+  }
+  std::string out;
+  out.reserve(raw.size());
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    if (word_at(code, i, ident)) {
+      out += replacement;
+      i += ident.size();
+    } else {
+      out += raw[i];
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace hlsmpc::pragma

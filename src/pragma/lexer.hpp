@@ -1,0 +1,52 @@
+// Minimal lexical utilities for the HLS directive processor.
+//
+// The directive translator works on C-like source text. It needs three
+// things from a lexer: tokenizing a `#pragma hls` line, recognizing
+// top-level variable declarations, and finding identifier uses in code
+// (respecting word boundaries, skipping string/char literals and
+// comments). Full C parsing is out of scope — the checks mirror what the
+// paper's GCC patch enforces for the directive arguments themselves.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hlsmpc::pragma {
+
+struct Token {
+  enum class Kind { ident, number, punct, end };
+  Kind kind = Kind::end;
+  std::string text;
+};
+
+/// Tokenize one line (identifiers, numbers, single-char punctuation).
+std::vector<Token> tokenize(const std::string& line);
+
+/// True if `line` is an HLS pragma (`#pragma hls ...` after whitespace).
+bool is_hls_pragma(const std::string& line);
+
+/// Split source text into lines (keeps no terminators).
+std::vector<std::string> split_lines(const std::string& text);
+
+/// Strip // and /* */ comments and string/char literal *contents* from a
+/// line so identifier searches cannot match inside them. `in_block`
+/// carries /* ... */ state across lines.
+std::string strip_noncode(const std::string& line, bool& in_block);
+
+/// True if `ident` occurs as a whole word in (already-stripped) code.
+bool contains_identifier(const std::string& code, const std::string& ident);
+
+/// Replace whole-word occurrences of `ident` with `replacement`.
+std::string replace_identifier(const std::string& code,
+                               const std::string& ident,
+                               const std::string& replacement);
+
+/// Replace occurrences in `raw`, but only at positions where the
+/// (length-preserving) stripped view `code` contains the identifier —
+/// i.e. never inside strings or comments.
+std::string replace_identifier_in_code(const std::string& raw,
+                                       const std::string& code,
+                                       const std::string& ident,
+                                       const std::string& replacement);
+
+}  // namespace hlsmpc::pragma

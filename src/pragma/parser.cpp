@@ -1,0 +1,348 @@
+#include "pragma/parser.hpp"
+
+#include <algorithm>
+
+#include "pragma/lexer.hpp"
+
+namespace hlsmpc::pragma {
+
+namespace {
+
+/// Directive-level scope width used by barrier's "largest scope" rule.
+int width_rank(const topo::ScopeSpec& s) {
+  switch (s.kind) {
+    case topo::ScopeKind::node:
+      return 1000;
+    case topo::ScopeKind::numa:
+      return 900;
+    case topo::ScopeKind::cache:
+      // level 0 = llc, wider than any numbered level.
+      return s.level == 0 ? 800 : 100 + s.level;
+    case topo::ScopeKind::core:
+      return 0;
+  }
+  return -1;
+}
+
+struct PragmaParse {
+  std::optional<Directive> directive;
+  std::vector<Diagnostic> diags;
+};
+
+/// Parse the token list of one `#pragma hls ...` line.
+PragmaParse parse_pragma_line(const std::vector<Token>& toks, int line) {
+  PragmaParse out;
+  auto err = [&](const std::string& m) {
+    out.diags.push_back({line, true, m});
+  };
+  // toks: # pragma hls <head> ( list ) [tail...]
+  if (toks.size() < 4) {
+    err("incomplete HLS pragma");
+    return out;
+  }
+  const std::string head = toks[3].text;
+  std::size_t i = 4;
+  if (i >= toks.size() || toks[i].text != "(") {
+    err("expected '(' after 'hls " + head + "'");
+    return out;
+  }
+  ++i;
+  std::vector<std::string> vars;
+  while (i < toks.size() && toks[i].text != ")") {
+    if (toks[i].kind != Token::Kind::ident) {
+      err("expected variable name in '" + head + "' list, got '" +
+          toks[i].text + "'");
+      return out;
+    }
+    vars.push_back(toks[i].text);
+    ++i;
+    if (i < toks.size() && toks[i].text == ",") ++i;
+  }
+  if (i >= toks.size()) {
+    err("missing ')' in HLS pragma");
+    return out;
+  }
+  ++i;  // consume ')'
+  if (vars.empty()) {
+    err("empty variable list in 'hls " + head + "'");
+    return out;
+  }
+
+  Directive d;
+  d.line = line;
+  d.vars = vars;
+
+  // Optional tail: level(L) for scope directives, nowait for single.
+  std::optional<int> level;
+  bool nowait = false;
+  while (i < toks.size()) {
+    if (toks[i].text == "level") {
+      if (i + 3 < toks.size() + 1 && i + 1 < toks.size() &&
+          toks[i + 1].text == "(" && i + 2 < toks.size()) {
+        if (toks[i + 2].kind == Token::Kind::number) {
+          level = std::stoi(toks[i + 2].text);
+        } else if (toks[i + 2].text == "llc") {
+          level = 0;
+        } else {
+          err("level() expects a number or 'llc'");
+          return out;
+        }
+        if (i + 3 >= toks.size() || toks[i + 3].text != ")") {
+          err("missing ')' after level clause");
+          return out;
+        }
+        i += 4;
+        continue;
+      }
+      err("malformed level clause");
+      return out;
+    }
+    if (toks[i].text == "nowait") {
+      nowait = true;
+      ++i;
+      continue;
+    }
+    err("unexpected token '" + toks[i].text + "' in HLS pragma");
+    return out;
+  }
+
+  if (head == "single") {
+    d.kind = DirectiveKind::single;
+    d.nowait = nowait;
+    if (level) {
+      err("'single' does not accept a level clause");
+      return out;
+    }
+  } else if (head == "barrier") {
+    d.kind = DirectiveKind::barrier;
+    if (nowait || level) {
+      err("'barrier' accepts no clauses");
+      return out;
+    }
+  } else if (head == "node" || head == "numa" || head == "cache" ||
+             head == "core") {
+    d.kind = DirectiveKind::scope;
+    if (nowait) {
+      err("'nowait' is only valid on 'single'");
+      return out;
+    }
+    if (head == "node") d.scope = topo::node_scope();
+    if (head == "numa") d.scope = topo::numa_scope();
+    if (head == "core") d.scope = topo::core_scope();
+    if (head == "cache") d.scope = topo::cache_scope(level.value_or(0));
+    if (level && head != "cache" && head != "numa") {
+      err("level clause is only valid for 'cache' and 'numa' scopes");
+      return out;
+    }
+    if (level && head == "cache" && *level < 0) {
+      err("cache level must be >= 1 or 'llc'");
+      return out;
+    }
+  } else {
+    err("unknown HLS directive '" + head + "'");
+    return out;
+  }
+  out.directive = d;
+  return out;
+}
+
+/// Extremely small top-level declaration matcher: at brace depth 0,
+/// `type name;`, `type name[expr];`, `type *name;` and comma lists.
+/// Returns declared names (and a type guess).
+std::vector<std::pair<std::string, bool>> match_declaration(
+    const std::string& code, std::string* type_out) {
+  std::vector<std::pair<std::string, bool>> decls;  // name, is_array
+  const std::vector<Token> toks = tokenize(code);
+  if (toks.size() < 3) return decls;
+  // Needs to end with ';'
+  if (toks.back().text != ";") return decls;
+  // First token must be an identifier (type name); skip qualifiers.
+  std::size_t i = 0;
+  static const char* kQualifiers[] = {"static", "const", "unsigned",
+                                      "signed", "long", "short", "struct"};
+  std::string type;
+  while (i < toks.size() && toks[i].kind == Token::Kind::ident) {
+    bool qualifier = false;
+    for (const char* q : kQualifiers) {
+      if (toks[i].text == q) qualifier = true;
+    }
+    type = toks[i].text;
+    ++i;
+    if (!qualifier) break;
+  }
+  if (type.empty() || i >= toks.size()) return decls;
+  // Reject control keywords masquerading as types.
+  for (const char* kw : {"return", "if", "while", "for", "else", "typedef"}) {
+    if (type == kw) return decls;
+  }
+  if (type_out != nullptr) *type_out = type;
+  // Declarators.
+  while (i < toks.size() && toks[i].text != ";") {
+    while (i < toks.size() && toks[i].text == "*") ++i;  // pointers
+    if (i >= toks.size() || toks[i].kind != Token::Kind::ident) return {};
+    const std::string name = toks[i].text;
+    ++i;
+    bool is_array = false;
+    while (i < toks.size() && toks[i].text == "[") {
+      is_array = true;
+      int depth = 1;
+      ++i;
+      while (i < toks.size() && depth > 0) {
+        if (toks[i].text == "[") ++depth;
+        if (toks[i].text == "]") --depth;
+        ++i;
+      }
+    }
+    // Initializers make the declaration fine but stop simple parsing of
+    // further declarators; accept `= ...` up to ',' or ';'.
+    if (i < toks.size() && toks[i].text == "=") {
+      while (i < toks.size() && toks[i].text != "," && toks[i].text != ";") {
+        ++i;
+      }
+    }
+    decls.push_back({name, is_array});
+    if (i < toks.size() && toks[i].text == ",") ++i;
+  }
+  return decls;
+}
+
+}  // namespace
+
+const HlsVariable* ParseResult::find_var(const std::string& name) const {
+  for (const HlsVariable& v : variables) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+topo::ScopeSpec widest_scope(const std::vector<topo::ScopeSpec>& scopes) {
+  if (scopes.empty()) {
+    throw std::invalid_argument("widest_scope: empty list");
+  }
+  topo::ScopeSpec best = scopes.front();
+  for (const topo::ScopeSpec& s : scopes) {
+    if (width_rank(s) > width_rank(best)) best = s;
+  }
+  return best;
+}
+
+ParseResult parse(const std::string& source) {
+  ParseResult result;
+  const std::vector<std::string> lines = split_lines(source);
+
+  struct Global {
+    std::string name;
+    int line;
+    std::string type;
+    bool is_array;
+    bool used = false;
+  };
+  std::vector<Global> globals;
+  auto find_global = [&](const std::string& n) -> Global* {
+    for (Global& g : globals) {
+      if (g.name == n) return &g;
+    }
+    return nullptr;
+  };
+
+  int depth = 0;
+  bool in_block_comment = false;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const int line_no = static_cast<int>(li) + 1;
+    const std::string& raw = lines[li];
+    if (is_hls_pragma(raw)) {
+      std::size_t start = raw.find_first_not_of(" \t");
+      PragmaParse pp = parse_pragma_line(tokenize(raw.substr(start)), line_no);
+      for (Diagnostic& d : pp.diags) result.diagnostics.push_back(d);
+      if (!pp.directive) continue;
+      Directive& d = *pp.directive;
+
+      if (d.kind == DirectiveKind::scope) {
+        for (const std::string& v : d.vars) {
+          Global* g = find_global(v);
+          if (g == nullptr) {
+            result.diagnostics.push_back(
+                {line_no, true,
+                 "HLS scope directive on '" + v +
+                     "' which is not a declared global variable"});
+            continue;
+          }
+          if (g->used) {
+            result.diagnostics.push_back(
+                {line_no, true,
+                 "variable '" + v +
+                     "' was already accessed before its HLS directive"});
+            continue;
+          }
+          if (result.find_var(v) != nullptr) {
+            result.diagnostics.push_back(
+                {line_no, true, "variable '" + v + "' is already HLS"});
+            continue;
+          }
+          HlsVariable hv;
+          hv.name = v;
+          hv.scope = d.scope;
+          hv.declared_line = g->line;
+          hv.pragma_line = line_no;
+          hv.decl_type = g->type;
+          hv.is_array = g->is_array;
+          result.variables.push_back(std::move(hv));
+        }
+      } else {
+        // single / barrier argument checks.
+        std::vector<topo::ScopeSpec> scopes;
+        bool args_ok = true;
+        for (const std::string& v : d.vars) {
+          const HlsVariable* hv = result.find_var(v);
+          if (hv == nullptr) {
+            result.diagnostics.push_back(
+                {line_no, true,
+                 "'" + v + "' in hls " +
+                     (d.kind == DirectiveKind::single ? std::string("single")
+                                                      : std::string("barrier")) +
+                     " is not an HLS variable"});
+            args_ok = false;
+            continue;
+          }
+          scopes.push_back(hv->scope);
+        }
+        if (args_ok && d.kind == DirectiveKind::single) {
+          for (const topo::ScopeSpec& s : scopes) {
+            if (!(s == scopes.front())) {
+              result.diagnostics.push_back(
+                  {line_no, true,
+                   "hls single requires all variables to share one scope "
+                   "(paper §II.B.2)"});
+              break;
+            }
+          }
+        }
+      }
+      result.directives.push_back(std::move(d));
+      continue;
+    }
+
+    const std::string code = strip_noncode(raw, in_block_comment);
+    // Track use of known globals (any identifier occurrence in code that
+    // is not its own declaration line).
+    for (Global& g : globals) {
+      if (contains_identifier(code, g.name)) g.used = true;
+    }
+    // Top-level declarations only.
+    if (depth == 0) {
+      std::string type;
+      for (auto& [name, is_array] : match_declaration(code, &type)) {
+        if (find_global(name) == nullptr) {
+          globals.push_back({name, line_no, type, is_array, false});
+        }
+      }
+    }
+    for (char c : code) {
+      if (c == '{') ++depth;
+      if (c == '}') --depth;
+    }
+  }
+  return result;
+}
+
+}  // namespace hlsmpc::pragma

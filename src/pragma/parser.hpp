@@ -1,0 +1,73 @@
+// Parser for HLS directives in C-like source (paper §II.B).
+//
+// Recognized forms:
+//   #pragma hls node(v1, v2, ...)          -- also numa / core
+//   #pragma hls cache(v1, ...) level(L)    -- L = 1..llc
+//   #pragma hls numa(v1, ...) level(L)
+//   #pragma hls single(v1, ...) [nowait]
+//   #pragma hls barrier(v1, ...)
+//
+// The parser also performs the static checks the paper's compiler makes:
+// scope directives must name global variables that are declared but not
+// yet used; single lists must share one scope; barrier/single arguments
+// must already be HLS variables. Violations are reported as diagnostics
+// with line numbers; the rewriter refuses to run on errors.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topo/scope_map.hpp"
+
+namespace hlsmpc::pragma {
+
+struct Diagnostic {
+  int line = 0;  // 1-based
+  bool error = true;
+  std::string message;
+};
+
+enum class DirectiveKind { scope, single, barrier };
+
+struct Directive {
+  DirectiveKind kind = DirectiveKind::scope;
+  topo::ScopeSpec scope;  // for kind == scope
+  std::vector<std::string> vars;
+  bool nowait = false;
+  int line = 0;  // 1-based
+};
+
+struct HlsVariable {
+  std::string name;
+  topo::ScopeSpec scope;
+  int declared_line = 0;
+  int pragma_line = 0;
+  std::string decl_type;  ///< textual element type guess, e.g. "double"
+  bool is_array = false;
+};
+
+struct ParseResult {
+  std::vector<Directive> directives;
+  std::vector<HlsVariable> variables;
+  std::vector<Diagnostic> diagnostics;
+
+  bool ok() const {
+    for (const Diagnostic& d : diagnostics) {
+      if (d.error) return false;
+    }
+    return true;
+  }
+  const HlsVariable* find_var(const std::string& name) const;
+};
+
+/// Parse source text, returning directives, the HLS variable table, and
+/// diagnostics (including all static-check violations).
+ParseResult parse(const std::string& source);
+
+/// Widest scope of a variable list: node > numa > cache(L2) > cache(L1)
+/// > core (machine-independent directive-level ordering; llc==cache(0)
+/// sorts above any explicit level).
+topo::ScopeSpec widest_scope(const std::vector<topo::ScopeSpec>& scopes);
+
+}  // namespace hlsmpc::pragma

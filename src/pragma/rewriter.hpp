@@ -1,0 +1,43 @@
+// Source rewriter: the code-generation half of the paper's compiler
+// support (§IV.A-B), as a source-to-source transformation.
+//
+//   int a;                      int *ptr_a;
+//   #pragma hls node(a)    =>   ptr_a = hls_get_addr_node(HLS_MOD_main,
+//   a = 3;                                                HLS_OFF_a);
+//                               (*ptr_a) = 3;
+//
+//   #pragma hls single(a)       if (hls_single(node)) {
+//   { f(&a); }             =>     f(&(*ptr_a));
+//                                 hls_single_done(node);
+//                               }
+//
+//   #pragma hls barrier(a,b) => hls_barrier(node);   // widest scope
+//
+// Module ids and offsets are emitted as symbolic macros (HLS_MOD_*,
+// HLS_OFF_*): "the linker is then responsible for filling the right
+// module id and the offset" (§IV.A). StripMode removes the pragmas
+// untouched — the paper's guarantee that an HLS-unaware compiler still
+// produces a correct program.
+#pragma once
+
+#include "pragma/parser.hpp"
+
+namespace hlsmpc::pragma {
+
+enum class RewriteMode {
+  translate,  ///< full rewrite to runtime calls
+  strip,      ///< remove pragmas only (ignore-mode semantics)
+};
+
+struct RewriteResult {
+  bool ok = false;
+  std::string text;
+  std::vector<Diagnostic> diagnostics;
+  std::vector<HlsVariable> variables;
+};
+
+RewriteResult rewrite(const std::string& source,
+                      RewriteMode mode = RewriteMode::translate,
+                      const std::string& module_name = "main");
+
+}  // namespace hlsmpc::pragma

@@ -1,0 +1,100 @@
+#include "sbll/page_merge.hpp"
+
+#include <algorithm>
+
+namespace hlsmpc::sbll {
+
+int PageMergeModel::add_region(std::size_t bytes, int copies) {
+  if (bytes == 0 || copies < 1) {
+    throw std::invalid_argument("PageMergeModel: degenerate region");
+  }
+  Region r;
+  r.bytes = bytes;
+  r.copies = copies;
+  const std::size_t npages = (bytes + cfg_.page_bytes - 1) / cfg_.page_bytes;
+  r.pages.resize(npages);
+  for (Page& p : r.pages) {
+    p.stamp.assign(static_cast<std::size_t>(copies), 0);
+  }
+  regions_.push_back(std::move(r));
+  return static_cast<int>(regions_.size()) - 1;
+}
+
+void PageMergeModel::write(int region, int rank, std::size_t offset,
+                           std::size_t bytes, std::uint64_t version,
+                           bool rank_dependent) {
+  if (region < 0 || region >= static_cast<int>(regions_.size())) {
+    throw std::out_of_range("PageMergeModel: bad region");
+  }
+  Region& r = regions_[static_cast<std::size_t>(region)];
+  if (rank < 0 || rank >= r.copies) {
+    throw std::out_of_range("PageMergeModel: bad rank for region");
+  }
+  if (bytes == 0 || offset + bytes > r.bytes) {
+    throw std::out_of_range("PageMergeModel: write outside region");
+  }
+  const std::size_t first = offset / cfg_.page_bytes;
+  const std::size_t last = (offset + bytes - 1) / cfg_.page_bytes;
+  for (std::size_t p = first; p <= last; ++p) {
+    Page& page = r.pages[p];
+    if (page.merged) {
+      // Copy-on-write fault: the written copy splits off.
+      page.merged = false;
+      ++stats_.unmerge_faults;
+      stats_.overhead_cycles += cfg_.fault_cost;
+    }
+    std::uint64_t stamp = version & ~kRankDependent;
+    if (rank_dependent) {
+      // Fold the rank in so stamps of different ranks never collide.
+      stamp = kRankDependent | (version * 1315423911ull) |
+              (static_cast<std::uint64_t>(rank) << 40);
+    }
+    page.stamp[static_cast<std::size_t>(rank)] = stamp;
+  }
+}
+
+void PageMergeModel::scan() {
+  ++stats_.scan_passes;
+  std::uint64_t merged_now = 0;
+  for (Region& r : regions_) {
+    for (Page& page : r.pages) {
+      stats_.pages_scanned += static_cast<std::uint64_t>(r.copies);
+      stats_.overhead_cycles +=
+          cfg_.scan_cost_per_page * static_cast<std::uint64_t>(r.copies);
+      if (page.merged || r.copies < 2) continue;
+      const bool identical =
+          std::all_of(page.stamp.begin(), page.stamp.end(),
+                      [&](std::uint64_t s) {
+                        return s == page.stamp[0] &&
+                               (s & kRankDependent) == 0;
+                      });
+      if (identical) {
+        page.merged = true;
+        ++merged_now;
+      }
+    }
+  }
+  stats_.pages_merged += merged_now;
+}
+
+std::size_t PageMergeModel::physical_bytes() const {
+  std::size_t total = 0;
+  for (const Region& r : regions_) {
+    for (const Page& page : r.pages) {
+      total += cfg_.page_bytes *
+               (page.merged ? 1 : static_cast<std::size_t>(r.copies));
+    }
+  }
+  return total;
+}
+
+std::size_t PageMergeModel::virtual_bytes() const {
+  std::size_t total = 0;
+  for (const Region& r : regions_) {
+    total += r.pages.size() * cfg_.page_bytes *
+             static_cast<std::size_t>(r.copies);
+  }
+  return total;
+}
+
+}  // namespace hlsmpc::sbll

@@ -1,0 +1,86 @@
+// SBLLmalloc-style automatic page merging (paper §VI related work).
+//
+// The paper contrasts HLS with SBLLmalloc [23], which "automatically
+// merges identical virtual operating system pages of MPI tasks on the
+// same node": a scanner periodically hashes pages, maps identical ones to
+// a single read-only physical page, and a write fault unmerges them. The
+// paper's criticism is threefold — scan overhead, fault overhead, and
+// page granularity — and HLS avoids all three by being declarative.
+//
+// This model quantifies that comparison. Regions are registered with a
+// per-rank copy count; page contents are tracked as version stamps
+// (equal stamp == byte-identical page). scan() merges equal-stamp pages
+// and charges scan cost; write() dirties a page (unmerging it if merged)
+// and charges a copy-on-write fault when needed. physical_bytes() is the
+// resident footprint an RSS probe would see.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace hlsmpc::sbll {
+
+struct Config {
+  std::size_t page_bytes = 4096;
+  /// Cycles to hash + compare one page during a scan pass.
+  std::uint64_t scan_cost_per_page = 500;
+  /// Cycles for one copy-on-write unmerge fault.
+  std::uint64_t fault_cost = 4000;
+};
+
+struct MergeStats {
+  std::uint64_t scan_passes = 0;
+  std::uint64_t pages_scanned = 0;
+  std::uint64_t pages_merged = 0;     // currently merged (per scan: new)
+  std::uint64_t unmerge_faults = 0;
+  std::uint64_t overhead_cycles = 0;  // scans + faults
+};
+
+class PageMergeModel {
+ public:
+  explicit PageMergeModel(const Config& cfg = {}) : cfg_(cfg) {}
+
+  /// Register a region replicated over `copies` ranks. All copies start
+  /// with identical content (stamp 0 per page). Returns a region id.
+  int add_region(std::size_t bytes, int copies);
+
+  /// Rank writes somewhere in [offset, offset+bytes): stamps the touched
+  /// pages with a content version. `rank_dependent` marks content that
+  /// differs per rank (never re-mergeable); otherwise all ranks writing
+  /// the same region/page with the same version stay identical.
+  void write(int region, int rank, std::size_t offset, std::size_t bytes,
+             std::uint64_t version, bool rank_dependent);
+
+  /// One scanner pass over all pages: merges pages whose stamps agree
+  /// across all copies; charges scan cost.
+  void scan();
+
+  /// Physical bytes resident right now (merged pages counted once).
+  std::size_t physical_bytes() const;
+  /// Bytes a plain allocator would hold (all copies distinct).
+  std::size_t virtual_bytes() const;
+
+  const MergeStats& stats() const { return stats_; }
+
+ private:
+  struct Page {
+    std::vector<std::uint64_t> stamp;  // per copy; equal => identical
+    bool merged = false;
+  };
+  struct Region {
+    std::size_t bytes = 0;
+    int copies = 1;
+    std::vector<Page> pages;
+  };
+
+  static constexpr std::uint64_t kRankDependent =
+      0x8000000000000000ull;  // high bit marks per-rank content
+
+  Config cfg_;
+  std::vector<Region> regions_;
+  MergeStats stats_;
+};
+
+}  // namespace hlsmpc::sbll

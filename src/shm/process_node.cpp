@@ -1,0 +1,209 @@
+#include "shm/process_node.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hlsmpc::shm {
+
+namespace {
+std::size_t align_up(std::size_t v, std::size_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+}  // namespace
+
+ProcessNode::ProcessNode(const topo::Machine& machine, int nranks,
+                         std::size_t arena_bytes)
+    : machine_(machine),
+      sm_(machine_),
+      nranks_(nranks),
+      arena_bytes_(arena_bytes) {
+  if (nranks < 1 || nranks > machine.num_cpus()) {
+    throw ShmError("ProcessNode: nranks must fit the machine");
+  }
+}
+
+ProcessNode::~ProcessNode() = default;
+
+void ProcessNode::add_var(const std::string& name, std::size_t bytes,
+                          const topo::ScopeSpec& scope) {
+  if (seg_) {
+    throw ShmError("ProcessNode: cannot add variables after run()");
+  }
+  for (const VarInfo& v : vars_) {
+    if (v.name == name) throw ShmError("ProcessNode: duplicate var " + name);
+  }
+  VarInfo v;
+  v.name = name;
+  v.bytes = bytes;
+  v.scope = scope;
+  const int n = sm_.num_instances(scope);
+  v.base_offset = align_up(cursor_, 64);
+  cursor_ = v.base_offset + align_up(bytes, 64) * static_cast<std::size_t>(n);
+  v.sync_offset = align_up(cursor_, 64);
+  cursor_ = v.sync_offset + sizeof(SyncState) * static_cast<std::size_t>(n);
+  vars_.push_back(std::move(v));
+}
+
+const ProcessNode::VarInfo& ProcessNode::find_var(
+    const std::string& name) const {
+  for (const VarInfo& v : vars_) {
+    if (v.name == name) return v;
+  }
+  throw ShmError("ProcessNode: unknown HLS variable '" + name + "'");
+}
+
+ProcessNode::SyncState* ProcessNode::sync_of(const VarInfo& v, int rank) {
+  const int inst = sm_.instance_of(v.scope, rank);
+  auto* base = static_cast<std::byte*>(seg_->base());
+  return reinterpret_cast<SyncState*>(base + v.sync_offset +
+                                      sizeof(SyncState) *
+                                          static_cast<std::size_t>(inst));
+}
+
+void* ProcessNode::addr_of(const VarInfo& v, int rank) {
+  const int inst = sm_.instance_of(v.scope, rank);
+  auto* base = static_cast<std::byte*>(seg_->base());
+  return base + v.base_offset +
+         align_up(v.bytes, 64) * static_cast<std::size_t>(inst);
+}
+
+int ProcessNode::participants(const VarInfo& v, int rank) const {
+  const int inst = sm_.instance_of(v.scope, rank);
+  const int per = sm_.cpus_per_instance(v.scope);
+  const int first = inst * per;
+  // Default pinning rank i -> cpu i: members are ranks within the range.
+  int count = 0;
+  for (int r = 0; r < nranks_; ++r) {
+    if (r >= first && r < first + per) ++count;
+  }
+  return count;
+}
+
+void ProcessNode::run(const std::function<void(ProcessTask&)>& body) {
+  if (ran_) throw ShmError("ProcessNode: run() may only be called once");
+  ran_ = true;
+
+  const std::size_t total =
+      align_up(cursor_, 64) + align_up(arena_bytes_, 4096) + 4096;
+  seg_ = std::make_unique<AnonymousSegment>(align_up(total, 4096));
+
+  // Initialize process-shared sync state for every scope instance.
+  pthread_mutexattr_t ma;
+  pthread_condattr_t ca;
+  pthread_mutexattr_init(&ma);
+  pthread_mutexattr_setpshared(&ma, PTHREAD_PROCESS_SHARED);
+  pthread_condattr_init(&ca);
+  pthread_condattr_setpshared(&ca, PTHREAD_PROCESS_SHARED);
+  for (const VarInfo& v : vars_) {
+    const int n = sm_.num_instances(v.scope);
+    for (int i = 0; i < n; ++i) {
+      auto* base = static_cast<std::byte*>(seg_->base());
+      auto* s = reinterpret_cast<SyncState*>(
+          base + v.sync_offset + sizeof(SyncState) * static_cast<std::size_t>(i));
+      pthread_mutex_init(&s->mu, &ma);
+      pthread_cond_init(&s->cv, &ca);
+      s->arrived = 0;
+      s->generation = 0;
+    }
+  }
+  pthread_mutexattr_destroy(&ma);
+  pthread_condattr_destroy(&ca);
+
+  // Shared arena at the tail of the segment.
+  auto* arena_base = static_cast<std::byte*>(seg_->base()) +
+                     align_up(cursor_, 4096);
+  arena_ = Arena::create(arena_base, align_up(arena_bytes_, 4096));
+
+  // Fork one process per rank (children inherit the mapping at the same
+  // virtual address — the §IV.C requirement). Flush first or children
+  // re-flush the parent's buffered output.
+  std::fflush(nullptr);
+  std::vector<pid_t> pids;
+  for (int r = 0; r < nranks_; ++r) {
+    const pid_t pid = fork();
+    if (pid < 0) throw ShmError("ProcessNode: fork failed");
+    if (pid == 0) {
+      int code = 0;
+      try {
+        ProcessTask task(this, r);
+        body(task);
+      } catch (const std::exception&) {
+        code = 42;
+      }
+      std::fflush(nullptr);  // _exit skips stdio flushing
+      _exit(code);           // no C++ teardown in the child
+    }
+    pids.push_back(pid);
+  }
+  int failures = 0;
+  for (pid_t pid : pids) {
+    int status = 0;
+    waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) ++failures;
+  }
+  if (failures > 0) {
+    throw ShmError("ProcessNode: " + std::to_string(failures) +
+                   " task process(es) failed");
+  }
+}
+
+int ProcessTask::nranks() const { return node_->nranks_; }
+
+void* ProcessTask::var(const std::string& name) {
+  return node_->addr_of(node_->find_var(name), rank_);
+}
+
+void ProcessTask::barrier(const std::string& var_name) {
+  const auto& v = node_->find_var(var_name);
+  ProcessNode::SyncState* s = node_->sync_of(v, rank_);
+  const int expected = node_->participants(v, rank_);
+  pthread_mutex_lock(&s->mu);
+  const std::uint64_t g = s->generation;
+  if (++s->arrived == expected) {
+    s->arrived = 0;
+    ++s->generation;
+    pthread_cond_broadcast(&s->cv);
+  } else {
+    while (s->generation == g) pthread_cond_wait(&s->cv, &s->mu);
+  }
+  pthread_mutex_unlock(&s->mu);
+}
+
+bool ProcessTask::single_enter(const std::string& var_name) {
+  const auto& v = node_->find_var(var_name);
+  ProcessNode::SyncState* s = node_->sync_of(v, rank_);
+  const int expected = node_->participants(v, rank_);
+  pthread_mutex_lock(&s->mu);
+  const std::uint64_t g = s->generation;
+  if (++s->arrived == expected) {
+    // Last arriver executes (generation advances in single_done).
+    pthread_mutex_unlock(&s->mu);
+    return true;
+  }
+  while (s->generation == g) pthread_cond_wait(&s->cv, &s->mu);
+  pthread_mutex_unlock(&s->mu);
+  return false;
+}
+
+void ProcessTask::single_done(const std::string& var_name) {
+  const auto& v = node_->find_var(var_name);
+  ProcessNode::SyncState* s = node_->sync_of(v, rank_);
+  pthread_mutex_lock(&s->mu);
+  s->arrived = 0;
+  ++s->generation;
+  pthread_cond_broadcast(&s->cv);
+  pthread_mutex_unlock(&s->mu);
+}
+
+void* ProcessTask::shared_malloc(std::size_t bytes) {
+  return node_->arena_->allocate(bytes);
+}
+
+void ProcessTask::shared_free(void* p) { node_->arena_->deallocate(p); }
+
+}  // namespace hlsmpc::shm

@@ -1,0 +1,113 @@
+// Process-based node harness: HLS for MPI implementations whose tasks
+// are UNIX processes (paper §IV.C).
+//
+// The parent sets up one shared segment (inherited by fork at the same
+// virtual address), carves it into
+//   - a sync block of process-shared mutex/condvar barrier+single state,
+//   - per-scope-instance HLS variable regions,
+//   - a shared Arena for heap allocations made inside a single,
+// then forks one child per MPI task. Children use ProcessTask to reach
+// their scope instance's variables, synchronize, and allocate shared
+// heap memory — the full §IV.C feature set.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shm/arena.hpp"
+#include "shm/segment.hpp"
+#include "topo/scope_map.hpp"
+
+namespace hlsmpc::shm {
+
+class ProcessNode;
+
+/// Handle used inside a forked task.
+class ProcessTask {
+ public:
+  int rank() const { return rank_; }
+  int nranks() const;
+  int cpu() const { return rank_; }  // default pinning, task i -> cpu i
+
+  /// Address of the HLS variable `name` for this task's scope instance.
+  void* var(const std::string& name);
+  template <typename T>
+  T* var_as(const std::string& name) {
+    return static_cast<T*>(var(name));
+  }
+
+  /// Node-wide barrier over the variable's scope instance members.
+  void barrier(const std::string& var_name);
+  /// single over the variable's scope: returns true for the task that
+  /// must run the block; call single_done afterwards. All members wait.
+  bool single_enter(const std::string& var_name);
+  void single_done(const std::string& var_name);
+
+  /// Shared-heap allocation (what an LD_PRELOADed malloc would do inside
+  /// a single); the returned pointer is valid in every process.
+  void* shared_malloc(std::size_t bytes);
+  void shared_free(void* p);
+
+ private:
+  friend class ProcessNode;
+  ProcessTask(ProcessNode* node, int rank) : node_(node), rank_(rank) {}
+  ProcessNode* node_;
+  int rank_;
+};
+
+class ProcessNode {
+ public:
+  /// `machine` supplies the scope geometry; `nranks` forked tasks.
+  ProcessNode(const topo::Machine& machine, int nranks,
+              std::size_t arena_bytes = 4 << 20);
+  ~ProcessNode();
+  ProcessNode(const ProcessNode&) = delete;
+  ProcessNode& operator=(const ProcessNode&) = delete;
+
+  /// Declare an HLS variable before run(). One copy per instance of
+  /// `scope` will live in the shared segment.
+  void add_var(const std::string& name, std::size_t bytes,
+               const topo::ScopeSpec& scope);
+
+  /// Fork one process per rank, run `body`, wait for all children.
+  /// Throws ShmError if any child exits nonzero or crashes.
+  void run(const std::function<void(ProcessTask&)>& body);
+
+ private:
+  friend class ProcessTask;
+
+  struct SyncState {  // lives in the segment, one per scope instance
+    pthread_mutex_t mu;
+    pthread_cond_t cv;
+    int arrived;
+    std::uint64_t generation;
+  };
+
+  struct VarInfo {
+    std::string name;
+    std::size_t bytes = 0;
+    topo::ScopeSpec scope;
+    std::size_t base_offset = 0;   // first instance's offset in segment
+    std::size_t sync_offset = 0;   // first instance's SyncState offset
+  };
+
+  const VarInfo& find_var(const std::string& name) const;
+  SyncState* sync_of(const VarInfo& v, int rank);
+  void* addr_of(const VarInfo& v, int rank);
+  int participants(const VarInfo& v, int rank) const;
+
+  topo::Machine machine_;
+  topo::ScopeMap sm_;
+  int nranks_;
+  std::vector<VarInfo> vars_;
+  std::size_t cursor_ = 0;  // layout cursor (bytes) within the segment
+  std::size_t arena_bytes_;
+  std::unique_ptr<AnonymousSegment> seg_;
+  Arena* arena_ = nullptr;
+  bool ran_ = false;
+};
+
+}  // namespace hlsmpc::shm

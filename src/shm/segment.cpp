@@ -1,0 +1,64 @@
+#include "shm/segment.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#ifndef MAP_FIXED_NOREPLACE
+#define MAP_FIXED_NOREPLACE 0x100000
+#endif
+
+namespace hlsmpc::shm {
+
+AnonymousSegment::AnonymousSegment(std::size_t bytes) : size_(bytes) {
+  base_ = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (base_ == MAP_FAILED) {
+    throw ShmError(std::string("AnonymousSegment: mmap failed: ") +
+                   std::strerror(errno));
+  }
+}
+
+AnonymousSegment::~AnonymousSegment() {
+  if (base_ != nullptr) munmap(base_, size_);
+}
+
+NamedSegment::NamedSegment(const std::string& name, std::size_t bytes,
+                           void* address_hint, bool owner)
+    : name_(name), size_(bytes), owner_(owner) {
+  int flags = O_RDWR;
+  if (owner) flags |= O_CREAT | O_EXCL;
+  const int fd = shm_open(name.c_str(), flags, 0600);
+  if (fd < 0) {
+    throw ShmError("NamedSegment: shm_open('" + name +
+                   "') failed: " + std::strerror(errno));
+  }
+  if (owner && ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    close(fd);
+    shm_unlink(name.c_str());
+    throw ShmError(std::string("NamedSegment: ftruncate failed: ") +
+                   std::strerror(errno));
+  }
+  // The same virtual address in every process: map with an explicit hint
+  // and refuse to silently relocate.
+  base_ = mmap(address_hint, bytes, PROT_READ | PROT_WRITE,
+               MAP_SHARED | (address_hint != nullptr ? MAP_FIXED_NOREPLACE : 0),
+               fd, 0);
+  close(fd);
+  if (base_ == MAP_FAILED || (address_hint != nullptr && base_ != address_hint)) {
+    if (base_ != MAP_FAILED) munmap(base_, bytes);
+    if (owner) shm_unlink(name.c_str());
+    throw ShmError("NamedSegment: cannot map '" + name +
+                   "' at the requested address: " + std::strerror(errno));
+  }
+}
+
+NamedSegment::~NamedSegment() {
+  if (base_ != nullptr) munmap(base_, size_);
+  if (owner_) shm_unlink(name_.c_str());
+}
+
+}  // namespace hlsmpc::shm

@@ -1,0 +1,62 @@
+// Shared-memory segments mapped at the same virtual address in every
+// process of a node — the substrate for HLS under process-based MPI
+// (paper §IV.C, the isomalloc technique of PM2).
+//
+// Two flavours:
+//  - AnonymousSegment: MAP_SHARED|MAP_ANONYMOUS, created before fork();
+//    children inherit the mapping at the same address. This is the form
+//    the ProcessNode harness uses.
+//  - NamedSegment: shm_open + mmap with an explicit address hint and
+//    MAP_FIXED_NOREPLACE, attachable by unrelated processes at the same
+//    virtual address (the general mechanism the paper describes).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace hlsmpc::shm {
+
+class ShmError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class AnonymousSegment {
+ public:
+  explicit AnonymousSegment(std::size_t bytes);
+  ~AnonymousSegment();
+  AnonymousSegment(const AnonymousSegment&) = delete;
+  AnonymousSegment& operator=(const AnonymousSegment&) = delete;
+
+  void* base() const { return base_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+class NamedSegment {
+ public:
+  /// Create (owner=true) or attach (owner=false) the segment `name`,
+  /// mapping it at `address_hint` (must be identical in all attachers —
+  /// that is the whole point). Throws ShmError if the address is taken.
+  NamedSegment(const std::string& name, std::size_t bytes, void* address_hint,
+               bool owner);
+  ~NamedSegment();
+  NamedSegment(const NamedSegment&) = delete;
+  NamedSegment& operator=(const NamedSegment&) = delete;
+
+  void* base() const { return base_; }
+  std::size_t size() const { return size_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+  bool owner_ = false;
+};
+
+}  // namespace hlsmpc::shm

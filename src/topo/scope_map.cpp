@@ -1,0 +1,122 @@
+#include "topo/scope_map.hpp"
+
+#include <stdexcept>
+
+namespace hlsmpc::topo {
+
+ScopeSpec node_scope() { return {ScopeKind::node, 0}; }
+ScopeSpec numa_scope() { return {ScopeKind::numa, 0}; }
+ScopeSpec cache_scope(int level) { return {ScopeKind::cache, level}; }
+ScopeSpec core_scope() { return {ScopeKind::core, 0}; }
+
+std::string to_string(const ScopeSpec& s) {
+  switch (s.kind) {
+    case ScopeKind::node:
+      return "node";
+    case ScopeKind::numa:
+      // level 2 = one copy per socket on machines with several NUMA
+      // domains per socket (the directive's optional level clause).
+      if (s.level >= 2) return "numa(2)";
+      return "numa";
+    case ScopeKind::core:
+      return "core";
+    case ScopeKind::cache:
+      if (s.level == 0) return "cache(llc)";
+      return "cache(" + std::to_string(s.level) + ")";
+  }
+  return "?";
+}
+
+ScopeSpec parse_scope(const std::string& text) {
+  if (text == "node") return node_scope();
+  if (text == "numa") return numa_scope();
+  if (text == "numa(2)") return ScopeSpec{ScopeKind::numa, 2};
+  if (text == "core") return core_scope();
+  if (text == "cache" || text == "cache(llc)") return cache_scope(0);
+  if (text.rfind("cache(", 0) == 0 && text.back() == ')') {
+    const std::string inner = text.substr(6, text.size() - 7);
+    try {
+      std::size_t pos = 0;
+      const int level = std::stoi(inner, &pos);
+      if (pos == inner.size() && level >= 1) return cache_scope(level);
+    } catch (const std::exception&) {
+      // fall through to throw below
+    }
+  }
+  throw std::invalid_argument("parse_scope: unrecognized scope '" + text + "'");
+}
+
+int ScopeMap::resolved_cache_level(const ScopeSpec& s) const {
+  if (s.kind != ScopeKind::cache) return 0;
+  const int level = s.level == 0 ? machine_->llc_level() : s.level;
+  if (level < 1 || level > machine_->num_cache_levels()) {
+    throw std::invalid_argument("ScopeMap: cache level " +
+                                std::to_string(s.level) +
+                                " does not exist on " + machine_->name());
+  }
+  return level;
+}
+
+int ScopeMap::num_instances(const ScopeSpec& s) const {
+  switch (s.kind) {
+    case ScopeKind::node:
+      return 1;
+    case ScopeKind::numa:
+      if (s.level >= 3) {
+        throw std::invalid_argument("ScopeMap: numa level must be 1 or 2");
+      }
+      return s.level == 2 ? machine_->num_sockets() : machine_->num_numa();
+    case ScopeKind::core:
+      return machine_->num_cores();
+    case ScopeKind::cache:
+      return machine_->num_cache_instances(resolved_cache_level(s));
+  }
+  throw std::logic_error("ScopeMap::num_instances: bad kind");
+}
+
+int ScopeMap::instance_of(const ScopeSpec& s, int cpu) const {
+  switch (s.kind) {
+    case ScopeKind::node:
+      if (cpu < 0 || cpu >= machine_->num_cpus()) {
+        throw std::out_of_range("ScopeMap::instance_of: bad cpu");
+      }
+      return 0;
+    case ScopeKind::numa:
+      if (s.level >= 3) {
+        throw std::invalid_argument("ScopeMap: numa level must be 1 or 2");
+      }
+      return s.level == 2 ? machine_->socket_of_cpu(cpu)
+                          : machine_->numa_of_cpu(cpu);
+    case ScopeKind::core:
+      return machine_->core_of_cpu(cpu);
+    case ScopeKind::cache:
+      return machine_->cache_instance_of_cpu(resolved_cache_level(s), cpu);
+  }
+  throw std::logic_error("ScopeMap::instance_of: bad kind");
+}
+
+int ScopeMap::cpus_per_instance(const ScopeSpec& s) const {
+  return machine_->num_cpus() / num_instances(s);
+}
+
+std::vector<int> ScopeMap::cpus_of_instance(const ScopeSpec& s, int inst) const {
+  const int per = cpus_per_instance(s);
+  if (inst < 0 || inst >= num_instances(s)) {
+    throw std::out_of_range("ScopeMap::cpus_of_instance: bad instance");
+  }
+  std::vector<int> cpus(static_cast<std::size_t>(per));
+  for (int i = 0; i < per; ++i) cpus[static_cast<std::size_t>(i)] = inst * per + i;
+  return cpus;
+}
+
+bool ScopeMap::wider_or_equal(const ScopeSpec& a, const ScopeSpec& b) const {
+  // Wider scope == fewer instances. All scopes partition cpus into
+  // contiguous equal blocks, so block size is a total order.
+  return cpus_per_instance(a) >= cpus_per_instance(b);
+}
+
+ScopeSpec ScopeMap::widest(const ScopeSpec& a, const ScopeSpec& b) const {
+  return wider_or_equal(a, b) ? a : b;
+}
+
+}  // namespace hlsmpc::topo

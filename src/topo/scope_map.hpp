@@ -1,0 +1,71 @@
+// HLS scope specifications and their mapping onto a Machine.
+//
+// A scope spec is what appears in the directive: `node`, `numa`,
+// `cache [level(L)]` or `core` (paper §II.B.1). Given a machine, a scope
+// partitions the cpus into *instances*; tasks pinned to cpus of the same
+// instance share one copy of every variable with that scope. Scopes are
+// totally ordered by width: core < cache(1) <= ... <= cache(llc) <= numa
+// <= node (the paper's "largest scope" rule for `#pragma hls barrier`).
+#pragma once
+
+#include <string>
+
+#include "topo/topology.hpp"
+
+namespace hlsmpc::topo {
+
+enum class ScopeKind { core, cache, numa, node };
+
+/// A parsed scope clause. `level` is only meaningful for `cache`; 0 means
+/// "last level" (the directive spelling `cache level(llc)`).
+struct ScopeSpec {
+  ScopeKind kind = ScopeKind::node;
+  int level = 0;
+
+  friend bool operator==(const ScopeSpec&, const ScopeSpec&) = default;
+};
+
+ScopeSpec node_scope();
+ScopeSpec numa_scope();
+ScopeSpec cache_scope(int level = 0);  ///< 0 = llc
+ScopeSpec core_scope();
+
+std::string to_string(const ScopeSpec& s);
+
+/// Parse "node", "numa", "core", "cache", "cache(2)", "cache(llc)".
+/// Throws std::invalid_argument on anything else.
+ScopeSpec parse_scope(const std::string& text);
+
+/// Maps scope specs to instance indices on a concrete machine.
+class ScopeMap {
+ public:
+  explicit ScopeMap(const Machine& machine) : machine_(&machine) {}
+
+  const Machine& machine() const { return *machine_; }
+
+  /// Resolve a `cache` spec's level (0 -> llc); identity for other kinds.
+  int resolved_cache_level(const ScopeSpec& s) const;
+
+  /// Number of instances of this scope on the machine.
+  int num_instances(const ScopeSpec& s) const;
+
+  /// Instance a cpu belongs to.
+  int instance_of(const ScopeSpec& s, int cpu) const;
+
+  /// Number of cpus per instance (uniform).
+  int cpus_per_instance(const ScopeSpec& s) const;
+
+  /// All cpus in an instance, ascending.
+  std::vector<int> cpus_of_instance(const ScopeSpec& s, int inst) const;
+
+  /// True if `a` is at least as wide as `b` (shared by a superset of cpus).
+  bool wider_or_equal(const ScopeSpec& a, const ScopeSpec& b) const;
+
+  /// Widest of the two (used by `#pragma hls barrier(list)`).
+  ScopeSpec widest(const ScopeSpec& a, const ScopeSpec& b) const;
+
+ private:
+  const Machine* machine_;
+};
+
+}  // namespace hlsmpc::topo

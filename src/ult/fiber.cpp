@@ -1,0 +1,70 @@
+#include "ult/fiber.hpp"
+
+namespace hlsmpc::ult {
+
+namespace {
+thread_local Fiber* g_current_fiber = nullptr;
+}
+
+Fiber::Fiber(Body body, std::size_t stack_bytes)
+    : body_(std::move(body)),
+      stack_(new std::byte[stack_bytes]),
+      stack_bytes_(stack_bytes) {
+  if (!body_) throw std::invalid_argument("Fiber: empty body");
+  if (stack_bytes_ < 16 * 1024) {
+    throw std::invalid_argument("Fiber: stack too small");
+  }
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::trampoline() {
+  Fiber* self = g_current_fiber;
+  try {
+    self->body_();
+  } catch (...) {
+    self->error_ = std::current_exception();
+  }
+  self->done_ = true;
+  // Return to the resumer; ctx_'s uc_link is unused because we always
+  // swap back explicitly (swapcontext keeps the error path uniform).
+  swapcontext(&self->ctx_, &self->return_ctx_);
+}
+
+bool Fiber::resume() {
+  if (done_) throw std::logic_error("Fiber::resume: fiber already finished");
+  if (g_current_fiber != nullptr) {
+    throw std::logic_error("Fiber::resume: nested fibers are not supported");
+  }
+  if (!started_) {
+    if (getcontext(&ctx_) != 0) {
+      throw std::runtime_error("Fiber: getcontext failed");
+    }
+    ctx_.uc_stack.ss_sp = stack_.get();
+    ctx_.uc_stack.ss_size = stack_bytes_;
+    ctx_.uc_link = nullptr;
+    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+    started_ = true;
+  }
+  g_current_fiber = this;
+  swapcontext(&return_ctx_, &ctx_);
+  g_current_fiber = nullptr;
+  if (done_ && error_) std::rethrow_exception(error_);
+  return done_;
+}
+
+void Fiber::yield() {
+  Fiber* self = g_current_fiber;
+  if (self == nullptr) {
+    throw std::logic_error("Fiber::yield: called outside any fiber");
+  }
+  // Clear before leaving so the worker thread observes "no fiber running";
+  // restored by the next resume().
+  g_current_fiber = nullptr;
+  swapcontext(&self->ctx_, &self->return_ctx_);
+  g_current_fiber = self;
+}
+
+Fiber* Fiber::current() { return g_current_fiber; }
+
+}  // namespace hlsmpc::ult

@@ -1,0 +1,57 @@
+// Stackful user-level threads over POSIX ucontext.
+//
+// A Fiber owns a private stack and a body function. resume() transfers
+// control from the calling kernel thread into the fiber; the fiber returns
+// control either by finishing its body or by calling Fiber::yield() from
+// inside. This is the mechanism MPC uses to run many MPI "tasks" per
+// kernel thread; the Scheduler (scheduler.hpp) multiplexes fibers over
+// per-core workers.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+namespace hlsmpc::ult {
+
+class Fiber {
+ public:
+  using Body = std::function<void()>;
+
+  /// Default stack matches MPC-style lightweight tasks; raise it for deep
+  /// call chains in application code.
+  explicit Fiber(Body body, std::size_t stack_bytes = 256 * 1024);
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+  ~Fiber();
+
+  /// Run the fiber until it yields or finishes. Must not be called from
+  /// inside any fiber. Returns true if the fiber finished.
+  bool resume();
+
+  /// Yield from inside the currently running fiber back to its resumer.
+  /// Throws if no fiber is running on this kernel thread.
+  static void yield();
+
+  /// Fiber currently running on this kernel thread, or nullptr.
+  static Fiber* current();
+
+  bool done() const { return done_; }
+
+ private:
+  static void trampoline();
+
+  Body body_;
+  std::unique_ptr<std::byte[]> stack_;
+  std::size_t stack_bytes_;
+  ucontext_t ctx_{};
+  ucontext_t return_ctx_{};
+  bool started_ = false;
+  bool done_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace hlsmpc::ult

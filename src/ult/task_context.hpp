@@ -1,0 +1,68 @@
+// Execution context seen by a running MPI task.
+//
+// MPC executes MPI tasks inside user-level threads pinned to cores (paper
+// §IV); blocking runtime operations must therefore yield control
+// cooperatively instead of blocking the kernel thread, or every other task
+// scheduled on the same core would starve. TaskContext abstracts over the
+// two execution back ends we provide (kernel threads and fibers): the
+// runtime's synchronisation primitives are written once against this
+// interface via wait_until() below.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace hlsmpc::ult {
+
+class TaskContext {
+ public:
+  virtual ~TaskContext() = default;
+
+  /// Give up the cpu so co-scheduled tasks can progress.
+  virtual void yield() = 0;
+
+  /// True when tasks share kernel threads cooperatively (fiber back end).
+  /// Cooperative contexts must never sleep on a condition variable: the
+  /// kernel thread they would park is needed to run the task they wait for.
+  virtual bool cooperative() const = 0;
+
+  int task_id() const { return task_id_; }
+  /// Hardware thread this task is currently pinned to (topology index).
+  int cpu() const { return cpu_; }
+
+  void set_task_id(int id) { task_id_ = id; }
+  void set_cpu(int cpu) { cpu_ = cpu; }
+
+ private:
+  int task_id_ = -1;
+  int cpu_ = -1;
+};
+
+/// Block until `pred()` holds. `lk` must be locked on entry and is locked
+/// on return. Preemptive contexts park on `cv`; cooperative contexts poll
+/// with the lock released, yielding between probes. Wakers must call
+/// cv.notify_all() after changing the predicate's inputs (harmless but
+/// unnecessary for cooperative waiters).
+template <typename Pred>
+void wait_until(TaskContext& ctx, std::unique_lock<std::mutex>& lk,
+                std::condition_variable& cv, Pred pred) {
+  if (!ctx.cooperative()) {
+    cv.wait(lk, pred);
+    return;
+  }
+  while (!pred()) {
+    lk.unlock();
+    ctx.yield();
+    lk.lock();
+  }
+}
+
+/// TaskContext for plain kernel threads (one std::thread per MPI task).
+class ThreadTaskContext final : public TaskContext {
+ public:
+  void yield() override { std::this_thread::yield(); }
+  bool cooperative() const override { return false; }
+};
+
+}  // namespace hlsmpc::ult

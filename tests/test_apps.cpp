@@ -1,0 +1,402 @@
+// Integration tests: the paper's benchmarks and mini-apps on the runtime.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "apps/eulermhd/eulermhd.hpp"
+#include "apps/gadget/gadget.hpp"
+#include "apps/matmul/matmul.hpp"
+#include "apps/meshupdate/mesh_update.hpp"
+#include "apps/tachyon/tachyon.hpp"
+
+namespace apps = hlsmpc::apps;
+namespace mpc = hlsmpc::mpc;
+namespace topo = hlsmpc::topo;
+using hlsmpc::memtrack::Category;
+
+namespace {
+
+mpc::NodeOptions node_opts(int nranks) {
+  mpc::NodeOptions o;
+  o.mpi.nranks = nranks;
+  return o;
+}
+
+}  // namespace
+
+// ---- mesh update ----
+
+TEST(MeshUpdateApp, ChecksumIdenticalAcrossModes) {
+  // HLS must preserve the program's semantics (paper §II.C): the mesh
+  // result cannot depend on whether the table is shared.
+  apps::meshupdate::Config cfg;
+  cfg.cells_per_task = 512;
+  cfg.table_cells = 1024;
+  cfg.timesteps = 3;
+  const topo::Machine m = topo::Machine::nehalem_ex(2);
+  double checksums[3];
+  int i = 0;
+  for (auto mode : {apps::meshupdate::Mode::no_hls,
+                    apps::meshupdate::Mode::hls_node,
+                    apps::meshupdate::Mode::hls_numa}) {
+    cfg.mode = mode;
+    mpc::Node node(m, node_opts(16));
+    checksums[i++] = apps::meshupdate::run_on_node(node, cfg);
+  }
+  EXPECT_DOUBLE_EQ(checksums[0], checksums[1]);
+  EXPECT_DOUBLE_EQ(checksums[0], checksums[2]);
+}
+
+TEST(MeshUpdateApp, UpdateVariantChecksumsMatchToo) {
+  apps::meshupdate::Config cfg;
+  cfg.cells_per_task = 256;
+  cfg.table_cells = 512;
+  cfg.timesteps = 3;
+  cfg.update_table = true;
+  const topo::Machine m = topo::Machine::nehalem_ex(2);
+  cfg.mode = apps::meshupdate::Mode::no_hls;
+  mpc::Node a(m, node_opts(16));
+  const double base = apps::meshupdate::run_on_node(a, cfg);
+  cfg.mode = apps::meshupdate::Mode::hls_node;
+  mpc::Node b(m, node_opts(16));
+  EXPECT_DOUBLE_EQ(apps::meshupdate::run_on_node(b, cfg), base);
+}
+
+TEST(MeshUpdateApp, HlsReducesTableMemory) {
+  apps::meshupdate::Config cfg;
+  cfg.cells_per_task = 128;
+  cfg.table_cells = 4096;
+  cfg.timesteps = 1;
+  const topo::Machine m = topo::Machine::nehalem_ex(1);
+
+  cfg.mode = apps::meshupdate::Mode::no_hls;
+  mpc::Node priv(m, node_opts(8));
+  apps::meshupdate::run_on_node(priv, cfg);
+  const auto app_peak = priv.tracker().peak_total();
+
+  cfg.mode = apps::meshupdate::Mode::hls_node;
+  mpc::Node shared(m, node_opts(8));
+  apps::meshupdate::run_on_node(shared, cfg);
+  const auto hls_peak = shared.tracker().peak_total();
+
+  // 8 table copies -> 1: the HLS node must peak well below the private
+  // one (7 x 32 KB difference here, against small fixed overheads).
+  EXPECT_LT(hls_peak + 6 * 4096 * sizeof(double), app_peak);
+}
+
+TEST(MeshUpdateApp, SimulationShowsTableIEfficiencyOrdering) {
+  // Scaled-down Table I shape on 2 sockets: no-HLS must be clearly less
+  // efficient than both HLS scopes.
+  const topo::Machine m = topo::Machine::nehalem_ex(2, /*divisor=*/64);
+  apps::meshupdate::Config cfg;
+  cfg.cells_per_task = 4096;           // 32 KB per task
+  cfg.table_cells = 16384;             // 128 KB table vs 288 KB LLC
+  cfg.timesteps = 2;
+  cfg.mode = apps::meshupdate::Mode::no_hls;
+  const auto no_hls = apps::meshupdate::simulate(m, cfg, 16);
+  cfg.mode = apps::meshupdate::Mode::hls_node;
+  const auto node = apps::meshupdate::simulate(m, cfg, 16);
+  cfg.mode = apps::meshupdate::Mode::hls_numa;
+  const auto numa = apps::meshupdate::simulate(m, cfg, 16);
+
+  EXPECT_LT(no_hls.efficiency, node.efficiency);
+  EXPECT_LT(no_hls.efficiency, numa.efficiency);
+  EXPECT_GT(node.efficiency, 0.5);
+  EXPECT_LT(no_hls.efficiency, 0.7);
+}
+
+TEST(MeshUpdateApp, UpdateVariantFavoursNumaOverNode) {
+  // Table I's update columns: writer invalidation hurts the node scope,
+  // the numa scope keeps one valid copy per socket.
+  const topo::Machine m = topo::Machine::nehalem_ex(2, /*divisor=*/64);
+  apps::meshupdate::Config cfg;
+  cfg.cells_per_task = 2048;
+  cfg.table_cells = 8192;  // fits one LLC: invalidation is the only cost
+  cfg.timesteps = 4;
+  cfg.update_table = true;
+  cfg.mode = apps::meshupdate::Mode::hls_node;
+  const auto node = apps::meshupdate::simulate(m, cfg, 16);
+  cfg.mode = apps::meshupdate::Mode::hls_numa;
+  const auto numa = apps::meshupdate::simulate(m, cfg, 16);
+  EXPECT_GE(numa.efficiency, node.efficiency);
+}
+
+// Property sweep: every scope mode preserves semantics and materializes
+// exactly the scope's instance count of table copies.
+namespace {
+struct ModeCase {
+  apps::meshupdate::Mode mode;
+  int expected_copies;  // on nehalem_ex(2) with 16 tasks
+  bool update;
+};
+std::string mode_case_name(const testing::TestParamInfo<ModeCase>& info) {
+  std::string s = to_string(info.param.mode);
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return s + (info.param.update ? "_upd" : "_const");
+}
+}  // namespace
+
+class MeshModeSweep : public testing::TestWithParam<ModeCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, MeshModeSweep,
+    testing::Values(
+        ModeCase{apps::meshupdate::Mode::hls_node, 1, false},
+        ModeCase{apps::meshupdate::Mode::hls_numa, 2, false},
+        ModeCase{apps::meshupdate::Mode::hls_cache_llc, 2, false},
+        ModeCase{apps::meshupdate::Mode::hls_core, 16, false},
+        ModeCase{apps::meshupdate::Mode::hls_node, 1, true},
+        ModeCase{apps::meshupdate::Mode::hls_numa, 2, true}),
+    mode_case_name);
+
+TEST_P(MeshModeSweep, ChecksumMatchesBaselineAndCopiesMatchScope) {
+  const ModeCase param = GetParam();
+  apps::meshupdate::Config cfg;
+  cfg.cells_per_task = 128;
+  cfg.table_cells = 256;
+  cfg.timesteps = 2;
+  cfg.update_table = param.update;
+  const topo::Machine m = topo::Machine::nehalem_ex(2);
+
+  cfg.mode = apps::meshupdate::Mode::no_hls;
+  mpc::Node base_node(m, node_opts(16));
+  const double base = apps::meshupdate::run_on_node(base_node, cfg);
+
+  cfg.mode = param.mode;
+  mpc::Node node(m, node_opts(16));
+  const double got = apps::meshupdate::run_on_node(node, cfg);
+  EXPECT_DOUBLE_EQ(got, base);
+
+  // One table copy per scope instance actually materialized.
+  const auto& reg = node.hls_rt().registry();
+  ASSERT_EQ(reg.num_modules(), 1);
+  const auto& mod = reg.module(0);
+  ASSERT_EQ(mod.vars.size(), 1u);
+  EXPECT_EQ(node.hls_rt().storage().copies(mod.vars[0].canonical, 0),
+            param.expected_copies);
+}
+
+// ---- matmul ----
+
+TEST(MatmulApp, ChecksumIdenticalAcrossModes) {
+  apps::matmul::Config cfg;
+  cfg.n = 32;
+  cfg.block = 8;
+  cfg.timesteps = 2;
+  const topo::Machine m = topo::Machine::nehalem_ex(1);
+  double base = 0;
+  bool first = true;
+  for (auto mode : {apps::matmul::Mode::mpi_private,
+                    apps::matmul::Mode::hls_node,
+                    apps::matmul::Mode::hls_numa}) {
+    mpc::Node node(m, node_opts(8));
+    const double c = apps::matmul::run_on_node(node, cfg, mode);
+    if (first) {
+      base = c;
+      first = false;
+    } else {
+      EXPECT_DOUBLE_EQ(c, base) << to_string(mode);
+    }
+  }
+}
+
+TEST(MatmulApp, UpdateVariantChecksumsMatch) {
+  apps::matmul::Config cfg;
+  cfg.n = 24;
+  cfg.block = 8;
+  cfg.timesteps = 3;
+  cfg.update_b = true;
+  const topo::Machine m = topo::Machine::nehalem_ex(1);
+  mpc::Node a(m, node_opts(4));
+  const double base =
+      apps::matmul::run_on_node(a, cfg, apps::matmul::Mode::mpi_private);
+  mpc::Node b(m, node_opts(4));
+  EXPECT_DOUBLE_EQ(
+      apps::matmul::run_on_node(b, cfg, apps::matmul::Mode::hls_node), base);
+}
+
+TEST(MatmulApp, BlockedDgemmIsCorrect) {
+  // Reference check of the kernel itself on one rank against the naive
+  // triple loop done by hand here.
+  apps::matmul::Config cfg;
+  cfg.n = 16;
+  cfg.block = 8;
+  cfg.timesteps = 1;
+  const topo::Machine m = topo::Machine::nehalem_ex(1);
+  mpc::Node node(m, node_opts(1));
+  const double got =
+      apps::matmul::run_on_node(node, cfg, apps::matmul::Mode::mpi_private);
+  // Reference: same deterministic fill.
+  const int n = cfg.n;
+  std::vector<double> A(static_cast<std::size_t>(n) * n),
+      B(A.size()), C(A.size(), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      A[static_cast<std::size_t>(i) * n + j] = 0.125 * ((i * 13 + j * 5) % 8);
+      B[static_cast<std::size_t>(i) * n + j] =
+          0.25 * ((i * 31 + j * 17) % 16 - 8);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < n; ++k) {
+      for (int j = 0; j < n; ++j) {
+        C[static_cast<std::size_t>(i) * n + j] +=
+            A[static_cast<std::size_t>(i) * n + k] *
+            B[static_cast<std::size_t>(k) * n + j];
+      }
+    }
+  }
+  double want = 0;
+  for (double v : C) want += v;
+  EXPECT_NEAR(got, want, 1e-9);
+}
+
+TEST(MatmulApp, SimulatedPerformanceOrdering) {
+  // Figure 3's mid-range shape: sequential >= HLS > plain MPI when the
+  // duplicated working set overflows the LLC but the shared one fits.
+  const topo::Machine m = topo::Machine::nehalem_ex(2, /*divisor=*/64);
+  apps::matmul::Config cfg;
+  cfg.n = 64;  // 32 KB per matrix; 8 tasks x 3 > 288 KB LLC, shared B helps
+  cfg.block = 8;
+  cfg.timesteps = 3;
+  const auto seq =
+      apps::matmul::simulate(m, cfg, apps::matmul::Mode::sequential, 1);
+  const auto mpi =
+      apps::matmul::simulate(m, cfg, apps::matmul::Mode::mpi_private, 16);
+  const auto node =
+      apps::matmul::simulate(m, cfg, apps::matmul::Mode::hls_node, 16);
+  EXPECT_GT(seq.perf, mpi.perf);
+  EXPECT_GT(node.perf, mpi.perf);
+}
+
+// ---- eulermhd ----
+
+TEST(EulerMhdApp, ChecksumStableAcrossModes) {
+  apps::eulermhd::Config cfg;
+  cfg.global_nx = 64;
+  cfg.global_ny = 64;
+  cfg.eos_dim = 32;
+  cfg.timesteps = 2;
+  cfg.total_ranks = 32;  // 2 rows per rank at 8 local ranks
+  const topo::Machine m = topo::Machine::core2_cluster_node();
+  cfg.use_hls = false;
+  mpc::Node a(m, node_opts(8));
+  const auto base = apps::eulermhd::run(a, cfg);
+  cfg.use_hls = true;
+  mpc::Node b(m, node_opts(8));
+  const auto hls = apps::eulermhd::run(b, cfg);
+  EXPECT_DOUBLE_EQ(hls.checksum, base.checksum);
+  EXPECT_GT(base.checksum, 0.0);
+}
+
+TEST(EulerMhdApp, HlsSavesSevenTableCopies) {
+  apps::eulermhd::Config cfg;
+  cfg.global_nx = 32;
+  cfg.global_ny = 32;
+  cfg.eos_dim = 64;  // 32 KB table
+  cfg.timesteps = 1;
+  cfg.total_ranks = 32;
+  const topo::Machine m = topo::Machine::core2_cluster_node();
+  cfg.use_hls = false;
+  mpc::Node a(m, node_opts(8));
+  const auto priv = apps::eulermhd::run(a, cfg);
+  cfg.use_hls = true;
+  mpc::Node b(m, node_opts(8));
+  const auto hls = apps::eulermhd::run(b, cfg);
+  const double table_mb = 64.0 * 64.0 * sizeof(double) / (1 << 20);
+  // Expected gain ~ 7 x table (paper §V.B.1); allow generous slack.
+  EXPECT_NEAR(priv.avg_mb - hls.avg_mb, 7 * table_mb, table_mb);
+}
+
+// ---- gadget ----
+
+TEST(GadgetApp, ChecksumStableAcrossModes) {
+  apps::gadget::Config cfg;
+  cfg.particles_per_rank = 128;
+  cfg.ewald_dim = 8;
+  cfg.timesteps = 2;
+  const topo::Machine m = topo::Machine::core2_cluster_node();
+  cfg.use_hls = false;
+  mpc::Node a(m, node_opts(8));
+  const auto base = apps::gadget::run(a, cfg);
+  cfg.use_hls = true;
+  mpc::Node b(m, node_opts(8));
+  const auto hls = apps::gadget::run(b, cfg);
+  EXPECT_DOUBLE_EQ(hls.checksum, base.checksum);
+}
+
+TEST(GadgetApp, HlsReducesEwaldTableMemory) {
+  apps::gadget::Config cfg;
+  cfg.particles_per_rank = 64;
+  cfg.ewald_dim = 24;  // 24^3 doubles = 108 KB
+  cfg.timesteps = 1;
+  const topo::Machine m = topo::Machine::core2_cluster_node();
+  cfg.use_hls = false;
+  mpc::Node a(m, node_opts(8));
+  const auto priv = apps::gadget::run(a, cfg);
+  cfg.use_hls = true;
+  mpc::Node b(m, node_opts(8));
+  const auto hls = apps::gadget::run(b, cfg);
+  EXPECT_LT(hls.avg_mb, priv.avg_mb);
+}
+
+// ---- tachyon ----
+
+TEST(TachyonApp, ChecksumStableAcrossModes) {
+  apps::tachyon::Config cfg;
+  cfg.width = 64;
+  cfg.height = 64;
+  cfg.num_spheres = 8;
+  cfg.texture_floats = 4096;
+  cfg.frames = 2;
+  const topo::Machine m = topo::Machine::core2_cluster_node();
+  cfg.use_hls = false;
+  mpc::Node a(m, node_opts(8));
+  const auto base = apps::tachyon::run(a, cfg);
+  cfg.use_hls = true;
+  mpc::Node b(m, node_opts(8));
+  const auto hls = apps::tachyon::run(b, cfg);
+  EXPECT_DOUBLE_EQ(hls.checksum, base.checksum);
+  EXPECT_NE(base.checksum, 0.0);
+}
+
+TEST(TachyonApp, HlsElidesIntraNodeGatherCopies) {
+  // The paper's §V.B.3 observation: with the shared image, task 0's
+  // receives from local tasks carry identical source/destination and the
+  // runtime skips the copies.
+  apps::tachyon::Config cfg;
+  // Row chunks must exceed the eager threshold so the gather uses the
+  // rendezvous path, where the sender's buffer is live and the
+  // same-address copy can be skipped (as for the paper's 23 MB chunks).
+  cfg.width = 128;
+  cfg.height = 128;
+  cfg.frames = 3;
+  const topo::Machine m = topo::Machine::core2_cluster_node();
+  cfg.use_hls = false;
+  mpc::Node a(m, node_opts(8));
+  const auto priv = apps::tachyon::run(a, cfg);
+  EXPECT_EQ(priv.gather_copies_elided, 0u);
+  cfg.use_hls = true;
+  mpc::Node b(m, node_opts(8));
+  const auto hls = apps::tachyon::run(b, cfg);
+  EXPECT_EQ(hls.gather_copies_elided, 3u * 7u);  // frames x local senders
+}
+
+TEST(TachyonApp, HlsSharesSceneAndImage) {
+  apps::tachyon::Config cfg;
+  cfg.width = 96;
+  cfg.height = 96;
+  cfg.texture_floats = 1 << 16;  // 256 KB textures
+  cfg.frames = 1;
+  const topo::Machine m = topo::Machine::core2_cluster_node();
+  cfg.use_hls = false;
+  mpc::Node a(m, node_opts(8));
+  const auto priv = apps::tachyon::run(a, cfg);
+  cfg.use_hls = true;
+  mpc::Node b(m, node_opts(8));
+  const auto hls = apps::tachyon::run(b, cfg);
+  // scene + image replicated 8x vs once.
+  EXPECT_LT(hls.max_mb * 2, priv.max_mb);
+}

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include "cachesim/hierarchy.hpp"
+#include "cachesim/runner.hpp"
+#include "topo/topology.hpp"
+
+namespace cs = hlsmpc::cachesim;
+namespace topo = hlsmpc::topo;
+
+namespace {
+
+/// Tiny machine for deterministic cache arithmetic: 2 sockets x 2 cores,
+/// L1 private 1 KB, L2 shared per socket 8 KB, 64 B lines.
+topo::Machine tiny() {
+  topo::MachineDesc d;
+  d.name = "tiny";
+  d.sockets = 2;
+  d.cores_per_numa = 2;
+  d.caches = {
+      {.level = 1, .size_bytes = 1024, .line_bytes = 64, .associativity = 2,
+       .cpus_per_instance = 1, .latency_cycles = 1},
+      {.level = 2, .size_bytes = 8192, .line_bytes = 64, .associativity = 4,
+       .cpus_per_instance = 2, .latency_cycles = 10},
+  };
+  d.memory_latency_cycles = 100;
+  d.memory_lines_per_cycle = 0.5;
+  return topo::Machine(d);
+}
+
+}  // namespace
+
+TEST(Cache, HitAfterMiss) {
+  cs::Cache c(1024, 64, 2);
+  EXPECT_FALSE(c.access(5, false).hit);
+  EXPECT_TRUE(c.access(5, false).hit);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  // 2-way, 8 sets: lines 0, 8, 16 map to set 0.
+  cs::Cache c(1024, 64, 2);
+  c.access(0, false);
+  c.access(8, false);
+  c.access(0, false);  // refresh 0: now 8 is LRU
+  auto r = c.access(16, false);
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.victim_line, 8u);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(16));
+  EXPECT_FALSE(c.contains(8));
+}
+
+TEST(Cache, DirtyVictimCountsWriteback) {
+  cs::Cache c(1024, 64, 2);
+  c.access(0, true);  // dirty
+  c.access(8, false);
+  auto r = c.access(16, false);  // evicts 0 (LRU) which is dirty
+  EXPECT_TRUE(r.victim_dirty);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, InvalidateRemovesLine) {
+  cs::Cache c(1024, 64, 2);
+  c.access(3, false);
+  EXPECT_TRUE(c.invalidate(3));
+  EXPECT_FALSE(c.contains(3));
+  EXPECT_FALSE(c.invalidate(3));  // already gone
+  EXPECT_EQ(c.stats().invalidations, 1u);
+}
+
+TEST(Cache, GeometryValidation) {
+  EXPECT_THROW(cs::Cache(1024, 0, 2), std::invalid_argument);
+  EXPECT_THROW(cs::Cache(64, 64, 2), std::invalid_argument);  // 1 line, 2 ways
+}
+
+TEST(Hierarchy, LatencyOrdering) {
+  cs::Hierarchy h(tiny());
+  const std::uint64_t base = h.alloc_region(4096);
+  const std::uint64_t t_mem = h.access(0, base, false, 0);
+  const std::uint64_t t_l1 = h.access(0, base, false, t_mem);
+  EXPECT_GT(t_mem, 100u);  // memory latency dominates
+  EXPECT_EQ(t_l1, 1u);     // L1 hit
+  // Evict from L1 only (fill L1 set): lines mapping to the same set.
+  // L1: 1KB/64B/2way = 8 sets; same set stride = 8 lines = 512 bytes.
+  h.access(0, base + 512, false, 0);
+  h.access(0, base + 1024, false, 0);
+  const std::uint64_t t_l2 = h.access(0, base, false, 0);
+  EXPECT_EQ(t_l2, 1u + 10u);  // L1 miss, L2 hit
+}
+
+TEST(Hierarchy, SharedL2VisibleToSocketPeer) {
+  cs::Hierarchy h(tiny());
+  const std::uint64_t base = h.alloc_region(4096);
+  h.access(0, base, false, 0);                       // cpu0 pulls to L2
+  const std::uint64_t t = h.access(1, base, false, 0);  // same socket
+  EXPECT_EQ(t, 1u + 10u);  // L1 miss, hits the shared L2
+  // Other socket must go to memory.
+  const std::uint64_t t2 = h.access(2, base, false, 0);
+  EXPECT_GT(t2, 100u);
+}
+
+TEST(Hierarchy, WriteInvalidatesOtherSocketsCopies) {
+  cs::Hierarchy h(tiny());
+  const std::uint64_t base = h.alloc_region(4096);
+  h.access(0, base, false, 0);  // socket 0 caches it
+  h.access(2, base, false, 0);  // socket 1 caches it
+  EXPECT_TRUE(h.cache(2, 0).contains(base >> 6));
+  EXPECT_TRUE(h.cache(2, 1).contains(base >> 6));
+  h.access(0, base, true, 0);  // write from socket 0
+  EXPECT_TRUE(h.cache(2, 0).contains(base >> 6));   // writer's L2 keeps it
+  EXPECT_FALSE(h.cache(2, 1).contains(base >> 6));  // peer socket invalidated
+  EXPECT_GE(h.stats().coherence_invalidations, 1u);
+  // Socket-1 re-read misses to memory again.
+  EXPECT_GT(h.access(2, base, false, 0), 100u);
+}
+
+TEST(Hierarchy, WriteInvalidatesPeerCoreL1SameSocket) {
+  cs::Hierarchy h(tiny());
+  const std::uint64_t base = h.alloc_region(4096);
+  h.access(1, base, false, 0);  // cpu1's L1 + shared L2
+  h.access(0, base, false, 0);  // cpu0's L1
+  h.access(0, base, true, 0);   // cpu0 writes
+  EXPECT_FALSE(h.cache(1, 1).contains(base >> 6));  // cpu1 L1 invalidated
+  EXPECT_TRUE(h.cache(2, 0).contains(base >> 6));   // shared L2 retained
+  // cpu1 re-read: cheap L2 hit, not memory.
+  EXPECT_EQ(h.access(1, base, false, 0), 11u);
+}
+
+TEST(Hierarchy, InclusionBackInvalidatesInnerCaches) {
+  cs::Hierarchy h(tiny());
+  // L2 is 8KB/64B/4way = 32 sets; same-set stride = 32*64 = 2KB.
+  const std::uint64_t base = h.alloc_region(64 * 1024);
+  h.access(0, base, false, 0);
+  EXPECT_TRUE(h.cache(1, 0).contains(base >> 6));
+  // Fill L2 set 0 with 4 more lines mapping to it -> evicts `base`.
+  for (int i = 1; i <= 4; ++i) {
+    h.access(0, base + static_cast<std::uint64_t>(i) * 2048, false, 0);
+  }
+  EXPECT_FALSE(h.cache(2, 0).contains(base >> 6));
+  EXPECT_FALSE(h.cache(1, 0).contains(base >> 6))
+      << "inclusion violated: line evicted from L2 still in L1";
+}
+
+TEST(Hierarchy, BandwidthContentionQueues) {
+  // Two cores streaming distinct regions on one socket. With one line per
+  // 200 cycles of channel capacity and ~111-cycle miss latency, a second
+  // streaming core must queue behind the first.
+  topo::MachineDesc d = tiny().desc();
+  d.memory_lines_per_cycle = 0.005;  // 200 cycles of occupancy per line
+  const topo::Machine slow_mem{d};
+
+  cs::Hierarchy h(slow_mem);
+  const std::uint64_t r0 = h.alloc_region(1 << 20);
+  std::uint64_t t_solo = 0;
+  for (int i = 0; i < 64; ++i) {
+    t_solo += h.access(0, r0 + static_cast<std::uint64_t>(i) * 64, false, t_solo);
+  }
+  cs::Hierarchy h2(slow_mem);
+  const std::uint64_t a = h2.alloc_region(1 << 20);
+  const std::uint64_t b = h2.alloc_region(1 << 20);
+  std::uint64_t ta = 0, tb = 0;
+  for (int i = 0; i < 64; ++i) {
+    ta += h2.access(0, a + static_cast<std::uint64_t>(i) * 64, false, ta);
+    tb += h2.access(1, b + static_cast<std::uint64_t>(i) * 64, false, tb);
+  }
+  // Sharing the channel must be slower per core than running alone.
+  EXPECT_GT(ta, t_solo);
+  EXPECT_GT(tb, t_solo);
+  // Cores on the other socket use their own channel: no cross-socket queue.
+  cs::Hierarchy h3(slow_mem);
+  const std::uint64_t c = h3.alloc_region(1 << 20);
+  const std::uint64_t e = h3.alloc_region(1 << 20);
+  std::uint64_t tc = 0, te = 0;
+  for (int i = 0; i < 64; ++i) {
+    tc += h3.access(0, c + static_cast<std::uint64_t>(i) * 64, false, tc);
+    te += h3.access(2, e + static_cast<std::uint64_t>(i) * 64, false, te);
+  }
+  EXPECT_EQ(tc, t_solo);
+  EXPECT_EQ(te, t_solo);
+}
+
+TEST(Hierarchy, RegionsDoNotOverlap) {
+  cs::Hierarchy h(tiny());
+  const std::uint64_t a = h.alloc_region(1000);
+  const std::uint64_t b = h.alloc_region(1000);
+  EXPECT_GE(b, a + 1000);
+}
+
+TEST(Runner, MakespanIsMaxOfCores) {
+  cs::Hierarchy h(tiny());
+  const std::uint64_t r = h.alloc_region(1 << 16);
+  std::vector<cs::Access> short_trace, long_trace;
+  for (int i = 0; i < 10; ++i) {
+    short_trace.push_back({r + static_cast<std::uint64_t>(i) * 64, false, 0});
+  }
+  for (int i = 0; i < 100; ++i) {
+    long_trace.push_back(
+        {r + 4096 + static_cast<std::uint64_t>(i) * 64, false, 0});
+  }
+  std::vector<std::unique_ptr<cs::CoreStream>> streams;
+  streams.push_back(std::make_unique<cs::VectorStream>(short_trace));
+  streams.push_back(std::make_unique<cs::VectorStream>(long_trace));
+  cs::Runner runner(h, {0, 2}, std::move(streams));
+  const cs::RunResult rr = runner.run();
+  EXPECT_EQ(rr.total_accesses, 110u);
+  EXPECT_EQ(rr.makespan,
+            std::max(rr.cycles_per_core[0], rr.cycles_per_core[1]));
+  EXPECT_GT(rr.cycles_per_core[1], rr.cycles_per_core[0]);
+}
+
+TEST(Runner, ComputeCyclesAdvanceClock) {
+  cs::Hierarchy h(tiny());
+  const std::uint64_t r = h.alloc_region(4096);
+  std::vector<cs::Access> trace = {{r, false, 1000}, {r, false, 1000}};
+  std::vector<std::unique_ptr<cs::CoreStream>> streams;
+  streams.push_back(std::make_unique<cs::VectorStream>(trace));
+  cs::Runner runner(h, {0}, std::move(streams));
+  EXPECT_GT(runner.run().makespan, 2000u);
+}
+
+TEST(Runner, ValidatesArguments) {
+  cs::Hierarchy h(tiny());
+  std::vector<std::unique_ptr<cs::CoreStream>> streams;
+  streams.push_back(std::make_unique<cs::VectorStream>(std::vector<cs::Access>{}));
+  EXPECT_THROW(cs::Runner(h, {0, 1}, std::move(streams)),
+               std::invalid_argument);
+  std::vector<std::unique_ptr<cs::CoreStream>> streams2;
+  streams2.push_back(
+      std::make_unique<cs::VectorStream>(std::vector<cs::Access>{}));
+  EXPECT_THROW(cs::Runner(h, {99}, std::move(streams2)),
+               std::invalid_argument);
+}
+
+// Property: hit rate is monotone in cache capacity for an LRU-friendly
+// cyclic trace.
+class CapacitySweep : public testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CapacitySweep,
+                         testing::Values(1024, 2048, 4096, 8192));
+
+TEST_P(CapacitySweep, HitRateGrowsWithCapacity) {
+  const std::size_t size = GetParam();
+  cs::Cache small(size, 64, 4);
+  cs::Cache large(size * 2, 64, 4);
+  // Cyclic sweep over 3/2 of the small capacity.
+  const std::uint64_t lines = static_cast<std::uint64_t>(size) * 3 / 2 / 64;
+  for (int pass = 0; pass < 4; ++pass) {
+    for (std::uint64_t l = 0; l < lines; ++l) {
+      small.access(l * 7, false);  // stride to spread over sets
+      large.access(l * 7, false);
+    }
+  }
+  EXPECT_GE(large.stats().hit_rate(), small.stats().hit_rate());
+}
+
+TEST(HierarchyShape, DuplicatedTableThrashesSharedCacheSharedCopyFits) {
+  // The core HLS capacity effect in miniature: 2 cores random-reading
+  // either private table copies (2 x 6 KB > 8 KB L2) or one shared copy
+  // (6 KB < 8 KB L2). The shared variant must show a higher L2 hit rate.
+  const auto run = [&](bool shared) {
+    cs::Hierarchy h(tiny());
+    const std::size_t table = 6 * 1024;
+    const std::uint64_t t0 = h.alloc_region(table);
+    const std::uint64_t t1 = shared ? t0 : h.alloc_region(table);
+    std::uint64_t seed = 7;
+    auto next = [&seed] {
+      seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+      return seed >> 33;
+    };
+    std::vector<cs::Access> a, b;
+    for (int i = 0; i < 20000; ++i) {
+      a.push_back({t0 + next() % table, false, 0});
+      b.push_back({t1 + next() % table, false, 0});
+    }
+    std::vector<std::unique_ptr<cs::CoreStream>> streams;
+    streams.push_back(std::make_unique<cs::VectorStream>(std::move(a)));
+    streams.push_back(std::make_unique<cs::VectorStream>(std::move(b)));
+    cs::Runner runner(h, {0, 1}, std::move(streams));
+    const auto rr = runner.run();
+    return rr.makespan;
+  };
+  const std::uint64_t t_private = run(false);
+  const std::uint64_t t_shared = run(true);
+  EXPECT_LT(t_shared * 12 / 10, t_private)
+      << "sharing the table should be clearly faster";
+}

@@ -1,0 +1,153 @@
+// Property tests: the set-associative Cache against a straightforward
+// reference model (per-set LRU list), on randomized access streams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+
+namespace cs = hlsmpc::cachesim;
+
+namespace {
+
+/// Reference cache: per set, an LRU-ordered list of (tag, dirty).
+class ReferenceCache {
+ public:
+  ReferenceCache(std::size_t size, std::size_t line, int assoc)
+      : assoc_(assoc), sets_(size / line / static_cast<std::size_t>(assoc)) {
+    lists_.resize(sets_);
+  }
+
+  struct Result {
+    bool hit;
+    bool evicted;
+    std::uint64_t victim;
+    bool victim_dirty;
+  };
+
+  Result access(std::uint64_t tag, bool write) {
+    auto& lru = lists_[tag % sets_];
+    for (auto it = lru.begin(); it != lru.end(); ++it) {
+      if (it->first == tag) {
+        const bool dirty = it->second || write;
+        lru.erase(it);
+        lru.push_front({tag, dirty});
+        return {true, false, 0, false};
+      }
+    }
+    Result r{false, false, 0, false};
+    if (static_cast<int>(lru.size()) == assoc_) {
+      r.evicted = true;
+      r.victim = lru.back().first;
+      r.victim_dirty = lru.back().second;
+      lru.pop_back();
+    }
+    lru.push_front({tag, write});
+    return r;
+  }
+
+  bool invalidate(std::uint64_t tag) {
+    auto& lru = lists_[tag % sets_];
+    for (auto it = lru.begin(); it != lru.end(); ++it) {
+      if (it->first == tag) {
+        lru.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool contains(std::uint64_t tag) const {
+    const auto& lru = lists_[tag % sets_];
+    return std::any_of(lru.begin(), lru.end(),
+                       [&](const auto& e) { return e.first == tag; });
+  }
+
+ private:
+  int assoc_;
+  std::size_t sets_;
+  std::vector<std::list<std::pair<std::uint64_t, bool>>> lists_;
+};
+
+struct Geometry {
+  std::size_t size;
+  std::size_t line;
+  int assoc;
+};
+
+class CacheModelSweep : public testing::TestWithParam<Geometry> {};
+
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheModelSweep,
+    testing::Values(Geometry{1024, 64, 1},       // direct-mapped
+                    Geometry{1024, 64, 2},
+                    Geometry{4096, 64, 4},
+                    Geometry{8192, 64, 16},      // one set only... no: 8 sets
+                    Geometry{16384, 128, 8}),
+    [](const testing::TestParamInfo<Geometry>& info) {
+      return std::to_string(info.param.size) + "b_" +
+             std::to_string(info.param.line) + "l_" +
+             std::to_string(info.param.assoc) + "w";
+    });
+
+TEST_P(CacheModelSweep, MatchesReferenceOnRandomStream) {
+  const Geometry g = GetParam();
+  cs::Cache cache(g.size, g.line, g.assoc);
+  ReferenceCache ref(g.size, g.line, g.assoc);
+
+  std::uint64_t seed = 12345 + g.size + static_cast<std::uint64_t>(g.assoc);
+  auto next = [&seed] {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return seed >> 33;
+  };
+
+  const std::uint64_t tag_space =
+      2 * g.size / g.line;  // 2x capacity: plenty of conflict traffic
+  for (int i = 0; i < 20000; ++i) {
+    const int op = static_cast<int>(next() % 10);
+    const std::uint64_t tag = next() % tag_space;
+    if (op == 9) {
+      ASSERT_EQ(cache.invalidate(tag), ref.invalidate(tag)) << "step " << i;
+      continue;
+    }
+    const bool write = op >= 6;
+    const auto got = cache.access(tag, write);
+    const auto want = ref.access(tag, write);
+    ASSERT_EQ(got.hit, want.hit) << "step " << i << " tag " << tag;
+    ASSERT_EQ(got.evicted, want.evicted) << "step " << i;
+    if (want.evicted) {
+      ASSERT_EQ(got.victim_line, want.victim) << "step " << i;
+      ASSERT_EQ(got.victim_dirty, want.victim_dirty) << "step " << i;
+    }
+  }
+  // Final content agreement on a sample of tags.
+  for (std::uint64_t tag = 0; tag < tag_space; ++tag) {
+    ASSERT_EQ(cache.contains(tag), ref.contains(tag)) << "tag " << tag;
+  }
+}
+
+TEST_P(CacheModelSweep, FillMatchesAccessContents) {
+  // fill() must land lines exactly where a miss-access would.
+  const Geometry g = GetParam();
+  cs::Cache a(g.size, g.line, g.assoc);
+  cs::Cache b(g.size, g.line, g.assoc);
+  std::uint64_t seed = 777;
+  auto next = [&seed] {
+    seed = seed * 2862933555777941757ULL + 3037000493ULL;
+    return seed >> 33;
+  };
+  const std::uint64_t tag_space = 2 * g.size / g.line;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t tag = next() % tag_space;
+    a.access(tag, false);
+    b.fill(tag, false);
+    // fill() also refreshes LRU on present lines, like access().
+  }
+  for (std::uint64_t tag = 0; tag < tag_space; ++tag) {
+    ASSERT_EQ(a.contains(tag), b.contains(tag)) << "tag " << tag;
+  }
+}

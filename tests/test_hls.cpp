@@ -1,0 +1,743 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "hls/var.hpp"
+#include "ult/scheduler.hpp"
+
+namespace hls = hlsmpc::hls;
+namespace topo = hlsmpc::topo;
+namespace ult = hlsmpc::ult;
+
+namespace {
+
+/// Run `n` tasks pinned to cpus 0..n-1 on the given machine.
+void run_tasks(hls::Runtime& rt, int n, ult::Executor& ex,
+               const std::function<void(hls::TaskView&)>& body) {
+  std::vector<int> pins(static_cast<std::size_t>(n));
+  std::iota(pins.begin(), pins.end(), 0);
+  ex.run(n, pins, [&](ult::TaskContext& ctx) {
+    hls::TaskView view(rt, ctx);
+    body(view);
+  });
+}
+
+}  // namespace
+
+// ---------- registry ----------
+
+TEST(HlsRegistry, OffsetsRespectAlignment) {
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  hls::Runtime rt(m, 4);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto a = hls::add_var<char>(mb, "a", topo::node_scope());
+  auto b = hls::add_var<double>(mb, "b", topo::node_scope());
+  auto c = hls::add_var<char>(mb, "c", topo::node_scope());
+  auto d = hls::add_var<int>(mb, "d", topo::node_scope());
+  mb.commit();
+  EXPECT_EQ(a.handle().offset, 0u);
+  EXPECT_EQ(b.handle().offset, 8u);  // aligned up from 1
+  EXPECT_EQ(c.handle().offset, 16u);
+  EXPECT_EQ(d.handle().offset, 20u);  // aligned up from 17
+}
+
+TEST(HlsRegistry, PerScopeRegionsAreIndependent) {
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  hls::Runtime rt(m, 4);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto a = hls::add_var<double>(mb, "a", topo::node_scope());
+  auto b = hls::add_var<double>(mb, "b", topo::numa_scope());
+  mb.commit();
+  // Different scopes each start their own region at offset 0.
+  EXPECT_EQ(a.handle().offset, 0u);
+  EXPECT_EQ(b.handle().offset, 0u);
+  EXPECT_NE(a.handle().scope, b.handle().scope);
+}
+
+TEST(HlsRegistry, CacheScopeLevelResolvesToLlc) {
+  topo::Machine m = topo::Machine::nehalem_ex(2);  // llc = L3
+  hls::Runtime rt(m, 4);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_var<int>(mb, "v", topo::cache_scope(0));
+  mb.commit();
+  EXPECT_EQ(v.handle().scope.kind, topo::ScopeKind::cache);
+  EXPECT_EQ(v.handle().scope.cache_level, 3);
+}
+
+TEST(HlsRegistry, MisuseIsRejected) {
+  topo::Machine m = topo::Machine::nehalem_ex(1);
+  hls::Runtime rt(m, 2);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  hls::add_var<int>(mb, "x", topo::node_scope());
+  EXPECT_THROW(hls::add_var<int>(mb, "x", topo::node_scope()), hls::HlsError);
+  EXPECT_THROW(mb.add_raw("z", topo::node_scope(), 0, 8, {}), hls::HlsError);
+  EXPECT_THROW(mb.add_raw("w", topo::node_scope(), 8, 3, {}), hls::HlsError);
+  mb.commit();
+  // "variable must not have been accessed yet": no declarations after the
+  // module is live.
+  EXPECT_THROW(hls::add_var<int>(mb, "y", topo::node_scope()), hls::HlsError);
+  EXPECT_THROW(mb.commit(), hls::HlsError);
+}
+
+TEST(HlsRegistry, UseBeforeCommitThrows) {
+  topo::Machine m = topo::Machine::nehalem_ex(1);
+  hls::Runtime rt(m, 2);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_var<int>(mb, "v", topo::node_scope());
+  ult::ThreadExecutor ex;
+  EXPECT_THROW(
+      run_tasks(rt, 1, ex, [&](hls::TaskView& view) { view.get(v); }),
+      hls::HlsError);
+}
+
+// ---------- storage & sharing ----------
+
+TEST(HlsStorage, NodeScopeSharesOneCopy) {
+  topo::Machine m = topo::Machine::nehalem_ex(4);
+  hls::Runtime rt(m, 8);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_var<int>(mb, "v", topo::node_scope(), 41);
+  mb.commit();
+  std::mutex mu;
+  std::set<void*> addrs;
+  ult::ThreadExecutor ex;
+  run_tasks(rt, 8, ex, [&](hls::TaskView& view) {
+    int& x = view.get(v);
+    EXPECT_EQ(x, 41);  // initializer ran
+    std::lock_guard<std::mutex> lk(mu);
+    addrs.insert(&x);
+  });
+  EXPECT_EQ(addrs.size(), 1u);
+  EXPECT_EQ(rt.storage().copies(v.handle().scope, v.handle().module), 1);
+}
+
+TEST(HlsStorage, NumaScopeOneCopyPerNuma) {
+  topo::Machine m = topo::Machine::nehalem_ex(4);  // 8 cpus per numa
+  hls::Runtime rt(m, 32);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_var<double>(mb, "v", topo::numa_scope(), 2.5);
+  mb.commit();
+  std::mutex mu;
+  std::map<int, std::set<void*>> addrs_by_numa;
+  ult::ThreadExecutor ex;
+  run_tasks(rt, 32, ex, [&](hls::TaskView& view) {
+    double& x = view.get(v);
+    EXPECT_EQ(x, 2.5);
+    std::lock_guard<std::mutex> lk(mu);
+    addrs_by_numa[m.numa_of_cpu(view.cpu())].insert(&x);
+  });
+  EXPECT_EQ(addrs_by_numa.size(), 4u);
+  std::set<void*> all;
+  for (const auto& [numa, addrs] : addrs_by_numa) {
+    EXPECT_EQ(addrs.size(), 1u) << "numa " << numa;
+    all.insert(addrs.begin(), addrs.end());
+  }
+  EXPECT_EQ(all.size(), 4u);  // distinct across numa nodes
+  EXPECT_EQ(rt.storage().copies(v.handle().scope, v.handle().module), 4);
+}
+
+TEST(HlsStorage, CoreScopePrivatePerCore) {
+  topo::Machine m = topo::Machine::generic(1, 4, 1 << 20, /*smt=*/2);
+  hls::Runtime rt(m, 8);  // 8 hw threads on 4 cores
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_var<int>(mb, "v", topo::core_scope());
+  mb.commit();
+  std::mutex mu;
+  std::map<int, std::set<void*>> by_core;
+  ult::ThreadExecutor ex;
+  run_tasks(rt, 8, ex, [&](hls::TaskView& view) {
+    int& x = view.get(v);
+    std::lock_guard<std::mutex> lk(mu);
+    by_core[m.core_of_cpu(view.cpu())].insert(&x);
+  });
+  // Hyperthreads of a core share; different cores do not (paper §II.B.1).
+  EXPECT_EQ(by_core.size(), 4u);
+  for (const auto& [core, addrs] : by_core) EXPECT_EQ(addrs.size(), 1u);
+  EXPECT_EQ(rt.storage().copies(v.handle().scope, v.handle().module), 4);
+}
+
+TEST(HlsStorage, WritesVisibleWithinScopeInstance) {
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  hls::Runtime rt(m, 16);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_array<long>(mb, "arr", 16, topo::numa_scope());
+  mb.commit();
+  std::atomic<int> bad{0};
+  ult::ThreadExecutor ex;
+  run_tasks(rt, 16, ex, [&](hls::TaskView& view) {
+    long* arr = view.get(v);
+    const int numa = m.numa_of_cpu(view.cpu());
+    view.single({v.handle()}, [&] { arr[0] = 1000 + numa; });
+    // After the single, every member of the instance sees the write.
+    if (arr[0] != 1000 + numa) ++bad;
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(HlsStorage, MemoryAccountingMatchesCopyCount) {
+  topo::Machine m = topo::Machine::nehalem_ex(4);
+  hlsmpc::memtrack::Tracker tracker;
+  hls::Runtime rt(m, 32, &tracker);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  constexpr std::size_t kN = 1 << 12;
+  auto node_table = hls::add_array<double>(mb, "node_table", kN,
+                                           topo::node_scope());
+  auto numa_table = hls::add_array<double>(mb, "numa_table", kN,
+                                           topo::numa_scope());
+  mb.commit();
+  ult::ThreadExecutor ex;
+  run_tasks(rt, 32, ex, [&](hls::TaskView& view) {
+    view.get(node_table);
+    view.get(numa_table);
+  });
+  // 1 node copy + 4 numa copies of kN doubles each.
+  EXPECT_EQ(tracker.current(hlsmpc::memtrack::Category::hls_shared),
+            (1 + 4) * kN * sizeof(double));
+}
+
+TEST(HlsStorage, LazyAllocationOnlyTouchedInstances) {
+  topo::Machine m = topo::Machine::nehalem_ex(4);
+  hls::Runtime rt(m, 4);  // tasks only on cpus 0..3 => numa 0 only
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_var<int>(mb, "v", topo::numa_scope());
+  mb.commit();
+  ult::ThreadExecutor ex;
+  run_tasks(rt, 4, ex, [&](hls::TaskView& view) { view.get(v); });
+  EXPECT_EQ(rt.storage().copies(v.handle().scope, v.handle().module), 1);
+}
+
+TEST(HlsStorage, InitializerRunsOncePerInstance) {
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  hls::Runtime rt(m, 16);
+  static std::atomic<int> init_runs{0};
+  init_runs = 0;
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_array<int>(mb, "v", 8, topo::numa_scope(),
+                               [](int* p, std::size_t n) {
+                                 ++init_runs;
+                                 for (std::size_t i = 0; i < n; ++i) {
+                                   p[i] = static_cast<int>(i);
+                                 }
+                               });
+  mb.commit();
+  ult::ThreadExecutor ex;
+  run_tasks(rt, 16, ex, [&](hls::TaskView& view) {
+    int* p = view.get(v);
+    EXPECT_EQ(p[7], 7);
+    for (int i = 0; i < 100; ++i) view.get(v);  // repeated access
+  });
+  EXPECT_EQ(init_runs.load(), 2);  // one per touched numa instance
+}
+
+// ---------- synchronization ----------
+
+namespace {
+
+struct SyncParam {
+  topo::ScopeSpec scope;
+  bool fiber;
+};
+
+std::string sync_param_name(const testing::TestParamInfo<SyncParam>& info) {
+  std::string s = topo::to_string(info.param.scope);
+  for (char& c : s) {
+    if (c == '(' || c == ')') c = '_';
+  }
+  return s + (info.param.fiber ? "_fiber" : "_thread");
+}
+
+class HlsSyncParam : public testing::TestWithParam<SyncParam> {
+ protected:
+  std::unique_ptr<ult::Executor> make_executor() {
+    if (GetParam().fiber) return std::make_unique<ult::FiberExecutor>(2);
+    return std::make_unique<ult::ThreadExecutor>();
+  }
+};
+
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Scopes, HlsSyncParam,
+    testing::Values(SyncParam{topo::node_scope(), false},
+                    SyncParam{topo::numa_scope(), false},
+                    SyncParam{topo::cache_scope(0), false},
+                    SyncParam{topo::core_scope(), false},
+                    SyncParam{topo::node_scope(), true},
+                    SyncParam{topo::numa_scope(), true}),
+    sync_param_name);
+
+TEST_P(HlsSyncParam, SingleExecutesExactlyOncePerInstance) {
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  const int ntasks = 16;
+  hls::Runtime rt(m, ntasks);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_var<int>(mb, "v", GetParam().scope);
+  mb.commit();
+  const hls::CanonicalScope canon = v.handle().scope;
+  const int ninstances =
+      rt.scope_map().num_instances(GetParam().scope) *
+          0 +  // instances touched = those with tasks; all are (16 tasks on 16 cpus)
+      std::min(rt.scope_map().num_instances(GetParam().scope), ntasks);
+  std::atomic<int> executions{0};
+  std::atomic<int> bad{0};
+  auto ex = make_executor();
+  run_tasks(rt, ntasks, *ex, [&](hls::TaskView& view) {
+    int& x = view.get(v);
+    view.single({v.handle()}, [&] {
+      ++executions;
+      x = 7;
+    });
+    if (x != 7) ++bad;  // single's implicit barrier makes the write visible
+  });
+  EXPECT_EQ(executions.load(), ninstances);
+  EXPECT_EQ(bad.load(), 0);
+  (void)canon;
+}
+
+TEST_P(HlsSyncParam, BarrierSeparatesPhases) {
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  const int ntasks = 16;
+  hls::Runtime rt(m, ntasks);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_array<int>(mb, "v", 16, GetParam().scope);
+  mb.commit();
+  topo::ScopeMap sm(m);
+  const int per_instance = sm.cpus_per_instance(GetParam().scope);
+  std::atomic<int> bad{0};
+  auto ex = make_executor();
+  run_tasks(rt, ntasks, *ex, [&](hls::TaskView& view) {
+    int* arr = view.get(v);
+    const int slot = view.cpu() % per_instance;
+    for (int phase = 0; phase < 5; ++phase) {
+      arr[slot] = phase;
+      view.barrier({v.handle()});
+      // All instance members must have written this phase.
+      const int members = std::min(per_instance, 16);
+      for (int i = 0; i < members; ++i) {
+        if (arr[i] != phase) ++bad;
+      }
+      view.barrier({v.handle()});
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_P(HlsSyncParam, SingleNowaitFirstTaskRuns) {
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  const int ntasks = 16;
+  hls::Runtime rt(m, ntasks);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_var<int>(mb, "v", GetParam().scope);
+  mb.commit();
+  const int ninstances =
+      std::min(rt.scope_map().num_instances(GetParam().scope), ntasks);
+  std::atomic<int> executions{0};
+  auto ex = make_executor();
+  run_tasks(rt, ntasks, *ex, [&](hls::TaskView& view) {
+    for (int site = 0; site < 3; ++site) {
+      view.single_nowait({v.handle()}, [&] { ++executions; });
+    }
+  });
+  EXPECT_EQ(executions.load(), 3 * ninstances);
+}
+
+TEST(HlsSync, HierarchicalAndFlatBarriersAgree) {
+  topo::Machine m = topo::Machine::nehalem_ex(4);
+  for (bool flat : {false, true}) {
+    hls::Runtime rt(m, 32);
+    rt.sync().force_flat(flat);
+    EXPECT_EQ(rt.sync().uses_hierarchy(hls::CanonicalScope{
+                  topo::ScopeKind::node, 0}),
+              !flat);
+    hls::ModuleBuilder mb(rt.registry(), "mod");
+    auto v = hls::add_var<long>(mb, "v", topo::node_scope());
+    mb.commit();
+    std::atomic<long> sum{0};
+    std::atomic<int> bad{0};
+    ult::ThreadExecutor ex;
+    run_tasks(rt, 32, ex, [&](hls::TaskView& view) {
+      for (int round = 0; round < 3; ++round) {
+        sum.fetch_add(1);
+        view.barrier({v.handle()});
+        if (sum.load() < 32 * (round + 1)) ++bad;
+        view.barrier({v.handle()});
+      }
+    });
+    EXPECT_EQ(bad.load(), 0) << (flat ? "flat" : "hierarchical");
+  }
+}
+
+TEST(HlsSync, SingleLastArriverExecutes) {
+  // The paper implements single as a modified barrier in which the LAST
+  // entering task executes the block. Stagger arrivals and check that the
+  // executor is the straggler.
+  topo::Machine m = topo::Machine::nehalem_ex(1);
+  hls::Runtime rt(m, 4);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_var<int>(mb, "v", topo::node_scope());
+  mb.commit();
+  std::atomic<int> arrivals{0};
+  std::atomic<bool> task3_ran{false};
+  ult::ThreadExecutor ex;
+  run_tasks(rt, 4, ex, [&](hls::TaskView& view) {
+    view.get(v);
+    const int me = view.context().task_id();
+    if (me == 3) {
+      // Stagger: enter only after the other three are (about to be)
+      // parked inside the single's barrier.
+      while (arrivals.load() < 3) view.context().yield();
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    } else {
+      arrivals.fetch_add(1);
+    }
+    view.single({v.handle()}, [&] { task3_ran = (me == 3); });
+  });
+  EXPECT_TRUE(task3_ran.load());
+}
+
+TEST(HlsSync, MixedScopeSingleRejected) {
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  hls::Runtime rt(m, 2);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto a = hls::add_var<int>(mb, "a", topo::node_scope());
+  auto b = hls::add_var<int>(mb, "b", topo::numa_scope());
+  mb.commit();
+  std::atomic<int> threw{0};
+  ult::ThreadExecutor ex;
+  run_tasks(rt, 2, ex, [&](hls::TaskView& view) {
+    try {
+      view.single({a.handle(), b.handle()}, [] {});
+    } catch (const hls::HlsError&) {
+      ++threw;
+    }
+  });
+  EXPECT_EQ(threw.load(), 2);
+}
+
+TEST(HlsSync, BarrierListUsesWidestScope) {
+  // barrier(a: numa, b: node) must synchronize the whole node (§II.B.2).
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  hls::Runtime rt(m, 16);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto a = hls::add_var<int>(mb, "a", topo::numa_scope());
+  auto b = hls::add_var<int>(mb, "b", topo::node_scope());
+  mb.commit();
+  EXPECT_EQ(rt.widest_scope({a.handle(), b.handle()}).kind,
+            topo::ScopeKind::node);
+  std::atomic<int> count{0};
+  std::atomic<int> bad{0};
+  ult::ThreadExecutor ex;
+  run_tasks(rt, 16, ex, [&](hls::TaskView& view) {
+    count.fetch_add(1);
+    view.barrier({a.handle(), b.handle()});
+    if (count.load() != 16) ++bad;  // node-wide rendezvous
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(HlsSync, EmptyListsRejected) {
+  topo::Machine m = topo::Machine::nehalem_ex(1);
+  hls::Runtime rt(m, 1);
+  ult::ThreadExecutor ex;
+  std::atomic<int> threw{0};
+  run_tasks(rt, 1, ex, [&](hls::TaskView& view) {
+    try {
+      view.barrier({});
+    } catch (const hls::HlsError&) {
+      ++threw;
+    }
+    try {
+      view.single({}, [] {});
+    } catch (const hls::HlsError&) {
+      ++threw;
+    }
+  });
+  EXPECT_EQ(threw.load(), 2);
+}
+
+TEST(HlsStorage, MultipleModulesCoexist) {
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  hls::Runtime rt(m, 8);
+  hls::ModuleBuilder physics(rt.registry(), "physics");
+  auto eos = hls::add_array<double>(physics, "eos", 128, topo::node_scope());
+  physics.commit();
+  hls::ModuleBuilder solver(rt.registry(), "solver");
+  auto cfg = hls::add_var<int>(solver, "cfg", topo::node_scope(), 5);
+  auto cache_tab =
+      hls::add_array<float>(solver, "tab", 64, topo::numa_scope());
+  solver.commit();
+
+  std::atomic<int> bad{0};
+  ult::ThreadExecutor ex;
+  run_tasks(rt, 8, ex, [&](hls::TaskView& view) {
+    double* e = view.get(eos);
+    int& c = view.get(cfg);
+    float* t = view.get(cache_tab);
+    if (c != 5) ++bad;
+    view.single({eos.handle()}, [&] { e[0] = 1.5; });
+    view.single({cache_tab.handle()}, [&] { t[0] = 2.5f; });
+    if (e[0] != 1.5 || t[0] != 2.5f) ++bad;
+  });
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(rt.registry().num_modules(), 2);
+}
+
+TEST(HlsStorage, ConcurrentFirstTouchIsSafe) {
+  // Many tasks race to be the first accessor of many modules; each module
+  // region must be allocated and initialized exactly once.
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  hls::Runtime rt(m, 16);
+  constexpr int kModules = 12;
+  static std::atomic<int> inits{0};
+  inits = 0;
+  std::vector<hls::ArrayVar<long>> vars;
+  for (int i = 0; i < kModules; ++i) {
+    hls::ModuleBuilder mb(rt.registry(), "mod" + std::to_string(i));
+    vars.push_back(hls::add_array<long>(
+        mb, "v", 256, topo::node_scope(), [](long* p, std::size_t n) {
+          ++inits;
+          for (std::size_t j = 0; j < n; ++j) p[j] = static_cast<long>(j);
+        }));
+    mb.commit();
+  }
+  std::atomic<int> bad{0};
+  ult::ThreadExecutor ex;
+  run_tasks(rt, 16, ex, [&](hls::TaskView& view) {
+    for (int round = 0; round < 3; ++round) {
+      for (auto& v : vars) {
+        long* p = view.get(v);
+        if (p[255] != 255) ++bad;
+      }
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(inits.load(), kModules);  // once per module (node scope => 1 inst)
+}
+
+TEST(HlsSync, SingleNowaitSitesAreIndependentPerScope) {
+  // nowait counters are per scope: sites on different scopes do not
+  // interfere.
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  hls::Runtime rt(m, 16);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto a = hls::add_var<int>(mb, "a", topo::node_scope());
+  auto b = hls::add_var<int>(mb, "b", topo::numa_scope());
+  mb.commit();
+  std::atomic<int> node_runs{0}, numa_runs{0};
+  ult::ThreadExecutor ex;
+  run_tasks(rt, 16, ex, [&](hls::TaskView& view) {
+    view.single_nowait({a.handle()}, [&] { ++node_runs; });
+    view.single_nowait({b.handle()}, [&] { ++numa_runs; });
+    view.single_nowait({a.handle()}, [&] { ++node_runs; });
+  });
+  EXPECT_EQ(node_runs.load(), 2);  // two node sites
+  EXPECT_EQ(numa_runs.load(), 2);  // one site x two numa instances
+}
+
+TEST(HlsSync, ListingTwoBarrierNowaitPattern) {
+  // Listing 2 of the paper: explicit barriers around two nowait singles
+  // halves the synchronizations of listing 1 while staying correct.
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  hls::Runtime rt(m, 16);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto a = hls::add_var<int>(mb, "a", topo::node_scope());
+  auto b = hls::add_var<int>(mb, "b", topo::numa_scope());
+  mb.commit();
+  std::atomic<int> bad{0};
+  ult::ThreadExecutor ex;
+  run_tasks(rt, 16, ex, [&](hls::TaskView& view) {
+    int& av = view.get(a);
+    int& bv = view.get(b);
+    view.barrier({a.handle(), b.handle()});
+    view.single_nowait({a.handle()}, [&] { av = 4; });
+    view.single_nowait({b.handle()}, [&] { bv = 2; });
+    view.barrier({a.handle(), b.handle()});
+    // After the closing barrier both writes are visible everywhere.
+    if (av != 4 || bv != 2) ++bad;
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+// ---------- migration ----------
+
+TEST(HlsMigration, AlignedCountersAllowMove) {
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  hls::Runtime rt(m, 2);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_var<int>(mb, "v", topo::numa_scope(), 5);
+  mb.commit();
+  std::atomic<int> bad{0};
+  ult::ThreadExecutor ex;
+  // Tasks on cpus 0 and 1 (both numa 0); task 0 moves to numa 1.
+  run_tasks(rt, 2, ex, [&](hls::TaskView& view) {
+    int* before = &view.get(v);
+    if (view.context().task_id() == 0) {
+      view.migrate(8);  // cpu 8 = numa 1
+      int* after = &view.get(v);
+      if (after == before) ++bad;  // must now see numa 1's copy
+      if (*after != 5) ++bad;      // fresh copy initialized
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(HlsMigration, MismatchedCountersRejectMove) {
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  hls::Runtime rt(m, 8);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_var<int>(mb, "v", topo::numa_scope());
+  mb.commit();
+  std::atomic<int> threw{0};
+  ult::ThreadExecutor ex;
+  // All 8 tasks on numa 0 (cpus 0..7). They perform a numa-scope barrier;
+  // numa 1's instance has seen none, so migration there must be refused.
+  run_tasks(rt, 8, ex, [&](hls::TaskView& view) {
+    view.get(v);
+    view.barrier({v.handle()});
+    if (view.context().task_id() == 0) {
+      try {
+        view.migrate(8);
+      } catch (const hls::HlsError&) {
+        ++threw;
+      }
+    }
+  });
+  EXPECT_EQ(threw.load(), 1);
+}
+
+TEST(HlsMigration, BadCpuRejected) {
+  topo::Machine m = topo::Machine::nehalem_ex(1);
+  hls::Runtime rt(m, 1);
+  ult::ThreadExecutor ex;
+  std::atomic<int> threw{0};
+  run_tasks(rt, 1, ex, [&](hls::TaskView& view) {
+    try {
+      view.migrate(99);
+    } catch (const hls::HlsError&) {
+      ++threw;
+    }
+  });
+  EXPECT_EQ(threw.load(), 1);
+}
+
+TEST(HlsStorage, NumaLevelTwoSharesPerSocket) {
+  // The numa scope's level clause (§II.B.1): on a machine with two NUMA
+  // domains per socket, numa = 4 copies, numa level(2) = 2 copies.
+  topo::MachineDesc d;
+  d.name = "numa-heavy";
+  d.sockets = 2;
+  d.numa_per_socket = 2;
+  d.cores_per_numa = 2;
+  d.caches = {
+      {.level = 1, .size_bytes = 32 << 10, .line_bytes = 64,
+       .associativity = 8, .cpus_per_instance = 1, .latency_cycles = 4},
+      {.level = 2, .size_bytes = 1 << 20, .line_bytes = 64,
+       .associativity = 16, .cpus_per_instance = 4, .latency_cycles = 30},
+  };
+  const topo::Machine m{d};
+  hls::Runtime rt(m, 8);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto per_domain = hls::add_var<int>(mb, "d", topo::numa_scope());
+  auto per_socket =
+      hls::add_var<int>(mb, "s", topo::ScopeSpec{topo::ScopeKind::numa, 2});
+  mb.commit();
+  ult::ThreadExecutor ex;
+  run_tasks(rt, 8, ex, [&](hls::TaskView& view) {
+    view.get(per_domain);
+    view.get(per_socket);
+  });
+  EXPECT_EQ(rt.storage().copies(per_domain.handle().scope,
+                                per_domain.handle().module),
+            4);
+  EXPECT_EQ(rt.storage().copies(per_socket.handle().scope,
+                                per_socket.handle().module),
+            2);
+}
+
+TEST(HlsStorage, NumaLevelCollapsesOnSingleDomainSockets) {
+  // On Nehalem-EX one socket == one NUMA domain, so numa(2) and numa are
+  // the same canonical scope (no duplicate storage).
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  hls::Runtime rt(m, 4);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto a = hls::add_var<int>(mb, "a", topo::numa_scope());
+  auto b =
+      hls::add_var<int>(mb, "b", topo::ScopeSpec{topo::ScopeKind::numa, 2});
+  mb.commit();
+  EXPECT_EQ(a.handle().scope, b.handle().scope);
+}
+
+// ---------- heap-backed HLS variables (listing 4 pattern) ----------
+
+TEST(HlsHeap, PointerVariableWithSingleAllocation) {
+  // "an HLS global variable can point to heap-allocated memory with a
+  // proper use of the single directive around allocation/deallocation".
+  topo::Machine m = topo::Machine::nehalem_ex(1);
+  hls::Runtime rt(m, 8);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto bptr = hls::add_var<double*>(mb, "B", topo::node_scope(), nullptr);
+  mb.commit();
+  std::atomic<int> bad{0};
+  ult::ThreadExecutor ex;
+  run_tasks(rt, 8, ex, [&](hls::TaskView& view) {
+    double*& B = view.get(bptr);
+    view.single({bptr.handle()}, [&] {
+      B = new double[64];
+      for (int i = 0; i < 64; ++i) B[i] = i * 0.5;
+    });
+    if (B == nullptr || B[10] != 5.0) ++bad;
+    view.barrier({bptr.handle()});
+    view.single({bptr.handle()}, [&] {
+      delete[] B;
+      B = nullptr;
+    });
+    if (B != nullptr) ++bad;
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+// ---------- property sweep: episode counters stay consistent ----------
+
+class HlsCounterSweep : public testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Episodes, HlsCounterSweep,
+                         testing::Values(1, 3, 10));
+
+TEST_P(HlsCounterSweep, TaskAndInstanceCountsAgree) {
+  const int episodes = GetParam();
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  hls::Runtime rt(m, 16);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_var<int>(mb, "v", topo::node_scope());
+  mb.commit();
+  ult::ThreadExecutor ex;
+  run_tasks(rt, 16, ex, [&](hls::TaskView& view) {
+    for (int e = 0; e < episodes; ++e) {
+      switch (e % 3) {
+        case 0:
+          view.barrier({v.handle()});
+          break;
+        case 1:
+          view.single({v.handle()}, [] {});
+          break;
+        case 2:
+          view.single_nowait({v.handle()}, [] {});
+          break;
+      }
+    }
+  });
+  const hls::CanonicalScope node{topo::ScopeKind::node, 0};
+  const auto inst_count = rt.sync().instance_sync_count(node, 0);
+  EXPECT_EQ(inst_count, static_cast<std::uint64_t>(episodes));
+  for (int t = 0; t < 16; ++t) {
+    EXPECT_EQ(rt.sync().task_sync_count(t, node),
+              static_cast<std::uint64_t>(episodes))
+        << "task " << t;
+  }
+}

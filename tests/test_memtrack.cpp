@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "memtrack/memtrack.hpp"
+
+namespace mt = hlsmpc::memtrack;
+
+TEST(Tracker, AllocFreeAccounting) {
+  mt::Tracker t;
+  t.on_alloc(mt::Category::app, 100);
+  t.on_alloc(mt::Category::hls_shared, 50);
+  EXPECT_EQ(t.current(mt::Category::app), 100u);
+  EXPECT_EQ(t.current(mt::Category::hls_shared), 50u);
+  EXPECT_EQ(t.current_total(), 150u);
+  t.on_free(mt::Category::app, 100);
+  EXPECT_EQ(t.current_total(), 50u);
+  EXPECT_EQ(t.peak_total(), 150u);
+}
+
+TEST(Tracker, PeakTracksHighWaterMark) {
+  mt::Tracker t;
+  t.on_alloc(mt::Category::app, 10);
+  t.on_free(mt::Category::app, 10);
+  t.on_alloc(mt::Category::app, 6);
+  EXPECT_EQ(t.peak_total(), 10u);
+  t.on_alloc(mt::Category::app, 20);
+  EXPECT_EQ(t.peak_total(), 26u);
+}
+
+TEST(Tracker, OverFreeThrows) {
+  mt::Tracker t;
+  t.on_alloc(mt::Category::app, 10);
+  EXPECT_THROW(t.on_free(mt::Category::app, 11), std::logic_error);
+}
+
+TEST(Tracker, ConcurrentAccountingIsExact) {
+  mt::Tracker t;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&t] {
+      for (int j = 0; j < kIters; ++j) {
+        t.on_alloc(mt::Category::runtime_buffers, 64);
+        t.on_free(mt::Category::runtime_buffers, 64);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.current_total(), 0u);
+  EXPECT_GE(t.peak_total(), 64u);
+  EXPECT_LE(t.peak_total(), 64u * kThreads);
+}
+
+TEST(Buffer, RaiiChargesAndReleases) {
+  mt::Tracker t;
+  {
+    mt::Buffer b(t, mt::Category::app, 1024);
+    EXPECT_EQ(t.current_total(), 1024u);
+    EXPECT_EQ(b.size(), 1024u);
+    // Zero-initialized.
+    EXPECT_EQ(b.as<unsigned char>()[0], 0u);
+    EXPECT_EQ(b.as<unsigned char>()[1023], 0u);
+  }
+  EXPECT_EQ(t.current_total(), 0u);
+}
+
+TEST(Buffer, MoveTransfersOwnership) {
+  mt::Tracker t;
+  mt::Buffer a(t, mt::Category::app, 100);
+  mt::Buffer b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move) - testing moved-from state
+  EXPECT_TRUE(b);
+  EXPECT_EQ(t.current_total(), 100u);
+  mt::Buffer c(t, mt::Category::app, 7);
+  c = std::move(b);
+  EXPECT_EQ(t.current_total(), 100u);  // the 7-byte buffer was released
+  c.reset();
+  EXPECT_EQ(t.current_total(), 0u);
+}
+
+TEST(Sampler, AvgAndMaxMatchPaperStatistic) {
+  mt::Tracker t;
+  mt::Sampler s(t);
+  t.on_alloc(mt::Category::app, 100);
+  s.sample();
+  t.on_alloc(mt::Category::app, 300);
+  s.sample();
+  t.on_free(mt::Category::app, 200);
+  s.sample();
+  EXPECT_EQ(s.num_samples(), 3u);
+  EXPECT_DOUBLE_EQ(s.avg_bytes(), (100.0 + 400.0 + 200.0) / 3.0);
+  EXPECT_EQ(s.max_bytes(), 400u);
+}
+
+TEST(Sampler, EmptySamplerIsZero) {
+  mt::Tracker t;
+  mt::Sampler s(t);
+  EXPECT_DOUBLE_EQ(s.avg_bytes(), 0.0);
+  EXPECT_EQ(s.max_bytes(), 0u);
+}
+
+TEST(Category, Names) {
+  EXPECT_STREQ(mt::to_string(mt::Category::app), "app");
+  EXPECT_STREQ(mt::to_string(mt::Category::hls_shared), "hls_shared");
+  EXPECT_STREQ(mt::to_string(mt::Category::runtime_buffers), "runtime_buffers");
+  EXPECT_STREQ(mt::to_string(mt::Category::runtime_other), "runtime_other");
+}

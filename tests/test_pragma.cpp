@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include "pragma/lexer.hpp"
+#include "pragma/parser.hpp"
+#include "pragma/rewriter.hpp"
+
+namespace pr = hlsmpc::pragma;
+namespace topo = hlsmpc::topo;
+
+// ---- lexer ----
+
+TEST(PragmaLexer, TokenizesPragmaLine) {
+  const auto toks = pr::tokenize("#pragma hls node(a, b) level(2)");
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].text, "#");
+  EXPECT_EQ(toks[1].text, "pragma");
+  EXPECT_EQ(toks[2].text, "hls");
+  EXPECT_EQ(toks[3].text, "node");
+}
+
+TEST(PragmaLexer, DetectsHlsPragmas) {
+  EXPECT_TRUE(pr::is_hls_pragma("#pragma hls node(a)"));
+  EXPECT_TRUE(pr::is_hls_pragma("   #pragma hls single(x) nowait"));
+  EXPECT_FALSE(pr::is_hls_pragma("#pragma omp parallel"));
+  EXPECT_FALSE(pr::is_hls_pragma("int a;"));
+  EXPECT_FALSE(pr::is_hls_pragma("// #pragma hls node(a)"));
+}
+
+TEST(PragmaLexer, StripNoncodeMasksStringsAndComments) {
+  bool block = false;
+  EXPECT_FALSE(pr::contains_identifier(
+      pr::strip_noncode("printf(\"a is %d\", x); // uses a?", block), "a"));
+  EXPECT_TRUE(pr::contains_identifier(
+      pr::strip_noncode("f(a); /* a in comment */", block), "a"));
+  block = false;
+  std::string l1 = pr::strip_noncode("/* start", block);
+  EXPECT_TRUE(block);
+  std::string l2 = pr::strip_noncode("a inside */ b", block);
+  EXPECT_FALSE(block);
+  EXPECT_FALSE(pr::contains_identifier(l2, "a"));
+  EXPECT_TRUE(pr::contains_identifier(l2, "b"));
+}
+
+TEST(PragmaLexer, IdentifierWordBoundaries) {
+  EXPECT_TRUE(pr::contains_identifier("x = a + 1;", "a"));
+  EXPECT_FALSE(pr::contains_identifier("x = ab + 1;", "a"));
+  EXPECT_FALSE(pr::contains_identifier("x = ba;", "a"));
+  EXPECT_EQ(pr::replace_identifier("a = a + ab;", "a", "(*p)"),
+            "(*p) = (*p) + ab;");
+}
+
+// ---- parser ----
+
+TEST(PragmaParser, ParsesScopeDirectives) {
+  const std::string src = R"(
+int a;
+double table[100];
+#pragma hls node(a)
+#pragma hls cache(table) level(2)
+)";
+  const auto result = pr::parse(src);
+  EXPECT_TRUE(result.ok());
+  ASSERT_EQ(result.variables.size(), 2u);
+  EXPECT_EQ(result.variables[0].name, "a");
+  EXPECT_EQ(result.variables[0].scope, topo::node_scope());
+  EXPECT_EQ(result.variables[1].name, "table");
+  EXPECT_EQ(result.variables[1].scope, topo::cache_scope(2));
+  EXPECT_TRUE(result.variables[1].is_array);
+  EXPECT_EQ(result.variables[1].decl_type, "double");
+}
+
+TEST(PragmaParser, ParsesSingleAndBarrier) {
+  const std::string src = R"(
+int a, b;
+#pragma hls node(a)
+#pragma hls node(b)
+void f() {
+#pragma hls single(a) nowait
+  { a = 1; }
+#pragma hls barrier(a, b)
+}
+)";
+  const auto result = pr::parse(src);
+  EXPECT_TRUE(result.ok()) << result.diagnostics.size();
+  ASSERT_EQ(result.directives.size(), 4u);
+  EXPECT_EQ(result.directives[2].kind, pr::DirectiveKind::single);
+  EXPECT_TRUE(result.directives[2].nowait);
+  EXPECT_EQ(result.directives[3].kind, pr::DirectiveKind::barrier);
+  EXPECT_EQ(result.directives[3].vars,
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(PragmaParser, RejectsNonGlobal) {
+  const auto result = pr::parse("#pragma hls node(ghost)\n");
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_NE(result.diagnostics[0].message.find("not a declared global"),
+            std::string::npos);
+}
+
+TEST(PragmaParser, RejectsAlreadyAccessedVariable) {
+  // The threadprivate-style rule: the variable must not have been used
+  // before its HLS directive (paper §II.B.1).
+  const std::string src = R"(
+int a;
+int b = a + 1;
+#pragma hls node(a)
+)";
+  const auto result = pr::parse(src);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.diagnostics[0].message.find("already accessed"),
+            std::string::npos);
+}
+
+TEST(PragmaParser, RejectsMixedScopeSingle) {
+  const std::string src = R"(
+int a, b;
+#pragma hls node(a)
+#pragma hls numa(b)
+#pragma hls single(a, b)
+{ }
+)";
+  const auto result = pr::parse(src);
+  EXPECT_FALSE(result.ok());
+  bool found = false;
+  for (const auto& d : result.diagnostics) {
+    if (d.message.find("share one scope") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PragmaParser, RejectsSingleOnNonHlsVar) {
+  const std::string src = R"(
+int a;
+#pragma hls single(a)
+{ }
+)";
+  const auto result = pr::parse(src);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(PragmaParser, RejectsMalformedSyntax) {
+  EXPECT_FALSE(pr::parse("int a;\n#pragma hls node(a\n").ok());
+  EXPECT_FALSE(pr::parse("int a;\n#pragma hls node()\n").ok());
+  EXPECT_FALSE(pr::parse("int a;\n#pragma hls banana(a)\n").ok());
+  EXPECT_FALSE(pr::parse("int a;\n#pragma hls node(a) nowait\n").ok());
+  EXPECT_FALSE(pr::parse("int a;\n#pragma hls node(a) bogus\n").ok());
+}
+
+TEST(PragmaParser, DoubleHlsRejected) {
+  const std::string src = R"(
+int a;
+#pragma hls node(a)
+#pragma hls numa(a)
+)";
+  EXPECT_FALSE(pr::parse(src).ok());
+}
+
+TEST(PragmaParser, WidestScopeOrder) {
+  EXPECT_EQ(pr::widest_scope({topo::core_scope(), topo::node_scope()}),
+            topo::node_scope());
+  EXPECT_EQ(pr::widest_scope({topo::cache_scope(1), topo::cache_scope(2)}),
+            topo::cache_scope(2));
+  EXPECT_EQ(pr::widest_scope({topo::cache_scope(0), topo::cache_scope(3)}),
+            topo::cache_scope(0));  // llc wins over explicit levels
+  EXPECT_EQ(pr::widest_scope({topo::numa_scope(), topo::cache_scope(0)}),
+            topo::numa_scope());
+}
+
+// ---- rewriter ----
+
+TEST(PragmaRewriter, StripModePreservesCode) {
+  // "a compiler unaware of these directives can ignore them and should
+  // generate a correct code" (§II.C).
+  const std::string src =
+      "int a;\n#pragma hls node(a)\nint main() {\n  a = 3;\n  return a;\n}";
+  const auto result = pr::rewrite(src, pr::RewriteMode::strip);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.text,
+            "int a;\nint main() {\n  a = 3;\n  return a;\n}");
+}
+
+TEST(PragmaRewriter, TranslatesUsesToPointerIndirection) {
+  // The paper's §IV.A example: a = 3  =>  *ptr_a = 3.
+  const std::string src =
+      "int a;\n#pragma hls node(a)\nvoid f() {\n  a = 3;\n}";
+  const auto result = pr::rewrite(src);
+  ASSERT_TRUE(result.ok);
+  EXPECT_NE(result.text.find("int *ptr_a;"), std::string::npos);
+  EXPECT_NE(result.text.find(
+                "ptr_a = (int *)hls_get_addr_node(HLS_MOD_main, HLS_OFF_a);"),
+            std::string::npos);
+  EXPECT_NE(result.text.find("(*ptr_a) = 3;"), std::string::npos);
+}
+
+TEST(PragmaRewriter, TranslatesSingleToIfSingleDone) {
+  // The paper's §IV.B example shape.
+  const std::string src = R"(int a;
+#pragma hls node(a)
+void f() {
+#pragma hls single(a)
+  {
+    g(&a);
+  }
+}
+)";
+  const auto result = pr::rewrite(src);
+  ASSERT_TRUE(result.ok);
+  EXPECT_NE(result.text.find("if (hls_single(node)) {"), std::string::npos);
+  EXPECT_NE(result.text.find("g(&(*ptr_a));"), std::string::npos);
+  EXPECT_NE(result.text.find("hls_single_done(node);"), std::string::npos);
+}
+
+TEST(PragmaRewriter, SingleNowaitHasNoDone) {
+  const std::string src = R"(int a;
+#pragma hls node(a)
+void f() {
+#pragma hls single(a) nowait
+  {
+    a = 4;
+  }
+}
+)";
+  const auto result = pr::rewrite(src);
+  ASSERT_TRUE(result.ok);
+  EXPECT_NE(result.text.find("if (hls_single_nowait(node)) {"),
+            std::string::npos);
+  EXPECT_EQ(result.text.find("hls_single_done"), std::string::npos);
+}
+
+TEST(PragmaRewriter, BarrierUsesWidestScope) {
+  const std::string src = R"(int a, b;
+#pragma hls numa(a)
+#pragma hls node(b)
+void f() {
+#pragma hls barrier(a, b)
+}
+)";
+  const auto result = pr::rewrite(src);
+  ASSERT_TRUE(result.ok);
+  EXPECT_NE(result.text.find("hls_barrier(node);"), std::string::npos);
+}
+
+TEST(PragmaRewriter, ArrayUsesArePointerCompatible) {
+  const std::string src = R"(double table[1024];
+#pragma hls node(table)
+void f() {
+  double x = table[3];
+}
+)";
+  const auto result = pr::rewrite(src);
+  ASSERT_TRUE(result.ok);
+  EXPECT_NE(result.text.find("double *ptr_table;"), std::string::npos);
+  EXPECT_NE(result.text.find("(ptr_table)[3]"), std::string::npos);
+}
+
+TEST(PragmaRewriter, Listing1Translates) {
+  // Listing 1 of the paper: two scoped variables, each written inside its
+  // own blocking single.
+  const std::string src = R"(int a, b;
+#pragma hls node(a)
+#pragma hls numa(b)
+void f() {
+#pragma hls single(a)
+  {
+    a = 4;
+  }
+#pragma hls single(b)
+  {
+    b = 2;
+  }
+}
+)";
+  const auto result = pr::rewrite(src);
+  ASSERT_TRUE(result.ok);
+  EXPECT_NE(result.text.find("if (hls_single(node)) {"), std::string::npos);
+  EXPECT_NE(result.text.find("if (hls_single(numa)) {"), std::string::npos);
+  EXPECT_NE(result.text.find("(*ptr_a) = 4;"), std::string::npos);
+  EXPECT_NE(result.text.find("(*ptr_b) = 2;"), std::string::npos);
+  EXPECT_NE(result.text.find("hls_single_done(node);"), std::string::npos);
+  EXPECT_NE(result.text.find("hls_single_done(numa);"), std::string::npos);
+}
+
+TEST(PragmaRewriter, Listing2Translates) {
+  // Listing 2: nowait singles bracketed by two explicit barriers — half
+  // the synchronizations of listing 1.
+  const std::string src = R"(int a, b;
+#pragma hls node(a)
+#pragma hls numa(b)
+void f() {
+#pragma hls barrier(a, b)
+#pragma hls single(a) nowait
+  {
+    a = 4;
+  }
+#pragma hls single(b) nowait
+  {
+    b = 2;
+  }
+#pragma hls barrier(a, b)
+}
+)";
+  const auto result = pr::rewrite(src);
+  ASSERT_TRUE(result.ok);
+  // barrier(a: node, b: numa) synchronizes the largest scope: node.
+  const std::string barrier_call = "hls_barrier(node);";
+  const std::size_t first = result.text.find(barrier_call);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(result.text.find(barrier_call, first + 1), std::string::npos)
+      << "both explicit barriers must survive";
+  EXPECT_NE(result.text.find("if (hls_single_nowait(node)) {"),
+            std::string::npos);
+  EXPECT_NE(result.text.find("if (hls_single_nowait(numa)) {"),
+            std::string::npos);
+  EXPECT_EQ(result.text.find("hls_single_done"), std::string::npos);
+}
+
+TEST(PragmaRewriter, CacheLevelScopeSpelledOut) {
+  const std::string src = R"(int v;
+#pragma hls cache(v) level(2)
+void f() {
+  v = 1;
+}
+)";
+  const auto result = pr::rewrite(src);
+  ASSERT_TRUE(result.ok);
+  EXPECT_NE(result.text.find("hls_get_addr_cache_l2("), std::string::npos);
+}
+
+TEST(PragmaRewriter, IdentifiersInsideStringsUntouched) {
+  const std::string src = "int a;\n#pragma hls node(a)\nvoid f() {\n"
+                          "  printf(\"a = %d\", a);\n}";
+  const auto result = pr::rewrite(src);
+  ASSERT_TRUE(result.ok);
+  EXPECT_NE(result.text.find("printf(\"a = %d\", (*ptr_a));"),
+            std::string::npos);
+}
+
+TEST(PragmaRewriter, ErrorsBlockRewrite) {
+  const auto result = pr::rewrite("#pragma hls node(nope)\n");
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.text.empty());
+  EXPECT_FALSE(result.diagnostics.empty());
+}
+
+TEST(PragmaRewriter, Listing3ShapeTranslates) {
+  // Condensed listing 3 of the paper.
+  const std::string src = R"(double table[1024];
+#pragma hls node(table)
+int main() {
+#pragma hls single(table)
+  {
+    load_table(table);
+  }
+  compute(table);
+  return 0;
+}
+)";
+  const auto result = pr::rewrite(src);
+  ASSERT_TRUE(result.ok);
+  EXPECT_NE(result.text.find("if (hls_single(node)) {"), std::string::npos);
+  EXPECT_NE(result.text.find("load_table((ptr_table));"), std::string::npos);
+  EXPECT_NE(result.text.find("compute((ptr_table));"), std::string::npos);
+}

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "sbll/page_merge.hpp"
+
+namespace sbll = hlsmpc::sbll;
+
+TEST(PageMerge, IdenticalRegionMergesToOneCopy) {
+  sbll::PageMergeModel m;
+  const int r = m.add_region(64 * 1024, 8);
+  EXPECT_EQ(m.virtual_bytes(), 8u * 64 * 1024);
+  EXPECT_EQ(m.physical_bytes(), 8u * 64 * 1024);  // nothing merged yet
+  m.scan();
+  EXPECT_EQ(m.physical_bytes(), 64u * 1024);  // all copies identical
+  EXPECT_EQ(m.stats().pages_merged, 16u);
+  (void)r;
+}
+
+TEST(PageMerge, WriteUnmergesOnePage) {
+  sbll::PageMergeModel m;
+  const int r = m.add_region(64 * 1024, 8);
+  m.scan();
+  const std::size_t merged = m.physical_bytes();
+  m.write(r, 3, 5000, 8, /*version=*/1, /*rank_dependent=*/true);
+  // One 4 KB page is private again for all 8 copies.
+  EXPECT_EQ(m.physical_bytes(), merged + 7 * 4096);
+  EXPECT_EQ(m.stats().unmerge_faults, 1u);
+  EXPECT_GT(m.stats().overhead_cycles, 0u);
+}
+
+TEST(PageMerge, IdenticalRewriteRemergesOnNextScan) {
+  // The SPMD pattern: every rank rewrites the page with the same value;
+  // the scanner can merge it again — but only at the NEXT pass, and each
+  // write paid a fault. (HLS's single writes once and pays neither.)
+  sbll::PageMergeModel m;
+  const int r = m.add_region(4096, 4);
+  m.scan();
+  for (int rank = 0; rank < 4; ++rank) {
+    m.write(r, rank, 0, 4096, /*version=*/7, /*rank_dependent=*/false);
+  }
+  EXPECT_EQ(m.physical_bytes(), 4u * 4096);  // split until rescan
+  m.scan();
+  EXPECT_EQ(m.physical_bytes(), 4096u);
+  EXPECT_EQ(m.stats().unmerge_faults, 1u);  // first write faulted
+}
+
+TEST(PageMerge, RankDependentPagesNeverMerge) {
+  sbll::PageMergeModel m;
+  const int r = m.add_region(8192, 4);
+  for (int rank = 0; rank < 4; ++rank) {
+    m.write(r, rank, 0, 8192, /*version=*/1, /*rank_dependent=*/true);
+  }
+  m.scan();
+  m.scan();
+  EXPECT_EQ(m.physical_bytes(), 4u * 8192);
+}
+
+TEST(PageMerge, PageGranularityLosesPartialSharing) {
+  // The paper's granularity point: one rank-dependent byte poisons its
+  // whole page, while HLS shares at variable granularity.
+  sbll::PageMergeModel m;
+  const int r = m.add_region(16 * 4096, 8);
+  // Each rank writes 1 byte in page 0 with its rank id.
+  for (int rank = 0; rank < 8; ++rank) {
+    m.write(r, rank, 10, 1, 1, /*rank_dependent=*/true);
+  }
+  m.scan();
+  // 15 pages merged, page 0 replicated 8x.
+  EXPECT_EQ(m.physical_bytes(), 15u * 4096 + 8u * 4096);
+}
+
+TEST(PageMerge, ScanCostScalesWithPagesAndCopies) {
+  sbll::Config cfg;
+  cfg.scan_cost_per_page = 100;
+  sbll::PageMergeModel m(cfg);
+  m.add_region(8 * 4096, 4);
+  m.scan();
+  EXPECT_EQ(m.stats().pages_scanned, 32u);
+  EXPECT_EQ(m.stats().overhead_cycles, 3200u);
+}
+
+TEST(PageMerge, ArgumentValidation) {
+  sbll::PageMergeModel m;
+  EXPECT_THROW(m.add_region(0, 4), std::invalid_argument);
+  EXPECT_THROW(m.add_region(4096, 0), std::invalid_argument);
+  const int r = m.add_region(4096, 2);
+  EXPECT_THROW(m.write(99, 0, 0, 1, 1, false), std::out_of_range);
+  EXPECT_THROW(m.write(r, 5, 0, 1, 1, false), std::out_of_range);
+  EXPECT_THROW(m.write(r, 0, 4000, 200, 1, false), std::out_of_range);
+}

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "shm/arena.hpp"
+#include "shm/process_node.hpp"
+#include "shm/segment.hpp"
+#include "topo/topology.hpp"
+
+namespace shm = hlsmpc::shm;
+namespace topo = hlsmpc::topo;
+
+TEST(Segment, AnonymousIsReadWrite) {
+  shm::AnonymousSegment seg(1 << 16);
+  auto* p = static_cast<unsigned char*>(seg.base());
+  p[0] = 42;
+  p[(1 << 16) - 1] = 7;
+  EXPECT_EQ(p[0], 42);
+}
+
+TEST(Segment, NamedSegmentSharedAcrossAttaches) {
+  const std::string name = "/hlsmpc_test_" + std::to_string(getpid());
+  void* hint = reinterpret_cast<void*>(0x7f1234500000ULL);
+  shm::NamedSegment owner(name, 1 << 16, hint, /*owner=*/true);
+  EXPECT_EQ(owner.base(), hint);
+  std::strcpy(static_cast<char*>(owner.base()), "hello");
+  {
+    // Attach at a different address is allowed only without a hint; the
+    // same hint must fail while the owner holds the range.
+    EXPECT_THROW(shm::NamedSegment(name, 1 << 16, hint, false),
+                 shm::ShmError);
+    shm::NamedSegment view(name, 1 << 16, nullptr, false);
+    EXPECT_STREQ(static_cast<char*>(view.base()), "hello");
+  }
+}
+
+TEST(Segment, NamedSegmentOwnerCleansUp) {
+  const std::string name = "/hlsmpc_gone_" + std::to_string(getpid());
+  { shm::NamedSegment owner(name, 4096, nullptr, true); }
+  EXPECT_THROW(shm::NamedSegment(name, 4096, nullptr, false), shm::ShmError);
+}
+
+TEST(Arena, AllocateWriteFree) {
+  std::vector<std::byte> mem(1 << 16);
+  shm::Arena* a = shm::Arena::create(mem.data(), mem.size());
+  void* p = a->allocate(100);
+  std::memset(p, 0xAB, 100);
+  EXPECT_GT(a->bytes_used(), 0u);
+  a->deallocate(p);
+  EXPECT_EQ(a->bytes_used(), 0u);
+}
+
+TEST(Arena, CoalescingKeepsFreeListSmall) {
+  std::vector<std::byte> mem(1 << 16);
+  shm::Arena* a = shm::Arena::create(mem.data(), mem.size());
+  void* p1 = a->allocate(256);
+  void* p2 = a->allocate(256);
+  void* p3 = a->allocate(256);
+  a->deallocate(p1);
+  a->deallocate(p3);
+  a->deallocate(p2);  // merges with both neighbours and the tail
+  EXPECT_EQ(a->free_blocks(), 1);
+  EXPECT_EQ(a->bytes_used(), 0u);
+}
+
+TEST(Arena, AlignedAllocation) {
+  std::vector<std::byte> mem(1 << 16);
+  shm::Arena* a = shm::Arena::create(mem.data(), mem.size());
+  void* p = a->allocate(64, 256);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 256, 0u);
+  a->deallocate(p);
+  EXPECT_EQ(a->bytes_used(), 0u);
+}
+
+TEST(Arena, ExhaustionThrowsBadAlloc) {
+  std::vector<std::byte> mem(4096);
+  shm::Arena* a = shm::Arena::create(mem.data(), mem.size());
+  EXPECT_THROW(a->allocate(1 << 20), std::bad_alloc);
+}
+
+TEST(Arena, RandomAllocFreeIntegrity) {
+  std::vector<std::byte> mem(1 << 18);
+  shm::Arena* a = shm::Arena::create(mem.data(), mem.size());
+  std::uint64_t seed = 99;
+  auto next = [&seed] {
+    seed = seed * 6364136223846793005ULL + 1;
+    return seed >> 33;
+  };
+  struct Alloc {
+    unsigned char* p;
+    std::size_t n;
+    unsigned char tag;
+  };
+  std::vector<Alloc> live;
+  for (int i = 0; i < 500; ++i) {
+    if (live.empty() || next() % 2 == 0) {
+      const std::size_t n = 1 + next() % 700;
+      auto* p = static_cast<unsigned char*>(a->allocate(n));
+      const auto tag = static_cast<unsigned char>(next());
+      std::memset(p, tag, n);
+      live.push_back({p, n, tag});
+    } else {
+      const std::size_t k = next() % live.size();
+      for (std::size_t j = 0; j < live[k].n; ++j) {
+        ASSERT_EQ(live[k].p[j], live[k].tag) << "heap corruption";
+      }
+      a->deallocate(live[k].p);
+      live[k] = live.back();
+      live.pop_back();
+    }
+  }
+  for (const Alloc& al : live) {
+    for (std::size_t j = 0; j < al.n; ++j) {
+      ASSERT_EQ(al.p[j], al.tag);
+    }
+    a->deallocate(al.p);
+  }
+  EXPECT_EQ(a->bytes_used(), 0u);
+  EXPECT_EQ(a->free_blocks(), 1);
+}
+
+TEST(Arena, AttachSeesSameState) {
+  std::vector<std::byte> mem(1 << 16);
+  shm::Arena* a = shm::Arena::create(mem.data(), mem.size());
+  void* p = a->allocate(64);
+  shm::Arena* b = shm::Arena::attach(mem.data());
+  EXPECT_EQ(b->bytes_used(), a->bytes_used());
+  b->deallocate(p);
+  EXPECT_EQ(a->bytes_used(), 0u);
+  EXPECT_THROW(shm::Arena::attach(mem.data() + 64), shm::ShmError);
+}
+
+// ---- process-based node (paper §IV.C end to end) ----
+
+TEST(ProcessNode, SharesNodeVariableAcrossProcesses) {
+  const topo::Machine m = topo::Machine::core2_cluster_node();
+  shm::ProcessNode node(m, 4);
+  node.add_var("table", 1024 * sizeof(double), topo::node_scope());
+  node.run([](shm::ProcessTask& t) {
+    auto* table = t.var_as<double>("table");
+    // One process per node initializes (the single directive).
+    if (t.single_enter("table")) {
+      for (int i = 0; i < 1024; ++i) table[i] = i * 0.5;
+      t.single_done("table");
+    }
+    // Every process must observe the initialization through the shared
+    // segment (same virtual address in each process).
+    for (int i = 0; i < 1024; ++i) {
+      if (table[i] != i * 0.5) _exit(3);
+    }
+  });
+}
+
+TEST(ProcessNode, ScopedVariablesUseDistinctInstances) {
+  const topo::Machine m = topo::Machine::core2_cluster_node();  // 2 sockets
+  shm::ProcessNode node(m, 8);
+  node.add_var("per_numa", sizeof(long), topo::numa_scope());
+  node.run([](shm::ProcessTask& t) {
+    auto* v = t.var_as<long>("per_numa");
+    if (t.single_enter("per_numa")) {
+      *v = 100 + t.rank() / 4;  // numa id of the writer
+      t.single_done("per_numa");
+    }
+    t.barrier("per_numa");
+    const long expected = 100 + t.rank() / 4;
+    if (*v != expected) _exit(3);
+  });
+}
+
+TEST(ProcessNode, BarrierSynchronizesProcesses) {
+  const topo::Machine m = topo::Machine::core2_cluster_node();
+  shm::ProcessNode node(m, 4);
+  node.add_var("counter", sizeof(long), topo::node_scope());
+  node.run([](shm::ProcessTask& t) {
+    auto* v = t.var_as<long>("counter");
+    for (int round = 0; round < 3; ++round) {
+      __atomic_add_fetch(v, 1, __ATOMIC_SEQ_CST);
+      t.barrier("counter");
+      const long seen = __atomic_load_n(v, __ATOMIC_SEQ_CST);
+      if (seen < 4L * (round + 1)) _exit(3);
+      t.barrier("counter");
+    }
+  });
+}
+
+TEST(ProcessNode, SharedMallocVisibleEverywhere) {
+  const topo::Machine m = topo::Machine::core2_cluster_node();
+  shm::ProcessNode node(m, 4);
+  node.add_var("B", sizeof(double*), topo::node_scope());
+  node.run([](shm::ProcessTask& t) {
+    auto** b = t.var_as<double*>("B");
+    // Heap allocation inside a single goes to the shared arena: the
+    // pointer is meaningful in every process (§IV.C).
+    if (t.single_enter("B")) {
+      *b = static_cast<double*>(t.shared_malloc(256 * sizeof(double)));
+      for (int i = 0; i < 256; ++i) (*b)[i] = i + 0.25;
+      t.single_done("B");
+    }
+    for (int i = 0; i < 256; ++i) {
+      if ((*b)[i] != i + 0.25) _exit(3);
+    }
+    t.barrier("B");
+    if (t.single_enter("B")) {
+      t.shared_free(*b);
+      t.single_done("B");
+    }
+  });
+}
+
+TEST(ProcessNode, ChildFailureSurfaces) {
+  const topo::Machine m = topo::Machine::core2_cluster_node();
+  shm::ProcessNode node(m, 2);
+  node.add_var("x", 8, topo::node_scope());
+  EXPECT_THROW(node.run([](shm::ProcessTask& t) {
+                 if (t.rank() == 1) _exit(9);
+               }),
+               shm::ShmError);
+}
+
+TEST(ProcessNode, Misuse) {
+  const topo::Machine m = topo::Machine::core2_cluster_node();
+  shm::ProcessNode node(m, 2);
+  node.add_var("x", 8, topo::node_scope());
+  EXPECT_THROW(node.add_var("x", 8, topo::node_scope()), shm::ShmError);
+  node.run([](shm::ProcessTask& t) {
+    bool threw = false;
+    try {
+      t.var("nope");
+    } catch (const shm::ShmError&) {
+      threw = true;
+    }
+    if (!threw) _exit(3);
+  });
+  EXPECT_THROW(node.run([](shm::ProcessTask&) {}), shm::ShmError);
+  EXPECT_THROW(shm::ProcessNode(m, 99), shm::ShmError);
+}

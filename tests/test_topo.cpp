@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "topo/scope_map.hpp"
+#include "topo/topology.hpp"
+
+namespace topo = hlsmpc::topo;
+using topo::Machine;
+using topo::ScopeKind;
+using topo::ScopeMap;
+using topo::ScopeSpec;
+
+TEST(Topology, NehalemExShape) {
+  const Machine m = Machine::nehalem_ex(4);
+  EXPECT_EQ(m.num_sockets(), 4);
+  EXPECT_EQ(m.num_numa(), 4);
+  EXPECT_EQ(m.num_cores(), 32);
+  EXPECT_EQ(m.num_cpus(), 32);
+  EXPECT_EQ(m.llc_level(), 3);
+  EXPECT_EQ(m.cache_level(3).size_bytes, 18u << 20);
+  EXPECT_EQ(m.cache_level(3).cpus_per_instance, 8);
+  EXPECT_EQ(m.num_cache_instances(3), 4);
+  EXPECT_EQ(m.num_cache_instances(1), 32);
+}
+
+TEST(Topology, NehalemExMapping) {
+  const Machine m = Machine::nehalem_ex(4);
+  EXPECT_EQ(m.numa_of_cpu(0), 0);
+  EXPECT_EQ(m.numa_of_cpu(7), 0);
+  EXPECT_EQ(m.numa_of_cpu(8), 1);
+  EXPECT_EQ(m.numa_of_cpu(31), 3);
+  EXPECT_EQ(m.socket_of_cpu(31), 3);
+  EXPECT_EQ(m.cache_instance_of_cpu(3, 15), 1);
+  EXPECT_EQ(m.cache_instance_of_cpu(1, 15), 15);
+}
+
+TEST(Topology, CapacityScaling) {
+  const Machine m = Machine::nehalem_ex(4, 16);
+  EXPECT_EQ(m.cache_level(3).size_bytes, (18u << 20) / 16);
+  // Structure is unchanged by capacity scaling.
+  EXPECT_EQ(m.num_cpus(), 32);
+}
+
+TEST(Topology, Core2NodeShape) {
+  const Machine m = Machine::core2_cluster_node();
+  EXPECT_EQ(m.num_cpus(), 8);
+  EXPECT_EQ(m.llc_level(), 2);
+  // Pair-shared 6 MB L2: four instances on the node.
+  EXPECT_EQ(m.num_cache_instances(2), 4);
+  EXPECT_EQ(m.cache_instance_of_cpu(2, 0), 0);
+  EXPECT_EQ(m.cache_instance_of_cpu(2, 1), 0);
+  EXPECT_EQ(m.cache_instance_of_cpu(2, 2), 1);
+}
+
+TEST(Topology, SmtCpuMapping) {
+  const Machine m = Machine::generic(2, 4, 1 << 20, /*threads_per_core=*/2);
+  EXPECT_EQ(m.num_cores(), 8);
+  EXPECT_EQ(m.num_cpus(), 16);
+  EXPECT_EQ(m.core_of_cpu(0), 0);
+  EXPECT_EQ(m.core_of_cpu(1), 0);
+  EXPECT_EQ(m.core_of_cpu(2), 1);
+  EXPECT_EQ(m.cpus_of_core(3), (std::vector<int>{6, 7}));
+}
+
+TEST(Topology, RejectsDegenerateDescriptions) {
+  topo::MachineDesc d;
+  d.sockets = 0;
+  EXPECT_THROW(Machine{d}, std::invalid_argument);
+
+  topo::MachineDesc d2;
+  d2.caches = {};  // no cache levels
+  EXPECT_THROW(Machine{d2}, std::invalid_argument);
+
+  topo::MachineDesc d3;
+  d3.cores_per_numa = 4;
+  d3.caches = {{.level = 2, .size_bytes = 1024}};  // levels must start at 1
+  EXPECT_THROW(Machine{d3}, std::invalid_argument);
+
+  topo::MachineDesc d4;
+  d4.cores_per_numa = 4;
+  d4.caches = {{.level = 1, .size_bytes = 1024, .cpus_per_instance = 3}};
+  EXPECT_THROW(Machine{d4}, std::invalid_argument);  // 3 does not divide 4
+}
+
+TEST(Topology, RejectsShrinkingShareDegree) {
+  topo::MachineDesc d;
+  d.cores_per_numa = 4;
+  d.caches = {
+      {.level = 1, .size_bytes = 1024, .cpus_per_instance = 4},
+      {.level = 2, .size_bytes = 4096, .cpus_per_instance = 2},
+  };
+  EXPECT_THROW(Machine{d}, std::invalid_argument);
+}
+
+TEST(Topology, OutOfRangeQueriesThrow) {
+  const Machine m = Machine::nehalem_ex(1);
+  EXPECT_THROW(m.numa_of_cpu(-1), std::out_of_range);
+  EXPECT_THROW(m.numa_of_cpu(8), std::out_of_range);
+  EXPECT_THROW(m.cache_level(4), std::out_of_range);
+  EXPECT_THROW(m.cache_instance_of_cpu(1, 99), std::out_of_range);
+  EXPECT_THROW(m.cpus_of_cache_instance(3, 5), std::out_of_range);
+}
+
+TEST(ScopeSpec, NumaLevelTwoMapsToSockets) {
+  topo::MachineDesc d;
+  d.sockets = 2;
+  d.numa_per_socket = 2;
+  d.cores_per_numa = 2;
+  d.caches = {{.level = 1, .size_bytes = 4096, .cpus_per_instance = 1}};
+  const Machine m{d};
+  const ScopeMap sm(m);
+  const ScopeSpec numa2{ScopeKind::numa, 2};
+  EXPECT_EQ(sm.num_instances(topo::numa_scope()), 4);
+  EXPECT_EQ(sm.num_instances(numa2), 2);
+  EXPECT_EQ(sm.instance_of(numa2, 0), 0);
+  EXPECT_EQ(sm.instance_of(numa2, 3), 0);
+  EXPECT_EQ(sm.instance_of(numa2, 4), 1);
+  EXPECT_TRUE(sm.wider_or_equal(numa2, topo::numa_scope()));
+  EXPECT_TRUE(sm.wider_or_equal(topo::node_scope(), numa2));
+  EXPECT_EQ(topo::parse_scope("numa(2)"), numa2);
+  EXPECT_EQ(topo::to_string(numa2), "numa(2)");
+  EXPECT_THROW(sm.num_instances(ScopeSpec{ScopeKind::numa, 3}),
+               std::invalid_argument);
+}
+
+TEST(ScopeSpec, ParseAndFormatRoundTrip) {
+  EXPECT_EQ(topo::parse_scope("node"), topo::node_scope());
+  EXPECT_EQ(topo::parse_scope("numa"), topo::numa_scope());
+  EXPECT_EQ(topo::parse_scope("core"), topo::core_scope());
+  EXPECT_EQ(topo::parse_scope("cache"), topo::cache_scope(0));
+  EXPECT_EQ(topo::parse_scope("cache(llc)"), topo::cache_scope(0));
+  EXPECT_EQ(topo::parse_scope("cache(2)"), topo::cache_scope(2));
+  EXPECT_EQ(topo::to_string(topo::cache_scope(2)), "cache(2)");
+  EXPECT_EQ(topo::to_string(topo::node_scope()), "node");
+  EXPECT_THROW(topo::parse_scope("socket"), std::invalid_argument);
+  EXPECT_THROW(topo::parse_scope("cache(0)"), std::invalid_argument);
+  EXPECT_THROW(topo::parse_scope("cache(-1)"), std::invalid_argument);
+  EXPECT_THROW(topo::parse_scope("cache(x)"), std::invalid_argument);
+}
+
+TEST(ScopeMap, InstanceCounts) {
+  const Machine m = Machine::nehalem_ex(4);
+  const ScopeMap sm(m);
+  EXPECT_EQ(sm.num_instances(topo::node_scope()), 1);
+  EXPECT_EQ(sm.num_instances(topo::numa_scope()), 4);
+  EXPECT_EQ(sm.num_instances(topo::core_scope()), 32);
+  EXPECT_EQ(sm.num_instances(topo::cache_scope(0)), 4);   // llc = L3
+  EXPECT_EQ(sm.num_instances(topo::cache_scope(1)), 32);  // private L1
+}
+
+TEST(ScopeMap, InstanceOfCpu) {
+  const Machine m = Machine::nehalem_ex(4);
+  const ScopeMap sm(m);
+  for (int cpu = 0; cpu < m.num_cpus(); ++cpu) {
+    EXPECT_EQ(sm.instance_of(topo::node_scope(), cpu), 0);
+    EXPECT_EQ(sm.instance_of(topo::numa_scope(), cpu), cpu / 8);
+    EXPECT_EQ(sm.instance_of(topo::core_scope(), cpu), cpu);
+    EXPECT_EQ(sm.instance_of(topo::cache_scope(0), cpu), cpu / 8);
+  }
+}
+
+TEST(ScopeMap, WidestFollowsPaperOrder) {
+  // "node is the largest scope and core the smallest" (paper §II.B.2).
+  const Machine m = Machine::nehalem_ex(4);
+  const ScopeMap sm(m);
+  EXPECT_TRUE(sm.wider_or_equal(topo::node_scope(), topo::numa_scope()));
+  EXPECT_TRUE(sm.wider_or_equal(topo::numa_scope(), topo::cache_scope(0)));
+  EXPECT_TRUE(sm.wider_or_equal(topo::cache_scope(0), topo::cache_scope(1)));
+  EXPECT_TRUE(sm.wider_or_equal(topo::cache_scope(1), topo::core_scope()));
+  EXPECT_FALSE(sm.wider_or_equal(topo::core_scope(), topo::node_scope()));
+  EXPECT_EQ(sm.widest(topo::core_scope(), topo::node_scope()).kind,
+            ScopeKind::node);
+  EXPECT_EQ(sm.widest(topo::numa_scope(), topo::cache_scope(1)).kind,
+            ScopeKind::numa);
+}
+
+TEST(ScopeMap, CpusOfInstanceArePartition) {
+  const Machine m = Machine::nehalem_ex(2);
+  const ScopeMap sm(m);
+  for (const ScopeSpec s : {topo::node_scope(), topo::numa_scope(),
+                            topo::cache_scope(0), topo::core_scope()}) {
+    std::vector<bool> seen(static_cast<std::size_t>(m.num_cpus()), false);
+    for (int inst = 0; inst < sm.num_instances(s); ++inst) {
+      for (int cpu : sm.cpus_of_instance(s, inst)) {
+        EXPECT_FALSE(seen[static_cast<std::size_t>(cpu)])
+            << "cpu in two instances of " << topo::to_string(s);
+        seen[static_cast<std::size_t>(cpu)] = true;
+        EXPECT_EQ(sm.instance_of(s, cpu), inst);
+      }
+    }
+    for (bool b : seen) EXPECT_TRUE(b);
+  }
+}
+
+TEST(ScopeMap, CacheLevelValidation) {
+  const Machine m = Machine::core2_cluster_node();  // two levels only
+  const ScopeMap sm(m);
+  EXPECT_EQ(sm.resolved_cache_level(topo::cache_scope(0)), 2);
+  EXPECT_THROW(sm.num_instances(topo::cache_scope(3)), std::invalid_argument);
+}

@@ -1,0 +1,149 @@
+// End-to-end automatic HLS-eligibility detection: run real MPI programs
+// with a RuntimeTracer attached and check the advice (the paper's
+// future-work tool, conclusion + §III).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "hb/runtime_tracer.hpp"
+#include "mpi/runtime.hpp"
+#include "topo/topology.hpp"
+
+namespace mpi = hlsmpc::mpi;
+namespace hb = hlsmpc::hb;
+namespace topo = hlsmpc::topo;
+using hlsmpc::ult::TaskContext;
+
+namespace {
+
+mpi::Runtime make_rt(int n) {
+  mpi::Options o;
+  o.nranks = n;
+  return mpi::Runtime(topo::Machine::nehalem_ex(1), o);
+}
+
+}  // namespace
+
+TEST(RuntimeTracer, RecordsP2pSynchronization) {
+  mpi::Runtime rt = make_rt(2);
+  hb::RuntimeTracer tracer(2);
+  rt.set_trace_hook(&tracer);
+  rt.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    if (me == 0) {
+      tracer.on_write(0, "x", 7);
+      world.send_value(ctx, 7, 1, 3);
+    } else {
+      (void)world.recv_value<int>(ctx, 0, 3);
+      tracer.on_read(1, "x", 7);
+    }
+  });
+  rt.set_trace_hook(nullptr);
+
+  const hb::Trace trace = tracer.trace();
+  // write, send | recv, read
+  ASSERT_EQ(trace.events().size(), 4u);
+  hb::Analyzer analyzer(trace);
+  // The write happens before the read through the message.
+  const auto& order0 = trace.program_order(0);
+  const auto& order1 = trace.program_order(1);
+  EXPECT_TRUE(analyzer.happens_before(order0[0], order1[1]));
+  const auto result = analyzer.analyze();
+  EXPECT_EQ(result.for_var("x").eligibility, hb::Eligibility::eligible);
+}
+
+TEST(RuntimeTracer, CollectivesSynchronizeThroughTheirMessages) {
+  // A barrier collective is implemented over p2p; the tracer must capture
+  // enough of its structure that writes before it happen-before reads
+  // after it on every rank.
+  constexpr int kRanks = 4;
+  mpi::Runtime rt = make_rt(kRanks);
+  hb::RuntimeTracer tracer(kRanks);
+  rt.set_trace_hook(&tracer);
+  rt.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    tracer.on_write(me, "table", 42);  // everyone writes the same value
+    world.barrier(ctx);
+    tracer.on_read(me, "table", 42);
+  });
+  rt.set_trace_hook(nullptr);
+
+  const auto advice = tracer.advise();
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].recommendation, hb::Recommendation::share_as_is)
+      << advice[0].text;
+}
+
+TEST(RuntimeTracer, DetectsRankDependentVariable) {
+  constexpr int kRanks = 4;
+  mpi::Runtime rt = make_rt(kRanks);
+  hb::RuntimeTracer tracer(kRanks);
+  rt.set_trace_hook(&tracer);
+  rt.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    tracer.on_write(me, "my_rank", me);
+    world.barrier(ctx);
+    tracer.on_read(me, "my_rank", me);
+  });
+  rt.set_trace_hook(nullptr);
+
+  const auto advice = tracer.advise();
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].recommendation, hb::Recommendation::keep_private);
+  EXPECT_FALSE(advice[0].spmd_identical_writes);
+}
+
+TEST(RuntimeTracer, DetectsSpmdUpdatePattern) {
+  // The listing-1 pattern: every rank recomputes the variable identically
+  // each step with no separating barrier -> advise single insertion.
+  constexpr int kRanks = 3;
+  mpi::Runtime rt = make_rt(kRanks);
+  hb::RuntimeTracer tracer(kRanks);
+  rt.set_trace_hook(&tracer);
+  rt.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    for (int step = 1; step <= 2; ++step) {
+      tracer.on_write(me, "cfg", step * 10);
+      tracer.on_read(me, "cfg", step * 10);
+    }
+  });
+  rt.set_trace_hook(nullptr);
+
+  const auto advice = tracer.advise();
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].recommendation,
+            hb::Recommendation::wrap_writes_in_single);
+}
+
+TEST(RuntimeTracer, SendrecvRingIsCaptured) {
+  constexpr int kRanks = 4;
+  mpi::Runtime rt = make_rt(kRanks);
+  hb::RuntimeTracer tracer(kRanks);
+  rt.set_trace_hook(&tracer);
+  std::atomic<int> sum{0};
+  rt.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    int got = -1;
+    world.sendrecv(ctx, &me, sizeof(int), (me + 1) % kRanks, 0, &got,
+                   sizeof(int), (me + 3) % kRanks, 0);
+    sum += got;
+  });
+  rt.set_trace_hook(nullptr);
+  EXPECT_EQ(sum.load(), 0 + 1 + 2 + 3);
+  // One send + one recv per rank.
+  EXPECT_EQ(tracer.num_events(), 2u * kRanks);
+  // The trace replays cleanly (all recvs matched).
+  EXPECT_NO_THROW(hb::Analyzer{tracer.trace()});
+}
+
+TEST(RuntimeTracer, NumEventsCountsAppAndRuntimeEvents) {
+  mpi::Runtime rt = make_rt(2);
+  hb::RuntimeTracer tracer(2);
+  rt.set_trace_hook(&tracer);
+  rt.run([&](mpi::Comm& world, TaskContext& ctx) {
+    tracer.on_write(world.rank(ctx), "v", 1);
+  });
+  rt.set_trace_hook(nullptr);
+  EXPECT_EQ(tracer.num_events(), 2u);
+  EXPECT_THROW(hb::RuntimeTracer{0}, hlsmpc::hls::HlsError);
+}
