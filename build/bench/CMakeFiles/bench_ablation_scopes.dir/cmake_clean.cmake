@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scopes.dir/bench_ablation_scopes.cpp.o"
+  "CMakeFiles/bench_ablation_scopes.dir/bench_ablation_scopes.cpp.o.d"
+  "bench_ablation_scopes"
+  "bench_ablation_scopes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scopes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_sync.dir/bench_micro_sync.cpp.o"
+  "CMakeFiles/bench_micro_sync.dir/bench_micro_sync.cpp.o.d"
+  "bench_micro_sync"
+  "bench_micro_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

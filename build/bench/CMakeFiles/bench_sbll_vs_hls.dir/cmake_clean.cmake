@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sbll_vs_hls.dir/bench_sbll_vs_hls.cpp.o"
+  "CMakeFiles/bench_sbll_vs_hls.dir/bench_sbll_vs_hls.cpp.o.d"
+  "bench_sbll_vs_hls"
+  "bench_sbll_vs_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sbll_vs_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

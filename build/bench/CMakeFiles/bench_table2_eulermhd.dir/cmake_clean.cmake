@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_eulermhd.dir/bench_table2_eulermhd.cpp.o"
+  "CMakeFiles/bench_table2_eulermhd.dir/bench_table2_eulermhd.cpp.o.d"
+  "bench_table2_eulermhd"
+  "bench_table2_eulermhd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_eulermhd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

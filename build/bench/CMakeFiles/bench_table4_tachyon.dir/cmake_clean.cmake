@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_tachyon.dir/bench_table4_tachyon.cpp.o"
+  "CMakeFiles/bench_table4_tachyon.dir/bench_table4_tachyon.cpp.o.d"
+  "bench_table4_tachyon"
+  "bench_table4_tachyon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_tachyon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eligibility_advisor.dir/eligibility_advisor.cpp.o"
+  "CMakeFiles/eligibility_advisor.dir/eligibility_advisor.cpp.o.d"
+  "eligibility_advisor"
+  "eligibility_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eligibility_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_decoupling.dir/hybrid_decoupling.cpp.o"
+  "CMakeFiles/hybrid_decoupling.dir/hybrid_decoupling.cpp.o.d"
+  "hybrid_decoupling"
+  "hybrid_decoupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_decoupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_shared.dir/matmul_shared.cpp.o"
+  "CMakeFiles/matmul_shared.dir/matmul_shared.cpp.o.d"
+  "matmul_shared"
+  "matmul_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

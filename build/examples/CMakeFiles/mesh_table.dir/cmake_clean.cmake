@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_table.dir/mesh_table.cpp.o"
+  "CMakeFiles/mesh_table.dir/mesh_table.cpp.o.d"
+  "mesh_table"
+  "mesh_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_mode.dir/process_mode.cpp.o"
+  "CMakeFiles/process_mode.dir/process_mode.cpp.o.d"
+  "process_mode"
+  "process_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

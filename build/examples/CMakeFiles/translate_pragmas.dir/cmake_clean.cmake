@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_pragmas.dir/translate_pragmas.cpp.o"
+  "CMakeFiles/translate_pragmas.dir/translate_pragmas.cpp.o.d"
+  "translate_pragmas"
+  "translate_pragmas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_pragmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

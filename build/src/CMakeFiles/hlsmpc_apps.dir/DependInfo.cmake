@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/eulermhd/eulermhd.cpp" "src/CMakeFiles/hlsmpc_apps.dir/apps/eulermhd/eulermhd.cpp.o" "gcc" "src/CMakeFiles/hlsmpc_apps.dir/apps/eulermhd/eulermhd.cpp.o.d"
+  "/root/repo/src/apps/gadget/gadget.cpp" "src/CMakeFiles/hlsmpc_apps.dir/apps/gadget/gadget.cpp.o" "gcc" "src/CMakeFiles/hlsmpc_apps.dir/apps/gadget/gadget.cpp.o.d"
+  "/root/repo/src/apps/matmul/matmul.cpp" "src/CMakeFiles/hlsmpc_apps.dir/apps/matmul/matmul.cpp.o" "gcc" "src/CMakeFiles/hlsmpc_apps.dir/apps/matmul/matmul.cpp.o.d"
+  "/root/repo/src/apps/meshupdate/mesh_update.cpp" "src/CMakeFiles/hlsmpc_apps.dir/apps/meshupdate/mesh_update.cpp.o" "gcc" "src/CMakeFiles/hlsmpc_apps.dir/apps/meshupdate/mesh_update.cpp.o.d"
+  "/root/repo/src/apps/tachyon/tachyon.cpp" "src/CMakeFiles/hlsmpc_apps.dir/apps/tachyon/tachyon.cpp.o" "gcc" "src/CMakeFiles/hlsmpc_apps.dir/apps/tachyon/tachyon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hlsmpc_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hlsmpc_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hlsmpc_memtrack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hlsmpc_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hlsmpc_ult.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hlsmpc_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hlsmpc_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsmpc_apps.dir/apps/eulermhd/eulermhd.cpp.o"
+  "CMakeFiles/hlsmpc_apps.dir/apps/eulermhd/eulermhd.cpp.o.d"
+  "CMakeFiles/hlsmpc_apps.dir/apps/gadget/gadget.cpp.o"
+  "CMakeFiles/hlsmpc_apps.dir/apps/gadget/gadget.cpp.o.d"
+  "CMakeFiles/hlsmpc_apps.dir/apps/matmul/matmul.cpp.o"
+  "CMakeFiles/hlsmpc_apps.dir/apps/matmul/matmul.cpp.o.d"
+  "CMakeFiles/hlsmpc_apps.dir/apps/meshupdate/mesh_update.cpp.o"
+  "CMakeFiles/hlsmpc_apps.dir/apps/meshupdate/mesh_update.cpp.o.d"
+  "CMakeFiles/hlsmpc_apps.dir/apps/tachyon/tachyon.cpp.o"
+  "CMakeFiles/hlsmpc_apps.dir/apps/tachyon/tachyon.cpp.o.d"
+  "libhlsmpc_apps.a"
+  "libhlsmpc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsmpc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsmpc_cachesim.dir/cachesim/cache.cpp.o"
+  "CMakeFiles/hlsmpc_cachesim.dir/cachesim/cache.cpp.o.d"
+  "CMakeFiles/hlsmpc_cachesim.dir/cachesim/hierarchy.cpp.o"
+  "CMakeFiles/hlsmpc_cachesim.dir/cachesim/hierarchy.cpp.o.d"
+  "CMakeFiles/hlsmpc_cachesim.dir/cachesim/runner.cpp.o"
+  "CMakeFiles/hlsmpc_cachesim.dir/cachesim/runner.cpp.o.d"
+  "libhlsmpc_cachesim.a"
+  "libhlsmpc_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsmpc_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

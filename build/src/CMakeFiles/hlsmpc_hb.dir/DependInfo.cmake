@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hb/advisor.cpp" "src/CMakeFiles/hlsmpc_hb.dir/hb/advisor.cpp.o" "gcc" "src/CMakeFiles/hlsmpc_hb.dir/hb/advisor.cpp.o.d"
+  "/root/repo/src/hb/analyzer.cpp" "src/CMakeFiles/hlsmpc_hb.dir/hb/analyzer.cpp.o" "gcc" "src/CMakeFiles/hlsmpc_hb.dir/hb/analyzer.cpp.o.d"
+  "/root/repo/src/hb/runtime_tracer.cpp" "src/CMakeFiles/hlsmpc_hb.dir/hb/runtime_tracer.cpp.o" "gcc" "src/CMakeFiles/hlsmpc_hb.dir/hb/runtime_tracer.cpp.o.d"
+  "/root/repo/src/hb/trace.cpp" "src/CMakeFiles/hlsmpc_hb.dir/hb/trace.cpp.o" "gcc" "src/CMakeFiles/hlsmpc_hb.dir/hb/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

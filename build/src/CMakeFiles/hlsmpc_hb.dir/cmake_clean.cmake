@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsmpc_hb.dir/hb/advisor.cpp.o"
+  "CMakeFiles/hlsmpc_hb.dir/hb/advisor.cpp.o.d"
+  "CMakeFiles/hlsmpc_hb.dir/hb/analyzer.cpp.o"
+  "CMakeFiles/hlsmpc_hb.dir/hb/analyzer.cpp.o.d"
+  "CMakeFiles/hlsmpc_hb.dir/hb/runtime_tracer.cpp.o"
+  "CMakeFiles/hlsmpc_hb.dir/hb/runtime_tracer.cpp.o.d"
+  "CMakeFiles/hlsmpc_hb.dir/hb/trace.cpp.o"
+  "CMakeFiles/hlsmpc_hb.dir/hb/trace.cpp.o.d"
+  "libhlsmpc_hb.a"
+  "libhlsmpc_hb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsmpc_hb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsmpc_hls.dir/hls/registry.cpp.o"
+  "CMakeFiles/hlsmpc_hls.dir/hls/registry.cpp.o.d"
+  "CMakeFiles/hlsmpc_hls.dir/hls/runtime.cpp.o"
+  "CMakeFiles/hlsmpc_hls.dir/hls/runtime.cpp.o.d"
+  "CMakeFiles/hlsmpc_hls.dir/hls/storage.cpp.o"
+  "CMakeFiles/hlsmpc_hls.dir/hls/storage.cpp.o.d"
+  "CMakeFiles/hlsmpc_hls.dir/hls/sync.cpp.o"
+  "CMakeFiles/hlsmpc_hls.dir/hls/sync.cpp.o.d"
+  "libhlsmpc_hls.a"
+  "libhlsmpc_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsmpc_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

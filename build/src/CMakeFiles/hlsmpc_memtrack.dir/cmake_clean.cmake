@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsmpc_memtrack.dir/memtrack/memtrack.cpp.o"
+  "CMakeFiles/hlsmpc_memtrack.dir/memtrack/memtrack.cpp.o.d"
+  "libhlsmpc_memtrack.a"
+  "libhlsmpc_memtrack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsmpc_memtrack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

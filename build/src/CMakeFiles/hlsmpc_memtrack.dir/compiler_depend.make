@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hlsmpc_memtrack.
+# This may be replaced when dependencies are built.

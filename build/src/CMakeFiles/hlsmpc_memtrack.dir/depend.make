@@ -1,0 +1,2 @@
+# Empty dependencies file for hlsmpc_memtrack.
+# This may be replaced when dependencies are built.

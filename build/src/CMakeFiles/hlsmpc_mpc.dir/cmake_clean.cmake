@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsmpc_mpc.dir/mpc/node.cpp.o"
+  "CMakeFiles/hlsmpc_mpc.dir/mpc/node.cpp.o.d"
+  "libhlsmpc_mpc.a"
+  "libhlsmpc_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsmpc_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhlsmpc_mpc.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/buffers.cpp" "src/CMakeFiles/hlsmpc_mpi.dir/mpi/buffers.cpp.o" "gcc" "src/CMakeFiles/hlsmpc_mpi.dir/mpi/buffers.cpp.o.d"
+  "/root/repo/src/mpi/collectives.cpp" "src/CMakeFiles/hlsmpc_mpi.dir/mpi/collectives.cpp.o" "gcc" "src/CMakeFiles/hlsmpc_mpi.dir/mpi/collectives.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/CMakeFiles/hlsmpc_mpi.dir/mpi/comm.cpp.o" "gcc" "src/CMakeFiles/hlsmpc_mpi.dir/mpi/comm.cpp.o.d"
+  "/root/repo/src/mpi/p2p.cpp" "src/CMakeFiles/hlsmpc_mpi.dir/mpi/p2p.cpp.o" "gcc" "src/CMakeFiles/hlsmpc_mpi.dir/mpi/p2p.cpp.o.d"
+  "/root/repo/src/mpi/runtime.cpp" "src/CMakeFiles/hlsmpc_mpi.dir/mpi/runtime.cpp.o" "gcc" "src/CMakeFiles/hlsmpc_mpi.dir/mpi/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hlsmpc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hlsmpc_ult.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hlsmpc_memtrack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsmpc_mpi.dir/mpi/buffers.cpp.o"
+  "CMakeFiles/hlsmpc_mpi.dir/mpi/buffers.cpp.o.d"
+  "CMakeFiles/hlsmpc_mpi.dir/mpi/collectives.cpp.o"
+  "CMakeFiles/hlsmpc_mpi.dir/mpi/collectives.cpp.o.d"
+  "CMakeFiles/hlsmpc_mpi.dir/mpi/comm.cpp.o"
+  "CMakeFiles/hlsmpc_mpi.dir/mpi/comm.cpp.o.d"
+  "CMakeFiles/hlsmpc_mpi.dir/mpi/p2p.cpp.o"
+  "CMakeFiles/hlsmpc_mpi.dir/mpi/p2p.cpp.o.d"
+  "CMakeFiles/hlsmpc_mpi.dir/mpi/runtime.cpp.o"
+  "CMakeFiles/hlsmpc_mpi.dir/mpi/runtime.cpp.o.d"
+  "libhlsmpc_mpi.a"
+  "libhlsmpc_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsmpc_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pragma/lexer.cpp" "src/CMakeFiles/hlsmpc_pragma.dir/pragma/lexer.cpp.o" "gcc" "src/CMakeFiles/hlsmpc_pragma.dir/pragma/lexer.cpp.o.d"
+  "/root/repo/src/pragma/parser.cpp" "src/CMakeFiles/hlsmpc_pragma.dir/pragma/parser.cpp.o" "gcc" "src/CMakeFiles/hlsmpc_pragma.dir/pragma/parser.cpp.o.d"
+  "/root/repo/src/pragma/rewriter.cpp" "src/CMakeFiles/hlsmpc_pragma.dir/pragma/rewriter.cpp.o" "gcc" "src/CMakeFiles/hlsmpc_pragma.dir/pragma/rewriter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsmpc_pragma.dir/pragma/lexer.cpp.o"
+  "CMakeFiles/hlsmpc_pragma.dir/pragma/lexer.cpp.o.d"
+  "CMakeFiles/hlsmpc_pragma.dir/pragma/parser.cpp.o"
+  "CMakeFiles/hlsmpc_pragma.dir/pragma/parser.cpp.o.d"
+  "CMakeFiles/hlsmpc_pragma.dir/pragma/rewriter.cpp.o"
+  "CMakeFiles/hlsmpc_pragma.dir/pragma/rewriter.cpp.o.d"
+  "libhlsmpc_pragma.a"
+  "libhlsmpc_pragma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsmpc_pragma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsmpc_sbll.dir/sbll/page_merge.cpp.o"
+  "CMakeFiles/hlsmpc_sbll.dir/sbll/page_merge.cpp.o.d"
+  "libhlsmpc_sbll.a"
+  "libhlsmpc_sbll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsmpc_sbll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

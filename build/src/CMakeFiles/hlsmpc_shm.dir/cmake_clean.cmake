@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsmpc_shm.dir/shm/arena.cpp.o"
+  "CMakeFiles/hlsmpc_shm.dir/shm/arena.cpp.o.d"
+  "CMakeFiles/hlsmpc_shm.dir/shm/process_node.cpp.o"
+  "CMakeFiles/hlsmpc_shm.dir/shm/process_node.cpp.o.d"
+  "CMakeFiles/hlsmpc_shm.dir/shm/segment.cpp.o"
+  "CMakeFiles/hlsmpc_shm.dir/shm/segment.cpp.o.d"
+  "libhlsmpc_shm.a"
+  "libhlsmpc_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsmpc_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

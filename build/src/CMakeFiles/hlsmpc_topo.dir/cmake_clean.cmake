@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsmpc_topo.dir/topo/scope_map.cpp.o"
+  "CMakeFiles/hlsmpc_topo.dir/topo/scope_map.cpp.o.d"
+  "CMakeFiles/hlsmpc_topo.dir/topo/topology.cpp.o"
+  "CMakeFiles/hlsmpc_topo.dir/topo/topology.cpp.o.d"
+  "libhlsmpc_topo.a"
+  "libhlsmpc_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsmpc_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

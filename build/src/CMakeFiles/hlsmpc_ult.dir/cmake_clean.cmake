@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsmpc_ult.dir/ult/fiber.cpp.o"
+  "CMakeFiles/hlsmpc_ult.dir/ult/fiber.cpp.o.d"
+  "CMakeFiles/hlsmpc_ult.dir/ult/scheduler.cpp.o"
+  "CMakeFiles/hlsmpc_ult.dir/ult/scheduler.cpp.o.d"
+  "libhlsmpc_ult.a"
+  "libhlsmpc_ult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsmpc_ult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cachesim_model.cpp" "tests/CMakeFiles/test_cachesim_model.dir/test_cachesim_model.cpp.o" "gcc" "tests/CMakeFiles/test_cachesim_model.dir/test_cachesim_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hlsmpc_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hlsmpc_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hlsmpc_pragma.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hlsmpc_sbll.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hlsmpc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hlsmpc_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hlsmpc_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hlsmpc_ult.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hlsmpc_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hlsmpc_memtrack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hlsmpc_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hlsmpc_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memtrack.dir/test_memtrack.cpp.o"
+  "CMakeFiles/test_memtrack.dir/test_memtrack.cpp.o.d"
+  "test_memtrack"
+  "test_memtrack.pdb"
+  "test_memtrack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memtrack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pragma.dir/test_pragma.cpp.o"
+  "CMakeFiles/test_pragma.dir/test_pragma.cpp.o.d"
+  "test_pragma"
+  "test_pragma.pdb"
+  "test_pragma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pragma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sbll.dir/test_sbll.cpp.o"
+  "CMakeFiles/test_sbll.dir/test_sbll.cpp.o.d"
+  "test_sbll"
+  "test_sbll.pdb"
+  "test_sbll[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sbll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

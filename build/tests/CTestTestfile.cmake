@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_topo[1]_include.cmake")
+include("/root/repo/build/tests/test_memtrack[1]_include.cmake")
+include("/root/repo/build/tests/test_ult[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi[1]_include.cmake")
+include("/root/repo/build/tests/test_hls[1]_include.cmake")
+include("/root/repo/build/tests/test_cachesim[1]_include.cmake")
+include("/root/repo/build/tests/test_shm[1]_include.cmake")
+include("/root/repo/build/tests/test_hb[1]_include.cmake")
+include("/root/repo/build/tests/test_pragma[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_tracer[1]_include.cmake")
+include("/root/repo/build/tests/test_cachesim_model[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_sbll[1]_include.cmake")
