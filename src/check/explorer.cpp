@@ -1,0 +1,151 @@
+#include "check/explorer.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+namespace hlsmpc::check {
+
+namespace {
+
+ScheduleTrace prefix(const ScheduleTrace& t, std::size_t len) {
+  ScheduleTrace p;
+  p.picks.assign(t.picks.begin(),
+                 t.picks.begin() + static_cast<std::ptrdiff_t>(
+                                       std::min(len, t.picks.size())));
+  return p;
+}
+
+}  // namespace
+
+bool ScheduleExplorer::fails(const Attempt& attempt,
+                             const ScheduleTrace& trace,
+                             std::string* error) const {
+  TracePolicy policy(trace);
+  DeterministicExecutor ex(policy, opts_.max_steps);
+  try {
+    attempt(ex);
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return true;
+  } catch (...) {
+    if (error != nullptr) *error = "(non-standard exception)";
+    return true;
+  }
+  return false;
+}
+
+void ScheduleExplorer::replay(const Attempt& attempt,
+                              const ScheduleTrace& trace) const {
+  TracePolicy policy(trace);
+  DeterministicExecutor ex(policy, opts_.max_steps);
+  attempt(ex);
+}
+
+ScheduleTrace ScheduleExplorer::shrink(const Attempt& attempt,
+                                       ScheduleTrace failing) const {
+  int runs_left = opts_.max_shrink_runs;
+  auto still_fails = [&](const ScheduleTrace& t) {
+    if (runs_left <= 0) return false;
+    --runs_left;
+    return fails(attempt, t, nullptr);
+  };
+
+  // 1. Truncation: the recorded trace of a deadlocked run is as long as
+  //    the step budget, but the damage is usually done in the first few
+  //    picks. Binary-search the shortest failing prefix (TracePolicy's
+  //    fair fallback completes the run deterministically past the prefix).
+  std::size_t lo = 0;
+  std::size_t hi = failing.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (still_fails(prefix(failing, mid))) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  ScheduleTrace best = prefix(failing, hi);
+  if (!fails(attempt, best, nullptr)) return failing;  // non-monotone guard
+
+  // 2. Pick removal: drop individual decisions that the failure does not
+  //    depend on, back to front, iterating to a fixpoint.
+  if (best.size() <= 512) {
+    bool changed = true;
+    while (changed && runs_left > 0) {
+      changed = false;
+      for (std::size_t i = best.size(); i-- > 0 && runs_left > 0;) {
+        ScheduleTrace candidate = best;
+        candidate.picks.erase(candidate.picks.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+        if (still_fails(candidate)) {
+          best = std::move(candidate);
+          changed = true;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+ExploreResult ScheduleExplorer::explore(const Attempt& attempt) {
+  ExploreResult result;
+
+  // Systematic sweep first: plain and rotated round-robin with growing
+  // preemption quanta cover the "almost sequential" schedules a random
+  // walk rarely produces.
+  std::vector<std::unique_ptr<SchedulePolicy>> systematic;
+  for (const int quantum : {1, 2, 3, 4}) {
+    for (int rotation = 0; rotation < 4; ++rotation) {
+      systematic.push_back(
+          std::make_unique<RoundRobinPolicy>(quantum, rotation));
+    }
+  }
+
+  for (int i = 0; i < opts_.schedules; ++i) {
+    std::unique_ptr<SchedulePolicy> random_policy;
+    SchedulePolicy* policy = nullptr;
+    if (i < static_cast<int>(systematic.size())) {
+      policy = systematic[static_cast<std::size_t>(i)].get();
+    } else {
+      random_policy = std::make_unique<RandomPolicy>(
+          opts_.seed + static_cast<std::uint64_t>(i));
+      policy = random_policy.get();
+    }
+    DeterministicExecutor ex(*policy, opts_.max_steps);
+    ++result.schedules_run;
+    try {
+      attempt(ex);
+    } catch (const std::exception& e) {
+      result.ok = false;
+      result.failing_schedule = i;
+      result.error = e.what();
+      result.failing_trace = ex.last_trace();
+    } catch (...) {
+      result.ok = false;
+      result.failing_schedule = i;
+      result.error = "(non-standard exception)";
+      result.failing_trace = ex.last_trace();
+    }
+    if (!result.ok) break;
+  }
+
+  if (!result.ok) {
+    if (opts_.shrink) {
+      result.failing_trace = shrink(attempt, std::move(result.failing_trace));
+    }
+    std::string shrunk_error;
+    fails(attempt, result.failing_trace, &shrunk_error);
+    result.repro =
+        "schedule #" + std::to_string(result.failing_schedule) +
+        " failed: " + result.error + "\nshrunk pick trace (" +
+        std::to_string(result.failing_trace.size()) + " picks): \"" +
+        to_string(result.failing_trace) +
+        "\"\nreplay with: ScheduleExplorer::replay(attempt, parse_trace(\"" +
+        to_string(result.failing_trace) + "\"))" +
+        (shrunk_error.empty() ? "" : "\nshrunk run fails with: " + shrunk_error);
+  }
+  return result;
+}
+
+}  // namespace hlsmpc::check

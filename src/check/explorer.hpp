@@ -1,0 +1,66 @@
+// Schedule exploration driver.
+//
+// Replays an `attempt` — a closure that builds fresh state and runs its
+// task bodies on the executor it is handed — across many deterministic
+// schedules: a systematic round-robin-with-preemption-bound sweep first,
+// then seeded random schedules. Any exception out of the attempt (a
+// failed invariant thrown by the test body, an HlsError, or the
+// executor's DeadlockError) counts as a failure; the failing schedule is
+// then shrunk to a minimal pick trace that still fails, and the result
+// carries everything needed to replay it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "check/deterministic_executor.hpp"
+
+namespace hlsmpc::check {
+
+struct ExploreOptions {
+  /// Total schedules to try (systematic sweep + random remainder).
+  int schedules = 500;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  /// Scheduling-step budget per run (DeadlockError beyond it).
+  long max_steps = 50000;
+  bool shrink = true;
+  /// Upper bound on re-runs spent shrinking a failing trace.
+  int max_shrink_runs = 400;
+};
+
+struct ExploreResult {
+  bool ok = true;
+  int schedules_run = 0;
+  /// Index of the first failing schedule (-1 if none failed).
+  int failing_schedule = -1;
+  /// Shrunk pick trace reproducing the failure (empty when ok).
+  ScheduleTrace failing_trace;
+  /// what() of the original failure.
+  std::string error;
+  /// Human-readable reproduction recipe (trace + error of the shrunk run).
+  std::string repro;
+};
+
+class ScheduleExplorer {
+ public:
+  /// Must build fresh state on every call and run its tasks on `ex`;
+  /// throw to signal an invariant violation.
+  using Attempt = std::function<void(ult::Executor&)>;
+
+  explicit ScheduleExplorer(ExploreOptions opts = {}) : opts_(opts) {}
+
+  ExploreResult explore(const Attempt& attempt);
+
+  /// Re-run one specific schedule; rethrows whatever the attempt throws.
+  void replay(const Attempt& attempt, const ScheduleTrace& trace) const;
+
+ private:
+  bool fails(const Attempt& attempt, const ScheduleTrace& trace,
+             std::string* error) const;
+  ScheduleTrace shrink(const Attempt& attempt, ScheduleTrace failing) const;
+
+  ExploreOptions opts_;
+};
+
+}  // namespace hlsmpc::check

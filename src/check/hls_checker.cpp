@@ -1,0 +1,437 @@
+#include "check/hls_checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "hb/analyzer.hpp"
+#include "hb/trace.hpp"
+
+namespace hlsmpc::check {
+
+namespace {
+
+using hls::SyncEvent;
+
+bool is_enter(SyncEvent::Kind k) {
+  return k == SyncEvent::Kind::barrier_enter ||
+         k == SyncEvent::Kind::single_enter;
+}
+
+bool is_migrate(SyncEvent::Kind k) {
+  return k == SyncEvent::Kind::migrate_ok ||
+         k == SyncEvent::Kind::migrate_rejected;
+}
+
+topo::ScopeSpec spec_of(const hls::CanonicalScope& scope) {
+  return topo::ScopeSpec{scope.kind, scope.cache_level};
+}
+
+bool contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+std::string describe(const SyncEvent& e) {
+  std::ostringstream os;
+  os << hls::to_string(e.kind) << " task=" << e.task << " cpu=" << e.cpu;
+  if (!is_migrate(e.kind)) {
+    os << " scope=" << hls::to_string(e.scope) << " inst=" << e.instance
+       << " task_count=" << e.task_count
+       << " instance_count=" << e.instance_count;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+const char* to_string(Diagnostic::Code c) {
+  switch (c) {
+    case Diagnostic::Code::single_overlap:
+      return "single_overlap";
+    case Diagnostic::Code::single_unordered:
+      return "single_unordered";
+    case Diagnostic::Code::counter_regression:
+      return "counter_regression";
+    case Diagnostic::Code::migrate_mismatch:
+      return "migrate_mismatch";
+    case Diagnostic::Code::migrate_in_single:
+      return "migrate_in_single";
+    case Diagnostic::Code::structural:
+      return "structural";
+  }
+  return "?";
+}
+
+HlsChecker::HlsChecker(const topo::ScopeMap& sm, int ntasks)
+    : sm_(&sm),
+      ntasks_(ntasks),
+      single_depth_(static_cast<std::size_t>(std::max(0, ntasks)), 0) {
+  if (ntasks < 1) throw hls::HlsError("HlsChecker: need at least one task");
+}
+
+void HlsChecker::add(Diagnostic::Code code, const SyncEvent& e,
+                     std::string msg) {
+  Diagnostic d;
+  d.code = code;
+  d.message = std::move(msg);
+  d.task = e.task;
+  d.scope = e.scope;
+  d.instance = e.instance;
+  diags_.push_back(std::move(d));
+}
+
+void HlsChecker::check_counters(const SyncEvent& e) {
+  const auto task_key = std::make_pair(e.scope, e.task);
+  auto it = last_task_count_.find(task_key);
+  if (it != last_task_count_.end() && e.task_count < it->second) {
+    add(Diagnostic::Code::counter_regression, e,
+        "task episode counter went backwards (" +
+            std::to_string(it->second) + " -> " +
+            std::to_string(e.task_count) + ") at " + describe(e));
+  }
+  last_task_count_[task_key] = e.task_count;
+
+  // Instance counts are compared per observing task: two tasks' emissions
+  // can legitimately land in the log out of counter order.
+  const auto inst_key = std::make_tuple(e.scope, e.instance, e.task);
+  auto iit = last_instance_count_.find(inst_key);
+  if (iit != last_instance_count_.end() && e.instance_count < iit->second) {
+    add(Diagnostic::Code::counter_regression, e,
+        "instance episode counter went backwards (" +
+            std::to_string(iit->second) + " -> " +
+            std::to_string(e.instance_count) + ") at " + describe(e));
+  }
+  last_instance_count_[inst_key] = e.instance_count;
+
+  auto& floor = instance_floor_[std::make_pair(e.scope, e.instance)];
+  floor = std::max(floor, e.instance_count);
+}
+
+void HlsChecker::check_exclusion(const SyncEvent& e) {
+  const ScopeKey key{e.scope, e.instance};
+  if (e.kind == SyncEvent::Kind::single_exec_begin) {
+    auto it = active_executor_.find(key);
+    if (it != active_executor_.end()) {
+      add(Diagnostic::Code::single_overlap, e,
+          "task " + std::to_string(e.task) +
+              " elected single executor while task " +
+              std::to_string(it->second) + " still runs the block on " +
+              hls::to_string(e.scope) + " instance " +
+              std::to_string(e.instance));
+    }
+    active_executor_[key] = e.task;
+    if (e.task >= 0 && e.task < ntasks_) {
+      ++single_depth_[static_cast<std::size_t>(e.task)];
+    }
+  } else if (e.kind == SyncEvent::Kind::single_exec_end) {
+    auto it = active_executor_.find(key);
+    if (it == active_executor_.end() || it->second != e.task) {
+      add(Diagnostic::Code::structural, e,
+          "single_exec_end without matching single_exec_begin: " +
+              describe(e));
+    } else {
+      active_executor_.erase(it);
+    }
+    if (e.task >= 0 && e.task < ntasks_ &&
+        single_depth_[static_cast<std::size_t>(e.task)] > 0) {
+      --single_depth_[static_cast<std::size_t>(e.task)];
+    }
+  }
+}
+
+void HlsChecker::check_migration(const SyncEvent& e) {
+  if (e.kind != SyncEvent::Kind::migrate_ok) return;
+  migration_seen_ = true;
+  if (e.task >= 0 && e.task < ntasks_ &&
+      single_depth_[static_cast<std::size_t>(e.task)] > 0) {
+    add(Diagnostic::Code::migrate_in_single, e,
+        "task " + std::to_string(e.task) + " migrated to cpu " +
+            std::to_string(e.cpu) + " while inside a single block");
+  }
+  // Mirror the §IV.A legality check against what the log proves: every
+  // instance count the checker ever saw is a floor on the true count, so
+  // floor(destination) > task's count means the counters could not have
+  // matched when the move was accepted. (The converse needs an upper
+  // bound the log cannot give, so wrong rejections are not flagged here.)
+  for (const auto& [floor_key, floor] : instance_floor_) {
+    const hls::CanonicalScope& scope = floor_key.first;
+    const int dest_inst = sm_->instance_of(spec_of(scope), e.cpu);
+    if (dest_inst != floor_key.second) continue;
+    std::uint64_t task_cnt = 0;
+    auto it = last_task_count_.find(std::make_pair(scope, e.task));
+    if (it != last_task_count_.end()) task_cnt = it->second;
+    if (floor > task_cnt) {
+      add(Diagnostic::Code::migrate_mismatch, e,
+          "task " + std::to_string(e.task) + " moved to cpu " +
+              std::to_string(e.cpu) + " with " + hls::to_string(scope) +
+              " count " + std::to_string(task_cnt) +
+              " but destination instance " + std::to_string(dest_inst) +
+              " had already completed " + std::to_string(floor) +
+              " episodes");
+    }
+  }
+}
+
+void HlsChecker::on_sync_event(const SyncEvent& e) {
+  std::lock_guard<std::mutex> lk(mu_);
+  log_.push_back(e);
+  if (is_migrate(e.kind)) {
+    check_migration(e);
+    return;
+  }
+  check_counters(e);
+  check_exclusion(e);
+}
+
+void HlsChecker::assign_episodes(std::vector<Episode>& episodes,
+                                 std::vector<long>& episode_of) {
+  episode_of.assign(log_.size(), -1);
+  // Open episodes per (scope, instance), oldest first. Episodes complete
+  // in generation order, so releases match FIFO; an arrival after the
+  // release would have joined the *next* generation, hence sealing.
+  std::map<ScopeKey, std::vector<long>> open;
+
+  auto find_open = [&](const ScopeKey& key, auto&& pred) -> long {
+    auto it = open.find(key);
+    if (it == open.end()) return -1;
+    for (long idx : it->second) {
+      if (pred(episodes[static_cast<std::size_t>(idx)])) return idx;
+    }
+    return -1;
+  };
+  auto close_if_done = [&](const ScopeKey& key, long idx) {
+    if (!episode_complete(episodes[static_cast<std::size_t>(idx)])) return;
+    auto& vec = open[key];
+    vec.erase(std::find(vec.begin(), vec.end(), idx));
+  };
+
+  for (std::size_t k = 0; k < log_.size(); ++k) {
+    const SyncEvent& e = log_[k];
+    const ScopeKey key{e.scope, e.instance};
+    switch (e.kind) {
+      case SyncEvent::Kind::barrier_enter:
+      case SyncEvent::Kind::single_enter: {
+        const bool single = e.kind == SyncEvent::Kind::single_enter;
+        long idx = find_open(key, [&](const Episode& ep) {
+          return ep.is_single == single && !ep.sealed &&
+                 !contains(ep.participants, e.task);
+        });
+        if (idx < 0) {
+          Episode ep;
+          ep.is_single = single;
+          ep.key = key;
+          ep.uid = static_cast<long>(episodes.size());
+          episodes.push_back(std::move(ep));
+          idx = static_cast<long>(episodes.size()) - 1;
+          open[key].push_back(idx);
+        }
+        episodes[static_cast<std::size_t>(idx)].participants.push_back(e.task);
+        episode_of[k] = idx;
+        break;
+      }
+      case SyncEvent::Kind::single_exec_begin: {
+        const long idx = find_open(key, [&](const Episode& ep) {
+          return ep.is_single && ep.executor < 0 &&
+                 contains(ep.participants, e.task);
+        });
+        if (idx < 0) {
+          add(Diagnostic::Code::structural, e,
+              "single_exec_begin with no open episode: " + describe(e));
+          break;
+        }
+        Episode& ep = episodes[static_cast<std::size_t>(idx)];
+        ep.executor = e.task;
+        ep.sealed = true;
+        episode_of[k] = idx;
+        break;
+      }
+      case SyncEvent::Kind::single_exec_end: {
+        const long idx = find_open(key, [&](const Episode& ep) {
+          return ep.is_single && ep.executor == e.task && !ep.exec_end_seen;
+        });
+        if (idx < 0) break;  // already flagged by check_exclusion
+        episodes[static_cast<std::size_t>(idx)].exec_end_seen = true;
+        episode_of[k] = idx;
+        close_if_done(key, idx);
+        break;
+      }
+      case SyncEvent::Kind::single_exit:
+      case SyncEvent::Kind::barrier_exit: {
+        const bool single = e.kind == SyncEvent::Kind::single_exit;
+        const long idx = find_open(key, [&](const Episode& ep) {
+          return ep.is_single == single && ep.executor != e.task &&
+                 contains(ep.participants, e.task) &&
+                 ep.exited.find(e.task) == ep.exited.end();
+        });
+        if (idx < 0) {
+          add(Diagnostic::Code::structural, e,
+              "exit with no matching arrival: " + describe(e));
+          break;
+        }
+        Episode& ep = episodes[static_cast<std::size_t>(idx)];
+        ep.sealed = true;
+        ep.exited.insert(e.task);
+        episode_of[k] = idx;
+        close_if_done(key, idx);
+        break;
+      }
+      default:
+        break;  // nowait/migrate events take no part in episodes
+    }
+  }
+}
+
+bool HlsChecker::episode_complete(const Episode& ep) {
+  if (ep.is_single) {
+    return ep.executor >= 0 && ep.exec_end_seen &&
+           ep.exited.size() + 1 == ep.participants.size();
+  }
+  return ep.sealed && ep.exited.size() == ep.participants.size();
+}
+
+bool HlsChecker::verify() {
+  std::lock_guard<std::mutex> lk(mu_);
+
+  std::vector<Episode> episodes;
+  std::vector<long> episode_of;
+  assign_episodes(episodes, episode_of);
+
+  // Rebuild the log as an hb::Trace: per episode, every participant sends
+  // to the representative (the single executor, or the lowest-id
+  // participant for a barrier) on arrival; the representative receives
+  // them all at its release point, does the episode's write if it is a
+  // single block, and sends each participant its release, received at the
+  // participant's exit. Tags are unique per episode and direction, so
+  // matching is unambiguous. Only complete episodes are emitted — a
+  // partial one would leave unmatched receives the Analyzer rejects.
+  hb::Trace trace(ntasks_);
+  auto rep_of = [](const Episode& ep) {
+    return ep.is_single
+               ? ep.executor
+               : *std::min_element(ep.participants.begin(),
+                                   ep.participants.end());
+  };
+  auto var_of = [](const Episode& ep) {
+    return "single:" + hls::to_string(ep.key.first) + ":" +
+           std::to_string(ep.key.second);
+  };
+
+  struct SingleWrite {
+    int event_id;
+    long episode;
+  };
+  std::map<ScopeKey, std::vector<SingleWrite>> writes;
+
+  for (std::size_t k = 0; k < log_.size(); ++k) {
+    const long idx = episode_of[k];
+    if (idx < 0) continue;
+    const Episode& ep = episodes[static_cast<std::size_t>(idx)];
+    if (!episode_complete(ep)) continue;
+    const SyncEvent& e = log_[k];
+    const int rep = rep_of(ep);
+    const long in_tag = ep.uid * 2;
+    const long out_tag = ep.uid * 2 + 1;
+    const bool release_point =
+        e.kind == SyncEvent::Kind::single_exec_begin ||
+        (e.kind == SyncEvent::Kind::barrier_exit && e.task == rep);
+    if (is_enter(e.kind)) {
+      if (e.task != rep) trace.send(e.task, rep, in_tag);
+    }
+    if (release_point) {
+      for (int p : ep.participants) {
+        if (p != rep) trace.recv(rep, p, in_tag);
+      }
+      if (ep.is_single) {
+        writes[ep.key].push_back(
+            {static_cast<int>(trace.events().size()), ep.uid});
+        trace.write(rep, var_of(ep), ep.uid);
+      }
+    }
+    if (e.kind == SyncEvent::Kind::single_exec_end ||
+        (e.kind == SyncEvent::Kind::barrier_exit && e.task == rep)) {
+      for (int p : ep.participants) {
+        if (p != rep) trace.send(rep, p, out_tag);
+      }
+    }
+    if ((e.kind == SyncEvent::Kind::single_exit ||
+         e.kind == SyncEvent::Kind::barrier_exit) &&
+        e.task != rep) {
+      trace.recv(e.task, rep, out_tag);
+    }
+  }
+
+  if (!trace.events().empty()) {
+    try {
+      hb::Analyzer hb(trace);
+      for (const auto& [key, ws] : writes) {
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+          for (std::size_t j = i + 1; j < ws.size(); ++j) {
+            if (!hb.parallel(ws[i].event_id, ws[j].event_id)) continue;
+            const Episode& a = episodes[static_cast<std::size_t>(ws[i].episode)];
+            const Episode& b = episodes[static_cast<std::size_t>(ws[j].episode)];
+            if (migration_seen_) {
+              // After a legal move, consecutive episodes of one instance
+              // can have disjoint participant sets with no hb edge between
+              // them; only flag pairs a shared participant should order.
+              bool shared = false;
+              for (int p : a.participants) {
+                if (contains(b.participants, p)) shared = true;
+              }
+              if (!shared) continue;
+            }
+            Diagnostic d;
+            d.code = Diagnostic::Code::single_unordered;
+            d.scope = key.first;
+            d.instance = key.second;
+            d.task = a.executor;
+            d.message =
+                "single blocks of episodes " + std::to_string(a.uid) +
+                " (executor task " + std::to_string(a.executor) + ") and " +
+                std::to_string(b.uid) + " (executor task " +
+                std::to_string(b.executor) + ") on " +
+                hls::to_string(key.first) + " instance " +
+                std::to_string(key.second) +
+                " are not ordered by happens-before";
+            diags_.push_back(std::move(d));
+          }
+        }
+      }
+    } catch (const hls::HlsError& err) {
+      Diagnostic d;
+      d.code = Diagnostic::Code::structural;
+      d.message = std::string("event log cannot be replayed: ") + err.what();
+      diags_.push_back(std::move(d));
+    }
+  }
+  return diags_.empty();
+}
+
+bool HlsChecker::ok() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return diags_.empty();
+}
+
+std::vector<Diagnostic> HlsChecker::violations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return diags_;
+}
+
+std::string HlsChecker::report() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    os << "[" << to_string(d.code) << "] " << d.message << "\n";
+  }
+  return os.str();
+}
+
+std::size_t HlsChecker::events_recorded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return log_.size();
+}
+
+std::vector<hls::SyncEvent> HlsChecker::events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return log_;
+}
+
+}  // namespace hlsmpc::check

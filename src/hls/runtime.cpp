@@ -100,21 +100,33 @@ void Runtime::migrate(ult::TaskContext& ctx, int new_cpu) {
   if (new_cpu < 0 || new_cpu >= machine_.num_cpus()) {
     throw HlsError("migrate: bad cpu");
   }
+  ctx.sync_point("migrate:enter");
+  auto reject = [&](const std::string& why) {
+    sync_.report_migration(ctx, new_cpu, /*ok=*/false);
+    throw HlsError(why);
+  };
+  // A task inside a single block holds the instance's exclusivity; its
+  // episode counters are mid-update, so MPC_Move is never legal here.
+  if (sync_.in_single(ctx.task_id())) {
+    reject("migrate: task is inside a single block");
+  }
   // Paper §IV.A: a task may only move if it has encountered the same
   // number of single and barrier directives as the destination.
+  auto check_scope = [&](const CanonicalScope& s) {
+    const auto task_count = sync_.task_sync_count(ctx.task_id(), s);
+    const auto dest_count = sync_.instance_sync_count(s, new_cpu);
+    if (task_count != dest_count) {
+      reject("migrate: task saw " + std::to_string(task_count) +
+             " episodes for " + to_string(s) + " but destination saw " +
+             std::to_string(dest_count));
+    }
+  };
   for (const topo::ScopeKind kind :
        {topo::ScopeKind::node, topo::ScopeKind::numa, topo::ScopeKind::cache,
         topo::ScopeKind::core}) {
     if (kind == topo::ScopeKind::cache) {
       for (int level = 1; level <= machine_.num_cache_levels(); ++level) {
-        const CanonicalScope s{kind, level};
-        const auto task_count = sync_.task_sync_count(ctx.task_id(), s);
-        const auto dest_count = sync_.instance_sync_count(s, new_cpu);
-        if (task_count != dest_count) {
-          throw HlsError("migrate: task saw " + std::to_string(task_count) +
-                         " episodes for " + to_string(s) +
-                         " but destination saw " + std::to_string(dest_count));
-        }
+        check_scope(CanonicalScope{kind, level});
       }
     } else {
       // numa has two possible canonical levels (domain / socket).
@@ -123,20 +135,13 @@ void Runtime::migrate(ult::TaskContext& ctx, int new_cpu) {
                                 ? 2
                                 : 0;
       for (int level = 0; level <= max_level; level += 2) {
-        const CanonicalScope s{kind, level};
-        const auto task_count = sync_.task_sync_count(ctx.task_id(), s);
-        const auto dest_count = sync_.instance_sync_count(s, new_cpu);
-        if (task_count != dest_count) {
-          throw HlsError("migrate: task saw " + std::to_string(task_count) +
-                         " episodes for " + to_string(s) +
-                         " but destination saw " +
-                         std::to_string(dest_count));
-        }
+        check_scope(CanonicalScope{kind, level});
       }
     }
   }
   ctx.set_cpu(new_cpu);
   sync_.set_task_cpu(ctx.task_id(), new_cpu);
+  sync_.report_migration(ctx, new_cpu, /*ok=*/true);
 }
 
 }  // namespace hlsmpc::hls

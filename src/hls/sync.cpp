@@ -2,9 +2,36 @@
 
 namespace hlsmpc::hls {
 
+const char* to_string(SyncEvent::Kind k) {
+  switch (k) {
+    case SyncEvent::Kind::barrier_enter:
+      return "barrier_enter";
+    case SyncEvent::Kind::barrier_exit:
+      return "barrier_exit";
+    case SyncEvent::Kind::single_enter:
+      return "single_enter";
+    case SyncEvent::Kind::single_exec_begin:
+      return "single_exec_begin";
+    case SyncEvent::Kind::single_exec_end:
+      return "single_exec_end";
+    case SyncEvent::Kind::single_exit:
+      return "single_exit";
+    case SyncEvent::Kind::nowait_claim:
+      return "nowait_claim";
+    case SyncEvent::Kind::nowait_skip:
+      return "nowait_skip";
+    case SyncEvent::Kind::migrate_ok:
+      return "migrate_ok";
+    case SyncEvent::Kind::migrate_rejected:
+      return "migrate_rejected";
+  }
+  return "?";
+}
+
 SyncManager::SyncManager(const topo::ScopeMap& sm, int ntasks)
     : sm_(&sm),
       task_cpu_(static_cast<std::size_t>(ntasks)),
+      single_depth_(static_cast<std::size_t>(ntasks)),
       task_counts_(static_cast<std::size_t>(ntasks)),
       task_nowait_counts_(static_cast<std::size_t>(ntasks)) {
   if (ntasks < 1) throw HlsError("SyncManager: need at least one task");
@@ -25,6 +52,22 @@ void SyncManager::set_task_cpu(int task, int cpu) {
     throw HlsError("SyncManager: bad cpu");
   }
   task_cpu_[static_cast<std::size_t>(task)].store(cpu);
+  // A migration changes barrier arrival counts. Wake every parked waiter
+  // (after the store, holding each flat's mutex so no wakeup is lost) so
+  // flat_arrive re-evaluates its expected participant count.
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& entry : instances_) {
+    for (auto& is : entry.second) {
+      {
+        std::lock_guard<std::mutex> flk(is->top.mu);
+        is->top.cv.notify_all();
+      }
+      for (auto& gf : is->groups) {
+        std::lock_guard<std::mutex> flk(gf->mu);
+        gf->cv.notify_all();
+      }
+    }
+  }
 }
 
 int SyncManager::task_cpu(int task) const {
@@ -126,11 +169,16 @@ int SyncManager::participants(const CanonicalScope& scope, int cpu) const {
   return count;
 }
 
-bool SyncManager::flat_arrive(Flat& f, int expected, ult::TaskContext& ctx,
-                              bool hold_last) {
+bool SyncManager::flat_arrive(Flat& f, const std::function<int()>& expected,
+                              ult::TaskContext& ctx, bool hold_last) {
+  // Preemption window between deciding to arrive and arriving: the
+  // deterministic checker schedules through here to expose ordering bugs.
+  ctx.sync_point("flat:arrive");
   std::unique_lock<std::mutex> lk(f.mu);
   const std::uint64_t g = f.generation;
-  if (++f.arrived == expected) {
+  ++f.arrived;
+  // Complete the episode as the effective last arrival (called under lk).
+  auto complete = [&]() -> bool {
     if (hold_last) {
       f.single_active = true;
       return true;  // caller runs the block, then flat_release()s
@@ -140,9 +188,21 @@ bool SyncManager::flat_arrive(Flat& f, int expected, ult::TaskContext& ctx,
     lk.unlock();
     f.cv.notify_all();
     return true;
+  };
+  if (f.arrived >= expected()) return complete();
+  // `expected` can shrink while we wait: a migration out of this instance
+  // lowers the participant count (set_task_cpu wakes every waiter so the
+  // recount happens), and the arrivals already in may then form a complete
+  // episode. One waiter must take over the last-arriver duty, or the
+  // barrier would wait for a task that left and never comes.
+  for (;;) {
+    ult::wait_until(ctx, lk, f.cv, [&] {
+      return f.generation != g ||
+             (!f.single_active && f.arrived >= expected());
+    });
+    if (f.generation != g) return false;
+    if (!f.single_active && f.arrived >= expected()) return complete();
   }
-  ult::wait_until(ctx, lk, f.cv, [&] { return f.generation != g; });
-  return false;
 }
 
 void SyncManager::flat_release(Flat& f) {
@@ -159,13 +219,49 @@ void SyncManager::bump_task(int task, const CanonicalScope& scope) {
   ++task_counts_[static_cast<std::size_t>(task)][scope];
 }
 
+bool SyncManager::in_single(int task) const {
+  if (task < 0 || task >= static_cast<int>(single_depth_.size())) return false;
+  return single_depth_[static_cast<std::size_t>(task)].load() > 0;
+}
+
+void SyncManager::emit(SyncEvent::Kind kind, const CanonicalScope& scope,
+                       int inst, const InstanceSync* is,
+                       const ult::TaskContext& ctx) {
+  if (observer_ == nullptr) return;
+  SyncEvent e;
+  e.kind = kind;
+  e.task = ctx.task_id();
+  e.cpu = ctx.cpu();
+  e.scope = scope;
+  e.instance = inst;
+  e.task_count = task_sync_count(ctx.task_id(), scope);
+  if (is != nullptr) {
+    e.instance_count = is->episodes.load(std::memory_order_relaxed) +
+                       is->nowait_count.load(std::memory_order_relaxed);
+  }
+  observer_->on_sync_event(e);
+}
+
+void SyncManager::report_migration(const ult::TaskContext& ctx, int to_cpu,
+                                   bool ok) {
+  if (observer_ == nullptr) return;
+  SyncEvent e;
+  e.kind = ok ? SyncEvent::Kind::migrate_ok : SyncEvent::Kind::migrate_rejected;
+  e.task = ctx.task_id();
+  e.cpu = to_cpu;
+  observer_->on_sync_event(e);
+}
+
 void SyncManager::barrier(const CanonicalScope& scope,
                           ult::TaskContext& ctx) {
   int inst = 0;
   InstanceSync& is = instance(scope, ctx.cpu(), &inst);
+  emit(SyncEvent::Kind::barrier_enter, scope, inst, &is, ctx);
+  ctx.sync_point("barrier:enter");
   if (!uses_hierarchy(scope)) {
-    const int expected = participants(scope, ctx.cpu());
-    if (flat_arrive(is.top, expected, ctx, /*hold_last=*/false)) {
+    const int cpu = ctx.cpu();
+    if (flat_arrive(is.top, [&, cpu] { return participants(scope, cpu); },
+                    ctx, /*hold_last=*/false)) {
       is.episodes.fetch_add(1, std::memory_order_relaxed);
     }
   } else {
@@ -173,33 +269,40 @@ void SyncManager::barrier(const CanonicalScope& scope,
     // one representative up, then release the group (paper §IV.B).
     const int gi = group_index(scope, inst, ctx.cpu());
     Flat& group = *is.groups[static_cast<std::size_t>(gi)];
-    const int eg = group_participants(scope, inst, gi);
-    if (flat_arrive(group, eg, ctx, /*hold_last=*/true)) {
-      const int ng = active_groups(scope, inst);
-      if (flat_arrive(is.top, ng, ctx, /*hold_last=*/false)) {
+    if (flat_arrive(group,
+                    [&] { return group_participants(scope, inst, gi); }, ctx,
+                    /*hold_last=*/true)) {
+      if (flat_arrive(is.top, [&] { return active_groups(scope, inst); }, ctx,
+                      /*hold_last=*/false)) {
         is.episodes.fetch_add(1, std::memory_order_relaxed);
       }
       flat_release(group);
     }
   }
   bump_task(ctx.task_id(), scope);
+  emit(SyncEvent::Kind::barrier_exit, scope, inst, &is, ctx);
+  ctx.sync_point("barrier:exit");
 }
 
 bool SyncManager::single_enter(const CanonicalScope& scope,
                                ult::TaskContext& ctx) {
   int inst = 0;
   InstanceSync& is = instance(scope, ctx.cpu(), &inst);
+  emit(SyncEvent::Kind::single_enter, scope, inst, &is, ctx);
+  ctx.sync_point("single:enter");
   bool executor = false;
   if (!uses_hierarchy(scope)) {
-    const int expected = participants(scope, ctx.cpu());
-    executor = flat_arrive(is.top, expected, ctx, /*hold_last=*/true);
+    const int cpu = ctx.cpu();
+    executor = flat_arrive(is.top, [&, cpu] { return participants(scope, cpu); },
+                           ctx, /*hold_last=*/true);
   } else {
     const int gi = group_index(scope, inst, ctx.cpu());
     Flat& group = *is.groups[static_cast<std::size_t>(gi)];
-    const int eg = group_participants(scope, inst, gi);
-    if (flat_arrive(group, eg, ctx, /*hold_last=*/true)) {
-      const int ng = active_groups(scope, inst);
-      if (flat_arrive(is.top, ng, ctx, /*hold_last=*/true)) {
+    if (flat_arrive(group,
+                    [&] { return group_participants(scope, inst, gi); }, ctx,
+                    /*hold_last=*/true)) {
+      if (flat_arrive(is.top, [&] { return active_groups(scope, inst); }, ctx,
+                      /*hold_last=*/true)) {
         executor = true;  // releases happen in single_done
       } else {
         // Top single completed by the executor; release my LLC group.
@@ -207,7 +310,15 @@ bool SyncManager::single_enter(const CanonicalScope& scope,
       }
     }
   }
-  if (!executor) bump_task(ctx.task_id(), scope);
+  if (executor) {
+    ++single_depth_[static_cast<std::size_t>(ctx.task_id())];
+    emit(SyncEvent::Kind::single_exec_begin, scope, inst, &is, ctx);
+    ctx.sync_point("single:exec");
+  } else {
+    bump_task(ctx.task_id(), scope);
+    emit(SyncEvent::Kind::single_exit, scope, inst, &is, ctx);
+    ctx.sync_point("single:exit");
+  }
   return executor;
 }
 
@@ -216,6 +327,11 @@ void SyncManager::single_done(const CanonicalScope& scope,
   int inst = 0;
   InstanceSync& is = instance(scope, ctx.cpu(), &inst);
   is.episodes.fetch_add(1, std::memory_order_relaxed);
+  bump_task(ctx.task_id(), scope);
+  // Emit before the releases so the executor's exec_end is always logged
+  // ahead of the waiters' exits (the checker's episode reconstruction
+  // relies on that order).
+  emit(SyncEvent::Kind::single_exec_end, scope, inst, &is, ctx);
   if (!uses_hierarchy(scope)) {
     flat_release(is.top);
   } else {
@@ -223,25 +339,34 @@ void SyncManager::single_done(const CanonicalScope& scope,
     const int gi = group_index(scope, inst, ctx.cpu());
     flat_release(*is.groups[static_cast<std::size_t>(gi)]);
   }
-  bump_task(ctx.task_id(), scope);
+  --single_depth_[static_cast<std::size_t>(ctx.task_id())];
+  ctx.sync_point("single:done");
 }
 
 bool SyncManager::single_nowait(const CanonicalScope& scope,
                                 ult::TaskContext& ctx) {
   int inst = 0;
   InstanceSync& is = instance(scope, ctx.cpu(), &inst);
+  ctx.sync_point("nowait:enter");
   // Paper §IV.B: each task counts the nowait sites it passed; a task whose
   // private counter runs ahead of the instance counter claims the site.
   const std::uint64_t mine =
       ++task_nowait_counts_[static_cast<std::size_t>(ctx.task_id())][scope];
+  // Window between counting the site and claiming it: the claim must stay
+  // exactly-once under any interleaving here.
+  ctx.sync_point("nowait:claim");
   std::uint64_t shared = is.nowait_count.load(std::memory_order_relaxed);
+  bool claimed = false;
   while (mine > shared) {
     if (is.nowait_count.compare_exchange_weak(shared, mine,
                                               std::memory_order_acq_rel)) {
-      return true;
+      claimed = true;
+      break;
     }
   }
-  return false;
+  emit(claimed ? SyncEvent::Kind::nowait_claim : SyncEvent::Kind::nowait_skip,
+       scope, inst, &is, ctx);
+  return claimed;
 }
 
 std::uint64_t SyncManager::task_sync_count(int task,

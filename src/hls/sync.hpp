@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -26,6 +27,45 @@
 #include "ult/task_context.hpp"
 
 namespace hlsmpc::hls {
+
+/// One observable synchronization step. Emitted by SyncManager (and by
+/// Runtime::migrate via report_migration) when an observer is installed;
+/// the race checker in src/check/ consumes these to verify the paper's
+/// correctness conditions at run time.
+struct SyncEvent {
+  enum class Kind {
+    barrier_enter,      ///< task reached a barrier directive
+    barrier_exit,       ///< task left the barrier (episode complete for it)
+    single_enter,       ///< task reached a single directive
+    single_exec_begin,  ///< task was elected executor and starts the block
+    single_exec_end,    ///< executor finished the block (before releases)
+    single_exit,        ///< non-executor released from the single
+    nowait_claim,       ///< task claimed a single-nowait site
+    nowait_skip,        ///< task skipped an already-claimed nowait site
+    migrate_ok,         ///< MPC_Move accepted (cpu = destination)
+    migrate_rejected,   ///< MPC_Move refused (cpu = attempted destination)
+  };
+
+  Kind kind = Kind::barrier_enter;
+  int task = -1;
+  int cpu = -1;       ///< task's cpu (destination cpu for migrate events)
+  CanonicalScope scope;
+  int instance = -1;  ///< scope instance index (-1 for migrate events)
+  /// Task's episode count for `scope` at emission time (incl. nowait).
+  std::uint64_t task_count = 0;
+  /// Instance's episode count for `scope` at emission time (incl. nowait).
+  std::uint64_t instance_count = 0;
+};
+
+const char* to_string(SyncEvent::Kind k);
+
+/// Receives every SyncEvent; may be called concurrently from all tasks.
+/// Install before tasks start running and keep alive until they joined.
+class SyncObserver {
+ public:
+  virtual ~SyncObserver() = default;
+  virtual void on_sync_event(const SyncEvent& e) = 0;
+};
 
 class SyncManager {
  public:
@@ -63,6 +103,19 @@ class SyncManager {
   bool uses_hierarchy(const CanonicalScope& scope) const;
   void force_flat(bool v) { force_flat_ = v; }
 
+  /// Install an event observer (nullptr to detach). Must happen before
+  /// tasks synchronize; emission is skipped entirely when unset.
+  void set_observer(SyncObserver* o) { observer_ = o; }
+  SyncObserver* observer() const { return observer_; }
+
+  /// True while `task` executes a single block (between being elected
+  /// executor and its single_done). Migration is illegal in that window.
+  bool in_single(int task) const;
+
+  /// Forward a migration decision to the observer (called by
+  /// Runtime::migrate; `to_cpu` is the attempted destination).
+  void report_migration(const ult::TaskContext& ctx, int to_cpu, bool ok);
+
  private:
   struct Flat {
     std::mutex mu;
@@ -83,18 +136,24 @@ class SyncManager {
   InstanceSync& instance(const CanonicalScope& scope, int cpu, int* inst_out);
   /// Arrive at a flat barrier. With `hold_last` the last arriver returns
   /// true immediately (generation not yet advanced: single semantics);
-  /// otherwise the last arriver releases everyone.
-  bool flat_arrive(Flat& f, int expected, ult::TaskContext& ctx,
-                   bool hold_last);
+  /// otherwise the last arriver releases everyone. `expected` is
+  /// re-evaluated while waiting: a migration can shrink the instance's
+  /// participant count, turning a waiter into the completing arrival.
+  bool flat_arrive(Flat& f, const std::function<int()>& expected,
+                   ult::TaskContext& ctx, bool hold_last);
   void flat_release(Flat& f);
   int group_index(const CanonicalScope& scope, int inst, int cpu) const;
   int group_participants(const CanonicalScope& scope, int inst,
                          int group) const;
   int active_groups(const CanonicalScope& scope, int inst) const;
   void bump_task(int task, const CanonicalScope& scope);
+  void emit(SyncEvent::Kind kind, const CanonicalScope& scope, int inst,
+            const InstanceSync* is, const ult::TaskContext& ctx);
 
   const topo::ScopeMap* sm_;
+  SyncObserver* observer_ = nullptr;
   std::vector<std::atomic<int>> task_cpu_;
+  std::vector<std::atomic<int>> single_depth_;
   // Per-task counters; each entry written only by its own task. Barrier /
   // single episodes and nowait sites are counted separately because the
   // nowait claim compares the task's site count against the instance's

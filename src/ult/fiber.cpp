@@ -1,10 +1,99 @@
 #include "ult/fiber.hpp"
 
+// Sanitizer fiber annotations. ucontext switches move execution between
+// stacks without the sanitizers noticing: TSan would attribute the events
+// of every fiber on a kernel thread to one logical thread (masking or
+// fabricating races), and ASan would flag stack frames of a resumed fiber
+// as out-of-bounds. Both provide an explicit fiber API; we drive it at the
+// four switch edges (thread->fiber entry, fiber landing, fiber->thread
+// departure, thread landing).
+#if defined(__SANITIZE_THREAD__)
+#define HLSMPC_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HLSMPC_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+#define HLSMPC_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define HLSMPC_ASAN 1
+#endif
+#endif
+
+#ifdef HLSMPC_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+#ifdef HLSMPC_ASAN
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace hlsmpc::ult {
 
 namespace {
 thread_local Fiber* g_current_fiber = nullptr;
+}  // namespace
+
+// --- annotation helpers (no-ops without the corresponding sanitizer) ----
+
+void Fiber::san_create() {
+#ifdef HLSMPC_TSAN
+  if (san_fiber_ == nullptr) san_fiber_ = __tsan_create_fiber(0);
+#endif
 }
+
+void Fiber::san_destroy() {
+#ifdef HLSMPC_TSAN
+  if (san_fiber_ != nullptr) {
+    __tsan_destroy_fiber(san_fiber_);
+    san_fiber_ = nullptr;
+  }
+#endif
+}
+
+/// Resumer side, just before swapping into the fiber.
+void Fiber::san_enter_fiber() {
+#ifdef HLSMPC_ASAN
+  __sanitizer_start_switch_fiber(&san_resumer_fake_, stack_.get(),
+                                 stack_bytes_);
+#endif
+#ifdef HLSMPC_TSAN
+  san_resumer_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(san_fiber_, 0);
+#endif
+}
+
+/// Fiber side, first instruction after landing on the fiber stack.
+void Fiber::san_land_in_fiber() {
+#ifdef HLSMPC_ASAN
+  __sanitizer_finish_switch_fiber(san_own_fake_, &san_resumer_bottom_,
+                                  &san_resumer_size_);
+#endif
+}
+
+/// Fiber side, just before swapping back to the resumer. A dying fiber
+/// passes no save slot so ASan releases its fake stack.
+void Fiber::san_leave_fiber(bool dying) {
+#ifdef HLSMPC_ASAN
+  __sanitizer_start_switch_fiber(dying ? nullptr : &san_own_fake_,
+                                 san_resumer_bottom_, san_resumer_size_);
+#else
+  (void)dying;
+#endif
+#ifdef HLSMPC_TSAN
+  __tsan_switch_to_fiber(san_resumer_, 0);
+#endif
+}
+
+/// Resumer side, first instruction after the fiber yielded or finished.
+void Fiber::san_land_in_thread() {
+#ifdef HLSMPC_ASAN
+  __sanitizer_finish_switch_fiber(san_resumer_fake_, nullptr, nullptr);
+#endif
+}
+
+// ------------------------------------------------------------------------
 
 Fiber::Fiber(Body body, std::size_t stack_bytes)
     : body_(std::move(body)),
@@ -16,10 +105,11 @@ Fiber::Fiber(Body body, std::size_t stack_bytes)
   }
 }
 
-Fiber::~Fiber() = default;
+Fiber::~Fiber() { san_destroy(); }
 
 void Fiber::trampoline() {
   Fiber* self = g_current_fiber;
+  self->san_land_in_fiber();
   try {
     self->body_();
   } catch (...) {
@@ -28,6 +118,7 @@ void Fiber::trampoline() {
   self->done_ = true;
   // Return to the resumer; ctx_'s uc_link is unused because we always
   // swap back explicitly (swapcontext keeps the error path uniform).
+  self->san_leave_fiber(/*dying=*/true);
   swapcontext(&self->ctx_, &self->return_ctx_);
 }
 
@@ -44,10 +135,13 @@ bool Fiber::resume() {
     ctx_.uc_stack.ss_size = stack_bytes_;
     ctx_.uc_link = nullptr;
     makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+    san_create();
     started_ = true;
   }
   g_current_fiber = this;
+  san_enter_fiber();
   swapcontext(&return_ctx_, &ctx_);
+  san_land_in_thread();
   g_current_fiber = nullptr;
   if (done_ && error_) std::rethrow_exception(error_);
   return done_;
@@ -61,7 +155,9 @@ void Fiber::yield() {
   // Clear before leaving so the worker thread observes "no fiber running";
   // restored by the next resume().
   g_current_fiber = nullptr;
+  self->san_leave_fiber(/*dying=*/false);
   swapcontext(&self->ctx_, &self->return_ctx_);
+  self->san_land_in_fiber();
   g_current_fiber = self;
 }
 

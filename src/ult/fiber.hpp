@@ -43,6 +43,12 @@ class Fiber {
 
  private:
   static void trampoline();
+  void san_create();
+  void san_destroy();
+  void san_enter_fiber();
+  void san_land_in_fiber();
+  void san_leave_fiber(bool dying);
+  void san_land_in_thread();
 
   Body body_;
   std::unique_ptr<std::byte[]> stack_;
@@ -52,6 +58,16 @@ class Fiber {
   bool started_ = false;
   bool done_ = false;
   std::exception_ptr error_;
+
+  // Sanitizer bookkeeping (unused in plain builds). TSan and ASan must be
+  // told about stack switches or they misattribute every fiber frame; see
+  // the annotation helpers in fiber.cpp.
+  void* san_fiber_ = nullptr;          ///< TSan fiber handle
+  void* san_resumer_ = nullptr;        ///< TSan handle of the resumer
+  void* san_own_fake_ = nullptr;       ///< ASan fake stack of this fiber
+  void* san_resumer_fake_ = nullptr;   ///< ASan fake stack of the resumer
+  const void* san_resumer_bottom_ = nullptr;
+  std::size_t san_resumer_size_ = 0;
 };
 
 }  // namespace hlsmpc::ult

@@ -15,6 +15,21 @@
 
 namespace hlsmpc::ult {
 
+class TaskContext;
+
+/// Observer of named synchronization points (wait/notify edges) inside the
+/// runtime. The deterministic checking executor (src/check/) installs one
+/// to turn every sync edge into a scheduling decision; production contexts
+/// carry none and pay a single predicted branch per edge.
+class ScheduleHook {
+ public:
+  virtual ~ScheduleHook() = default;
+  /// Called at an instrumented sync edge. May suspend the task (yield to a
+  /// co-scheduled one) before returning; callers therefore must not hold
+  /// any lock across a sync_point.
+  virtual void on_sync_point(TaskContext& ctx, const char* where) = 0;
+};
+
 class TaskContext {
  public:
   virtual ~TaskContext() = default;
@@ -34,9 +49,20 @@ class TaskContext {
   void set_task_id(int id) { task_id_ = id; }
   void set_cpu(int cpu) { cpu_ = cpu; }
 
+  ScheduleHook* schedule_hook() const { return hook_; }
+  void set_schedule_hook(ScheduleHook* hook) { hook_ = hook; }
+
+  /// Invoked by runtime code at instrumented synchronization edges
+  /// (barrier arrival, single entry/exit, nowait claim, migration). Must
+  /// be called with no locks held: the hook may suspend the task.
+  void sync_point(const char* where) {
+    if (hook_ != nullptr) hook_->on_sync_point(*this, where);
+  }
+
  private:
   int task_id_ = -1;
   int cpu_ = -1;
+  ScheduleHook* hook_ = nullptr;
 };
 
 /// Block until `pred()` holds. `lk` must be locked on entry and is locked

@@ -1,0 +1,499 @@
+// Tests for the deterministic schedule explorer and the HLS race checker
+// (src/check/): policies replay deterministically, the explorer finds and
+// shrinks a seeded lost-wakeup bug, SyncManager survives systematic
+// schedule exploration on every scope level with the checker attached,
+// and the checker flags synthetic violations of the paper's conditions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/deterministic_executor.hpp"
+#include "check/explorer.hpp"
+#include "check/hls_checker.hpp"
+#include "hls/var.hpp"
+#include "ult/scheduler.hpp"
+
+namespace check = hlsmpc::check;
+namespace hls = hlsmpc::hls;
+namespace topo = hlsmpc::topo;
+namespace ult = hlsmpc::ult;
+
+namespace {
+
+/// Run `n` tasks pinned to cpus 0..n-1.
+void run_tasks(hls::Runtime& rt, int n, ult::Executor& ex,
+               const std::function<void(hls::TaskView&)>& body) {
+  std::vector<int> pins(static_cast<std::size_t>(n));
+  std::iota(pins.begin(), pins.end(), 0);
+  ex.run(n, pins, [&](ult::TaskContext& ctx) {
+    hls::TaskView view(rt, ctx);
+    body(view);
+  });
+}
+
+}  // namespace
+
+// ---------- traces and policies ----------
+
+TEST(ScheduleTrace, ToStringParseRoundTrip) {
+  check::ScheduleTrace t;
+  t.picks = {0, 2, 1, 1, 3, 0};
+  EXPECT_EQ(check::to_string(t), "0 2 1 1 3 0");
+  const check::ScheduleTrace back = check::parse_trace(check::to_string(t));
+  EXPECT_EQ(back.picks, t.picks);
+  EXPECT_TRUE(check::parse_trace("").empty());
+}
+
+TEST(SchedulePolicy, RoundRobinHonorsQuantumAndRotation) {
+  check::RoundRobinPolicy p(/*quantum=*/2, /*rotation=*/1);
+  p.reset(3);
+  const std::vector<int> all{0, 1, 2};
+  std::vector<int> got;
+  for (int i = 0; i < 8; ++i) got.push_back(p.pick(all));
+  EXPECT_EQ(got, (std::vector<int>{1, 1, 2, 2, 0, 0, 1, 1}));
+  // A finished task is skipped over.
+  p.reset(3);
+  const std::vector<int> no1{0, 2};
+  EXPECT_EQ(p.pick(no1), 2);  // rotation start 1 is gone; next in id order
+}
+
+TEST(SchedulePolicy, TracePolicyFallsBackFairly) {
+  check::TracePolicy p(check::parse_trace("1 1"));
+  p.reset(2);
+  const std::vector<int> all{0, 1};
+  EXPECT_EQ(p.pick(all), 1);
+  EXPECT_EQ(p.pick(all), 1);
+  // Trace exhausted: fair rotation, both tasks keep being scheduled.
+  EXPECT_EQ(p.pick(all), 0);
+  EXPECT_EQ(p.pick(all), 1);
+  EXPECT_EQ(p.pick(all), 0);
+}
+
+TEST(DeterministicExecutor, RunsAllTasksAndRecordsTrace) {
+  check::RoundRobinPolicy policy(1, 0);
+  check::DeterministicExecutor ex(policy);
+  int sum = 0;
+  std::vector<int> pins{0, 1, 2};
+  ex.run(3, pins, [&](ult::TaskContext& ctx) {
+    for (int i = 0; i < 3; ++i) {
+      ++sum;
+      ctx.yield();
+    }
+  });
+  EXPECT_EQ(sum, 9);
+  EXPECT_GT(ex.steps(), 0);
+  EXPECT_FALSE(ex.last_trace().empty());
+  EXPECT_THROW(ex.run(2, pins, [](ult::TaskContext&) {}),
+               std::invalid_argument);
+}
+
+TEST(DeterministicExecutor, SameSeedSameSchedule) {
+  auto run_once = [](std::uint64_t seed) {
+    check::RandomPolicy policy(seed);
+    check::DeterministicExecutor ex(policy);
+    std::vector<int> pins{0, 1, 2, 3};
+    ex.run(4, pins, [&](ult::TaskContext& ctx) {
+      for (int i = 0; i < 5; ++i) ctx.yield();
+    });
+    return ex.last_trace();
+  };
+  EXPECT_EQ(run_once(42).picks, run_once(42).picks);
+  EXPECT_NE(run_once(42).picks, run_once(43).picks);
+}
+
+TEST(DeterministicExecutor, BudgetExhaustionRaisesDeadlockError) {
+  check::RoundRobinPolicy policy(1, 0);
+  check::DeterministicExecutor ex(policy, /*max_steps=*/100);
+  std::vector<int> pins{0, 1};
+  try {
+    ex.run(2, pins, [&](ult::TaskContext& ctx) {
+      if (ctx.task_id() == 0) {
+        while (true) ctx.yield();  // waits for a wakeup that never comes
+      }
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const check::DeadlockError& e) {
+    EXPECT_NE(std::string(e.what()).find("lost wakeup or deadlock"),
+              std::string::npos);
+    EXPECT_EQ(e.trace().size(), 100u);
+  }
+}
+
+// ---------- the explorer finds, shrinks and replays a seeded bug ----------
+
+namespace {
+
+/// Deliberately broken flag-flip barrier: the waiter snapshots the flag
+/// only *after* other tasks may have completed the round, so a preemption
+/// in the marked window loses the wakeup (the classic lost-generation bug
+/// the paper's generation counters exist to avoid).
+class BrokenBarrier {
+ public:
+  explicit BrokenBarrier(int expected) : expected_(expected) {}
+
+  void arrive(ult::TaskContext& ctx) {
+    ++arrived_;
+    // BUG: window between arriving and reading the release flag.
+    ctx.sync_point("broken-barrier:arrived");
+    if (arrived_ == expected_) {
+      arrived_ = 0;
+      flag_ = !flag_;
+      return;
+    }
+    const bool snap = flag_;
+    while (flag_ == snap) ctx.yield();
+  }
+
+ private:
+  int expected_;
+  int arrived_ = 0;
+  bool flag_ = false;
+};
+
+/// Correct version: snapshot the generation before arriving.
+class ToyBarrier {
+ public:
+  explicit ToyBarrier(int expected) : expected_(expected) {}
+
+  void arrive(ult::TaskContext& ctx) {
+    ctx.sync_point("toy-barrier:enter");
+    const long gen = gen_;
+    if (++arrived_ == expected_) {
+      arrived_ = 0;
+      ++gen_;
+      return;
+    }
+    while (gen_ == gen) ctx.yield();
+  }
+
+ private:
+  int expected_;
+  int arrived_ = 0;
+  long gen_ = 0;
+};
+
+check::ScheduleExplorer::Attempt broken_barrier_attempt() {
+  return [](ult::Executor& ex) {
+    BrokenBarrier bar(2);
+    std::vector<int> pins{0, 1};
+    ex.run(2, pins, [&](ult::TaskContext& ctx) {
+      for (int round = 0; round < 2; ++round) bar.arrive(ctx);
+    });
+  };
+}
+
+}  // namespace
+
+TEST(ScheduleExplorer, FindsLostWakeupInBrokenBarrier) {
+  check::ExploreOptions opts;
+  opts.schedules = 100;
+  opts.max_steps = 2000;
+  check::ScheduleExplorer explorer(opts);
+  const check::ExploreResult res = explorer.explore(broken_barrier_attempt());
+
+  ASSERT_FALSE(res.ok);
+  EXPECT_GE(res.failing_schedule, 0);
+  EXPECT_NE(res.error.find("lost wakeup or deadlock"), std::string::npos);
+  // The shrunk trace is a short, printable reproduction recipe.
+  EXPECT_LE(res.failing_trace.size(), 8u);
+  EXPECT_NE(res.repro.find("replay with"), std::string::npos);
+  EXPECT_NE(res.repro.find(check::to_string(res.failing_trace)),
+            std::string::npos);
+
+  // And it replays: the exact same schedule hits the exact same failure.
+  EXPECT_THROW(explorer.replay(broken_barrier_attempt(), res.failing_trace),
+               check::DeadlockError);
+}
+
+TEST(ScheduleExplorer, FindsLostUpdateRace) {
+  // check-then-act increment: passes under coarse schedules, fails as soon
+  // as both tasks are preempted between the read and the write.
+  auto attempt = [](ult::Executor& ex) {
+    int shared = 0;
+    std::vector<int> pins{0, 1};
+    ex.run(2, pins, [&](ult::TaskContext& ctx) {
+      const int v = shared;
+      ctx.sync_point("racy:read");
+      shared = v + 1;
+    });
+    if (shared != 2) throw std::runtime_error("lost update: shared != 2");
+  };
+  check::ExploreOptions opts;
+  opts.schedules = 100;
+  check::ScheduleExplorer explorer(opts);
+  const check::ExploreResult res = explorer.explore(attempt);
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("lost update"), std::string::npos);
+  EXPECT_THROW(explorer.replay(attempt, res.failing_trace),
+               std::runtime_error);
+}
+
+TEST(ScheduleExplorer, CorrectToyBarrierSurvivesExploration) {
+  auto attempt = [](ult::Executor& ex) {
+    ToyBarrier bar(3);
+    std::atomic<int> done{0};
+    std::vector<int> pins{0, 1, 2};
+    ex.run(3, pins, [&](ult::TaskContext& ctx) {
+      for (int round = 0; round < 3; ++round) bar.arrive(ctx);
+      ++done;
+    });
+    if (done.load() != 3) throw std::runtime_error("not all tasks finished");
+  };
+  check::ExploreOptions opts;
+  opts.schedules = 200;
+  check::ScheduleExplorer explorer(opts);
+  const check::ExploreResult res = explorer.explore(attempt);
+  EXPECT_TRUE(res.ok) << res.repro;
+  EXPECT_EQ(res.schedules_run, 200);
+}
+
+// ---------- SyncManager under systematic exploration, all scopes ----------
+
+namespace {
+
+class CheckSyncSweep : public testing::TestWithParam<topo::ScopeSpec> {};
+
+std::string sweep_name(const testing::TestParamInfo<topo::ScopeSpec>& info) {
+  std::string s = topo::to_string(info.param);
+  for (char& c : s) {
+    if (c == '(' || c == ')') c = '_';
+  }
+  return s;
+}
+
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(Scopes, CheckSyncSweep,
+                         testing::Values(topo::node_scope(),
+                                         topo::numa_scope(),
+                                         topo::cache_scope(0),
+                                         topo::core_scope()),
+                         sweep_name);
+
+TEST_P(CheckSyncSweep, SyncManagerSurvivesScheduleExploration) {
+  // 2 sockets x 2 cores: 4 cpus, 2 LLC domains, so node-scope sync runs
+  // the hierarchical (shared-cache-aware) path while cache/core run flat.
+  const topo::ScopeSpec scope = GetParam();
+  const int ntasks = 4;
+  const int rounds = 2;
+
+  auto attempt = [&](ult::Executor& ex) {
+    topo::Machine m = topo::Machine::generic(2, 2);
+    hls::Runtime rt(m, ntasks);
+    check::HlsChecker checker(rt.scope_map(), ntasks);
+    rt.sync().set_observer(&checker);
+    hls::ModuleBuilder mb(rt.registry(), "mod");
+    auto v = hls::add_var<int>(mb, "v", scope);
+    mb.commit();
+    const int ninstances = rt.scope_map().num_instances(scope);
+
+    int singles = 0;
+    int claims = 0;
+    int bad = 0;
+    run_tasks(rt, ntasks, ex, [&](hls::TaskView& view) {
+      int& x = view.get(v);
+      for (int round = 0; round < rounds; ++round) {
+        view.barrier({v.handle()});
+        view.single({v.handle()}, [&] {
+          ++singles;
+          x = round + 1;
+        });
+        if (x != round + 1) ++bad;
+        if (view.single_nowait({v.handle()}, [] {})) ++claims;
+      }
+    });
+
+    if (bad != 0) {
+      throw std::runtime_error("single write not visible to all members");
+    }
+    if (singles != rounds * ninstances) {
+      throw std::runtime_error(
+          "single ran " + std::to_string(singles) + " times, expected " +
+          std::to_string(rounds * ninstances));
+    }
+    if (claims != rounds * ninstances) {
+      throw std::runtime_error(
+          "nowait claimed " + std::to_string(claims) + " times, expected " +
+          std::to_string(rounds * ninstances));
+    }
+    if (!checker.verify()) {
+      throw std::runtime_error("checker violations:\n" + checker.report());
+    }
+  };
+
+  check::ExploreOptions opts;
+  opts.schedules = 500;
+  check::ScheduleExplorer explorer(opts);
+  const check::ExploreResult res = explorer.explore(attempt);
+  EXPECT_TRUE(res.ok) << res.repro;
+  EXPECT_EQ(res.schedules_run, 500);
+}
+
+// ---------- checker: synthetic violation streams ----------
+
+namespace {
+
+hls::SyncEvent ev(hls::SyncEvent::Kind kind, int task, int cpu,
+                  hls::CanonicalScope scope, int inst, std::uint64_t tc,
+                  std::uint64_t ic) {
+  hls::SyncEvent e;
+  e.kind = kind;
+  e.task = task;
+  e.cpu = cpu;
+  e.scope = scope;
+  e.instance = inst;
+  e.task_count = tc;
+  e.instance_count = ic;
+  return e;
+}
+
+const hls::CanonicalScope kNode{topo::ScopeKind::node, 0};
+
+bool has_code(const check::HlsChecker& c, check::Diagnostic::Code code) {
+  for (const check::Diagnostic& d : c.violations()) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST(HlsChecker, CleanSingleSequenceVerifies) {
+  topo::Machine m = topo::Machine::generic(1, 2);
+  topo::ScopeMap sm(m);
+  check::HlsChecker c(sm, 2);
+  using K = hls::SyncEvent::Kind;
+  c.on_sync_event(ev(K::single_enter, 0, 0, kNode, 0, 0, 0));
+  c.on_sync_event(ev(K::single_enter, 1, 1, kNode, 0, 0, 0));
+  c.on_sync_event(ev(K::single_exec_begin, 1, 1, kNode, 0, 0, 0));
+  c.on_sync_event(ev(K::single_exec_end, 1, 1, kNode, 0, 1, 1));
+  c.on_sync_event(ev(K::single_exit, 0, 0, kNode, 0, 1, 1));
+  EXPECT_TRUE(c.ok());
+  EXPECT_TRUE(c.verify()) << c.report();
+  EXPECT_EQ(c.events_recorded(), 5u);
+}
+
+TEST(HlsChecker, OverlappingExecutorsFlagged) {
+  topo::Machine m = topo::Machine::generic(1, 2);
+  topo::ScopeMap sm(m);
+  check::HlsChecker c(sm, 2);
+  using K = hls::SyncEvent::Kind;
+  c.on_sync_event(ev(K::single_enter, 0, 0, kNode, 0, 0, 0));
+  c.on_sync_event(ev(K::single_enter, 1, 1, kNode, 0, 0, 0));
+  c.on_sync_event(ev(K::single_exec_begin, 0, 0, kNode, 0, 0, 0));
+  // Second executor elected while the first still runs the block.
+  c.on_sync_event(ev(K::single_exec_begin, 1, 1, kNode, 0, 0, 0));
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_code(c, check::Diagnostic::Code::single_overlap));
+  EXPECT_NE(c.report().find("single_overlap"), std::string::npos);
+}
+
+TEST(HlsChecker, PrematureElectionCaughtByHappensBefore) {
+  // Two complete, non-overlapping-in-log single episodes whose participant
+  // sets never met: only the vector-clock pass can tell they are
+  // unordered (a lost arrival elected an executor too early).
+  topo::Machine m = topo::Machine::generic(1, 2);
+  topo::ScopeMap sm(m);
+  check::HlsChecker c(sm, 2);
+  using K = hls::SyncEvent::Kind;
+  c.on_sync_event(ev(K::single_enter, 0, 0, kNode, 0, 0, 0));
+  c.on_sync_event(ev(K::single_exec_begin, 0, 0, kNode, 0, 0, 0));
+  c.on_sync_event(ev(K::single_exec_end, 0, 0, kNode, 0, 1, 1));
+  c.on_sync_event(ev(K::single_enter, 1, 1, kNode, 0, 0, 1));
+  c.on_sync_event(ev(K::single_exec_begin, 1, 1, kNode, 0, 0, 1));
+  c.on_sync_event(ev(K::single_exec_end, 1, 1, kNode, 0, 1, 2));
+  EXPECT_TRUE(c.ok());  // incremental checks cannot see this one
+  EXPECT_FALSE(c.verify());
+  EXPECT_TRUE(has_code(c, check::Diagnostic::Code::single_unordered));
+}
+
+TEST(HlsChecker, CounterRegressionFlagged) {
+  topo::Machine m = topo::Machine::generic(1, 2);
+  topo::ScopeMap sm(m);
+  check::HlsChecker c(sm, 2);
+  using K = hls::SyncEvent::Kind;
+  c.on_sync_event(ev(K::barrier_exit, 0, 0, kNode, 0, 2, 2));
+  c.on_sync_event(ev(K::barrier_exit, 0, 0, kNode, 0, 1, 2));  // task count back
+  c.on_sync_event(ev(K::barrier_exit, 1, 1, kNode, 0, 1, 2));
+  c.on_sync_event(ev(K::barrier_exit, 1, 1, kNode, 0, 2, 1));  // inst count back
+  EXPECT_FALSE(c.ok());
+  const auto v = c.violations();
+  int regressions = 0;
+  for (const check::Diagnostic& d : v) {
+    if (d.code == check::Diagnostic::Code::counter_regression) ++regressions;
+  }
+  EXPECT_EQ(regressions, 2);
+}
+
+TEST(HlsChecker, MigrateInsideSingleFlagged) {
+  topo::Machine m = topo::Machine::generic(1, 2);
+  topo::ScopeMap sm(m);
+  check::HlsChecker c(sm, 2);
+  using K = hls::SyncEvent::Kind;
+  c.on_sync_event(ev(K::single_enter, 0, 0, kNode, 0, 0, 0));
+  c.on_sync_event(ev(K::single_exec_begin, 0, 0, kNode, 0, 0, 0));
+  c.on_sync_event(ev(K::migrate_ok, 0, 1, kNode, -1, 0, 0));
+  EXPECT_TRUE(has_code(c, check::Diagnostic::Code::migrate_in_single));
+}
+
+TEST(HlsChecker, MigrateWithMismatchedCountersFlagged) {
+  // Destination numa instance provably completed 3 episodes; a task that
+  // completed none is accepted there anyway -> the checker's mirror of the
+  // §IV.A condition must fire.
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  topo::ScopeMap sm(m);
+  check::HlsChecker c(sm, 4);
+  const hls::CanonicalScope numa{topo::ScopeKind::numa, 0};
+  const int dest_cpu = 8;  // numa instance 1
+  ASSERT_EQ(sm.instance_of(topo::numa_scope(), dest_cpu), 1);
+  using K = hls::SyncEvent::Kind;
+  c.on_sync_event(ev(K::barrier_exit, 1, dest_cpu, numa, 1, 3, 3));
+  c.on_sync_event(ev(K::migrate_ok, 0, dest_cpu, kNode, -1, 0, 0));
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_code(c, check::Diagnostic::Code::migrate_mismatch));
+  // A matching move to the same instance is fine.
+  check::HlsChecker c2(sm, 4);
+  c2.on_sync_event(ev(K::barrier_exit, 1, dest_cpu, numa, 1, 3, 3));
+  c2.on_sync_event(ev(K::barrier_exit, 0, 0, numa, 0, 3, 3));
+  c2.on_sync_event(ev(K::migrate_ok, 0, dest_cpu, kNode, -1, 0, 0));
+  EXPECT_TRUE(c2.ok()) << c2.report();
+}
+
+TEST(HlsChecker, StructuralNoiseFlagged) {
+  topo::Machine m = topo::Machine::generic(1, 2);
+  topo::ScopeMap sm(m);
+  check::HlsChecker c(sm, 2);
+  using K = hls::SyncEvent::Kind;
+  c.on_sync_event(ev(K::single_exec_end, 0, 0, kNode, 0, 1, 1));
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(has_code(c, check::Diagnostic::Code::structural));
+}
+
+// ---------- checker attached to a live run on kernel threads ----------
+
+TEST(HlsChecker, CleanThreadedRunVerifies) {
+  topo::Machine m = topo::Machine::nehalem_ex(1);
+  const int ntasks = 8;
+  hls::Runtime rt(m, ntasks);
+  check::HlsChecker checker(rt.scope_map(), ntasks);
+  rt.sync().set_observer(&checker);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_var<int>(mb, "v", topo::node_scope());
+  mb.commit();
+  ult::ThreadExecutor ex;
+  run_tasks(rt, ntasks, ex, [&](hls::TaskView& view) {
+    view.get(v);
+    for (int round = 0; round < 5; ++round) {
+      view.barrier({v.handle()});
+      view.single({v.handle()}, [] {});
+      view.single_nowait({v.handle()}, [] {});
+    }
+  });
+  rt.sync().set_observer(nullptr);
+  EXPECT_GT(checker.events_recorded(), 0u);
+  EXPECT_TRUE(checker.verify()) << checker.report();
+}

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/hls_checker.hpp"
 #include "hls/var.hpp"
 #include "ult/scheduler.hpp"
 
@@ -611,6 +612,105 @@ TEST(HlsMigration, MismatchedCountersRejectMove) {
   EXPECT_EQ(threw.load(), 1);
 }
 
+TEST(HlsMigration, MismatchedNowaitCountersRejectMove) {
+  // Nowait sites count toward the §IV.A episode totals: a task that passed
+  // a numa-scope nowait site cannot move to a numa instance that has not.
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  hls::Runtime rt(m, 2);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_var<int>(mb, "v", topo::numa_scope());
+  mb.commit();
+  std::atomic<int> threw{0};
+  ult::ThreadExecutor ex;
+  // Both tasks on numa 0 (cpus 0, 1) pass one nowait site, so their numa
+  // counters read 1; numa 1's instance still reads 0.
+  run_tasks(rt, 2, ex, [&](hls::TaskView& view) {
+    view.get(v);
+    view.single_nowait({v.handle()}, [] {});
+    view.barrier({v.handle()});
+    if (view.context().task_id() == 0) {
+      try {
+        view.migrate(8);  // cpu 8 = numa 1
+      } catch (const hls::HlsError& e) {
+        ++threw;
+        EXPECT_NE(std::string(e.what()).find("episodes"), std::string::npos);
+      }
+    }
+  });
+  EXPECT_EQ(threw.load(), 1);
+}
+
+TEST(HlsMigration, MigrateMidSingleThrows) {
+  // The elected executor owns the instance's exclusivity and its counters
+  // are mid-update: MPC_Move from inside the block must be refused even
+  // when the counters would otherwise match.
+  topo::Machine m = topo::Machine::nehalem_ex(1);
+  hls::Runtime rt(m, 4);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_var<int>(mb, "v", topo::node_scope());
+  mb.commit();
+  std::atomic<int> threw{0};
+  std::atomic<int> bad{0};
+  ult::ThreadExecutor ex;
+  run_tasks(rt, 4, ex, [&](hls::TaskView& view) {
+    view.get(v);
+    view.single({v.handle()}, [&] {
+      try {
+        view.migrate(5);  // same node: counters match, still illegal here
+        ++bad;
+      } catch (const hls::HlsError& e) {
+        ++threw;
+        EXPECT_NE(std::string(e.what()).find("single"), std::string::npos);
+      }
+    });
+    // The refused move must leave the single usable: everyone gets here.
+    view.barrier({v.handle()});
+  });
+  EXPECT_EQ(threw.load(), 1);  // exactly one executor tried
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(HlsMigration, MigrateThenBarrierRecountsParticipants) {
+  // After a legal move the barrier arrival counts must follow the new
+  // pinning: numa 0 now expects 3 arrivals, numa 1 exactly 1 — with stale
+  // counts either side would hang (guarded by the ctest timeout).
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  hls::Runtime rt(m, 4);
+  hlsmpc::check::HlsChecker checker(rt.scope_map(), 4);
+  rt.sync().set_observer(&checker);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto nv = hls::add_var<int>(mb, "nv", topo::node_scope());
+  auto v = hls::add_var<int>(mb, "v", topo::numa_scope());
+  mb.commit();
+  std::atomic<int> threw{0};
+  ult::ThreadExecutor ex;
+  // All 4 tasks start on numa 0 (cpus 0..3); task 0 moves to numa 1.
+  run_tasks(rt, 4, ex, [&](hls::TaskView& view) {
+    view.get(v);
+    view.barrier({nv.handle()});
+    if (view.context().task_id() == 0) {
+      try {
+        view.migrate(8);  // counters all aligned: must be accepted
+      } catch (const hls::HlsError&) {
+        ++threw;
+      }
+    }
+    view.barrier({nv.handle()});  // publish the new pinning to everyone
+    view.barrier({v.handle()});   // numa barrier under the new layout
+  });
+  rt.sync().set_observer(nullptr);
+  EXPECT_EQ(threw.load(), 0);
+  const hls::CanonicalScope numa{topo::ScopeKind::numa, 0};
+  const hls::CanonicalScope node{topo::ScopeKind::node, 0};
+  EXPECT_EQ(rt.sync().participants(numa, 0), 3);
+  EXPECT_EQ(rt.sync().participants(numa, 8), 1);
+  // Both numa instances completed exactly one episode each.
+  EXPECT_EQ(rt.sync().instance_sync_count(numa, 0), 1u);
+  EXPECT_EQ(rt.sync().instance_sync_count(numa, 8), 1u);
+  EXPECT_EQ(rt.sync().instance_sync_count(node, 0), 2u);
+  EXPECT_TRUE(checker.verify()) << checker.report();
+}
+
 TEST(HlsMigration, BadCpuRejected) {
   topo::Machine m = topo::Machine::nehalem_ex(1);
   hls::Runtime rt(m, 1);
@@ -700,6 +800,56 @@ TEST(HlsHeap, PointerVariableWithSingleAllocation) {
     if (B != nullptr) ++bad;
   });
   EXPECT_EQ(bad.load(), 0);
+}
+
+// ---------- stress: oversubscribed single/nowait hammer ----------
+
+TEST(HlsStress, SingleHammerExactlyOneWinnerPerEpisode) {
+  // 8 tasks on 4 cpus (two per core) hammer alternating single /
+  // single-nowait sites for 1000 iterations. An atomic per-episode ledger
+  // proves exactly one winner per episode; the race checker rides along
+  // and the episode counters must balance at the end.
+  topo::Machine m = topo::Machine::generic(1, 4);
+  const int ntasks = 8;
+  const int iters = 1000;
+  hls::Runtime rt(m, ntasks);
+  hlsmpc::check::HlsChecker checker(rt.scope_map(), ntasks);
+  rt.sync().set_observer(&checker);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_var<int>(mb, "v", topo::node_scope());
+  mb.commit();
+  std::vector<std::atomic<int>> ledger(iters);
+  std::vector<int> pins(ntasks);
+  for (int i = 0; i < ntasks; ++i) pins[i] = i % m.num_cpus();
+  ult::ThreadExecutor ex;
+  ex.run(ntasks, pins, [&](ult::TaskContext& ctx) {
+    hls::TaskView view(rt, ctx);
+    view.get(v);
+    for (int i = 0; i < iters; ++i) {
+      if (i % 2 == 0) {
+        view.single({v.handle()},
+                    [&] { ledger[static_cast<std::size_t>(i)].fetch_add(1); });
+      } else {
+        view.single_nowait(
+            {v.handle()},
+            [&] { ledger[static_cast<std::size_t>(i)].fetch_add(1); });
+      }
+    }
+  });
+  rt.sync().set_observer(nullptr);
+  for (int i = 0; i < iters; ++i) {
+    ASSERT_EQ(ledger[static_cast<std::size_t>(i)].load(), 1)
+        << "episode " << i << " had the wrong number of winners";
+  }
+  const hls::CanonicalScope node{topo::ScopeKind::node, 0};
+  EXPECT_EQ(rt.sync().instance_sync_count(node, 0),
+            static_cast<std::uint64_t>(iters));
+  for (int t = 0; t < ntasks; ++t) {
+    EXPECT_EQ(rt.sync().task_sync_count(t, node),
+              static_cast<std::uint64_t>(iters))
+        << "task " << t;
+  }
+  EXPECT_TRUE(checker.verify()) << checker.report();
 }
 
 // ---------- property sweep: episode counters stay consistent ----------
