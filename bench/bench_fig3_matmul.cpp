@@ -9,9 +9,13 @@
 // cache and narrows for very large sizes; with updates, numa beats node
 // at sizes where B could stay cached between timesteps.
 //
-// Usage: bench_fig3_matmul [--quick] [--sockets N]
+// Usage: bench_fig3_matmul [--quick] [--sockets N] [--json]
+//   --json emits the sweep in google-benchmark's JSON shape (a
+//   "benchmarks" array with one entry per (variant, mode, N), metric in
+//   "perf", higher is better) so bench/compare.py can diff runs.
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "apps/matmul/matmul.hpp"
@@ -20,11 +24,31 @@ using namespace hlsmpc;
 using apps::matmul::Config;
 using apps::matmul::Mode;
 
+namespace {
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::sequential:
+      return "sequential";
+    case Mode::mpi_private:
+      return "mpi";
+    case Mode::hls_node:
+      return "hls_node";
+    case Mode::hls_numa:
+      return "hls_numa";
+  }
+  return "?";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bool quick = false;
+  bool json = false;
   int sockets = 4;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--sockets") == 0 && i + 1 < argc) {
       sockets = std::atoi(argv[++i]);
     }
@@ -36,14 +60,21 @@ int main(int argc, char** argv) {
   std::vector<int> sizes = {16, 24, 32, 48, 64, 96, 128, 160};
   if (quick) sizes = {16, 32, 64, 96};
 
-  std::printf("Figure 3 reproduction: matmul C <- A*B + C, shared B\n");
-  std::printf("machine: %s (x1/%d capacity), %d tasks; perf = flops/cycle"
-              "/task\n",
-              machine.name().c_str(), kScale, ntasks);
+  if (!json) {
+    std::printf("Figure 3 reproduction: matmul C <- A*B + C, shared B\n");
+    std::printf("machine: %s (x1/%d capacity), %d tasks; perf = flops/cycle"
+                "/task\n",
+                machine.name().c_str(), kScale, ntasks);
+  } else {
+    std::printf("{\n  \"benchmarks\": [");
+  }
+  bool first_entry = true;
   for (bool update : {false, true}) {
-    std::printf("\n-- %s version --\n", update ? "update" : "no-update");
-    std::printf("%6s %12s %12s %12s %12s\n", "N", "sequential", "MPI",
-                "HLS node", "HLS numa");
+    if (!json) {
+      std::printf("\n-- %s version --\n", update ? "update" : "no-update");
+      std::printf("%6s %12s %12s %12s %12s\n", "N", "sequential", "MPI",
+                  "HLS node", "HLS numa");
+    }
     for (int n : sizes) {
       Config cfg;
       cfg.n = n;
@@ -54,15 +85,30 @@ int main(int argc, char** argv) {
       int i = 0;
       for (Mode mode : {Mode::sequential, Mode::mpi_private, Mode::hls_node,
                         Mode::hls_numa}) {
-        perf[i++] = apps::matmul::simulate(machine, cfg, mode, ntasks).perf;
+        perf[i] = apps::matmul::simulate(machine, cfg, mode, ntasks).perf;
+        if (json) {
+          const std::string name = std::string("fig3/") +
+                                   (update ? "update" : "noupdate") + "/" +
+                                   mode_name(mode) + "/N:" + std::to_string(n);
+          std::printf("%s\n    {\"name\": \"%s\", \"perf\": %.6f}",
+                      first_entry ? "" : ",", name.c_str(), perf[i]);
+          first_entry = false;
+        }
+        ++i;
       }
-      std::printf("%6d %12.3f %12.3f %12.3f %12.3f\n", n, perf[0], perf[1],
-                  perf[2], perf[3]);
+      if (!json) {
+        std::printf("%6d %12.3f %12.3f %12.3f %12.3f\n", n, perf[0], perf[1],
+                    perf[2], perf[3]);
+      }
     }
   }
-  std::printf(
-      "\nexpected shape (paper, fig. 3): MPI falls off cache first; HLS "
-      "follows sequential; gap max at the MPI falloff point; update: numa "
-      ">= node at small sizes.\n");
+  if (json) {
+    std::printf("\n  ]\n}\n");
+  } else {
+    std::printf(
+        "\nexpected shape (paper, fig. 3): MPI falls off cache first; HLS "
+        "follows sequential; gap max at the MPI falloff point; update: numa "
+        ">= node at small sizes.\n");
+  }
   return 0;
 }

@@ -39,9 +39,12 @@ ult::ThreadTaskContext make_ctx(const benchmark::State& state,
                                 const topo::Machine& machine) {
   ult::ThreadTaskContext ctx;
   ctx.set_task_id(state.thread_index());
-  // Spread across sockets: thread i -> cpu i*stride.
-  const int stride = machine.num_cpus() / state.threads();
-  ctx.set_cpu(state.thread_index() * (stride > 0 ? stride : 1));
+  // Spread thread i evenly over [0, num_cpus): proportional placement
+  // instead of a stride, which collapsed to 1 (piling every thread onto
+  // the low cpus, off the end of the machine for threads > num_cpus).
+  const long n = machine.num_cpus();
+  ctx.set_cpu(static_cast<int>(
+      state.thread_index() * n / state.threads() % n));
   return ctx;
 }
 
@@ -55,6 +58,19 @@ void BM_GetAddrNode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GetAddrNode);
+
+void BM_GetAddrNodeMT(benchmark::State& state) {
+  // Concurrent warm resolution from several tasks: each hits its own
+  // per-task address cache, so this should scale like the 1-thread case.
+  static SyncFixture* f =
+      new SyncFixture(4, topo::node_scope(), /*force_flat=*/false);
+  ult::ThreadTaskContext ctx = make_ctx(state, f->machine);
+  f->rt.bind_task(ctx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f->rt.get_addr(f->var.handle(), ctx));
+  }
+}
+BENCHMARK(BM_GetAddrNodeMT)->Threads(4)->UseRealTime();
 
 void BM_GetAddrViaTypedVar(benchmark::State& state) {
   static SyncFixture* f =

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Diff two benchmark JSON runs and flag regressions.
+
+Usage: compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
+
+Accepts google-benchmark's --benchmark_format=json output
+(bench_micro_sync) and bench_fig3_matmul's --json output. Benchmarks are
+matched by "name"; for each name present in both runs the script prints
+the relative change of its metric:
+
+  - "real_time" (google-benchmark): lower is better;
+  - "perf" (fig3, flops/cycle): higher is better.
+
+A change worse than --threshold (default 10%) is flagged as a REGRESSION
+and makes the script exit nonzero, so it can gate a CI job:
+
+  ./build-bench/bench/bench_micro_sync --benchmark_format=json > new.json
+  python3 bench/compare.py BENCH_micro_sync.json new.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("name")
+        if name is None or b.get("run_type") == "aggregate":
+            continue
+        if "real_time" in b:
+            out[name] = ("real_time", float(b["real_time"]), False)
+        elif "perf" in b:
+            out[name] = ("perf", float(b["perf"]), True)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    args = ap.parse_args()
+
+    try:
+        base = load(args.baseline)
+        cand = load(args.candidate)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"compare.py: {e}", file=sys.stderr)
+        return 2
+    common = [n for n in base if n in cand]
+    if not common:
+        print("compare.py: no common benchmark names between the two runs",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max(len(n) for n in common)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12}  "
+          f"{'change':>8}")
+    for name in common:
+        metric, old, higher_better = base[name]
+        cand_metric, new, _ = cand[name]
+        if cand_metric != metric:
+            print(f"{name:<{width}}  metric mismatch "
+                  f"({metric} vs {cand_metric}), skipped")
+            continue
+        if old == 0:
+            print(f"{name:<{width}}  baseline is zero, skipped")
+            continue
+        # Normalize so positive pct always means "got worse".
+        pct = ((old - new) / old if higher_better else (new - old) / old) * 100
+        flag = ""
+        if pct > args.threshold:
+            flag = "  REGRESSION"
+            regressions.append((name, pct))
+        elif pct < -args.threshold:
+            flag = "  improved"
+        print(f"{name:<{width}}  {old:>12.3f}  {new:>12.3f}  {pct:>+7.1f}%"
+              f"{flag}")
+
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    if only_base:
+        print(f"only in baseline: {', '.join(only_base)}")
+    if only_cand:
+        print(f"only in candidate: {', '.join(only_cand)}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) worse than "
+              f"{args.threshold:.0f}%:", file=sys.stderr)
+        for name, pct in regressions:
+            print(f"  {name}: {pct:+.1f}%", file=sys.stderr)
+        return 1
+    print(f"\nno regressions worse than {args.threshold:.0f}% "
+          f"({len(common)} benchmarks compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

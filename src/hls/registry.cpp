@@ -137,6 +137,7 @@ VarHandle ModuleBuilder::add_raw(const std::string& var_name,
   h.module = id_;
   h.var = static_cast<int>(m_.vars.size()) - 1;
   h.scope = canon;
+  h.sid = scope_id(reg_->scopes(), canon);
   h.offset = offset;
   h.size = size;
   return h;

@@ -39,6 +39,12 @@ CanonicalScope canonicalize(const topo::ScopeMap& sm,
                             const topo::ScopeSpec& s);
 std::string to_string(const CanonicalScope& s);
 
+/// Dense id of a canonical scope (see topo::DenseScopeTable). Canonical
+/// scopes carry resolved levels, so this is a pure O(1) switch.
+inline int scope_id(const topo::DenseScopeTable& t, const CanonicalScope& s) {
+  return t.id(s.kind, s.cache_level);
+}
+
 /// Initializer run exactly once per scope instance when the module's
 /// region is first touched there (paper: "allocate and initialize memory
 /// if first use").
@@ -61,6 +67,10 @@ struct VarHandle {
   int module = -1;
   int var = -1;  // index within the module (for diagnostics)
   CanonicalScope scope;
+  /// Dense id of `scope` (scope_id()), precomputed at registration so the
+  /// per-access fast path needs no scope decoding. -1 on hand-built
+  /// handles; resolvers fall back to scope_id() then.
+  int sid = -1;
   std::size_t offset = 0;
   std::size_t size = 0;
 
@@ -81,7 +91,8 @@ struct Module {
 /// Node-wide table of loaded modules ("the module array", §IV.A).
 class Registry {
  public:
-  explicit Registry(const topo::ScopeMap& sm) : sm_(&sm) {}
+  explicit Registry(const topo::ScopeMap& sm)
+      : sm_(&sm), scopes_(sm.machine()) {}
 
   /// Reserve a module slot; filled by commit_module.
   int reserve_module(const std::string& name);
@@ -91,12 +102,15 @@ class Registry {
   bool committed(int id) const;
   const Module& module(int id) const;
   const topo::ScopeMap& scope_map() const { return *sm_; }
+  /// Frozen dense scope index space shared by the hot-path resolvers.
+  const topo::DenseScopeTable& scopes() const { return scopes_; }
 
   /// Diagnostic lookup for error messages.
   const VarInfo& var(const VarHandle& h) const;
 
  private:
   const topo::ScopeMap* sm_;
+  topo::DenseScopeTable scopes_;
   mutable std::mutex mu_;
   std::vector<std::pair<std::string, Module>> modules_;  // name, module
   std::vector<bool> committed_;

@@ -1,5 +1,7 @@
 #include "hls/runtime.hpp"
 
+#include <algorithm>
+
 namespace hlsmpc::hls {
 
 Runtime::Runtime(const topo::Machine& machine, int ntasks,
@@ -12,15 +14,74 @@ Runtime::Runtime(const topo::Machine& machine, int ntasks,
       reg_(sm_),
       storage_(reg_, *tracker_),
       sync_(sm_, ntasks),
-      ntasks_(ntasks) {}
+      ntasks_(ntasks),
+      num_scopes_(reg_.scopes().num_scopes()),
+      caches_(static_cast<std::size_t>(std::max(ntasks, 1))) {}
+
+void Runtime::invalidate_cache(int task) {
+  if (task < 0 || task >= static_cast<int>(caches_.size())) return;
+  caches_[static_cast<std::size_t>(task)].cpu = -1;
+  caches_[static_cast<std::size_t>(task)].entries.clear();
+}
 
 void Runtime::bind_task(const ult::TaskContext& ctx) {
   sync_.set_task_cpu(ctx.task_id(), ctx.cpu());
+  const int task = ctx.task_id();
+  if (task >= 0 && task < static_cast<int>(caches_.size())) {
+    TaskCache& c = caches_[static_cast<std::size_t>(task)];
+    if (c.cpu != ctx.cpu()) {
+      // Re-bound on a different cpu (e.g. external re-pinning): the cached
+      // instance pointers belong to the old cpu's instances. Drop them.
+      c.entries.clear();
+      c.cpu = ctx.cpu();
+    }
+  }
 }
 
-void* Runtime::get_addr(const VarHandle& h, const ult::TaskContext& ctx) {
+void* Runtime::get_addr(const VarHandle& h, ult::TaskContext& ctx) {
   if (!h.valid()) throw HlsError("get_addr: invalid variable handle");
-  return storage_.get_addr(h, ctx.cpu());
+  const int sid = h.sid >= 0 ? h.sid : scope_id(reg_.scopes(), h.scope);
+  const std::size_t idx =
+      static_cast<std::size_t>(h.module) *
+          static_cast<std::size_t>(num_scopes_) +
+      static_cast<std::size_t>(sid);
+  const int task = ctx.task_id();
+  TaskCache* cache = nullptr;
+  if (task >= 0 && task < static_cast<int>(caches_.size())) {
+    cache = &caches_[static_cast<std::size_t>(task)];
+    // Warm path: one array load plus an offset add. The cpu check guards
+    // against any path that changed the task's cpu without dropping the
+    // cache (belt and braces on top of migrate/bind_task invalidation).
+    if (cache->cpu == ctx.cpu() && idx < cache->entries.size()) {
+      const CacheEntry& e = cache->entries[idx];
+      if (e.base != nullptr) {
+        if (h.offset > e.size || h.size > e.size - h.offset) {
+          throw HlsError(
+              "get_addr: accessed range [offset, offset + size) beyond "
+              "module region");
+        }
+        return e.base + h.offset;
+      }
+    }
+  }
+  // Cold (or post-move) path: resolve through storage, then fill the
+  // cache for this cpu.
+  const StorageManager::Resolved r =
+      storage_.resolve(h.scope, h.module, ctx.cpu(), &ctx);
+  if (h.offset > r.size || h.size > r.size - h.offset) {
+    throw HlsError(
+        "get_addr: accessed range [offset, offset + size) beyond "
+        "module region");
+  }
+  if (cache != nullptr) {
+    if (cache->cpu != ctx.cpu()) {
+      cache->entries.clear();
+      cache->cpu = ctx.cpu();
+    }
+    if (idx >= cache->entries.size()) cache->entries.resize(idx + 1);
+    cache->entries[idx] = CacheEntry{r.base, r.size};
+  }
+  return r.base + h.offset;
 }
 
 CanonicalScope Runtime::common_scope(
@@ -141,6 +202,10 @@ void Runtime::migrate(ult::TaskContext& ctx, int new_cpu) {
   }
   ctx.set_cpu(new_cpu);
   sync_.set_task_cpu(ctx.task_id(), new_cpu);
+  // The move changed which scope instances contain the task; every cached
+  // instance pointer may now be wrong. Drop them all (the next get_addr
+  // refills for the new cpu).
+  invalidate_cache(ctx.task_id());
   sync_.report_migration(ctx, new_cpu, /*ok=*/true);
 }
 

@@ -7,8 +7,10 @@
 // front end (Var<T>, TaskView) lives in var.hpp.
 #pragma once
 
+#include <cstddef>
 #include <initializer_list>
 #include <memory>
+#include <vector>
 
 #include "hls/registry.hpp"
 #include "hls/storage.hpp"
@@ -37,8 +39,11 @@ class Runtime {
   /// (TaskView's constructor does it): records the task's pinning.
   void bind_task(const ult::TaskContext& ctx);
 
-  /// hls_get_addr_<scope> — the accessor the compiler would emit.
-  void* get_addr(const VarHandle& h, const ult::TaskContext& ctx);
+  /// hls_get_addr_<scope> — the accessor the compiler would emit. Warm
+  /// calls hit the task's resolved-address cache: one array load plus an
+  /// offset add, no atomics and no locks. `ctx` is non-const because a
+  /// cold call may suspend at the first-touch sync_point.
+  void* get_addr(const VarHandle& h, ult::TaskContext& ctx);
 
   // Directive-shaped entry points. The list forms validate variables the
   // way the compiler would: `single` requires all variables to share one
@@ -71,6 +76,25 @@ class Runtime {
   CanonicalScope widest_scope(std::initializer_list<VarHandle> vars) const;
 
  private:
+  /// One resolved (module, scope) region as seen from the task's current
+  /// cpu. `base` doubles as the valid flag.
+  struct CacheEntry {
+    std::byte* base = nullptr;
+    std::size_t size = 0;
+  };
+  /// Per-task resolved-address cache, indexed `module * num_scopes + sid`.
+  /// Owned and touched exclusively by its task, so no synchronization is
+  /// needed — but it MUST be dropped whenever the task changes cpu
+  /// (migrate / bind_task): a cached pointer names a scope *instance*,
+  /// and the instance containing the task follows its cpu. The `cpu`
+  /// field double-checks that rule on every hit.
+  struct alignas(64) TaskCache {
+    int cpu = -1;
+    std::vector<CacheEntry> entries;
+  };
+
+  void invalidate_cache(int task);
+
   topo::Machine machine_;
   topo::ScopeMap sm_;
   std::unique_ptr<memtrack::Tracker> owned_tracker_;
@@ -79,6 +103,8 @@ class Runtime {
   StorageManager storage_;
   SyncManager sync_;
   int ntasks_;
+  int num_scopes_;
+  std::vector<TaskCache> caches_;
 };
 
 }  // namespace hlsmpc::hls

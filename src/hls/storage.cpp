@@ -4,76 +4,118 @@ namespace hlsmpc::hls {
 
 StorageManager::StorageManager(const Registry& reg,
                                memtrack::Tracker& tracker)
-    : reg_(&reg), tracker_(&tracker) {}
-
-topo::ScopeSpec StorageManager::spec_of(const CanonicalScope& scope) const {
-  // cache_level doubles as the numa level for numa(2) scopes.
-  return topo::ScopeSpec{scope.kind, scope.cache_level};
-}
-
-StorageManager::InstanceStorage& StorageManager::instance(
-    const CanonicalScope& scope, int inst) {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto& vec = instances_[scope];
-  if (vec.empty()) {
-    const int n = reg_->scope_map().num_instances(spec_of(scope));
-    vec.reserve(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) {
+    : reg_(&reg), tracker_(&tracker) {
+  const topo::DenseScopeTable& t = reg.scopes();
+  instances_.resize(static_cast<std::size_t>(t.num_scopes()));
+  for (int sid = 0; sid < t.num_scopes(); ++sid) {
+    auto& vec = instances_[static_cast<std::size_t>(sid)];
+    vec.reserve(static_cast<std::size_t>(t.num_instances(sid)));
+    for (int i = 0; i < t.num_instances(sid); ++i) {
       vec.push_back(std::make_unique<InstanceStorage>());
     }
   }
-  if (inst < 0 || inst >= static_cast<int>(vec.size())) {
-    throw HlsError("StorageManager: bad scope instance");
+}
+
+StorageManager::~StorageManager() {
+  for (auto& per_scope : instances_) {
+    for (auto& inst : per_scope) {
+      for (auto& chunk_slot : inst->chunks) {
+        Chunk* chunk = chunk_slot.load(std::memory_order_acquire);
+        if (chunk == nullptr) continue;
+        for (auto& region_slot : chunk->slots) {
+          delete region_slot.load(std::memory_order_acquire);
+        }
+        delete chunk;
+      }
+    }
   }
-  return *vec[static_cast<std::size_t>(inst)];
+}
+
+StorageManager::ModuleRegion& StorageManager::region_slot(InstanceStorage& st,
+                                                          int module) {
+  if (module < 0 || module >= kChunkSize * kMaxChunks) {
+    throw HlsError("StorageManager: module id out of slot-table range");
+  }
+  auto& chunk_slot = st.chunks[static_cast<std::size_t>(module >> kChunkBits)];
+  Chunk* chunk = chunk_slot.load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    auto fresh = std::make_unique<Chunk>();
+    if (chunk_slot.compare_exchange_strong(chunk, fresh.get(),
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      chunk = fresh.release();
+    }
+    // CAS loser: `chunk` now holds the winner's pointer; `fresh` frees.
+  }
+  auto& slot = chunk->slots[static_cast<std::size_t>(module & (kChunkSize - 1))];
+  ModuleRegion* region = slot.load(std::memory_order_acquire);
+  if (region == nullptr) {
+    auto fresh = std::make_unique<ModuleRegion>();
+    if (slot.compare_exchange_strong(region, fresh.get(),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      region = fresh.release();
+    }
+  }
+  return *region;
+}
+
+StorageManager::Resolved StorageManager::materialize(ModuleRegion& region,
+                                                     const CanonicalScope& scope,
+                                                     int module,
+                                                     ult::TaskContext* ctx) {
+  const Module& m = reg_->module(module);  // throws if not committed
+  // Window between losing the fast path and claiming the init lock: the
+  // deterministic checker schedules through here so racing first touches
+  // are exercised. Must be hook-free of locks (sync_point may suspend).
+  if (ctx != nullptr) ctx->sync_point("storage:first-touch");
+  std::lock_guard<std::mutex> lk(region.init_mu);
+  std::byte* base = region.base.load(std::memory_order_relaxed);
+  if (base == nullptr) {
+    const std::size_t bytes = m.region_size(scope);
+    if (bytes == 0) {
+      throw HlsError("get_addr: module '" + m.name +
+                     "' has no variables with scope " + to_string(scope));
+    }
+    region.mem =
+        memtrack::Buffer(*tracker_, memtrack::Category::hls_shared, bytes);
+    for (const VarInfo& v : m.vars) {
+      if (v.canonical == scope && v.init) {
+        v.init(region.mem.data() + v.offset);
+      }
+    }
+    region.bytes = bytes;
+    // Publish last: a reader that acquires a non-null base sees the fully
+    // initialized region contents and `bytes`.
+    base = region.mem.data();
+    region.base.store(base, std::memory_order_release);
+  }
+  return Resolved{base, region.bytes};
+}
+
+StorageManager::Resolved StorageManager::resolve(const CanonicalScope& scope,
+                                                 int module, int cpu,
+                                                 ult::TaskContext* ctx) {
+  const topo::DenseScopeTable& t = reg_->scopes();
+  const int sid = scope_id(t, scope);
+  const int inst = t.instance_of(sid, cpu);
+  InstanceStorage& st =
+      *instances_[static_cast<std::size_t>(sid)][static_cast<std::size_t>(inst)];
+  ModuleRegion& region = region_slot(st, module);
+  std::byte* base = region.base.load(std::memory_order_acquire);
+  if (base != nullptr) return Resolved{base, region.bytes};
+  return materialize(region, scope, module, ctx);
 }
 
 void* StorageManager::get_addr(const CanonicalScope& scope, int module,
-                               std::size_t offset, int cpu) {
-  const Module& m = reg_->module(module);  // throws if not committed
-  const int inst = reg_->scope_map().instance_of(spec_of(scope), cpu);
-  InstanceStorage& st = instance(scope, inst);
-
-  ModuleRegion* region_ptr = nullptr;
-  {
-    // Pointer must be captured under the map lock: a concurrent first
-    // access to another module may resize the vector.
-    std::lock_guard<std::mutex> lk(mu_);
-    if (st.regions.size() < static_cast<std::size_t>(reg_->num_modules())) {
-      st.regions.resize(static_cast<std::size_t>(reg_->num_modules()));
-    }
-    if (!st.regions[static_cast<std::size_t>(module)]) {
-      st.regions[static_cast<std::size_t>(module)] =
-          std::make_unique<ModuleRegion>();
-    }
-    region_ptr = st.regions[static_cast<std::size_t>(module)].get();
+                               std::size_t offset, std::size_t size, int cpu,
+                               ult::TaskContext* ctx) {
+  const Resolved r = resolve(scope, module, cpu, ctx);
+  if (offset > r.size || size > r.size - offset) {
+    throw HlsError("get_addr: accessed range [offset, offset + size) beyond "
+                   "module region");
   }
-  ModuleRegion& region = *region_ptr;
-
-  // Lazy allocation + one-time initialization under the module lock
-  // ("allocate and initialize memory if first use", §IV.A).
-  {
-    std::lock_guard<std::mutex> lk(region.mu);
-    if (!region.initialized) {
-      const std::size_t bytes = m.region_size(scope);
-      if (bytes == 0) {
-        throw HlsError("get_addr: module '" + m.name +
-                       "' has no variables with scope " + to_string(scope));
-      }
-      region.mem = memtrack::Buffer(*tracker_,
-                                    memtrack::Category::hls_shared, bytes);
-      for (const VarInfo& v : m.vars) {
-        if (v.canonical == scope && v.init) {
-          v.init(region.mem.data() + v.offset);
-        }
-      }
-      region.initialized = true;
-    }
-  }
-  if (offset >= region.mem.size()) {
-    throw HlsError("get_addr: offset beyond module region");
-  }
-  return region.mem.data() + offset;
+  return r.base + offset;
 }
 
 std::size_t StorageManager::bytes_allocated() const {
@@ -81,14 +123,20 @@ std::size_t StorageManager::bytes_allocated() const {
 }
 
 int StorageManager::copies(const CanonicalScope& scope, int module) const {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = instances_.find(scope);
-  if (it == instances_.end()) return 0;
+  if (module < 0 || module >= kChunkSize * kMaxChunks) return 0;
+  const topo::DenseScopeTable& t = reg_->scopes();
+  const int sid = scope_id(t, scope);
   int count = 0;
-  for (const auto& inst : it->second) {
-    if (inst && static_cast<std::size_t>(module) < inst->regions.size() &&
-        inst->regions[static_cast<std::size_t>(module)] &&
-        inst->regions[static_cast<std::size_t>(module)]->initialized) {
+  for (const auto& inst : instances_[static_cast<std::size_t>(sid)]) {
+    const Chunk* chunk =
+        inst->chunks[static_cast<std::size_t>(module >> kChunkBits)].load(
+            std::memory_order_acquire);
+    if (chunk == nullptr) continue;
+    const ModuleRegion* region =
+        chunk->slots[static_cast<std::size_t>(module & (kChunkSize - 1))].load(
+            std::memory_order_acquire);
+    if (region != nullptr &&
+        region->base.load(std::memory_order_acquire) != nullptr) {
       ++count;
     }
   }

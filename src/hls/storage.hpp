@@ -3,17 +3,26 @@
 // One ScopeInstanceStorage exists per (canonical scope, instance index);
 // tasks pinned to cpus of the same instance resolve a VarHandle to the
 // same address, which is the entire HLS sharing mechanism (paper fig. 2).
-// Module regions are allocated and initialized lazily on first access,
-// under a per-(instance, module) lock, exactly as described in §IV.A.
+//
+// Resolution is lock-free: scope instances are indexed through the
+// registry's frozen DenseScopeTable, and each instance holds a chunked
+// array of atomic ModuleRegion pointers, so a warm lookup is three
+// dependent acquire loads (chunk -> region -> published base) and never
+// touches a mutex. Module regions are still allocated and initialized
+// lazily on first access — "allocate and initialize memory if first use",
+// §IV.A — but the per-(instance, module) lock of the paper is demoted to a
+// double-checked slow path behind an atomic publish of the region base.
 #pragma once
 
-#include <map>
+#include <array>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "hls/registry.hpp"
 #include "memtrack/memtrack.hpp"
+#include "ult/task_context.hpp"
 
 namespace hlsmpc::hls {
 
@@ -22,12 +31,30 @@ class StorageManager {
   StorageManager(const Registry& reg, memtrack::Tracker& tracker);
   StorageManager(const StorageManager&) = delete;
   StorageManager& operator=(const StorageManager&) = delete;
+  ~StorageManager();
+
+  /// A materialized module region: base address and byte size of the copy
+  /// owned by one scope instance.
+  struct Resolved {
+    std::byte* base = nullptr;
+    std::size_t size = 0;
+  };
+
+  /// Resolve the region of (scope, module) for the instance containing
+  /// `cpu`, materializing and initializing it on first touch. `ctx`, when
+  /// given, receives sync_point callbacks on the first-touch path (never
+  /// with a lock held) so the deterministic checker can interleave tasks
+  /// inside the lazy-initialization race window.
+  Resolved resolve(const CanonicalScope& scope, int module, int cpu,
+                   ult::TaskContext* ctx = nullptr);
 
   /// hls_get_addr_<scope>(module, offset) for the task pinned to `cpu`.
+  /// Validates the whole accessed range: [offset, offset + size) must lie
+  /// inside the module's region for `scope`.
   void* get_addr(const CanonicalScope& scope, int module, std::size_t offset,
-                 int cpu);
+                 std::size_t size, int cpu, ult::TaskContext* ctx = nullptr);
   void* get_addr(const VarHandle& h, int cpu) {
-    return get_addr(h.scope, h.module, h.offset, cpu);
+    return get_addr(h.scope, h.module, h.offset, h.size, cpu);
   }
 
   /// Bytes currently materialized for HLS storage (all scopes/instances).
@@ -38,23 +65,33 @@ class StorageManager {
 
  private:
   struct ModuleRegion {
-    std::mutex mu;  // paper: "a lock is associated to each module"
+    std::atomic<std::byte*> base{nullptr};  ///< published last (release)
+    std::size_t bytes = 0;                  ///< valid once base is non-null
+    std::mutex init_mu;  // first-touch only ("a lock per module", §IV.A)
     memtrack::Buffer mem;
-    bool initialized = false;
-  };
-  struct InstanceStorage {
-    // Lazily sized to the registry's module count on first use.
-    std::vector<std::unique_ptr<ModuleRegion>> regions;
   };
 
-  InstanceStorage& instance(const CanonicalScope& scope, int inst);
-  topo::ScopeSpec spec_of(const CanonicalScope& scope) const;
+  // Module slots are reached through a fixed two-level table of atomic
+  // pointers: readers never see a resize (there is none), so lookups are
+  // lock-free while modules keep being committed concurrently.
+  static constexpr int kChunkBits = 6;
+  static constexpr int kChunkSize = 1 << kChunkBits;  // regions per chunk
+  static constexpr int kMaxChunks = 64;  // kChunkSize * kMaxChunks modules
+  struct Chunk {
+    std::array<std::atomic<ModuleRegion*>, kChunkSize> slots{};
+  };
+  struct InstanceStorage {
+    std::array<std::atomic<Chunk*>, kMaxChunks> chunks{};
+  };
+
+  ModuleRegion& region_slot(InstanceStorage& st, int module);
+  Resolved materialize(ModuleRegion& region, const CanonicalScope& scope,
+                       int module, ult::TaskContext* ctx);
 
   const Registry* reg_;
   memtrack::Tracker* tracker_;
-  mutable std::mutex mu_;  // guards the instance map ("module array" lock)
-  std::map<CanonicalScope, std::vector<std::unique_ptr<InstanceStorage>>>
-      instances_;
+  // [sid][instance]; fully sized at construction from the frozen table.
+  std::vector<std::vector<std::unique_ptr<InstanceStorage>>> instances_;
 };
 
 }  // namespace hlsmpc::hls

@@ -1,6 +1,22 @@
 #include "hls/sync.hpp"
 
+#include <algorithm>
+
 namespace hlsmpc::hls {
+
+namespace {
+
+// Flat::state word layout (see sync.hpp).
+constexpr int kGenShift = 32;
+constexpr std::uint64_t kClaimedBit = 1ull << 31;
+constexpr std::uint64_t kPokeBit = 1ull << 30;
+constexpr std::uint64_t kArrivedMask = kPokeBit - 1;
+
+constexpr std::uint64_t generation_of(std::uint64_t s) { return s >> kGenShift; }
+constexpr std::uint64_t arrived_of(std::uint64_t s) { return s & kArrivedMask; }
+constexpr bool claimed(std::uint64_t s) { return (s & kClaimedBit) != 0; }
+
+}  // namespace
 
 const char* to_string(SyncEvent::Kind k) {
   switch (k) {
@@ -30,10 +46,15 @@ const char* to_string(SyncEvent::Kind k) {
 
 SyncManager::SyncManager(const topo::ScopeMap& sm, int ntasks)
     : sm_(&sm),
-      task_cpu_(static_cast<std::size_t>(ntasks)),
-      single_depth_(static_cast<std::size_t>(ntasks)),
-      task_counts_(static_cast<std::size_t>(ntasks)),
-      task_nowait_counts_(static_cast<std::size_t>(ntasks)) {
+      scopes_(sm.machine()),
+      task_cpu_(static_cast<std::size_t>(std::max(ntasks, 1))),
+      single_depth_(static_cast<std::size_t>(std::max(ntasks, 1))),
+      task_counts_(static_cast<std::size_t>(std::max(ntasks, 1)),
+                   std::vector<std::uint64_t>(
+                       static_cast<std::size_t>(scopes_.num_scopes()))),
+      task_nowait_counts_(static_cast<std::size_t>(std::max(ntasks, 1)),
+                          std::vector<std::uint64_t>(
+                              static_cast<std::size_t>(scopes_.num_scopes()))) {
   if (ntasks < 1) throw HlsError("SyncManager: need at least one task");
   // Default MPC pinning (task i -> cpu i, wrapping) is established up
   // front: barrier arrival counts must be stable before the first task
@@ -41,6 +62,22 @@ SyncManager::SyncManager(const topo::ScopeMap& sm, int ntasks)
   const int ncpus = sm.machine().num_cpus();
   for (std::size_t i = 0; i < task_cpu_.size(); ++i) {
     task_cpu_[i].store(static_cast<int>(i) % ncpus);
+  }
+  llc_span_ =
+      sm.machine().cache_level(sm.machine().llc_level()).cpus_per_instance;
+  // The dense index space freezes here: every (scope, instance) gets its
+  // barrier state up front, so the sync hot path is pure array indexing.
+  instances_.resize(static_cast<std::size_t>(scopes_.num_scopes()));
+  for (int s = 0; s < scopes_.num_scopes(); ++s) {
+    const int span = scopes_.cpus_per_instance(s);
+    const int ngroups = span > llc_span_ ? span / llc_span_ : 0;
+    auto& vec = instances_[static_cast<std::size_t>(s)];
+    vec.reserve(static_cast<std::size_t>(scopes_.num_instances(s)));
+    for (int i = 0; i < scopes_.num_instances(s); ++i) {
+      auto is = std::make_unique<InstanceSync>();
+      is->groups = std::vector<Flat>(static_cast<std::size_t>(ngroups));
+      vec.push_back(std::move(is));
+    }
   }
 }
 
@@ -51,21 +88,24 @@ void SyncManager::set_task_cpu(int task, int cpu) {
   if (cpu < 0 || cpu >= sm_->machine().num_cpus()) {
     throw HlsError("SyncManager: bad cpu");
   }
-  task_cpu_[static_cast<std::size_t>(task)].store(cpu);
-  // A migration changes barrier arrival counts. Wake every parked waiter
-  // (after the store, holding each flat's mutex so no wakeup is lost) so
-  // flat_arrive re-evaluates its expected participant count.
-  std::lock_guard<std::mutex> lk(mu_);
-  for (auto& entry : instances_) {
-    for (auto& is : entry.second) {
-      {
-        std::lock_guard<std::mutex> flk(is->top.mu);
-        is->top.cv.notify_all();
-      }
-      for (auto& gf : is->groups) {
-        std::lock_guard<std::mutex> flk(gf->mu);
-        gf->cv.notify_all();
-      }
+  task_cpu_[static_cast<std::size_t>(task)].store(cpu,
+                                                  std::memory_order_release);
+  // A migration changes barrier arrival counts. Spinning/yielding waiters
+  // re-evaluate their expected participant count on every probe, but a
+  // waiter that escalated to blocking (atomic wait) only wakes when its
+  // Flat word *changes* — so flip the poke bit on every barrier word. The
+  // woken waiters re-read task_cpu_ and recount; one of them takes over
+  // the now-complete episode if the shrink finished it. This replaces the
+  // old implementation's condvar broadcast (migration is rare; the walk
+  // is off every hot path).
+  for (auto& per_scope : instances_) {
+    for (auto& is : per_scope) {
+      auto poke = [](Flat& f) {
+        f.state.fetch_xor(kPokeBit, std::memory_order_acq_rel);
+        f.state.notify_all();
+      };
+      poke(is->top);
+      for (Flat& g : is->groups) poke(g);
     }
   }
 }
@@ -74,80 +114,51 @@ int SyncManager::task_cpu(int task) const {
   return task_cpu_[static_cast<std::size_t>(task)].load();
 }
 
-topo::ScopeSpec SyncManager::spec_of(const CanonicalScope& scope) const {
-  // cache_level doubles as the numa level for numa(2) scopes.
-  return topo::ScopeSpec{scope.kind, scope.cache_level};
-}
-
 bool SyncManager::uses_hierarchy(const CanonicalScope& scope) const {
   if (force_flat_) return false;
-  const int llc = sm_->machine().llc_level();
-  const int llc_span = sm_->machine().cache_level(llc).cpus_per_instance;
-  return sm_->cpus_per_instance(spec_of(scope)) > llc_span;
+  return scopes_.cpus_per_instance(sid(scope)) > llc_span_;
 }
 
 SyncManager::InstanceSync& SyncManager::instance(const CanonicalScope& scope,
                                                  int cpu, int* inst_out) {
-  const topo::ScopeSpec spec = spec_of(scope);
-  const int inst = sm_->instance_of(spec, cpu);
+  const int s = sid(scope);
+  const int inst = scopes_.instance_of(s, cpu);
   if (inst_out != nullptr) *inst_out = inst;
-  std::lock_guard<std::mutex> lk(mu_);
-  auto& vec = instances_[scope];
-  if (vec.empty()) {
-    const int n = sm_->num_instances(spec);
-    const int llc = sm_->machine().llc_level();
-    const int llc_span = sm_->machine().cache_level(llc).cpus_per_instance;
-    const int ngroups =
-        std::max(1, sm_->cpus_per_instance(spec) / llc_span);
-    for (int i = 0; i < n; ++i) {
-      auto is = std::make_unique<InstanceSync>();
-      for (int gi = 0; gi < ngroups; ++gi) {
-        is->groups.push_back(std::make_unique<Flat>());
-      }
-      vec.push_back(std::move(is));
-    }
-  }
-  return *vec[static_cast<std::size_t>(inst)];
+  return *instances_[static_cast<std::size_t>(s)]
+                    [static_cast<std::size_t>(inst)];
 }
 
 int SyncManager::group_index(const CanonicalScope& scope, int inst,
                              int cpu) const {
   const int llc = sm_->machine().llc_level();
   const int llc_inst = sm_->machine().cache_instance_of_cpu(llc, cpu);
-  const int llc_span = sm_->machine().cache_level(llc).cpus_per_instance;
-  const int first_cpu = inst * sm_->cpus_per_instance(spec_of(scope));
-  const int first_group = first_cpu / llc_span;
+  const int first_cpu = inst * scopes_.cpus_per_instance(sid(scope));
+  const int first_group = first_cpu / llc_span_;
   return llc_inst - first_group;
 }
 
 int SyncManager::group_participants(const CanonicalScope& scope, int inst,
                                     int group) const {
-  const int llc_span =
-      sm_->machine().cache_level(sm_->machine().llc_level())
-          .cpus_per_instance;
   const int first_cpu =
-      inst * sm_->cpus_per_instance(spec_of(scope)) + group * llc_span;
+      inst * scopes_.cpus_per_instance(sid(scope)) + group * llc_span_;
   int count = 0;
   for (const auto& c : task_cpu_) {
-    const int cpu = c.load();
-    if (cpu >= first_cpu && cpu < first_cpu + llc_span) ++count;
+    const int cpu = c.load(std::memory_order_acquire);
+    if (cpu >= first_cpu && cpu < first_cpu + llc_span_) ++count;
   }
   return count;
 }
 
 int SyncManager::active_groups(const CanonicalScope& scope, int inst) const {
-  const int llc_span =
-      sm_->machine().cache_level(sm_->machine().llc_level())
-          .cpus_per_instance;
-  const int span = sm_->cpus_per_instance(spec_of(scope));
+  const int span = scopes_.cpus_per_instance(sid(scope));
   const int first_cpu = inst * span;
-  const int ngroups = std::max(1, span / llc_span);
+  const int ngroups = std::max(1, span / llc_span_);
   int active = 0;
   for (int g = 0; g < ngroups; ++g) {
     for (const auto& c : task_cpu_) {
-      const int cpu = c.load();
-      if (cpu >= first_cpu + g * llc_span &&
-          cpu < first_cpu + (g + 1) * llc_span) {
+      const int cpu = c.load(std::memory_order_acquire);
+      if (cpu >= first_cpu + g * llc_span_ &&
+          cpu < first_cpu + (g + 1) * llc_span_) {
         ++active;
         break;
       }
@@ -157,13 +168,13 @@ int SyncManager::active_groups(const CanonicalScope& scope, int inst) const {
 }
 
 int SyncManager::participants(const CanonicalScope& scope, int cpu) const {
-  const topo::ScopeSpec spec = spec_of(scope);
-  const int inst = sm_->instance_of(spec, cpu);
-  const int span = sm_->cpus_per_instance(spec);
+  const int s = sid(scope);
+  const int inst = scopes_.instance_of(s, cpu);
+  const int span = scopes_.cpus_per_instance(s);
   const int first = inst * span;
   int count = 0;
   for (const auto& c : task_cpu_) {
-    const int t_cpu = c.load();
+    const int t_cpu = c.load(std::memory_order_acquire);
     if (t_cpu >= first && t_cpu < first + span) ++count;
   }
   return count;
@@ -174,49 +185,68 @@ bool SyncManager::flat_arrive(Flat& f, const std::function<int()>& expected,
   // Preemption window between deciding to arrive and arriving: the
   // deterministic checker schedules through here to expose ordering bugs.
   ctx.sync_point("flat:arrive");
-  std::unique_lock<std::mutex> lk(f.mu);
-  const std::uint64_t g = f.generation;
-  ++f.arrived;
-  // Complete the episode as the effective last arrival (called under lk).
-  auto complete = [&]() -> bool {
-    if (hold_last) {
-      f.single_active = true;
-      return true;  // caller runs the block, then flat_release()s
-    }
-    f.arrived = 0;
-    ++f.generation;
-    lk.unlock();
-    f.cv.notify_all();
-    return true;
-  };
-  if (f.arrived >= expected()) return complete();
-  // `expected` can shrink while we wait: a migration out of this instance
-  // lowers the participant count (set_task_cpu wakes every waiter so the
-  // recount happens), and the arrivals already in may then form a complete
-  // episode. One waiter must take over the last-arriver duty, or the
-  // barrier would wait for a task that left and never comes.
+  // Arrive. The release half of the RMW chains this task's prior writes
+  // into the episode; the completing CAS below acquires the whole chain.
+  // Blocked waiters are only woken on transitions they can act on — a
+  // sense flip or a migration poke. A plain arrival needs no notify: the
+  // arriver itself runs the completion check before it ever blocks, so
+  // sleeping peers never miss an episode they were supposed to finish.
+  std::uint64_t s = f.state.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const std::uint64_t g = generation_of(s);
+  ult::Backoff backoff(ctx);
   for (;;) {
-    ult::wait_until(ctx, lk, f.cv, [&] {
-      return f.generation != g ||
-             (!f.single_active && f.arrived >= expected());
-    });
-    if (f.generation != g) return false;
-    if (!f.single_active && f.arrived >= expected()) return complete();
+    if (generation_of(s) != g) {
+      // Sense flipped: the episode completed (possibly while we probed).
+      // The acquire load/CAS-failure that gave us `s` synchronizes with
+      // the completer's release, so episode-protected writes are visible.
+      return false;
+    }
+    // Complete the episode as the effective last arrival. `expected` can
+    // shrink while we wait (a migration out of the instance lowers the
+    // participant count), and the arrivals already in may then form a
+    // complete episode: any waiter can take over the last-arriver duty,
+    // or the barrier would wait for a task that left and never comes.
+    if (!claimed(s) &&
+        arrived_of(s) >= static_cast<std::uint64_t>(expected())) {
+      const std::uint64_t next =
+          hold_last ? (s | kClaimedBit)        // elected: hold episode open
+                    : ((g + 1) << kGenShift);  // flip sense, release all
+      if (f.state.compare_exchange_weak(s, next, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        // The sense flip releases every waiter; a claim only parks them
+        // deeper (they still wait for flat_release), so it needs no wake.
+        if (!hold_last) f.state.notify_all();
+        return true;
+      }
+      continue;  // `s` reloaded by the failed CAS; re-examine
+    }
+    if (backoff.should_block()) {
+      // Spin and yield phases exhausted (oversubscribed run): park on the
+      // word until it changes — next arrival, claim, sense flip, or a
+      // migration poke. Never reached by cooperative contexts.
+      f.state.wait(s, std::memory_order_acquire);
+    } else {
+      backoff.pause();
+    }
+    s = f.state.load(std::memory_order_acquire);
   }
 }
 
 void SyncManager::flat_release(Flat& f) {
-  {
-    std::lock_guard<std::mutex> lk(f.mu);
-    f.arrived = 0;
-    f.single_active = false;
-    ++f.generation;
-  }
-  f.cv.notify_all();
+  // Only the claimed single executor releases; flip the sense and reset
+  // the arrival count. An arrival that slipped in after the claim (a task
+  // migrating into the instance) is wiped with the count but leaves via
+  // the generation check, exactly as it would have under the old
+  // mutex/condvar episode accounting.
+  const std::uint64_t s = f.state.load(std::memory_order_relaxed);
+  f.state.store((generation_of(s) + 1) << kGenShift,
+                std::memory_order_release);
+  f.state.notify_all();
 }
 
 void SyncManager::bump_task(int task, const CanonicalScope& scope) {
-  ++task_counts_[static_cast<std::size_t>(task)][scope];
+  ++task_counts_[static_cast<std::size_t>(task)]
+                [static_cast<std::size_t>(sid(scope))];
 }
 
 bool SyncManager::in_single(int task) const {
@@ -268,7 +298,7 @@ void SyncManager::barrier(const CanonicalScope& scope,
     // Shared-cache-aware barrier: synchronize inside the LLC group, send
     // one representative up, then release the group (paper §IV.B).
     const int gi = group_index(scope, inst, ctx.cpu());
-    Flat& group = *is.groups[static_cast<std::size_t>(gi)];
+    Flat& group = is.groups[static_cast<std::size_t>(gi)];
     if (flat_arrive(group,
                     [&] { return group_participants(scope, inst, gi); }, ctx,
                     /*hold_last=*/true)) {
@@ -297,7 +327,7 @@ bool SyncManager::single_enter(const CanonicalScope& scope,
                            ctx, /*hold_last=*/true);
   } else {
     const int gi = group_index(scope, inst, ctx.cpu());
-    Flat& group = *is.groups[static_cast<std::size_t>(gi)];
+    Flat& group = is.groups[static_cast<std::size_t>(gi)];
     if (flat_arrive(group,
                     [&] { return group_participants(scope, inst, gi); }, ctx,
                     /*hold_last=*/true)) {
@@ -337,7 +367,7 @@ void SyncManager::single_done(const CanonicalScope& scope,
   } else {
     flat_release(is.top);  // other representatives release their groups
     const int gi = group_index(scope, inst, ctx.cpu());
-    flat_release(*is.groups[static_cast<std::size_t>(gi)]);
+    flat_release(is.groups[static_cast<std::size_t>(gi)]);
   }
   --single_depth_[static_cast<std::size_t>(ctx.task_id())];
   ctx.sync_point("single:done");
@@ -351,42 +381,39 @@ bool SyncManager::single_nowait(const CanonicalScope& scope,
   // Paper §IV.B: each task counts the nowait sites it passed; a task whose
   // private counter runs ahead of the instance counter claims the site.
   const std::uint64_t mine =
-      ++task_nowait_counts_[static_cast<std::size_t>(ctx.task_id())][scope];
+      ++task_nowait_counts_[static_cast<std::size_t>(ctx.task_id())]
+                           [static_cast<std::size_t>(sid(scope))];
   // Window between counting the site and claiming it: the claim must stay
   // exactly-once under any interleaving here.
   ctx.sync_point("nowait:claim");
   std::uint64_t shared = is.nowait_count.load(std::memory_order_relaxed);
-  bool claimed = false;
+  bool claimed_site = false;
   while (mine > shared) {
     if (is.nowait_count.compare_exchange_weak(shared, mine,
                                               std::memory_order_acq_rel)) {
-      claimed = true;
+      claimed_site = true;
       break;
     }
   }
-  emit(claimed ? SyncEvent::Kind::nowait_claim : SyncEvent::Kind::nowait_skip,
+  emit(claimed_site ? SyncEvent::Kind::nowait_claim
+                    : SyncEvent::Kind::nowait_skip,
        scope, inst, &is, ctx);
-  return claimed;
+  return claimed_site;
 }
 
 std::uint64_t SyncManager::task_sync_count(int task,
                                            const CanonicalScope& scope) const {
-  const auto& counts = task_counts_[static_cast<std::size_t>(task)];
-  const auto& nowaits = task_nowait_counts_[static_cast<std::size_t>(task)];
-  auto it = counts.find(scope);
-  auto itn = nowaits.find(scope);
-  return (it == counts.end() ? 0 : it->second) +
-         (itn == nowaits.end() ? 0 : itn->second);
+  const std::size_t s = static_cast<std::size_t>(sid(scope));
+  return task_counts_[static_cast<std::size_t>(task)][s] +
+         task_nowait_counts_[static_cast<std::size_t>(task)][s];
 }
 
 std::uint64_t SyncManager::instance_sync_count(const CanonicalScope& scope,
                                                int cpu) const {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = instances_.find(scope);
-  if (it == instances_.end()) return 0;
-  const topo::ScopeSpec spec{scope.kind, scope.cache_level};
-  const int inst = sm_->instance_of(spec, cpu);
-  const InstanceSync& is = *it->second[static_cast<std::size_t>(inst)];
+  const int s = sid(scope);
+  const int inst = scopes_.instance_of(s, cpu);
+  const InstanceSync& is =
+      *instances_[static_cast<std::size_t>(s)][static_cast<std::size_t>(inst)];
   return is.episodes.load(std::memory_order_relaxed) +
          is.nowait_count.load(std::memory_order_relaxed);
 }

@@ -19,7 +19,6 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -117,28 +116,47 @@ class SyncManager {
   void report_migration(const ult::TaskContext& ctx, int to_cpu, bool ok);
 
  private:
-  struct Flat {
-    std::mutex mu;
-    std::condition_variable cv;
-    int arrived = 0;
-    std::uint64_t generation = 0;
-    bool single_active = false;
+  /// Cache-line-padded sense-reversing episode barrier. The whole barrier
+  /// state lives in ONE atomic word so arrival, completion and release are
+  /// single RMWs with no mutex/condvar (a parked kernel thread under a
+  /// user-level-thread scheduler stalls every fiber it carries):
+  ///
+  ///   bits [32, 64)  episode generation (the "sense"; waiters leave when
+  ///                  it moves past the value they arrived under)
+  ///   bit  31        claimed — an arriver was elected single executor and
+  ///                  holds the episode open until flat_release
+  ///   bit  30        poke — flipped by set_task_cpu to wake blocked
+  ///                  waiters into a participant recount after a migration
+  ///   bits [0, 30)   arrivals in the current episode
+  ///
+  /// Arrive = fetch_add(1). Complete = CAS to (generation+1, 0, 0), which
+  /// releases every waiter by flipping the sense; elect (single) = CAS
+  /// setting the claimed bit. Waiters escalate spin -> yield -> block
+  /// (ult::Backoff + std::atomic::wait on this word), re-evaluating the
+  /// expected participant count on every wake, so a migration-shrunk
+  /// episode completes without a dedicated waker thread: every mutation
+  /// of the word notifies it.
+  struct alignas(64) Flat {
+    std::atomic<std::uint64_t> state{0};
   };
 
-  struct InstanceSync {
+  struct alignas(64) InstanceSync {
     Flat top;
-    std::vector<std::unique_ptr<Flat>> groups;  // one per LLC domain inside
+    std::vector<Flat> groups;  // one per LLC domain inside (hierarchy only)
     std::atomic<std::uint64_t> episodes{0};
     std::atomic<std::uint64_t> nowait_count{0};
   };
 
-  topo::ScopeSpec spec_of(const CanonicalScope& scope) const;
+  int sid(const CanonicalScope& scope) const {
+    return scope_id(scopes_, scope);
+  }
   InstanceSync& instance(const CanonicalScope& scope, int cpu, int* inst_out);
   /// Arrive at a flat barrier. With `hold_last` the last arriver returns
   /// true immediately (generation not yet advanced: single semantics);
   /// otherwise the last arriver releases everyone. `expected` is
-  /// re-evaluated while waiting: a migration can shrink the instance's
-  /// participant count, turning a waiter into the completing arrival.
+  /// re-evaluated on every waiting probe: a migration can shrink the
+  /// instance's participant count, turning a waiter into the completing
+  /// arrival.
   bool flat_arrive(Flat& f, const std::function<int()>& expected,
                    ult::TaskContext& ctx, bool hold_last);
   void flat_release(Flat& f);
@@ -151,18 +169,20 @@ class SyncManager {
             const InstanceSync* is, const ult::TaskContext& ctx);
 
   const topo::ScopeMap* sm_;
+  topo::DenseScopeTable scopes_;
+  int llc_span_ = 1;  ///< cpus per last-level-cache instance
   SyncObserver* observer_ = nullptr;
   std::vector<std::atomic<int>> task_cpu_;
   std::vector<std::atomic<int>> single_depth_;
-  // Per-task counters; each entry written only by its own task. Barrier /
-  // single episodes and nowait sites are counted separately because the
-  // nowait claim compares the task's site count against the instance's
-  // nowait counter alone.
-  std::vector<std::map<CanonicalScope, std::uint64_t>> task_counts_;
-  std::vector<std::map<CanonicalScope, std::uint64_t>> task_nowait_counts_;
-  mutable std::mutex mu_;
-  std::map<CanonicalScope, std::vector<std::unique_ptr<InstanceSync>>>
-      instances_;
+  // Per-task counters indexed [task][sid]; each row written only by its
+  // own task. Barrier / single episodes and nowait sites are counted
+  // separately because the nowait claim compares the task's site count
+  // against the instance's nowait counter alone.
+  std::vector<std::vector<std::uint64_t>> task_counts_;
+  std::vector<std::vector<std::uint64_t>> task_nowait_counts_;
+  // [sid][instance]; fully materialized at construction (the dense index
+  // space is frozen then), so resolution never takes a lock.
+  std::vector<std::vector<std::unique_ptr<InstanceSync>>> instances_;
   bool force_flat_ = false;
 };
 

@@ -46,6 +46,56 @@ ScopeSpec parse_scope(const std::string& text) {
   throw std::invalid_argument("parse_scope: unrecognized scope '" + text + "'");
 }
 
+DenseScopeTable::DenseScopeTable(const Machine& machine)
+    : ncpus_(machine.num_cpus()),
+      ncache_(machine.num_cache_levels()),
+      numa2_distinct_(machine.desc().numa_per_socket > 1),
+      num_scopes_(4 + machine.num_cache_levels()) {
+  num_instances_.resize(static_cast<std::size_t>(num_scopes_));
+  cpus_per_instance_.resize(static_cast<std::size_t>(num_scopes_));
+  cpu_to_inst_.resize(static_cast<std::size_t>(num_scopes_) *
+                      static_cast<std::size_t>(ncpus_));
+  ScopeMap sm(machine);
+  auto fill = [&](int sid, const ScopeSpec& spec) {
+    num_instances_[static_cast<std::size_t>(sid)] = sm.num_instances(spec);
+    cpus_per_instance_[static_cast<std::size_t>(sid)] =
+        sm.cpus_per_instance(spec);
+    for (int cpu = 0; cpu < ncpus_; ++cpu) {
+      cpu_to_inst_[static_cast<std::size_t>(sid) *
+                       static_cast<std::size_t>(ncpus_) +
+                   static_cast<std::size_t>(cpu)] = sm.instance_of(spec, cpu);
+    }
+  };
+  fill(0, node_scope());
+  fill(1, numa_scope());
+  // Slot 2 is always materialized so ids stay dense; when each socket
+  // holds one NUMA domain it duplicates slot 1 (and id() maps there).
+  fill(2, ScopeSpec{ScopeKind::numa, numa2_distinct_ ? 2 : 0});
+  for (int level = 1; level <= ncache_; ++level) {
+    fill(2 + level, cache_scope(level));
+  }
+  fill(3 + ncache_, core_scope());
+}
+
+int DenseScopeTable::id(ScopeKind kind, int level) const {
+  switch (kind) {
+    case ScopeKind::node:
+      return 0;
+    case ScopeKind::numa:
+      return (level >= 2 && numa2_distinct_) ? 2 : 1;
+    case ScopeKind::cache:
+      if (level < 1 || level > ncache_) {
+        throw std::invalid_argument(
+            "DenseScopeTable: unresolved or unknown cache level " +
+            std::to_string(level));
+      }
+      return 2 + level;
+    case ScopeKind::core:
+      return 3 + ncache_;
+  }
+  throw std::logic_error("DenseScopeTable::id: bad kind");
+}
+
 int ScopeMap::resolved_cache_level(const ScopeSpec& s) const {
   if (s.kind != ScopeKind::cache) return 0;
   const int level = s.level == 0 ? machine_->llc_level() : s.level;

@@ -36,6 +36,63 @@ std::string to_string(const ScopeSpec& s);
 /// Throws std::invalid_argument on anything else.
 ScopeSpec parse_scope(const std::string& text);
 
+/// Dense, construction-time-frozen enumeration of every scope a machine
+/// can express, with precomputed cpu -> instance tables.
+///
+/// The HLS hot paths (hls_get_addr, barrier/single entry) resolve a scope
+/// and a cpu to a scope-instance on every call; doing that through
+/// ScopeMap's switch + division math (or worse, through a
+/// std::map<scope, ...> keyed lookup) puts avoidable work and, with a map,
+/// a lock on the critical path. The set of scopes is fully determined by
+/// the machine, so this table assigns each one a small integer id at
+/// construction and freezes flat lookup arrays; after that, resolution is
+/// one array load and never takes a lock.
+///
+/// Id layout (machine with L cache levels):
+///   0           node
+///   1           numa        (one instance per NUMA domain)
+///   2           numa(2)     (one instance per socket; same partition as
+///                            `numa` when each socket holds one domain)
+///   3 .. 2+L    cache(1) .. cache(L)   (resolved levels only)
+///   3+L         core
+class DenseScopeTable {
+ public:
+  explicit DenseScopeTable(const Machine& machine);
+
+  int num_scopes() const { return num_scopes_; }
+  int num_cpus() const { return ncpus_; }
+
+  /// Dense id of a scope. `level` is the *resolved* cache level (1..L)
+  /// for cache scopes, and 0 or 2 for numa (2 = per socket). Throws on a
+  /// cache level the machine does not have.
+  int id(ScopeKind kind, int level) const;
+
+  int num_instances(int sid) const {
+    return num_instances_[static_cast<std::size_t>(sid)];
+  }
+  int cpus_per_instance(int sid) const {
+    return cpus_per_instance_[static_cast<std::size_t>(sid)];
+  }
+  /// Precomputed flat lookup; throws on a cpu outside the machine.
+  int instance_of(int sid, int cpu) const {
+    if (cpu < 0 || cpu >= ncpus_) {
+      throw std::out_of_range("DenseScopeTable::instance_of: bad cpu");
+    }
+    return cpu_to_inst_[static_cast<std::size_t>(sid) *
+                            static_cast<std::size_t>(ncpus_) +
+                        static_cast<std::size_t>(cpu)];
+  }
+
+ private:
+  int ncpus_ = 0;
+  int ncache_ = 0;
+  bool numa2_distinct_ = false;  ///< several NUMA domains per socket?
+  int num_scopes_ = 0;
+  std::vector<int> num_instances_;       // indexed by sid
+  std::vector<int> cpus_per_instance_;   // indexed by sid
+  std::vector<int> cpu_to_inst_;         // sid * ncpus + cpu
+};
+
 /// Maps scope specs to instance indices on a concrete machine.
 class ScopeMap {
  public:

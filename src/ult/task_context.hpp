@@ -84,6 +84,71 @@ void wait_until(TaskContext& ctx, std::unique_lock<std::mutex>& lk,
   }
 }
 
+/// Processor hint that the caller is in a spin loop (PAUSE / YIELD);
+/// falls back to a thread yield where no such instruction exists.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Adaptive spin / yield / block waiter for the runtime's lock-free
+/// primitives.
+///
+/// Cooperative (fiber) contexts yield on *every* probe: the kernel thread
+/// they would spin on is needed to run the task they are waiting for, and
+/// under the deterministic checking executor each yield is a scheduling
+/// decision, so every probe stays an interposable wait edge — and they
+/// never block (should_block() is always false). Preemptive contexts
+/// escalate: spin with cpu_relax (a barrier partner on another core
+/// usually arrives within the spin window), then a few thread yields,
+/// then should_block() tells the caller to park on the atomic word it
+/// polls (std::atomic::wait) so oversubscribed runs stop burning whole
+/// scheduler quanta on runnable-but-idle waiters.
+class Backoff {
+ public:
+  explicit Backoff(TaskContext& ctx)
+      : ctx_(&ctx),
+        cooperative_(ctx.cooperative()),
+        spin_probes_(machine_spin_probes()) {}
+
+  void pause() {
+    if (cooperative_ || ++probes_ > spin_probes_) {
+      ctx_->yield();
+    } else {
+      cpu_relax();
+    }
+  }
+
+  /// True once the spin and yield phases are exhausted: the caller should
+  /// block on its polled word instead of calling pause() again. Whoever
+  /// changes that word must notify it (see SyncManager::flat_arrive).
+  bool should_block() const {
+    return !cooperative_ && probes_ >= spin_probes_ + kYieldProbes;
+  }
+
+ private:
+  static constexpr int kYieldProbes = 4;
+
+  /// Busy-waiting can only ever pay off if the partner we wait for runs
+  /// simultaneously on another hardware thread; on a single-cpu host every
+  /// relax is stolen from the task we are waiting for, so skip straight to
+  /// yielding there.
+  static int machine_spin_probes() {
+    static const int v = std::thread::hardware_concurrency() > 1 ? 128 : 0;
+    return v;
+  }
+
+  TaskContext* ctx_;
+  bool cooperative_;
+  int spin_probes_;
+  int probes_ = 0;
+};
+
 /// TaskContext for plain kernel threads (one std::thread per MPI task).
 class ThreadTaskContext final : public TaskContext {
  public:

@@ -333,6 +333,110 @@ TEST_P(CheckSyncSweep, SyncManagerSurvivesScheduleExploration) {
   EXPECT_EQ(res.schedules_run, 500);
 }
 
+// ---------- lazy first touch under systematic exploration ----------
+
+TEST(CheckStorage, FirstTouchRaceInitializesOnceUnderExploration) {
+  // Both tasks race the lazy materialization of one module region on the
+  // same (node) instance. The "storage:first-touch" sync point sits in the
+  // race window between the failed fast path and the init lock, so the
+  // explorer drives every interleaving of loser/winner through it. Under
+  // all of them: exactly one initialization, one shared address, and no
+  // task ever sees a partially initialized region.
+  auto attempt = [](ult::Executor& ex) {
+    topo::Machine m = topo::Machine::generic(1, 2);
+    hls::Runtime rt(m, 2);
+    int inits = 0;
+    hls::ModuleBuilder mb(rt.registry(), "mod");
+    auto v = hls::add_array<int>(mb, "v", 16, topo::node_scope(),
+                                 [&inits](int* p, std::size_t n) {
+                                   ++inits;
+                                   for (std::size_t i = 0; i < n; ++i) {
+                                     p[i] = static_cast<int>(i) + 1;
+                                   }
+                                 });
+    mb.commit();
+    void* ledger[2] = {nullptr, nullptr};
+    run_tasks(rt, 2, ex, [&](hls::TaskView& view) {
+      int* p = view.get(v);
+      ledger[view.context().task_id()] = p;
+      if (p[0] != 1 || p[15] != 16) {
+        throw std::runtime_error("partially initialized region observed");
+      }
+    });
+    if (inits != 1) {
+      throw std::runtime_error("init ran " + std::to_string(inits) +
+                               " times, expected exactly 1");
+    }
+    if (ledger[0] != ledger[1]) {
+      throw std::runtime_error("racing tasks resolved different addresses");
+    }
+  };
+  check::ExploreOptions opts;
+  opts.schedules = 300;
+  check::ScheduleExplorer explorer(opts);
+  const check::ExploreResult res = explorer.explore(attempt);
+  EXPECT_TRUE(res.ok) << res.repro;
+  EXPECT_EQ(res.schedules_run, 300);
+}
+
+// ---------- lock-free barrier: lost-wakeup sweep ----------
+
+namespace {
+
+class FlatBarrierSweep : public testing::TestWithParam<bool> {};
+
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(Paths, FlatBarrierSweep, testing::Bool(),
+                         [](const testing::TestParamInfo<bool>& info) {
+                           return info.param ? std::string("forced_flat")
+                                             : std::string("hierarchical");
+                         });
+
+TEST_P(FlatBarrierSweep, NoLostWakeupsAcrossSchedules) {
+  // The sense-reversing barrier parks waiters on generation probes instead
+  // of a condvar; a wrong sense snapshot or a dropped generation bump
+  // shows up as a task spinning forever, which the executor's step budget
+  // converts into a DeadlockError. 3 tasks on a 2-LLC machine give
+  // asymmetric groups (2 + 1) so the hierarchical variant exercises the
+  // held group episode; the forced-flat variant drives the same schedule
+  // space through the single-word path.
+  const bool force_flat = GetParam();
+  auto attempt = [&](ult::Executor& ex) {
+    topo::Machine m = topo::Machine::generic(2, 2);  // 4 cpus, 2 LLC domains
+    hls::Runtime rt(m, 3);
+    rt.sync().force_flat(force_flat);
+    hls::ModuleBuilder mb(rt.registry(), "mod");
+    auto v = hls::add_var<int>(mb, "v", topo::node_scope());
+    mb.commit();
+    int done = 0;
+    int singles = 0;
+    run_tasks(rt, 3, ex, [&](hls::TaskView& view) {
+      view.get(v);
+      for (int round = 0; round < 4; ++round) {
+        view.barrier({v.handle()});
+        // Alternate in a held episode (single keeps the barrier word
+        // claimed across the block) to cover release-after-claim too.
+        if (round % 2 == 1) {
+          view.single({v.handle()}, [&] { ++singles; });
+        }
+      }
+      ++done;
+    });
+    if (done != 3) throw std::runtime_error("not all tasks finished");
+    if (singles != 2) {
+      throw std::runtime_error("single ran " + std::to_string(singles) +
+                               " times, expected 2");
+    }
+  };
+  check::ExploreOptions opts;
+  opts.schedules = 400;
+  check::ScheduleExplorer explorer(opts);
+  const check::ExploreResult res = explorer.explore(attempt);
+  EXPECT_TRUE(res.ok) << res.repro;
+  EXPECT_EQ(res.schedules_run, 400);
+}
+
 // ---------- checker: synthetic violation streams ----------
 
 namespace {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <map>
 #include <numeric>
 #include <set>
@@ -519,6 +520,108 @@ TEST(HlsStorage, ConcurrentFirstTouchIsSafe) {
   });
   EXPECT_EQ(bad.load(), 0);
   EXPECT_EQ(inits.load(), kModules);  // once per module (node scope => 1 inst)
+}
+
+TEST(HlsStorage, ConcurrentFirstTouchInitializesOnce) {
+  // N tasks race the lazy first touch of ONE module region on the SAME
+  // scope instance. The double-checked atomic publish must elect exactly
+  // one initializer, and every racer must observe the same fully
+  // initialized region (ledger-checked per task).
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  const int ntasks = 16;
+  hls::Runtime rt(m, ntasks);
+  static std::atomic<int> inits{0};
+  inits = 0;
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_array<long>(mb, "v", 512, topo::node_scope(),
+                                [](long* p, std::size_t n) {
+                                  ++inits;
+                                  for (std::size_t i = 0; i < n; ++i) {
+                                    p[i] = static_cast<long>(i) * 3;
+                                  }
+                                });
+  mb.commit();
+  std::vector<void*> ledger(static_cast<std::size_t>(ntasks), nullptr);
+  std::atomic<int> bad{0};
+  ult::ThreadExecutor ex;
+  run_tasks(rt, ntasks, ex, [&](hls::TaskView& view) {
+    long* p = view.get(v);  // all tasks race the first touch
+    ledger[static_cast<std::size_t>(view.context().task_id())] = p;
+    // A non-winning racer must never see a partially initialized region.
+    if (p[0] != 0 || p[511] != 511 * 3) ++bad;
+  });
+  EXPECT_EQ(inits.load(), 1);  // node scope: one instance, one init
+  EXPECT_EQ(bad.load(), 0);
+  for (int t = 1; t < ntasks; ++t) {
+    EXPECT_EQ(ledger[static_cast<std::size_t>(t)], ledger[0]) << "task " << t;
+  }
+  EXPECT_EQ(rt.storage().copies(v.handle().scope, v.handle().module), 1);
+}
+
+TEST(HlsStorage, TrailingOverrunRejected) {
+  // The range check must catch [offset, offset + size) running past the
+  // region end, not just a bad start offset: an in-bounds offset with a
+  // size crossing the boundary used to pass silently.
+  topo::Machine m = topo::Machine::nehalem_ex(1);
+  hls::Runtime rt(m, 1);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_array<int>(mb, "v", 4, topo::node_scope());  // 16 bytes
+  mb.commit();
+  const hls::VarHandle h = v.handle();
+  auto& st = rt.storage();
+  // Whole region and suffixes are fine.
+  EXPECT_NE(st.get_addr(h.scope, h.module, 0, 16, 0), nullptr);
+  EXPECT_NE(st.get_addr(h.scope, h.module, 12, 4, 0), nullptr);
+  EXPECT_NE(st.get_addr(h.scope, h.module, 16, 0, 0), nullptr);  // empty tail
+  // Start offset past the end: caught before and now.
+  EXPECT_THROW(st.get_addr(h.scope, h.module, 17, 0, 0), hls::HlsError);
+  // Trailing overrun: starts in bounds, runs past the end.
+  EXPECT_THROW(st.get_addr(h.scope, h.module, 12, 8, 0), hls::HlsError);
+  EXPECT_THROW(st.get_addr(h.scope, h.module, 0, 17, 0), hls::HlsError);
+  // Offset + size overflow must not wrap around to "in bounds".
+  EXPECT_THROW(st.get_addr(h.scope, h.module, 8,
+                           std::numeric_limits<std::size_t>::max() - 4, 0),
+               hls::HlsError);
+  // The same check guards the cached Runtime::get_addr path.
+  ult::ThreadExecutor ex;
+  std::atomic<int> threw{0};
+  run_tasks(rt, 1, ex, [&](hls::TaskView& view) {
+    view.get(v);  // warm the per-task cache
+    hls::VarHandle bad = h;
+    bad.offset = 12;
+    bad.size = 8;
+    try {
+      view.runtime().get_addr(bad, view.context());
+    } catch (const hls::HlsError&) {
+      ++threw;
+    }
+  });
+  EXPECT_EQ(threw.load(), 1);
+}
+
+TEST(HlsMigration, AddrCacheInvalidatedOnMigration) {
+  // MPC_Move must drop the task's resolved-address cache: after a legal
+  // move to another numa instance the same handle resolves to that
+  // instance's copy, and moving back returns the original address.
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  hls::Runtime rt(m, 1);
+  hls::ModuleBuilder mb(rt.registry(), "mod");
+  auto v = hls::add_var<int>(mb, "v", topo::numa_scope(), 9);
+  mb.commit();
+  ult::ThreadExecutor ex;
+  std::atomic<int> bad{0};
+  run_tasks(rt, 1, ex, [&](hls::TaskView& view) {
+    int* on_numa0 = &view.get(v);
+    if (&view.get(v) != on_numa0) ++bad;  // warm hit is stable
+    view.migrate(8);                      // numa 0 -> numa 1
+    int* on_numa1 = &view.get(v);
+    if (on_numa1 == on_numa0) ++bad;  // stale cached pointer => shared copy
+    if (*on_numa1 != 9) ++bad;        // fresh copy was initialized
+    view.migrate(0);
+    if (&view.get(v) != on_numa0) ++bad;  // back to the first instance
+  });
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(rt.storage().copies(v.handle().scope, v.handle().module), 2);
 }
 
 TEST(HlsSync, SingleNowaitSitesAreIndependentPerScope) {
