@@ -9,12 +9,20 @@
 // cache and narrows for very large sizes; with updates, numa beats node
 // at sizes where B could stay cached between timesteps.
 //
-// Usage: bench_fig3_matmul [--quick] [--sockets N] [--json]
+// Usage: bench_fig3_matmul [--quick] [--sockets N] [--json] [--trace FILE]
 //   --json emits the sweep in google-benchmark's JSON shape (a
 //   "benchmarks" array with one entry per (variant, mode, N), metric in
-//   "perf", higher is better) so bench/compare.py can diff runs.
+//   "perf", higher is better) so bench/compare.py can diff runs. The
+//   N=32 entries additionally carry a "counters" object with the obs
+//   totals of a *real* runtime execution of that configuration (empty
+//   when HLSMPC_OBS=OFF) — deterministic episode counts compare.py
+//   diffs alongside the perf metric.
+//   --trace FILE runs the update/hls_numa configuration on the runtime
+//   and writes its event stream as a Chrome trace_event JSON, loadable
+//   in Perfetto (https://ui.perfetto.dev).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -40,17 +48,57 @@ const char* mode_name(Mode m) {
   return "?";
 }
 
+/// The sweep point whose JSON entries carry runtime counters: present in
+/// both the quick and the full size list, small enough that the real
+/// execution is cheap next to the cache-simulated sweep.
+constexpr int kObsN = 32;
+
+/// Execute `cfg` for real on an mpc::Node and return the node-wide obs
+/// counter totals as JSON object text ("{}" when the observability layer
+/// is compiled out). When `trace_path` is non-empty, also drain the event
+/// stream into a Chrome trace_event file there.
+std::string run_real_counters(const topo::Machine& machine, Config cfg,
+                              Mode mode, const std::string& trace_path) {
+  mpc::Node node(machine, {});
+  apps::matmul::run_on_node(node, cfg, mode);
+  obs::Recorder* rec = node.obs();
+  if (rec == nullptr) return "{}";
+  const obs::Snapshot snap = rec->snapshot();
+  std::string out = "{";
+  for (int c = 0; c < obs::kNumCounters; ++c) {
+    out += (c == 0 ? "" : ", ");
+    out += std::string("\"") + obs::to_string(static_cast<obs::Counter>(c)) +
+           "\": " + std::to_string(snap.value(static_cast<obs::Counter>(c)));
+  }
+  out += "}";
+  if (!trace_path.empty()) {
+    const topo::DenseScopeTable& scopes = node.hls_rt().registry().scopes();
+    obs::TraceNaming naming;
+    naming.process_name = "bench_fig3_matmul";
+    naming.scope_name = [&scopes](int sid) { return scopes.name(sid); };
+    std::ofstream f(trace_path);
+    obs::write_chrome_trace(f, rec->events(), naming);
+    std::fprintf(stderr, "wrote Chrome trace to %s (%zu events)\n",
+                 trace_path.c_str(), rec->events().size());
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   bool json = false;
   int sockets = 4;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--sockets") == 0 && i + 1 < argc) {
       sockets = std::atoi(argv[++i]);
+    }
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     }
   }
   constexpr int kScale = 64;
@@ -90,8 +138,14 @@ int main(int argc, char** argv) {
           const std::string name = std::string("fig3/") +
                                    (update ? "update" : "noupdate") + "/" +
                                    mode_name(mode) + "/N:" + std::to_string(n);
-          std::printf("%s\n    {\"name\": \"%s\", \"perf\": %.6f}",
-                      first_entry ? "" : ",", name.c_str(), perf[i]);
+          std::string counters;
+          if (n == kObsN && mode != Mode::sequential) {
+            counters =
+                ", \"counters\": " + run_real_counters(machine, cfg, mode, "");
+          }
+          std::printf("%s\n    {\"name\": \"%s\", \"perf\": %.6f%s}",
+                      first_entry ? "" : ",", name.c_str(), perf[i],
+                      counters.c_str());
           first_entry = false;
         }
         ++i;
@@ -101,6 +155,14 @@ int main(int argc, char** argv) {
                     perf[2], perf[3]);
       }
     }
+  }
+  if (!trace_path.empty()) {
+    Config cfg;
+    cfg.n = kObsN;
+    cfg.block = 8;
+    cfg.timesteps = quick ? 2 : 3;
+    cfg.update_b = true;
+    run_real_counters(machine, cfg, Mode::hls_numa, trace_path);
   }
   if (json) {
     std::printf("\n  ]\n}\n");

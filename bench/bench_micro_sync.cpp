@@ -11,7 +11,10 @@
 // benchmark threads onto fewer physical cores.
 #include <benchmark/benchmark.h>
 
-#include "hls/var.hpp"
+#include <cstdint>
+#include <vector>
+
+#include "hls/hls.hpp"
 #include "ult/task_context.hpp"
 
 using namespace hlsmpc;
@@ -34,6 +37,36 @@ struct SyncFixture {
   }
 };
 
+/// Diffs a set of obs counters for the calling task around the timed
+/// loop and reports the deltas as google-benchmark user counters (summed
+/// over threads in the report). No-op when the observability layer is
+/// compiled out (rt.obs() == nullptr), so the baseline JSON — recorded
+/// before these columns existed — still compares cleanly: compare.py
+/// only diffs counters present in both runs.
+class ObsProbe {
+ public:
+  ObsProbe(hls::Runtime& rt, int task,
+           std::initializer_list<obs::Counter> ctrs)
+      : rec_(rt.obs()), task_(task), ctrs_(ctrs) {
+    if (rec_ == nullptr) return;
+    for (obs::Counter c : ctrs_) start_.push_back(rec_->counter(task_, c));
+  }
+
+  void report(benchmark::State& state) const {
+    if (rec_ == nullptr) return;
+    for (std::size_t i = 0; i < ctrs_.size(); ++i) {
+      state.counters[obs::to_string(ctrs_[i])] = benchmark::Counter(
+          static_cast<double>(rec_->counter(task_, ctrs_[i]) - start_[i]));
+    }
+  }
+
+ private:
+  obs::Recorder* rec_;
+  int task_;
+  std::vector<obs::Counter> ctrs_;
+  std::vector<std::uint64_t> start_;
+};
+
 /// Thread-local context pinned so that threads spread across sockets.
 ult::ThreadTaskContext make_ctx(const benchmark::State& state,
                                 const topo::Machine& machine) {
@@ -53,9 +86,12 @@ void BM_GetAddrNode(benchmark::State& state) {
       new SyncFixture(1, topo::node_scope(), /*force_flat=*/false);
   ult::ThreadTaskContext ctx = make_ctx(state, f->machine);
   f->rt.bind_task(ctx);
+  ObsProbe probe(f->rt, ctx.task_id(),
+                 {obs::Counter::get_addr_warm, obs::Counter::get_addr_cold});
   for (auto _ : state) {
     benchmark::DoNotOptimize(f->rt.get_addr(f->var.handle(), ctx));
   }
+  probe.report(state);
 }
 BENCHMARK(BM_GetAddrNode);
 
@@ -66,9 +102,12 @@ void BM_GetAddrNodeMT(benchmark::State& state) {
       new SyncFixture(4, topo::node_scope(), /*force_flat=*/false);
   ult::ThreadTaskContext ctx = make_ctx(state, f->machine);
   f->rt.bind_task(ctx);
+  ObsProbe probe(f->rt, ctx.task_id(),
+                 {obs::Counter::get_addr_warm, obs::Counter::get_addr_cold});
   for (auto _ : state) {
     benchmark::DoNotOptimize(f->rt.get_addr(f->var.handle(), ctx));
   }
+  probe.report(state);
 }
 BENCHMARK(BM_GetAddrNodeMT)->Threads(4)->UseRealTime();
 
@@ -88,9 +127,12 @@ void BM_BarrierFlat(benchmark::State& state) {
       new SyncFixture(8, topo::node_scope(), /*force_flat=*/true);
   ult::ThreadTaskContext ctx = make_ctx(state, f->machine);
   f->rt.bind_task(ctx);
+  ObsProbe probe(f->rt, ctx.task_id(), {obs::Counter::barrier_entries});
+  const hls::ScopeSet set(f->rt, {f->var.handle()});
   for (auto _ : state) {
-    f->rt.barrier({f->var.handle()}, ctx);
+    f->rt.barrier(set, ctx);
   }
+  probe.report(state);
 }
 BENCHMARK(BM_BarrierFlat)->Threads(8)->UseRealTime();
 
@@ -99,9 +141,12 @@ void BM_BarrierHierarchical(benchmark::State& state) {
       new SyncFixture(8, topo::node_scope(), /*force_flat=*/false);
   ult::ThreadTaskContext ctx = make_ctx(state, f->machine);
   f->rt.bind_task(ctx);
+  ObsProbe probe(f->rt, ctx.task_id(), {obs::Counter::barrier_entries});
+  const hls::ScopeSet set(f->rt, {f->var.handle()});
   for (auto _ : state) {
-    f->rt.barrier({f->var.handle()}, ctx);
+    f->rt.barrier(set, ctx);
   }
+  probe.report(state);
 }
 BENCHMARK(BM_BarrierHierarchical)->Threads(8)->UseRealTime();
 
@@ -110,11 +155,14 @@ void BM_Single(benchmark::State& state) {
       new SyncFixture(8, topo::node_scope(), /*force_flat=*/false);
   ult::ThreadTaskContext ctx = make_ctx(state, f->machine);
   hls::TaskView view(f->rt, ctx);
+  ObsProbe probe(f->rt, ctx.task_id(),
+                 {obs::Counter::single_wins, obs::Counter::single_losses});
   int sink = 0;
   for (auto _ : state) {
     view.single({f->var.handle()}, [&] { ++sink; });
   }
   benchmark::DoNotOptimize(sink);
+  probe.report(state);
 }
 BENCHMARK(BM_Single)->Threads(8)->UseRealTime();
 
@@ -140,11 +188,14 @@ void BM_SingleNowait(benchmark::State& state) {
       new SyncFixture(8, topo::node_scope(), /*force_flat=*/false);
   ult::ThreadTaskContext ctx = make_ctx(state, f->machine);
   hls::TaskView view(f->rt, ctx);
+  ObsProbe probe(f->rt, ctx.task_id(),
+                 {obs::Counter::nowait_claims, obs::Counter::nowait_skips});
   int sink = 0;
   for (auto _ : state) {
     view.single_nowait({f->var.handle()}, [&] { ++sink; });
   }
   benchmark::DoNotOptimize(sink);
+  probe.report(state);
 }
 BENCHMARK(BM_SingleNowait)->Threads(8)->UseRealTime();
 

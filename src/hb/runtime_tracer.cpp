@@ -33,6 +33,25 @@ void RuntimeTracer::on_recv(int task, int peer_task, int context, int tag) {
       {EventKind::recv, {}, 0, peer_task, combined_tag(context, tag)});
 }
 
+void RuntimeTracer::on_event(const obs::Event& e) {
+  // The p2p events carry peer in arg and context<<32|tag in arg2 — the
+  // same combined tag on_send/on_recv compute, so both attachment paths
+  // produce identical traces.
+  if (e.task < 0 || e.task >= ntasks_) return;
+  if (e.kind != obs::EventKind::p2p_send &&
+      e.kind != obs::EventKind::p2p_recv) {
+    return;
+  }
+  PerTask& pt = per_task_[static_cast<std::size_t>(e.task)];
+  std::lock_guard<std::mutex> lk(pt.mu);
+  pt.events.push_back({e.kind == obs::EventKind::p2p_send ? EventKind::send
+                                                          : EventKind::recv,
+                       {},
+                       0,
+                       static_cast<int>(e.arg),
+                       static_cast<long>(e.arg2)});
+}
+
 Trace RuntimeTracer::trace() const {
   Trace t(ntasks_);
   for (int task = 0; task < ntasks_; ++task) {

@@ -28,10 +28,16 @@
 
 #include "hb/advisor.hpp"
 #include "mpi/trace_hook.hpp"
+#include "obs/event.hpp"
 
 namespace hlsmpc::hb {
 
-class RuntimeTracer final : public mpi::TraceHook {
+/// Attachable two ways: as the runtime's TraceHook (set_trace_hook) or as
+/// an obs::Sink chained onto an obs::Recorder's event stream — the sink
+/// path decodes p2p_send/p2p_recv events into the same send/recv records.
+/// Attach through one of the two, not both, or every p2p completion is
+/// recorded twice.
+class RuntimeTracer final : public mpi::TraceHook, public obs::Sink {
  public:
   explicit RuntimeTracer(int ntasks);
 
@@ -42,6 +48,10 @@ class RuntimeTracer final : public mpi::TraceHook {
   // mpi::TraceHook (called by the runtime).
   void on_send(int task, int peer_task, int context, int tag) override;
   void on_recv(int task, int peer_task, int context, int tag) override;
+
+  // obs::Sink: p2p events feed the same record stream; everything else is
+  // ignored (barriers/collectives are captured through their p2p parts).
+  void on_event(const obs::Event& e) override;
 
   /// Assemble the recorded events into an analyzable trace.
   Trace trace() const;

@@ -1,0 +1,26 @@
+// Umbrella header: the public HLS API in one include.
+//
+//   #include "hls/hls.hpp"
+//
+// pulls in everything an application needs:
+//  - hls::Runtime, hls::Runtime::Options, hls::ScopeSet  (runtime.hpp)
+//  - hls::Var<T>, hls::ArrayVar<T>, hls::TaskView, add_var/add_array
+//    (var.hpp)
+//  - hls::VarHandle, hls::ModuleBuilder, hls::CanonicalScope, hls::HlsError
+//    (registry.hpp)
+//  - topo scope specs: topo::node_scope() etc. (topo/scope_map.hpp)
+//  - the observability surface: obs::Recorder, obs::Snapshot + to_json,
+//    obs::write_chrome_trace, obs::Sink/Event/Counter
+//
+// Applications and tests should include this header rather than the
+// individual pieces; the split headers remain for the runtime's internal
+// layering only.
+#pragma once
+
+#include "hls/registry.hpp"
+#include "hls/runtime.hpp"
+#include "hls/var.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/recorder.hpp"
+#include "obs/snapshot.hpp"
+#include "topo/scope_map.hpp"

@@ -4,19 +4,81 @@
 
 namespace hlsmpc::hls {
 
-Runtime::Runtime(const topo::Machine& machine, int ntasks,
-                 memtrack::Tracker* tracker)
+ScopeSet::ScopeSet(const Runtime& rt, std::initializer_list<VarHandle> vars) {
+  if (vars.size() == 0) {
+    throw HlsError("ScopeSet: empty variable list");
+  }
+  const topo::ScopeMap& sm = rt.scope_map();
+  auto spec = [](const CanonicalScope& c) {
+    return topo::ScopeSpec{c.kind, c.cache_level};
+  };
+  const CanonicalScope first = vars.begin()->scope;
+  CanonicalScope widest = first;
+  bool same = true;
+  for (const VarHandle& h : vars) {
+    if (!h.valid()) throw HlsError("ScopeSet: invalid variable handle");
+    if (!(h.scope == first)) same = false;
+    if (sm.wider_or_equal(spec(h.scope), spec(widest))) widest = h.scope;
+  }
+  common_ = first;
+  widest_ = widest;
+  single_scoped_ = same;
+  valid_ = true;
+}
+
+const CanonicalScope& ScopeSet::common() const {
+  if (!valid_) throw HlsError("ScopeSet: unresolved (default-constructed)");
+  if (!single_scoped_) {
+    throw HlsError(
+        "single: variables with different HLS scopes in one directive — "
+        "the compiler rejects this (paper §II.B.2)");
+  }
+  return common_;
+}
+
+const CanonicalScope& ScopeSet::widest() const {
+  if (!valid_) throw HlsError("ScopeSet: unresolved (default-constructed)");
+  return widest_;
+}
+
+Runtime::Runtime(const topo::Machine& machine, int ntasks)
+    : Runtime(machine, ntasks, Options()) {}
+
+Runtime::Runtime(const topo::Machine& machine, int ntasks, Options opts)
     : machine_(machine),
       sm_(machine_),
-      owned_tracker_(tracker == nullptr ? std::make_unique<memtrack::Tracker>()
-                                        : nullptr),
-      tracker_(tracker != nullptr ? tracker : owned_tracker_.get()),
+      owned_tracker_(opts.tracker == nullptr
+                         ? std::make_unique<memtrack::Tracker>()
+                         : nullptr),
+      tracker_(opts.tracker != nullptr ? opts.tracker : owned_tracker_.get()),
       reg_(sm_),
+#if HLSMPC_OBS_ENABLED
+      owned_obs_(opts.obs == nullptr
+                     ? std::make_unique<obs::Recorder>(obs::RecorderOptions{
+                           .ntasks = std::max(ntasks, 1),
+                           .num_scopes = reg_.scopes().num_scopes(),
+                           .ring_capacity = opts.obs_ring_capacity})
+                     : nullptr),
+      obs_(opts.obs != nullptr ? opts.obs : owned_obs_.get()),
+      storage_(reg_, *tracker_, obs_),
+      sync_(sm_, ntasks, obs_),
+#else
       storage_(reg_, *tracker_),
       sync_(sm_, ntasks),
+#endif
       ntasks_(ntasks),
       num_scopes_(reg_.scopes().num_scopes()),
-      caches_(static_cast<std::size_t>(std::max(ntasks, 1))) {}
+      caches_(static_cast<std::size_t>(std::max(ntasks, 1))) {
+#if HLSMPC_OBS_ENABLED
+  if (opts.obs_sink != nullptr) obs_->chain(opts.obs_sink);
+  for (std::size_t t = 0; t < caches_.size(); ++t) {
+    caches_[t].warm_hits =
+        obs_->counter_cell(static_cast<int>(t), obs::Counter::get_addr_warm);
+  }
+#else
+  (void)opts;
+#endif
+}
 
 void Runtime::invalidate_cache(int task) {
   if (task < 0 || task >= static_cast<int>(caches_.size())) return;
@@ -60,6 +122,12 @@ void* Runtime::get_addr(const VarHandle& h, ult::TaskContext& ctx) {
               "get_addr: accessed range [offset, offset + size) beyond "
               "module region");
         }
+#if HLSMPC_OBS_ENABLED
+        if (std::atomic<std::uint64_t>* c = cache->warm_hits) {
+          c->store(c->load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+        }
+#endif
         return e.base + h.offset;
       }
     }
@@ -81,6 +149,9 @@ void* Runtime::get_addr(const VarHandle& h, ult::TaskContext& ctx) {
     if (idx >= cache->entries.size()) cache->entries.resize(idx + 1);
     cache->entries[idx] = CacheEntry{r.base, r.size};
   }
+#if HLSMPC_OBS_ENABLED
+  obs_->count(task, obs::Counter::get_addr_cold);
+#endif
   return r.base + h.offset;
 }
 
@@ -118,26 +189,6 @@ CanonicalScope Runtime::widest_scope(
   return widest;
 }
 
-void Runtime::barrier(std::initializer_list<VarHandle> vars,
-                      ult::TaskContext& ctx) {
-  barrier_scope(widest_scope(vars), ctx);
-}
-
-bool Runtime::single_enter(std::initializer_list<VarHandle> vars,
-                           ult::TaskContext& ctx) {
-  return single_enter_scope(common_scope(vars), ctx);
-}
-
-void Runtime::single_done(std::initializer_list<VarHandle> vars,
-                          ult::TaskContext& ctx) {
-  single_done_scope(common_scope(vars), ctx);
-}
-
-bool Runtime::single_nowait_enter(std::initializer_list<VarHandle> vars,
-                                  ult::TaskContext& ctx) {
-  return single_nowait_scope(common_scope(vars), ctx);
-}
-
 void Runtime::barrier_scope(const CanonicalScope& s, ult::TaskContext& ctx) {
   sync_.barrier(s, ctx);
 }
@@ -162,7 +213,26 @@ void Runtime::migrate(ult::TaskContext& ctx, int new_cpu) {
     throw HlsError("migrate: bad cpu");
   }
   ctx.sync_point("migrate:enter");
+#if HLSMPC_OBS_ENABLED
+  const std::uint64_t mig_t0 = obs_->now();
+  auto obs_migration = [&](bool ok) {
+    obs_->count(ctx.task_id(), ok ? obs::Counter::migrations_ok
+                                  : obs::Counter::migrations_rejected);
+    obs::Event e;
+    e.kind = obs::EventKind::migration;
+    e.flag = ok;
+    e.task = ctx.task_id();
+    e.cpu = ctx.cpu();
+    e.t0 = mig_t0;
+    e.t1 = obs_->now();
+    e.arg = new_cpu;
+    obs_->record(e);
+  };
+#endif
   auto reject = [&](const std::string& why) {
+#if HLSMPC_OBS_ENABLED
+    obs_migration(/*ok=*/false);
+#endif
     sync_.report_migration(ctx, new_cpu, /*ok=*/false);
     throw HlsError(why);
   };
@@ -206,6 +276,9 @@ void Runtime::migrate(ult::TaskContext& ctx, int new_cpu) {
   // instance pointer may now be wrong. Drop them all (the next get_addr
   // refills for the new cpu).
   invalidate_cache(ctx.task_id());
+#if HLSMPC_OBS_ENABLED
+  obs_migration(/*ok=*/true);
+#endif
   sync_.report_migration(ctx, new_cpu, /*ok=*/true);
 }
 

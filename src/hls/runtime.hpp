@@ -4,7 +4,14 @@
 // (paper §IV): get_addr resolves a (module, offset, scope) triple for the
 // calling task; single_enter/single_done and barrier implement the
 // directives; migrate implements MPC_Move's counter check. The typed
-// front end (Var<T>, TaskView) lives in var.hpp.
+// front end (Var<T>, TaskView) lives in var.hpp; applications include the
+// umbrella header hls/hls.hpp.
+//
+// Directive surface: the four `*_scope` entry points are the canonical
+// core — what compiled calls hit after the compiler resolved a variable
+// list to one scope. The variable-list forms are thin inline wrappers
+// that resolve a ScopeSet; call sites inside loops should build the
+// ScopeSet once and pass it directly.
 #pragma once
 
 #include <cstddef>
@@ -16,15 +23,70 @@
 #include "hls/storage.hpp"
 #include "hls/sync.hpp"
 #include "memtrack/memtrack.hpp"
+#include "obs/recorder.hpp"
 
 namespace hlsmpc::hls {
 
+class Runtime;
+
+/// A directive's variable list with its scope checks done once: the
+/// common scope (what `single` needs — all variables share it) and the
+/// widest scope (what `barrier` synchronizes). Resolve once per call
+/// site, then every directive call through it is a direct `*_scope`
+/// dispatch with no per-call list walk.
+class ScopeSet {
+ public:
+  ScopeSet() = default;
+  /// Validates every handle and resolves both scopes. Throws HlsError on
+  /// an invalid handle or an empty list. A mixed-scope list is legal here
+  /// (barrier accepts it); common() then throws, like the compiler
+  /// rejecting `single` on variables of different scopes (§II.B.2).
+  ScopeSet(const Runtime& rt, std::initializer_list<VarHandle> vars);
+
+  bool valid() const { return valid_; }
+  /// True when every variable in the list shares one scope.
+  bool single_scoped() const { return single_scoped_; }
+
+  /// Scope shared by all variables (single/single_nowait). Throws
+  /// HlsError when the list mixes scopes.
+  const CanonicalScope& common() const;
+  /// Widest scope in the list (barrier).
+  const CanonicalScope& widest() const;
+
+ private:
+  CanonicalScope common_{};
+  CanonicalScope widest_{};
+  bool valid_ = false;
+  bool single_scoped_ = false;
+};
+
 class Runtime {
  public:
-  /// `ntasks` MPI tasks will use this runtime; pass the node tracker to
-  /// account HLS storage alongside app/runtime memory.
+  /// Construction-time knobs. Pass the node tracker to account HLS
+  /// storage alongside app/runtime memory; pass a shared obs::Recorder to
+  /// merge this runtime's counters/events with the rest of the node
+  /// (mpc::Node does), or leave it null to let the runtime own one.
+  struct Options {
+    memtrack::Tracker* tracker = nullptr;
+    /// Observability recorder. Null = the runtime owns a private one
+    /// (when HLSMPC_OBS is compiled in). Must be sized for >= ntasks.
+    obs::Recorder* obs = nullptr;
+    /// Extra sink chained onto the event stream (correctness tracers,
+    /// exporters). Must outlive the runtime's tasks.
+    obs::Sink* obs_sink = nullptr;
+    /// Ring capacity of the owned recorder (events per task; 0 = counters
+    /// only). Ignored when `obs` is supplied.
+    std::size_t obs_ring_capacity = 4096;
+  };
+
+  /// `ntasks` MPI tasks will use this runtime.
+  Runtime(const topo::Machine& machine, int ntasks, Options opts);
+  /// Default options (owned tracker, owned recorder when compiled in).
+  Runtime(const topo::Machine& machine, int ntasks);
+  /// Legacy form; forwards to the Options constructor.
   Runtime(const topo::Machine& machine, int ntasks,
-          memtrack::Tracker* tracker = nullptr);
+          memtrack::Tracker* tracker)
+      : Runtime(machine, ntasks, Options{.tracker = tracker}) {}
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
@@ -34,6 +96,14 @@ class Runtime {
   StorageManager& storage() { return storage_; }
   SyncManager& sync() { return sync_; }
   int ntasks() const { return ntasks_; }
+
+  /// The runtime's observability recorder; nullptr when the layer was
+  /// compiled out (HLSMPC_OBS=OFF).
+#if HLSMPC_OBS_ENABLED
+  obs::Recorder* obs() const { return obs_; }
+#else
+  obs::Recorder* obs() const { return nullptr; }
+#endif
 
   /// Must be called by each task before any other HLS operation
   /// (TaskView's constructor does it): records the task's pinning.
@@ -45,24 +115,55 @@ class Runtime {
   /// cold call may suspend at the first-touch sync_point.
   void* get_addr(const VarHandle& h, ult::TaskContext& ctx);
 
-  // Directive-shaped entry points. The list forms validate variables the
-  // way the compiler would: `single` requires all variables to share one
-  // scope (compile error otherwise, §II.B.2); `barrier` synchronizes the
-  // *largest* scope in its list.
-  void barrier(std::initializer_list<VarHandle> vars, ult::TaskContext& ctx);
-  bool single_enter(std::initializer_list<VarHandle> vars,
-                    ult::TaskContext& ctx);
-  void single_done(std::initializer_list<VarHandle> vars,
-                   ult::TaskContext& ctx);
-  bool single_nowait_enter(std::initializer_list<VarHandle> vars,
-                           ult::TaskContext& ctx);
-
-  /// Scope-level entry points (what the compiled calls pass after the
-  /// compiler resolved the variable lists).
+  // Scope-level entry points — THE canonical directive core (what the
+  // compiled calls pass after the compiler resolved the variable lists).
   void barrier_scope(const CanonicalScope& s, ult::TaskContext& ctx);
   bool single_enter_scope(const CanonicalScope& s, ult::TaskContext& ctx);
   void single_done_scope(const CanonicalScope& s, ult::TaskContext& ctx);
   bool single_nowait_scope(const CanonicalScope& s, ult::TaskContext& ctx);
+
+  // Pre-resolved list forms: direct dispatch to the scope core.
+  void barrier(const ScopeSet& s, ult::TaskContext& ctx) {
+    barrier_scope(s.widest(), ctx);
+  }
+  bool single_enter(const ScopeSet& s, ult::TaskContext& ctx) {
+    return single_enter_scope(s.common(), ctx);
+  }
+  void single_done(const ScopeSet& s, ult::TaskContext& ctx) {
+    single_done_scope(s.common(), ctx);
+  }
+  bool single_nowait(const ScopeSet& s, ult::TaskContext& ctx) {
+    return single_nowait_scope(s.common(), ctx);
+  }
+
+  // Variable-list conveniences: thin wrappers resolving a ScopeSet per
+  // call. They validate variables the way the compiler would: `single`
+  // requires all variables to share one scope (§II.B.2); `barrier`
+  // synchronizes the *largest* scope in its list.
+  void barrier(std::initializer_list<VarHandle> vars, ult::TaskContext& ctx) {
+    barrier(ScopeSet(*this, vars), ctx);
+  }
+  bool single_enter(std::initializer_list<VarHandle> vars,
+                    ult::TaskContext& ctx) {
+    return single_enter(ScopeSet(*this, vars), ctx);
+  }
+  void single_done(std::initializer_list<VarHandle> vars,
+                   ult::TaskContext& ctx) {
+    single_done(ScopeSet(*this, vars), ctx);
+  }
+  bool single_nowait(std::initializer_list<VarHandle> vars,
+                     ult::TaskContext& ctx) {
+    return single_nowait(ScopeSet(*this, vars), ctx);
+  }
+
+  /// Deprecated spelling of single_nowait (the `_enter` suffix drifted
+  /// from single_nowait_scope; one release grace, then removed).
+  [[deprecated("use single_nowait(); the _enter suffix drifted from "
+               "single_nowait_scope")]]
+  bool single_nowait_enter(std::initializer_list<VarHandle> vars,
+                           ult::TaskContext& ctx) {
+    return single_nowait(vars, ctx);
+  }
 
   /// MPC_Move: re-pin the task to `new_cpu`. Throws HlsError unless the
   /// task has seen exactly as many single/barrier episodes as the
@@ -91,6 +192,14 @@ class Runtime {
   struct alignas(64) TaskCache {
     int cpu = -1;
     std::vector<CacheEntry> entries;
+#if HLSMPC_OBS_ENABLED
+    /// The task's get_addr_warm counter cell, resolved once at
+    /// construction: the warm path bumps it with one relaxed
+    /// load/add/store instead of going through Recorder::count()'s
+    /// bounds check and block indexing (which cost ~25% of the ~4ns
+    /// path). Null when the recorder is sized below this task id.
+    std::atomic<std::uint64_t>* warm_hits = nullptr;
+#endif
   };
 
   void invalidate_cache(int task);
@@ -100,6 +209,10 @@ class Runtime {
   std::unique_ptr<memtrack::Tracker> owned_tracker_;
   memtrack::Tracker* tracker_;
   Registry reg_;
+#if HLSMPC_OBS_ENABLED
+  std::unique_ptr<obs::Recorder> owned_obs_;
+  obs::Recorder* obs_;
+#endif
   StorageManager storage_;
   SyncManager sync_;
   int ntasks_;

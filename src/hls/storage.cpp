@@ -1,10 +1,21 @@
 #include "hls/storage.hpp"
 
+#include "obs/recorder.hpp"
+
 namespace hlsmpc::hls {
 
-StorageManager::StorageManager(const Registry& reg,
-                               memtrack::Tracker& tracker)
-    : reg_(&reg), tracker_(&tracker) {
+StorageManager::StorageManager(const Registry& reg, memtrack::Tracker& tracker,
+                               obs::Recorder* obs)
+    : reg_(&reg),
+      tracker_(&tracker)
+#if HLSMPC_OBS_ENABLED
+      ,
+      obs_(obs)
+#endif
+{
+#if !HLSMPC_OBS_ENABLED
+  (void)obs;
+#endif
   const topo::DenseScopeTable& t = reg.scopes();
   instances_.resize(static_cast<std::size_t>(t.num_scopes()));
   for (int sid = 0; sid < t.num_scopes(); ++sid) {
@@ -63,7 +74,8 @@ StorageManager::ModuleRegion& StorageManager::region_slot(InstanceStorage& st,
 StorageManager::Resolved StorageManager::materialize(ModuleRegion& region,
                                                      const CanonicalScope& scope,
                                                      int module,
-                                                     ult::TaskContext* ctx) {
+                                                     ult::TaskContext* ctx,
+                                                     bool* did_init) {
   const Module& m = reg_->module(module);  // throws if not committed
   // Window between losing the fast path and claiming the init lock: the
   // deterministic checker schedules through here so racing first touches
@@ -89,6 +101,7 @@ StorageManager::Resolved StorageManager::materialize(ModuleRegion& region,
     // initialized region contents and `bytes`.
     base = region.mem.data();
     region.base.store(base, std::memory_order_release);
+    if (did_init != nullptr) *did_init = true;
   }
   return Resolved{base, region.bytes};
 }
@@ -104,7 +117,31 @@ StorageManager::Resolved StorageManager::resolve(const CanonicalScope& scope,
   ModuleRegion& region = region_slot(st, module);
   std::byte* base = region.base.load(std::memory_order_acquire);
   if (base != nullptr) return Resolved{base, region.bytes};
-  return materialize(region, scope, module, ctx);
+#if HLSMPC_OBS_ENABLED
+  const std::uint64_t obs_t0 = obs_ != nullptr ? obs_->now() : 0;
+#endif
+  bool did_init = false;
+  const Resolved r = materialize(region, scope, module, ctx, &did_init);
+#if HLSMPC_OBS_ENABLED
+  // Only the task that actually initialized the region counts a first
+  // touch; racers that waited on init_mu resolved, not materialized.
+  if (did_init && obs_ != nullptr) {
+    const int task = ctx != nullptr ? ctx->task_id() : -1;
+    obs_->count(task, obs::Counter::first_touches);
+    obs_->count_scope_bytes(task, sid, r.size);
+    obs::Event e;
+    e.kind = obs::EventKind::first_touch;
+    e.sid = static_cast<std::int16_t>(sid);
+    e.task = task;
+    e.cpu = cpu;
+    e.instance = inst;
+    e.t0 = obs_t0;
+    e.t1 = obs_->now();
+    e.arg = static_cast<std::int64_t>(r.size);
+    obs_->record(e);
+  }
+#endif
+  return r;
 }
 
 void* StorageManager::get_addr(const CanonicalScope& scope, int module,

@@ -22,13 +22,22 @@
 
 #include "hls/registry.hpp"
 #include "memtrack/memtrack.hpp"
+#include "obs/event.hpp"
 #include "ult/task_context.hpp"
+
+namespace hlsmpc::obs {
+class Recorder;
+}  // namespace hlsmpc::obs
 
 namespace hlsmpc::hls {
 
 class StorageManager {
  public:
-  StorageManager(const Registry& reg, memtrack::Tracker& tracker);
+  /// `obs`, when given (and the observability layer is compiled in),
+  /// receives a first_touch counter/event plus per-scope-level byte
+  /// accounting for every region this manager materializes.
+  StorageManager(const Registry& reg, memtrack::Tracker& tracker,
+                 obs::Recorder* obs = nullptr);
   StorageManager(const StorageManager&) = delete;
   StorageManager& operator=(const StorageManager&) = delete;
   ~StorageManager();
@@ -86,10 +95,13 @@ class StorageManager {
 
   ModuleRegion& region_slot(InstanceStorage& st, int module);
   Resolved materialize(ModuleRegion& region, const CanonicalScope& scope,
-                       int module, ult::TaskContext* ctx);
+                       int module, ult::TaskContext* ctx, bool* did_init);
 
   const Registry* reg_;
   memtrack::Tracker* tracker_;
+#if HLSMPC_OBS_ENABLED
+  obs::Recorder* obs_ = nullptr;
+#endif
   // [sid][instance]; fully sized at construction from the frozen table.
   std::vector<std::vector<std::unique_ptr<InstanceStorage>>> instances_;
 };

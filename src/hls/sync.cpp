@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/recorder.hpp"
+
 namespace hlsmpc::hls {
 
 namespace {
@@ -44,9 +46,14 @@ const char* to_string(SyncEvent::Kind k) {
   return "?";
 }
 
-SyncManager::SyncManager(const topo::ScopeMap& sm, int ntasks)
+SyncManager::SyncManager(const topo::ScopeMap& sm, int ntasks,
+                         obs::Recorder* obs)
     : sm_(&sm),
       scopes_(sm.machine()),
+#if HLSMPC_OBS_ENABLED
+      obs_(obs),
+      single_t0_(static_cast<std::size_t>(std::max(ntasks, 1))),
+#endif
       task_cpu_(static_cast<std::size_t>(std::max(ntasks, 1))),
       single_depth_(static_cast<std::size_t>(std::max(ntasks, 1))),
       task_counts_(static_cast<std::size_t>(std::max(ntasks, 1)),
@@ -56,6 +63,9 @@ SyncManager::SyncManager(const topo::ScopeMap& sm, int ntasks)
                           std::vector<std::uint64_t>(
                               static_cast<std::size_t>(scopes_.num_scopes()))) {
   if (ntasks < 1) throw HlsError("SyncManager: need at least one task");
+#if !HLSMPC_OBS_ENABLED
+  (void)obs;
+#endif
   // Default MPC pinning (task i -> cpu i, wrapping) is established up
   // front: barrier arrival counts must be stable before the first task
   // reaches a synchronization point, not trickle in as tasks start.
@@ -286,6 +296,13 @@ void SyncManager::barrier(const CanonicalScope& scope,
                           ult::TaskContext& ctx) {
   int inst = 0;
   InstanceSync& is = instance(scope, ctx.cpu(), &inst);
+#if HLSMPC_OBS_ENABLED
+  std::uint64_t obs_t0 = 0;
+  if (obs_ != nullptr) {
+    obs_->count(ctx.task_id(), obs::Counter::barrier_entries);
+    obs_t0 = obs_->now();
+  }
+#endif
   emit(SyncEvent::Kind::barrier_enter, scope, inst, &is, ctx);
   ctx.sync_point("barrier:enter");
   if (!uses_hierarchy(scope)) {
@@ -310,6 +327,19 @@ void SyncManager::barrier(const CanonicalScope& scope,
     }
   }
   bump_task(ctx.task_id(), scope);
+#if HLSMPC_OBS_ENABLED
+  if (obs_ != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::barrier;
+    e.sid = static_cast<std::int16_t>(sid(scope));
+    e.task = ctx.task_id();
+    e.cpu = ctx.cpu();
+    e.instance = inst;
+    e.t0 = obs_t0;
+    e.t1 = obs_->now();
+    obs_->record(e);
+  }
+#endif
   emit(SyncEvent::Kind::barrier_exit, scope, inst, &is, ctx);
   ctx.sync_point("barrier:exit");
 }
@@ -318,6 +348,10 @@ bool SyncManager::single_enter(const CanonicalScope& scope,
                                ult::TaskContext& ctx) {
   int inst = 0;
   InstanceSync& is = instance(scope, ctx.cpu(), &inst);
+#if HLSMPC_OBS_ENABLED
+  std::uint64_t obs_t0 = 0;
+  if (obs_ != nullptr) obs_t0 = obs_->now();
+#endif
   emit(SyncEvent::Kind::single_enter, scope, inst, &is, ctx);
   ctx.sync_point("single:enter");
   bool executor = false;
@@ -342,10 +376,31 @@ bool SyncManager::single_enter(const CanonicalScope& scope,
   }
   if (executor) {
     ++single_depth_[static_cast<std::size_t>(ctx.task_id())];
+#if HLSMPC_OBS_ENABLED
+    if (obs_ != nullptr) {
+      obs_->count(ctx.task_id(), obs::Counter::single_wins);
+      // Stashed until single_done closes the single_exec event.
+      single_t0_[static_cast<std::size_t>(ctx.task_id())] = obs_t0;
+    }
+#endif
     emit(SyncEvent::Kind::single_exec_begin, scope, inst, &is, ctx);
     ctx.sync_point("single:exec");
   } else {
     bump_task(ctx.task_id(), scope);
+#if HLSMPC_OBS_ENABLED
+    if (obs_ != nullptr) {
+      obs_->count(ctx.task_id(), obs::Counter::single_losses);
+      obs::Event e;
+      e.kind = obs::EventKind::single_wait;
+      e.sid = static_cast<std::int16_t>(sid(scope));
+      e.task = ctx.task_id();
+      e.cpu = ctx.cpu();
+      e.instance = inst;
+      e.t0 = obs_t0;
+      e.t1 = obs_->now();
+      obs_->record(e);
+    }
+#endif
     emit(SyncEvent::Kind::single_exit, scope, inst, &is, ctx);
     ctx.sync_point("single:exit");
   }
@@ -358,6 +413,19 @@ void SyncManager::single_done(const CanonicalScope& scope,
   InstanceSync& is = instance(scope, ctx.cpu(), &inst);
   is.episodes.fetch_add(1, std::memory_order_relaxed);
   bump_task(ctx.task_id(), scope);
+#if HLSMPC_OBS_ENABLED
+  if (obs_ != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::single_exec;
+    e.sid = static_cast<std::int16_t>(sid(scope));
+    e.task = ctx.task_id();
+    e.cpu = ctx.cpu();
+    e.instance = inst;
+    e.t0 = single_t0_[static_cast<std::size_t>(ctx.task_id())];
+    e.t1 = obs_->now();
+    obs_->record(e);
+  }
+#endif
   // Emit before the releases so the executor's exec_end is always logged
   // ahead of the waiters' exits (the checker's episode reconstruction
   // relies on that order).
@@ -395,6 +463,14 @@ bool SyncManager::single_nowait(const CanonicalScope& scope,
       break;
     }
   }
+#if HLSMPC_OBS_ENABLED
+  // Counters only on this path: nowait is a ~30ns wait-free operation and
+  // a clock read would dominate it (see DESIGN.md §9 overhead budget).
+  if (obs_ != nullptr) {
+    obs_->count(ctx.task_id(), claimed_site ? obs::Counter::nowait_claims
+                                            : obs::Counter::nowait_skips);
+  }
+#endif
   emit(claimed_site ? SyncEvent::Kind::nowait_claim
                     : SyncEvent::Kind::nowait_skip,
        scope, inst, &is, ctx);

@@ -23,7 +23,12 @@
 #include <vector>
 
 #include "hls/registry.hpp"
+#include "obs/event.hpp"
 #include "ult/task_context.hpp"
+
+namespace hlsmpc::obs {
+class Recorder;
+}  // namespace hlsmpc::obs
 
 namespace hlsmpc::hls {
 
@@ -69,8 +74,11 @@ class SyncObserver {
 class SyncManager {
  public:
   /// `ntasks` MPI tasks; initial pinning provided via set_task_cpu before
-  /// any synchronization call.
-  SyncManager(const topo::ScopeMap& sm, int ntasks);
+  /// any synchronization call. `obs`, when given (and when the
+  /// observability layer is compiled in), receives episode counters and
+  /// timed barrier/single/nowait events.
+  SyncManager(const topo::ScopeMap& sm, int ntasks,
+              obs::Recorder* obs = nullptr);
   SyncManager(const SyncManager&) = delete;
   SyncManager& operator=(const SyncManager&) = delete;
 
@@ -172,6 +180,13 @@ class SyncManager {
   topo::DenseScopeTable scopes_;
   int llc_span_ = 1;  ///< cpus per last-level-cache instance
   SyncObserver* observer_ = nullptr;
+#if HLSMPC_OBS_ENABLED
+  obs::Recorder* obs_ = nullptr;
+  /// Per-task stash of the single_enter timestamp, so the executor's
+  /// single_done can emit one single_exec event spanning the whole block.
+  /// Each slot is written only by its own task.
+  std::vector<std::uint64_t> single_t0_;
+#endif
   std::vector<std::atomic<int>> task_cpu_;
   std::vector<std::atomic<int>> single_depth_;
   // Per-task counters indexed [task][sid]; each row written only by its

@@ -96,18 +96,30 @@ class TaskView {
     return static_cast<T*>(rt_->get_addr(v.handle(), *ctx_));
   }
 
+  /// Resolve a directive's variable list once; reuse inside loops to skip
+  /// the per-call list walk (the ScopeSet overloads below dispatch
+  /// straight to the scope core).
+  ScopeSet scopes(std::initializer_list<VarHandle> vars) const {
+    return ScopeSet(*rt_, vars);
+  }
+
   /// #pragma hls barrier(vars...)
   void barrier(std::initializer_list<VarHandle> vars) {
     rt_->barrier(vars, *ctx_);
   }
+  void barrier(const ScopeSet& s) { rt_->barrier(s, *ctx_); }
 
   /// #pragma hls single(vars...) { fn(); } — one task (the last to
   /// arrive) runs fn; everyone leaves together.
   template <typename Fn>
   void single(std::initializer_list<VarHandle> vars, Fn&& fn) {
-    if (rt_->single_enter(vars, *ctx_)) {
+    single(ScopeSet(*rt_, vars), std::forward<Fn>(fn));
+  }
+  template <typename Fn>
+  void single(const ScopeSet& s, Fn&& fn) {
+    if (rt_->single_enter(s, *ctx_)) {
       std::forward<Fn>(fn)();
-      rt_->single_done(vars, *ctx_);
+      rt_->single_done(s, *ctx_);
     }
   }
 
@@ -115,7 +127,11 @@ class TaskView {
   /// reach the site runs fn; nobody waits. Returns true for the runner.
   template <typename Fn>
   bool single_nowait(std::initializer_list<VarHandle> vars, Fn&& fn) {
-    if (rt_->single_nowait_enter(vars, *ctx_)) {
+    return single_nowait(ScopeSet(*rt_, vars), std::forward<Fn>(fn));
+  }
+  template <typename Fn>
+  bool single_nowait(const ScopeSet& s, Fn&& fn) {
+    if (rt_->single_nowait(s, *ctx_)) {
       std::forward<Fn>(fn)();
       return true;
     }

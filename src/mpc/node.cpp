@@ -2,13 +2,33 @@
 
 namespace hlsmpc::mpc {
 
+namespace {
+
+// The MPI runtime applies the same default when Options.nranks == 0;
+// computing it here lets the HLS runtime (constructed first, it owns the
+// shared recorder) size itself identically.
+int resolve_nranks(const topo::Machine& machine, const mpi::Options& o) {
+  return o.nranks > 0 ? o.nranks : machine.num_cpus();
+}
+
+mpi::Options with_obs(mpi::Options o, obs::Recorder* obs) {
+  o.obs = obs;
+  return o;
+}
+
+}  // namespace
+
 Node::Node(const topo::Machine& machine, NodeOptions opts,
            memtrack::Tracker* tracker)
     : owned_tracker_(tracker == nullptr ? std::make_unique<memtrack::Tracker>()
                                         : nullptr),
       tracker_(tracker != nullptr ? tracker : owned_tracker_.get()),
-      mpi_(machine, opts.mpi, tracker_),
-      hls_(machine, mpi_.nranks(), tracker_) {}
+      hls_(machine, resolve_nranks(machine, opts.mpi),
+           hls::Runtime::Options{.tracker = tracker_,
+                                 .obs = opts.obs,
+                                 .obs_sink = opts.obs_sink,
+                                 .obs_ring_capacity = opts.obs_ring_capacity}),
+      mpi_(machine, with_obs(opts.mpi, hls_.obs()), tracker_) {}
 
 void Node::run(const std::function<void(mpi::Comm&, hls::TaskView&)>& body) {
   mpi_.run([&](mpi::Comm& world, ult::TaskContext& ctx) {

@@ -8,13 +8,21 @@
 
 #include <functional>
 
-#include "hls/var.hpp"
+#include "hls/hls.hpp"
 #include "mpi/runtime.hpp"
 
 namespace hlsmpc::mpc {
 
 struct NodeOptions {
   mpi::Options mpi;
+  /// Observability recorder shared by both runtimes. Null = the HLS
+  /// runtime owns one and the MPI runtime records into it too (when the
+  /// layer is compiled in). Node always wires `mpi.obs` itself; a value
+  /// set there directly is overwritten.
+  obs::Recorder* obs = nullptr;
+  /// Extra sink chained onto the node's event stream.
+  obs::Sink* obs_sink = nullptr;
+  std::size_t obs_ring_capacity = 4096;
 };
 
 class Node {
@@ -37,12 +45,16 @@ class Node {
   hls::Runtime& hls_rt() { return hls_; }
   memtrack::Tracker& tracker() { return *tracker_; }
   const topo::Machine& machine() const { return mpi_.machine(); }
+  /// The node-wide recorder (HLS + MPI + scheduler); nullptr when the
+  /// observability layer is compiled out.
+  obs::Recorder* obs() const { return hls_.obs(); }
 
  private:
   std::unique_ptr<memtrack::Tracker> owned_tracker_;
   memtrack::Tracker* tracker_;
-  mpi::Runtime mpi_;
+  // hls_ first: it owns (or adopts) the recorder the MPI runtime shares.
   hls::Runtime hls_;
+  mpi::Runtime mpi_;
 };
 
 }  // namespace hlsmpc::mpc

@@ -8,10 +8,64 @@
 
 #include "mpi/comm.hpp"
 #include "mpi/runtime.hpp"
+#include "obs/recorder.hpp"
 
 namespace hlsmpc::mpi {
 
+namespace {
+
+#if HLSMPC_OBS_ENABLED
+/// RAII span for one collective call: bumps coll_ops on entry, records a
+/// `collective` event covering the whole call on destruction. Composite
+/// collectives (allreduce, allgather, ...) nest their phases' spans inside
+/// their own; a trace viewer renders them as nested slices.
+class CollScope {
+ public:
+  CollScope(Runtime& rt, obs::CollOp op, const ult::TaskContext& ctx,
+            std::int64_t bytes)
+      : obs_(rt.obs()),
+        op_(op),
+        task_(ctx.task_id()),
+        cpu_(ctx.cpu()),
+        bytes_(bytes) {
+    if (obs_ == nullptr) return;
+    obs_->count(task_, obs::Counter::coll_ops);
+    t0_ = obs_->now();
+  }
+  CollScope(const CollScope&) = delete;
+  CollScope& operator=(const CollScope&) = delete;
+  ~CollScope() {
+    if (obs_ == nullptr) return;
+    obs::Event e;
+    e.kind = obs::EventKind::collective;
+    e.task = task_;
+    e.cpu = cpu_;
+    e.t0 = t0_;
+    e.t1 = obs_->now();
+    e.arg = static_cast<std::int64_t>(op_);
+    e.arg2 = bytes_;
+    obs_->record(e);
+  }
+
+ private:
+  obs::Recorder* obs_;
+  obs::CollOp op_;
+  int task_;
+  int cpu_;
+  std::int64_t bytes_;
+  std::uint64_t t0_ = 0;
+};
+#define HLSMPC_OBS_COLL(op, bytes)                      \
+  CollScope obs_coll_scope_(*rt_, obs::CollOp::op, ctx, \
+                            static_cast<std::int64_t>(bytes))
+#else
+#define HLSMPC_OBS_COLL(op, bytes) (void)0
+#endif
+
+}  // namespace
+
 void Comm::barrier(ult::TaskContext& ctx) {
+  HLSMPC_OBS_COLL(barrier, 0);
   const int me = rank(ctx);
   const int n = size();
   const int tag = next_coll_tag(me);
@@ -30,6 +84,7 @@ void Comm::barrier(ult::TaskContext& ctx) {
 
 void Comm::bcast(ult::TaskContext& ctx, void* buf, std::size_t bytes,
                  int root) {
+  HLSMPC_OBS_COLL(bcast, bytes);
   check_rank(root, "bcast");
   const int me = rank(ctx);
   const int n = size();
@@ -60,6 +115,7 @@ void Comm::bcast(ult::TaskContext& ctx, void* buf, std::size_t bytes,
 void Comm::reduce(ult::TaskContext& ctx, const void* sendbuf, void* recvbuf,
                   std::size_t count, std::size_t elem_bytes,
                   const ReduceFn& fn, int root) {
+  HLSMPC_OBS_COLL(reduce, count * elem_bytes);
   check_rank(root, "reduce");
   const int me = rank(ctx);
   const int n = size();
@@ -100,12 +156,14 @@ void Comm::reduce(ult::TaskContext& ctx, const void* sendbuf, void* recvbuf,
 void Comm::allreduce(ult::TaskContext& ctx, const void* sendbuf,
                      void* recvbuf, std::size_t count, std::size_t elem_bytes,
                      const ReduceFn& fn) {
+  HLSMPC_OBS_COLL(allreduce, count * elem_bytes);
   reduce(ctx, sendbuf, recvbuf, count, elem_bytes, fn, 0);
   bcast(ctx, recvbuf, count * elem_bytes, 0);
 }
 
 void Comm::gather(ult::TaskContext& ctx, const void* sendbuf,
                   std::size_t bytes, void* recvbuf, int root) {
+  HLSMPC_OBS_COLL(gather, bytes);
   std::vector<std::size_t> counts(static_cast<std::size_t>(size()), bytes);
   std::vector<std::size_t> displs(static_cast<std::size_t>(size()));
   for (int r = 0; r < size(); ++r) {
@@ -118,6 +176,7 @@ void Comm::gatherv(ult::TaskContext& ctx, const void* sendbuf,
                    std::size_t bytes, void* recvbuf,
                    std::span<const std::size_t> counts,
                    std::span<const std::size_t> displs, int root) {
+  HLSMPC_OBS_COLL(gatherv, bytes);
   check_rank(root, "gatherv");
   const int me = rank(ctx);
   const int n = size();
@@ -158,6 +217,7 @@ void Comm::gatherv(ult::TaskContext& ctx, const void* sendbuf,
 
 void Comm::scatter(ult::TaskContext& ctx, const void* sendbuf,
                    std::size_t bytes, void* recvbuf, int root) {
+  HLSMPC_OBS_COLL(scatter, bytes);
   check_rank(root, "scatter");
   const int me = rank(ctx);
   const int n = size();
@@ -179,6 +239,7 @@ void Comm::scatter(ult::TaskContext& ctx, const void* sendbuf,
 
 void Comm::allgather(ult::TaskContext& ctx, const void* sendbuf,
                      std::size_t bytes, void* recvbuf) {
+  HLSMPC_OBS_COLL(allgather, bytes);
   // Gather to rank 0, then broadcast the assembled vector. Two internal
   // collectives; per-rank tag counters advance identically on all ranks.
   gather(ctx, sendbuf, bytes, recvbuf, 0);
@@ -187,6 +248,7 @@ void Comm::allgather(ult::TaskContext& ctx, const void* sendbuf,
 
 void Comm::alltoall(ult::TaskContext& ctx, const void* sendbuf,
                     std::size_t bytes_per_rank, void* recvbuf) {
+  HLSMPC_OBS_COLL(alltoall, bytes_per_rank);
   const int me = rank(ctx);
   const int n = size();
   const int tag = next_coll_tag(me);
@@ -216,6 +278,7 @@ void Comm::alltoall(ult::TaskContext& ctx, const void* sendbuf,
 void Comm::scan(ult::TaskContext& ctx, const void* sendbuf, void* recvbuf,
                 std::size_t count, std::size_t elem_bytes,
                 const ReduceFn& fn) {
+  HLSMPC_OBS_COLL(scan, count * elem_bytes);
   const int me = rank(ctx);
   const int n = size();
   const int tag = next_coll_tag(me);
@@ -235,6 +298,7 @@ void Comm::scan(ult::TaskContext& ctx, const void* sendbuf, void* recvbuf,
 void Comm::exscan(ult::TaskContext& ctx, const void* sendbuf, void* recvbuf,
                   std::size_t count, std::size_t elem_bytes,
                   const ReduceFn& fn) {
+  HLSMPC_OBS_COLL(exscan, count * elem_bytes);
   const int me = rank(ctx);
   const int n = size();
   const int tag = next_coll_tag(me);
@@ -256,6 +320,7 @@ void Comm::exscan(ult::TaskContext& ctx, const void* sendbuf, void* recvbuf,
 void Comm::reduce_scatter_block(ult::TaskContext& ctx, const void* sendbuf,
                                 void* recvbuf, std::size_t count,
                                 std::size_t elem_bytes, const ReduceFn& fn) {
+  HLSMPC_OBS_COLL(reduce_scatter, count * elem_bytes);
   const int me = rank(ctx);
   const int n = size();
   const std::size_t block = count * elem_bytes;

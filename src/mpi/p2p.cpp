@@ -3,10 +3,33 @@
 
 #include "mpi/comm.hpp"
 #include "mpi/runtime.hpp"
+#include "obs/recorder.hpp"
 
 namespace hlsmpc::mpi {
 
 namespace {
+
+#if HLSMPC_OBS_ENABLED
+/// Instant p2p event (send initiated / receive completed), mirroring the
+/// TraceHook callbacks so obs sinks see the same stream hb::RuntimeTracer
+/// consumes.
+void obs_p2p(obs::Recorder* obs, obs::EventKind kind, int task, int cpu,
+             int peer, int context, int tag) {
+  if (obs == nullptr) return;
+  obs->count(task, kind == obs::EventKind::p2p_send
+                       ? obs::Counter::p2p_sends
+                       : obs::Counter::p2p_recvs);
+  obs::Event e;
+  e.kind = kind;
+  e.task = task;
+  e.cpu = cpu;
+  e.t0 = e.t1 = obs->now();
+  e.arg = peer;
+  e.arg2 = (static_cast<std::int64_t>(context) << 32) |
+           static_cast<std::int64_t>(static_cast<std::uint32_t>(tag));
+  obs->record(e);
+}
+#endif
 
 /// Copy that skips the memcpy when source and destination alias — the
 /// intra-node optimisation the paper exploits for Tachyon's shared image
@@ -41,6 +64,10 @@ Request Comm::isend_ctx(ult::TaskContext& ctx, const void* buf,
   if (TraceHook* hook = rt_->trace_hook()) {
     hook->on_send(ctx.task_id(), global_task(dst), context, tag);
   }
+#if HLSMPC_OBS_ENABLED
+  obs_p2p(rt_->obs(), obs::EventKind::p2p_send, ctx.task_id(), ctx.cpu(),
+          global_task(dst), context, tag);
+#endif
 
   Mailbox& mb = rt_->mailbox(global_task(dst));
   auto req = std::make_shared<RequestState>();
@@ -169,6 +196,11 @@ void Comm::wait(ult::TaskContext& ctx, Request& req, Status* status) {
       hook->on_recv(ctx.task_id(), global_task(st->status.source),
                     st->trace_context, st->status.tag);
     }
+#if HLSMPC_OBS_ENABLED
+    obs_p2p(rt_->obs(), obs::EventKind::p2p_recv, ctx.task_id(), ctx.cpu(),
+            global_task(st->status.source), st->trace_context,
+            st->status.tag);
+#endif
   }
   req.state().reset();
 }

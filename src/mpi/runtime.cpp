@@ -8,6 +8,9 @@ namespace hlsmpc::mpi {
 Runtime::Runtime(const topo::Machine& machine, Options opts,
                  memtrack::Tracker* tracker)
     : machine_(machine), opts_(opts) {
+#if HLSMPC_OBS_ENABLED
+  obs_ = opts_.obs;
+#endif
   if (tracker != nullptr) {
     tracker_ = tracker;
   } else {
@@ -47,7 +50,11 @@ Runtime::Runtime(const topo::Machine& machine, Options opts,
             static_cast<int>(std::thread::hardware_concurrency());
         workers = std::min(machine_.num_cpus(), std::max(hw, 1));
       }
-      executor_ = std::make_unique<ult::FiberExecutor>(workers);
+      auto fe = std::make_unique<ult::FiberExecutor>(workers);
+#if HLSMPC_OBS_ENABLED
+      fe->set_obs(obs_);
+#endif
+      executor_ = std::move(fe);
       break;
     }
   }

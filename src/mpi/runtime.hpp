@@ -16,8 +16,13 @@
 #include "mpi/comm.hpp"
 #include "mpi/mailbox.hpp"
 #include "mpi/trace_hook.hpp"
+#include "obs/event.hpp"
 #include "topo/topology.hpp"
 #include "ult/scheduler.hpp"
+
+namespace hlsmpc::obs {
+class Recorder;
+}  // namespace hlsmpc::obs
 
 namespace hlsmpc::mpi {
 
@@ -35,6 +40,11 @@ struct Options {
   int total_ranks = 0;
   /// Charged per task to Category::runtime_other (descriptor + stack).
   std::size_t per_task_overhead_bytes = 64 * 1024;
+  /// Observability recorder for p2p/collective counters and events plus
+  /// scheduler context switches; typically shared with the HLS runtime
+  /// (mpc::Node does). Null = no MPI-side recording. Ignored when the
+  /// layer is compiled out (HLSMPC_OBS=OFF).
+  obs::Recorder* obs = nullptr;
 };
 
 class Runtime {
@@ -65,6 +75,14 @@ class Runtime {
   void set_trace_hook(TraceHook* hook) { trace_hook_ = hook; }
   TraceHook* trace_hook() const { return trace_hook_; }
 
+  /// The recorder passed via Options; nullptr when unset or when the
+  /// observability layer is compiled out.
+#if HLSMPC_OBS_ENABLED
+  obs::Recorder* obs() const { return obs_; }
+#else
+  obs::Recorder* obs() const { return nullptr; }
+#endif
+
   // -- internals used by Comm --
   Mailbox& mailbox(int task_id);
   int alloc_context();
@@ -82,6 +100,9 @@ class Runtime {
   std::atomic<int> next_context_{0};
   TransportStats stats_;
   TraceHook* trace_hook_ = nullptr;
+#if HLSMPC_OBS_ENABLED
+  obs::Recorder* obs_ = nullptr;
+#endif
   Comm* world_ = nullptr;
   int nranks_ = 0;
   std::unique_ptr<ult::Executor> executor_;

@@ -1,0 +1,34 @@
+// Chrome trace_event export: turns a drained event stream into a JSON
+// file loadable by Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Mapping: one process ("hlsmpc"), one named track (tid) per MPI task;
+// duration events (barrier episodes, single blocks, migrations, first
+// touches, collectives) become complete ("X") slices named by kind and
+// scope instance ("barrier node#0"), instant events (nowait, p2p) become
+// thread-scoped instants. Timestamps are the recorder's nanosecond axis
+// expressed in microseconds, as the format requires.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace hlsmpc::obs {
+
+struct TraceNaming {
+  /// Maps a dense scope id to a name ("node", "cache L3", ...). Unset or
+  /// returning "" falls back to "sid<N>".
+  std::function<std::string(int sid)> scope_name;
+  std::string process_name = "hlsmpc";
+};
+
+void write_chrome_trace(std::ostream& os, const std::vector<Event>& events,
+                        const TraceNaming& naming = {});
+
+std::string chrome_trace_json(const std::vector<Event>& events,
+                              const TraceNaming& naming = {});
+
+}  // namespace hlsmpc::obs

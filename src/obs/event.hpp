@@ -1,0 +1,104 @@
+// Runtime observability: the event and counter vocabulary.
+//
+// One event stream describes everything the runtime does that is worth
+// seeing from outside: synchronization episodes with their latencies
+// (barrier enter->release, single block duration, migration stalls),
+// storage first touches with the bytes they materialized, MPI traffic and
+// collectives, and scheduler context switches. Consumers implement Sink;
+// the Recorder (recorder.hpp) is the standard sink that turns the stream
+// into per-task counters and bounded ring buffers, and further sinks can
+// be chained behind it (the happens-before tracer in src/hb/ is one).
+//
+// The whole layer sits behind the compile-time switch HLSMPC_OBS (CMake
+// option; macro HLSMPC_OBS_ENABLED). When the switch is off the types
+// still exist — exporters and offline tools keep compiling — but every
+// instrumentation site in the runtime is compiled out, so the hot-path
+// numbers of a stripped build are bit-identical to a pre-observability
+// build (verified by a symbol check on the hls archive, see tests/).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#ifndef HLSMPC_OBS_ENABLED
+#define HLSMPC_OBS_ENABLED 1
+#endif
+
+namespace hlsmpc::obs {
+
+/// Monotonically counted runtime facts. Per-task blocks of these are
+/// bumped with relaxed single-writer increments (a plain add on x86) so a
+/// counter on the warm get_addr path costs ~1 cycle.
+enum class Counter : int {
+  get_addr_warm,        ///< get_addr served from the per-task address cache
+  get_addr_cold,        ///< get_addr that resolved through StorageManager
+  first_touches,        ///< module regions this task materialized
+  barrier_entries,      ///< barrier directives entered
+  single_wins,          ///< single directives where this task ran the block
+  single_losses,        ///< single directives where another task ran it
+  nowait_claims,        ///< single-nowait sites claimed
+  nowait_skips,         ///< single-nowait sites skipped
+  migrations_ok,        ///< MPC_Move accepted
+  migrations_rejected,  ///< MPC_Move refused by the counter check
+  ctx_switches,         ///< fiber resumes on a scheduler worker
+  coll_ops,             ///< MPI collective operations entered
+  p2p_sends,            ///< point-to-point sends initiated
+  p2p_recvs,            ///< point-to-point receives completed
+  kCount
+};
+
+inline constexpr int kNumCounters = static_cast<int>(Counter::kCount);
+
+const char* to_string(Counter c);
+
+/// What an Event describes. Kinds with a duration span [t0, t1]; instant
+/// kinds carry t0 == t1.
+enum class EventKind : std::uint8_t {
+  barrier,      ///< one barrier episode: enter -> release
+  single_exec,  ///< elected executor: enter -> single_done
+  single_wait,  ///< non-executor: enter -> release
+  nowait,       ///< single-nowait site (instant; flag = claimed)
+  migration,    ///< MPC_Move stall: enter -> re-pin (flag = accepted)
+  first_touch,  ///< lazy region materialization (arg = bytes)
+  collective,   ///< one MPI collective call (arg = CollOp)
+  p2p_send,     ///< send initiated (arg = peer task, arg2 = ctx<<32|tag)
+  p2p_recv,     ///< receive completed (arg = peer task, arg2 = ctx<<32|tag)
+  ctx_switch,   ///< fiber resumed on a worker (arg = worker)
+};
+
+const char* to_string(EventKind k);
+
+/// Collective operation id carried in Event::arg for EventKind::collective.
+enum class CollOp : std::int8_t {
+  barrier, bcast, reduce, allreduce, gather, gatherv, scatter, allgather,
+  alltoall, scan, exscan, reduce_scatter,
+};
+
+const char* to_string(CollOp op);
+
+/// One observable runtime step. 48 bytes; rings of these are per-task.
+struct Event {
+  EventKind kind = EventKind::barrier;
+  bool flag = false;        ///< nowait: claimed; migration: accepted
+  std::int16_t sid = -1;    ///< dense scope id (topo::DenseScopeTable), -1 n/a
+  int task = -1;
+  int cpu = -1;
+  int instance = -1;        ///< scope instance index, -1 when not scoped
+  std::uint64_t t0 = 0;     ///< ns since the recorder's epoch
+  std::uint64_t t1 = 0;     ///< == t0 for instant events
+  std::int64_t arg = 0;     ///< kind-specific payload (bytes, peer, op...)
+  std::int64_t arg2 = 0;    ///< secondary payload (p2p: context<<32 | tag)
+
+  std::uint64_t duration_ns() const { return t1 - t0; }
+};
+
+/// Receives every recorded event. May be called concurrently from all
+/// tasks; implementations synchronize internally. Install sinks before
+/// tasks start and keep them alive until the tasks joined.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void on_event(const Event& e) = 0;
+};
+
+}  // namespace hlsmpc::obs

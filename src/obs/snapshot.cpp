@@ -1,0 +1,54 @@
+#include "obs/snapshot.hpp"
+
+#include <sstream>
+
+namespace hlsmpc::obs {
+
+namespace {
+
+std::string scope_label(const std::vector<std::string>& names, int sid) {
+  if (sid >= 0 && sid < static_cast<int>(names.size()) &&
+      !names[static_cast<std::size_t>(sid)].empty()) {
+    return names[static_cast<std::size_t>(sid)];
+  }
+  return "sid" + std::to_string(sid);
+}
+
+void dump_counters(std::ostringstream& os, const Snapshot::TaskCounters& tc,
+                   const std::vector<std::string>& scope_names,
+                   const char* indent) {
+  os << "{";
+  bool first = true;
+  for (int c = 0; c < kNumCounters; ++c) {
+    os << (first ? "" : ",") << "\n" << indent << "  \""
+       << to_string(static_cast<Counter>(c)) << "\": "
+       << tc.c[static_cast<std::size_t>(c)];
+    first = false;
+  }
+  for (std::size_t s = 0; s < tc.scope_bytes.size(); ++s) {
+    const std::string label = scope_label(scope_names, static_cast<int>(s));
+    os << ",\n" << indent << "  \"bytes_" << label
+       << "\": " << tc.scope_bytes[s];
+    os << ",\n" << indent << "  \"touches_" << label
+       << "\": " << tc.scope_touches[s];
+  }
+  os << "\n" << indent << "}";
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& s,
+                    const std::vector<std::string>& scope_names) {
+  std::ostringstream os;
+  os << "{\n  \"total\": ";
+  dump_counters(os, s.total, scope_names, "  ");
+  os << ",\n  \"tasks\": [";
+  for (std::size_t t = 0; t < s.tasks.size(); ++t) {
+    os << (t == 0 ? "" : ",") << "\n    ";
+    dump_counters(os, s.tasks[t], scope_names, "    ");
+  }
+  os << "\n  ]\n}";
+  return os.str();
+}
+
+}  // namespace hlsmpc::obs

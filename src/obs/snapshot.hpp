@@ -1,0 +1,42 @@
+// Aggregated view of a Recorder's counters at one instant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace hlsmpc::obs {
+
+/// Counter totals, per task and aggregated. Produced lock-free by
+/// Recorder::snapshot(); safe to take while tasks are running (values are
+/// per-counter monotonic, the cross-counter view is only approximately
+/// instantaneous).
+struct Snapshot {
+  struct TaskCounters {
+    std::array<std::uint64_t, kNumCounters> c{};
+    /// Bytes of storage this task materialized on first touch, per dense
+    /// scope id (empty when the recorder was built without scope info).
+    std::vector<std::uint64_t> scope_bytes;
+    /// First touches per dense scope id.
+    std::vector<std::uint64_t> scope_touches;
+
+    std::uint64_t value(Counter ctr) const {
+      return c[static_cast<std::size_t>(ctr)];
+    }
+  };
+
+  std::vector<TaskCounters> tasks;
+  TaskCounters total;  ///< element-wise sum over `tasks`
+
+  std::uint64_t value(Counter ctr) const { return total.value(ctr); }
+};
+
+/// JSON text dump of a snapshot: {"total": {...}, "tasks": [{...}, ...]}.
+/// `scope_names[sid]`, when given, labels the per-scope byte columns
+/// (falls back to "sid<N>").
+std::string to_json(const Snapshot& s,
+                    const std::vector<std::string>& scope_names = {});
+
+}  // namespace hlsmpc::obs

@@ -96,6 +96,17 @@ int DenseScopeTable::id(ScopeKind kind, int level) const {
   throw std::logic_error("DenseScopeTable::id: bad kind");
 }
 
+std::string DenseScopeTable::name(int sid) const {
+  if (sid == 0) return "node";
+  if (sid == 1) return "numa";
+  if (sid == 2) return "numa_socket";
+  if (sid >= 3 && sid <= 2 + ncache_) {
+    return "cache_L" + std::to_string(sid - 2);
+  }
+  if (sid == 3 + ncache_) return "core";
+  return "sid" + std::to_string(sid);
+}
+
 int ScopeMap::resolved_cache_level(const ScopeSpec& s) const {
   if (s.kind != ScopeKind::cache) return 0;
   const int level = s.level == 0 ? machine_->llc_level() : s.level;

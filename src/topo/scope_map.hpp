@@ -67,6 +67,10 @@ class DenseScopeTable {
   /// cache level the machine does not have.
   int id(ScopeKind kind, int level) const;
 
+  /// Human-readable name of a dense id ("node", "numa", "numa_socket",
+  /// "cache_L2", "core") for exporters and diagnostics.
+  std::string name(int sid) const;
+
   int num_instances(int sid) const {
     return num_instances_[static_cast<std::size_t>(sid)];
   }

@@ -3,7 +3,25 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/recorder.hpp"
+
 namespace hlsmpc::ult {
+
+void Scheduler::set_obs(obs::Recorder* obs) {
+#if HLSMPC_OBS_ENABLED
+  obs_ = obs;
+#else
+  (void)obs;
+#endif
+}
+
+void FiberExecutor::set_obs(obs::Recorder* obs) {
+#if HLSMPC_OBS_ENABLED
+  obs_ = obs;
+#else
+  (void)obs;
+#endif
+}
 
 Scheduler::Scheduler(int num_workers) {
   if (num_workers < 1) {
@@ -74,6 +92,22 @@ void Scheduler::worker_loop(int index) {
       w.ready.pop_front();
     }
     bool finished = false;
+#if HLSMPC_OBS_ENABLED
+    // Counting from the worker is safe: the task's fiber resumes on this
+    // very thread next, so the bump is sequenced before the task's own
+    // writes to its block (still effectively single-writer).
+    if (obs_ != nullptr) {
+      const int tid = task->ctx.task_id();
+      obs_->count(tid, obs::Counter::ctx_switches);
+      obs::Event e;
+      e.kind = obs::EventKind::ctx_switch;
+      e.task = tid;
+      e.cpu = task->ctx.cpu();
+      e.t0 = e.t1 = obs_->now();
+      e.arg = index;
+      obs_->record(e);
+    }
+#endif
     try {
       finished = task->fiber->resume();
     } catch (...) {
@@ -126,6 +160,9 @@ void FiberExecutor::run(int n, const std::vector<int>& pins,
     throw std::invalid_argument("FiberExecutor: pins.size() != n");
   }
   Scheduler sched(num_workers_);
+#if HLSMPC_OBS_ENABLED
+  sched.set_obs(obs_);
+#endif
   for (int i = 0; i < n; ++i) {
     const int cpu = pins[static_cast<std::size_t>(i)];
     sched.spawn(cpu % num_workers_, i, cpu,

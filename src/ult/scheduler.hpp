@@ -16,8 +16,13 @@
 #include <thread>
 #include <vector>
 
+#include "obs/event.hpp"
 #include "ult/fiber.hpp"
 #include "ult/task_context.hpp"
+
+namespace hlsmpc::obs {
+class Recorder;
+}  // namespace hlsmpc::obs
 
 namespace hlsmpc::ult {
 
@@ -49,6 +54,10 @@ class Scheduler {
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
+  /// Record every fiber resume (counter + instant event) into `obs`.
+  /// Call before run(); no-op when observability is compiled out.
+  void set_obs(obs::Recorder* obs);
+
   /// Register a task before run(). `worker` is the initial pinning;
   /// the body receives the task's context.
   void spawn(int worker, int task_id, int cpu,
@@ -76,6 +85,9 @@ class Scheduler {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<Task>> tasks_;
+#if HLSMPC_OBS_ENABLED
+  obs::Recorder* obs_ = nullptr;
+#endif
   std::atomic<int> remaining_{0};
   std::atomic<bool> done_{false};
   std::mutex error_mu_;
@@ -110,9 +122,16 @@ class FiberExecutor final : public Executor {
            const std::function<void(TaskContext&)>& body) override;
   const char* name() const override { return "fiber"; }
 
+  /// Forwarded to the Scheduler of every run(). No-op when observability
+  /// is compiled out.
+  void set_obs(obs::Recorder* obs);
+
  private:
   int num_workers_;
   std::size_t stack_bytes_;
+#if HLSMPC_OBS_ENABLED
+  obs::Recorder* obs_ = nullptr;
+#endif
 };
 
 }  // namespace hlsmpc::ult

@@ -14,7 +14,7 @@
 #include "check/deterministic_executor.hpp"
 #include "check/explorer.hpp"
 #include "check/hls_checker.hpp"
-#include "hls/var.hpp"
+#include "hls/hls.hpp"
 #include "ult/scheduler.hpp"
 
 namespace check = hlsmpc::check;

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "check/hls_checker.hpp"
-#include "hls/var.hpp"
+#include "hls/hls.hpp"
 #include "ult/scheduler.hpp"
 
 namespace hls = hlsmpc::hls;
