@@ -4,6 +4,8 @@
 #include <memory>
 #include <sstream>
 
+#include "fault/injector.hpp"
+
 namespace hlsmpc::check {
 
 std::string to_string(const ScheduleTrace& t) {
@@ -82,6 +84,10 @@ class DetTaskContext final : public ult::TaskContext {
 }  // namespace
 
 void DeterministicExecutor::on_sync_point(ult::TaskContext&, const char*) {
+  // Advance the fault injector's sync-point clock: arm_at_sync_point()
+  // places faults relative to this count, giving schedule-positioned
+  // injection (no-op when no injector is installed).
+  fault::tick_sync_point();
   // Turn the sync edge into a scheduling decision. Only meaningful while
   // a fiber is running (i.e. during run()).
   if (ult::Fiber::current() != nullptr) ult::Fiber::yield();

@@ -1,0 +1,83 @@
+// Structured error taxonomy for the runtime (failure-containment layer).
+//
+// Every HlsError/ShmError carries an ErrorCode so callers can distinguish
+// *degradation* (a resource request failed cleanly; the runtime's shared
+// state is intact and the caller may retry, shrink, or fall back) from
+// *corruption/loss* (a peer died mid-update, shared metadata failed
+// validation, or a sync primitive is provably stuck; the only safe move
+// is to tear the node down). recoverable() encodes that split.
+//
+// Header-only on purpose: shm must not link against hls (or vice versa),
+// but both error types share one taxonomy.
+#pragma once
+
+namespace hlsmpc {
+
+enum class ErrorCode {
+  // --- recoverable: no shared state was mutated past a consistent point ---
+  invalid_argument,  ///< API misuse (bad handle, bad id, double commit...)
+  not_eligible,      ///< legal call refused by a runtime check (MPC_Move
+                     ///< counter mismatch, migrate inside a single)
+  out_of_memory,     ///< allocation failed cleanly (first-touch OOM)
+  segment_create,    ///< shm_open / ftruncate / mmap failed
+  segment_address,   ///< mapping did not land at the requested address
+  arena_exhausted,   ///< shared arena out of space
+  fork_failed,       ///< task process spawn failed; partial fork cleaned up
+
+  // --- fatal: shared state may be torn; tear the node down ---
+  task_died,     ///< a peer task process died mid-run
+  sync_timeout,  ///< a rank timed out inside a sync primitive
+  deadlock,      ///< watchdog: barrier/single stuck past its deadline
+  corruption,    ///< shared metadata failed validation
+};
+
+/// True when the error describes clean degradation: the runtime's shared
+/// state is intact and the caller can retry, shrink, or fall back.
+constexpr bool recoverable(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::invalid_argument:
+    case ErrorCode::not_eligible:
+    case ErrorCode::out_of_memory:
+    case ErrorCode::segment_create:
+    case ErrorCode::segment_address:
+    case ErrorCode::arena_exhausted:
+    case ErrorCode::fork_failed:
+      return true;
+    case ErrorCode::task_died:
+    case ErrorCode::sync_timeout:
+    case ErrorCode::deadlock:
+    case ErrorCode::corruption:
+      return false;
+  }
+  return false;
+}
+
+constexpr const char* to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::invalid_argument:
+      return "invalid_argument";
+    case ErrorCode::not_eligible:
+      return "not_eligible";
+    case ErrorCode::out_of_memory:
+      return "out_of_memory";
+    case ErrorCode::segment_create:
+      return "segment_create";
+    case ErrorCode::segment_address:
+      return "segment_address";
+    case ErrorCode::arena_exhausted:
+      return "arena_exhausted";
+    case ErrorCode::fork_failed:
+      return "fork_failed";
+    case ErrorCode::task_died:
+      return "task_died";
+    case ErrorCode::sync_timeout:
+      return "sync_timeout";
+    case ErrorCode::deadlock:
+      return "deadlock";
+    case ErrorCode::corruption:
+      return "corruption";
+  }
+  return "?";
+}
+
+}  // namespace hlsmpc

@@ -1,0 +1,86 @@
+#include "fault/injector.hpp"
+
+namespace hlsmpc::fault {
+
+std::atomic<FaultInjector*> FaultInjector::global_{nullptr};
+
+void FaultInjector::seed(std::uint64_t seed, double probability) {
+  std::lock_guard<std::mutex> lk(mu_);
+  seeded_ = true;
+  probability_ = probability;
+  rng_.seed(seed);
+}
+
+void FaultInjector::arm(const std::string& site, std::uint64_t nth, int index,
+                        int times) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Arming& a = sites_[site].arming;
+  a.remaining_skips = nth > 0 ? nth - 1 : 0;
+  a.remaining_fires = times;
+  a.index = index;
+  a.after_sync_point = 0;
+  a.armed = true;
+}
+
+void FaultInjector::arm_always(const std::string& site, int index) {
+  arm(site, 1, index, -1);
+}
+
+void FaultInjector::arm_at_sync_point(const std::string& site,
+                                      std::uint64_t sync_point, int index) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Arming& a = sites_[site].arming;
+  a.remaining_skips = 0;
+  a.remaining_fires = 1;
+  a.index = index;
+  a.after_sync_point = sync_point;
+  a.armed = true;
+}
+
+void FaultInjector::disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.arming.armed = false;
+}
+
+bool FaultInjector::should_fail(const char* site, int index) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sites_.find(std::string_view(site));
+  if (it == sites_.end()) {
+    it = sites_.emplace(std::string(site), SiteState{}).first;
+  }
+  SiteState& st = it->second;
+  ++st.hits;
+
+  bool fire = false;
+  Arming& a = st.arming;
+  if (a.armed && (a.index < 0 || a.index == index) &&
+      sync_clock_.load(std::memory_order_relaxed) >= a.after_sync_point) {
+    if (a.remaining_skips > 0) {
+      --a.remaining_skips;
+    } else {
+      fire = true;
+      if (a.remaining_fires > 0 && --a.remaining_fires == 0) a.armed = false;
+    }
+  }
+  if (!fire && seeded_) {
+    fire = std::uniform_real_distribution<double>(0.0, 1.0)(rng_) <
+           probability_;
+  }
+  if (fire) ++st.fired;
+  return fire;
+}
+
+std::uint64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultInjector::fired(const std::string& site) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+}  // namespace hlsmpc::fault

@@ -13,16 +13,30 @@
 #include <cstddef>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "fault/error.hpp"
 #include "topo/scope_map.hpp"
 
 namespace hlsmpc::hls {
 
+using hlsmpc::ErrorCode;
+
 class HlsError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit HlsError(const std::string& what,
+                    ErrorCode code = ErrorCode::invalid_argument)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+  /// Recoverable (caller can retry / fall back) vs fatal (runtime state
+  /// is suspect — a stuck barrier, a dead task). See fault/error.hpp.
+  bool recoverable() const { return hlsmpc::recoverable(code_); }
+
+ private:
+  ErrorCode code_;
 };
 
 /// Scope with the cache level resolved against a concrete machine, so it

@@ -69,6 +69,7 @@ Runtime::Runtime(const topo::Machine& machine, int ntasks, Options opts)
       ntasks_(ntasks),
       num_scopes_(reg_.scopes().num_scopes()),
       caches_(static_cast<std::size_t>(std::max(ntasks, 1))) {
+  if (opts.watchdog_ms != 0) sync_.set_watchdog_ms(opts.watchdog_ms);
 #if HLSMPC_OBS_ENABLED
   if (opts.obs_sink != nullptr) obs_->chain(opts.obs_sink);
   for (std::size_t t = 0; t < caches_.size(); ++t) {
@@ -234,7 +235,9 @@ void Runtime::migrate(ult::TaskContext& ctx, int new_cpu) {
     obs_migration(/*ok=*/false);
 #endif
     sync_.report_migration(ctx, new_cpu, /*ok=*/false);
-    throw HlsError(why);
+    // Rejection is not an error in the runtime's state: the task keeps
+    // running where it is and may retry after the next episode.
+    throw HlsError(why, ErrorCode::not_eligible);
   };
   // A task inside a single block holds the instance's exclusivity; its
   // episode counters are mid-update, so MPC_Move is never legal here.

@@ -77,6 +77,12 @@ class Runtime {
     /// Ring capacity of the owned recorder (events per task; 0 = counters
     /// only). Ignored when `obs` is supplied.
     std::size_t obs_ring_capacity = 4096;
+    /// Sync watchdog deadline: a task stuck inside a barrier/single for
+    /// longer than this throws HlsError(ErrorCode::deadlock) with a dump
+    /// naming the arrived and missing tasks (see
+    /// SyncManager::set_watchdog_ms). 0 = off (the default; keeps the
+    /// sync hot paths untouched).
+    int watchdog_ms = 0;
   };
 
   /// `ntasks` MPI tasks will use this runtime.

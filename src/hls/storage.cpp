@@ -1,5 +1,6 @@
 #include "hls/storage.hpp"
 
+#include "fault/injector.hpp"
 #include "obs/recorder.hpp"
 
 namespace hlsmpc::hls {
@@ -88,6 +89,16 @@ StorageManager::Resolved StorageManager::materialize(ModuleRegion& region,
     if (bytes == 0) {
       throw HlsError("get_addr: module '" + m.name +
                      "' has no variables with scope " + to_string(scope));
+    }
+    // First-touch allocation is the runtime's only demand-driven memory
+    // acquisition — the injectable OOM path (recoverable: nothing was
+    // published, a later touch may succeed).
+    if (fault::should_fail("storage:first_touch")) {
+      throw HlsError("get_addr: first-touch allocation of " +
+                         std::to_string(bytes) + " bytes for module '" +
+                         m.name + "' (scope " + to_string(scope) +
+                         ") failed: out of memory",
+                     ErrorCode::out_of_memory);
     }
     region.mem =
         memtrack::Buffer(*tracker_, memtrack::Category::hls_shared, bytes);

@@ -1,6 +1,7 @@
 #include "hls/sync.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "obs/recorder.hpp"
 
@@ -61,7 +62,8 @@ SyncManager::SyncManager(const topo::ScopeMap& sm, int ntasks,
                        static_cast<std::size_t>(scopes_.num_scopes()))),
       task_nowait_counts_(static_cast<std::size_t>(std::max(ntasks, 1)),
                           std::vector<std::uint64_t>(
-                              static_cast<std::size_t>(scopes_.num_scopes()))) {
+                              static_cast<std::size_t>(scopes_.num_scopes()))),
+      watch_(static_cast<std::size_t>(std::max(ntasks, 1))) {
   if (ntasks < 1) throw HlsError("SyncManager: need at least one task");
 #if !HLSMPC_OBS_ENABLED
   (void)obs;
@@ -191,10 +193,24 @@ int SyncManager::participants(const CanonicalScope& scope, int cpu) const {
 }
 
 bool SyncManager::flat_arrive(Flat& f, const std::function<int()>& expected,
-                              ult::TaskContext& ctx, bool hold_last) {
+                              ult::TaskContext& ctx, bool hold_last,
+                              const CanonicalScope& scope, int inst,
+                              const char* prim) {
   // Preemption window between deciding to arrive and arriving: the
   // deterministic checker schedules through here to expose ordering bugs.
   ctx.sync_point("flat:arrive");
+  const int wd_ms = watchdog_ms_.load(std::memory_order_relaxed);
+  if (wd_ms > 0) {
+    // Publish where this task is about to wait, so a peer whose watchdog
+    // fires can name it as arrived (or as stuck elsewhere).
+    WatchSlot& slot = watch_[static_cast<std::size_t>(ctx.task_id())];
+    slot.prim.store(prim, std::memory_order_relaxed);
+    slot.epoch.store(task_sync_count(ctx.task_id(), scope),
+                     std::memory_order_relaxed);
+    slot.where.store(1ull | (static_cast<std::uint64_t>(sid(scope)) << 8) |
+                         (static_cast<std::uint64_t>(inst) << 32),
+                     std::memory_order_release);
+  }
   // Arrive. The release half of the RMW chains this task's prior writes
   // into the episode; the completing CAS below acquires the whole chain.
   // Blocked waiters are only woken on transitions they can act on — a
@@ -204,11 +220,20 @@ bool SyncManager::flat_arrive(Flat& f, const std::function<int()>& expected,
   std::uint64_t s = f.state.fetch_add(1, std::memory_order_acq_rel) + 1;
   const std::uint64_t g = generation_of(s);
   ult::Backoff backoff(ctx);
+  std::chrono::steady_clock::time_point wd_start;
+  if (wd_ms > 0) wd_start = std::chrono::steady_clock::now();
+  const auto leave = [&] {
+    if (wd_ms > 0) {
+      watch_[static_cast<std::size_t>(ctx.task_id())].where.store(
+          0, std::memory_order_release);
+    }
+  };
   for (;;) {
     if (generation_of(s) != g) {
       // Sense flipped: the episode completed (possibly while we probed).
       // The acquire load/CAS-failure that gave us `s` synchronizes with
       // the completer's release, so episode-protected writes are visible.
+      leave();
       return false;
     }
     // Complete the episode as the effective last arrival. `expected` can
@@ -226,11 +251,25 @@ bool SyncManager::flat_arrive(Flat& f, const std::function<int()>& expected,
         // The sense flip releases every waiter; a claim only parks them
         // deeper (they still wait for flat_release), so it needs no wake.
         if (!hold_last) f.state.notify_all();
+        leave();
         return true;
       }
       continue;  // `s` reloaded by the failed CAS; re-examine
     }
-    if (backoff.should_block()) {
+    if (wd_ms > 0) {
+      // Watchdog armed: blocking on the word is off the table
+      // (std::atomic::wait has no timeout), so stay in the spin/yield
+      // phases and check the deadline on every probe. The slot stays
+      // published on fire so peers that fire later still see us here.
+      const auto waited = std::chrono::steady_clock::now() - wd_start;
+      if (waited >= std::chrono::milliseconds(wd_ms)) {
+        watchdog_fire(scope, inst, prim, ctx,
+                      std::chrono::duration_cast<std::chrono::milliseconds>(
+                          waited)
+                          .count());
+      }
+      backoff.pause();
+    } else if (backoff.should_block()) {
       // Spin and yield phases exhausted (oversubscribed run): park on the
       // word until it changes — next arrival, claim, sense flip, or a
       // migration poke. Never reached by cooperative contexts.
@@ -240,6 +279,91 @@ bool SyncManager::flat_arrive(Flat& f, const std::function<int()>& expected,
     }
     s = f.state.load(std::memory_order_acquire);
   }
+}
+
+void SyncManager::set_watchdog_ms(int ms) {
+  if (ms < 0) throw HlsError("SyncManager: watchdog_ms must be >= 0");
+  watchdog_ms_.store(ms, std::memory_order_release);
+}
+
+void SyncManager::watchdog_fire(const CanonicalScope& scope, int inst,
+                                const char* prim, ult::TaskContext& ctx,
+                                long long waited_ms) {
+  const int s = sid(scope);
+  const int span = scopes_.cpus_per_instance(s);
+  const int first_cpu = inst * span;
+  const std::uint64_t here = 1ull | (static_cast<std::uint64_t>(s) << 8) |
+                             (static_cast<std::uint64_t>(inst) << 32);
+
+  std::string arrived_list, missing_list;
+  std::int64_t missing_mask = 0;
+  int n_arrived = 0;
+  int n_expected = 0;
+  for (int t = 0; t < static_cast<int>(task_cpu_.size()); ++t) {
+    const int cpu =
+        task_cpu_[static_cast<std::size_t>(t)].load(std::memory_order_acquire);
+    if (cpu < first_cpu || cpu >= first_cpu + span) continue;  // not a member
+    ++n_expected;
+    const WatchSlot& slot = watch_[static_cast<std::size_t>(t)];
+    const std::uint64_t where = slot.where.load(std::memory_order_acquire);
+    if (where == here) {
+      if (!arrived_list.empty()) arrived_list += ", ";
+      arrived_list += std::to_string(t);
+      ++n_arrived;
+      continue;
+    }
+    if (t < 64) missing_mask |= std::int64_t{1} << t;
+    if (!missing_list.empty()) missing_list += "; ";
+    missing_list += "task " + std::to_string(t) + " (cpu " +
+                    std::to_string(cpu) + ", last sync epoch " +
+                    std::to_string(slot.epoch.load(std::memory_order_relaxed));
+    if (where == 0) {
+      missing_list += ", not in any sync primitive";
+    } else {
+      const char* p = slot.prim.load(std::memory_order_relaxed);
+      missing_list += std::string(", inside ") + (p != nullptr ? p : "?") +
+                      " of sid " + std::to_string((where >> 8) & 0xffffff) +
+                      " instance " + std::to_string(where >> 32);
+    }
+#if HLSMPC_OBS_ENABLED
+    // Counter snapshot for the missing task: how much it synchronized at
+    // all (a task with zero entries never reached the directive; one with
+    // many is stuck elsewhere or livelocked).
+    if (obs_ != nullptr) {
+      missing_list +=
+          ", obs barriers=" +
+          std::to_string(obs_->counter(t, obs::Counter::barrier_entries)) +
+          " singles=" +
+          std::to_string(obs_->counter(t, obs::Counter::single_wins) +
+                         obs_->counter(t, obs::Counter::single_losses));
+    }
+#endif
+    missing_list += ")";
+  }
+
+  std::string msg = std::string("watchdog: ") + prim + " on scope " +
+                    to_string(scope) + " instance " + std::to_string(inst) +
+                    " stuck for " + std::to_string(waited_ms) + " ms: " +
+                    std::to_string(n_arrived) + "/" +
+                    std::to_string(n_expected) + " participant task(s) arrived";
+  if (!arrived_list.empty()) msg += " (" + arrived_list + ")";
+  if (!missing_list.empty()) msg += "; missing: " + missing_list;
+
+#if HLSMPC_OBS_ENABLED
+  if (obs_ != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::watchdog;
+    e.sid = static_cast<std::int16_t>(s);
+    e.task = ctx.task_id();
+    e.cpu = ctx.cpu();
+    e.instance = inst;
+    e.t0 = e.t1 = obs_->now();
+    e.arg = waited_ms;
+    e.arg2 = missing_mask;
+    obs_->record(e);
+  }
+#endif
+  throw HlsError(msg, ErrorCode::deadlock);
 }
 
 void SyncManager::flat_release(Flat& f) {
@@ -308,7 +432,7 @@ void SyncManager::barrier(const CanonicalScope& scope,
   if (!uses_hierarchy(scope)) {
     const int cpu = ctx.cpu();
     if (flat_arrive(is.top, [&, cpu] { return participants(scope, cpu); },
-                    ctx, /*hold_last=*/false)) {
+                    ctx, /*hold_last=*/false, scope, inst, "barrier")) {
       is.episodes.fetch_add(1, std::memory_order_relaxed);
     }
   } else {
@@ -318,9 +442,9 @@ void SyncManager::barrier(const CanonicalScope& scope,
     Flat& group = is.groups[static_cast<std::size_t>(gi)];
     if (flat_arrive(group,
                     [&] { return group_participants(scope, inst, gi); }, ctx,
-                    /*hold_last=*/true)) {
+                    /*hold_last=*/true, scope, inst, "barrier:group")) {
       if (flat_arrive(is.top, [&] { return active_groups(scope, inst); }, ctx,
-                      /*hold_last=*/false)) {
+                      /*hold_last=*/false, scope, inst, "barrier:top")) {
         is.episodes.fetch_add(1, std::memory_order_relaxed);
       }
       flat_release(group);
@@ -358,15 +482,15 @@ bool SyncManager::single_enter(const CanonicalScope& scope,
   if (!uses_hierarchy(scope)) {
     const int cpu = ctx.cpu();
     executor = flat_arrive(is.top, [&, cpu] { return participants(scope, cpu); },
-                           ctx, /*hold_last=*/true);
+                           ctx, /*hold_last=*/true, scope, inst, "single");
   } else {
     const int gi = group_index(scope, inst, ctx.cpu());
     Flat& group = is.groups[static_cast<std::size_t>(gi)];
     if (flat_arrive(group,
                     [&] { return group_participants(scope, inst, gi); }, ctx,
-                    /*hold_last=*/true)) {
+                    /*hold_last=*/true, scope, inst, "single:group")) {
       if (flat_arrive(is.top, [&] { return active_groups(scope, inst); }, ctx,
-                      /*hold_last=*/true)) {
+                      /*hold_last=*/true, scope, inst, "single:top")) {
         executor = true;  // releases happen in single_done
       } else {
         // Top single completed by the executor; release my LLC group.

@@ -115,6 +115,20 @@ class SyncManager {
   void set_observer(SyncObserver* o) { observer_ = o; }
   SyncObserver* observer() const { return observer_; }
 
+  /// Opt-in sync watchdog: a task waiting inside a barrier/single longer
+  /// than `ms` throws HlsError(ErrorCode::deadlock) with a diagnostic dump
+  /// naming the tasks that arrived and, for each missing participant, its
+  /// cpu, last sync epoch, and where it currently is (idle / stuck in
+  /// another primitive). 0 (the default) disables the watchdog and keeps
+  /// the wait loop byte-for-byte on its lock-free fast path. Set before
+  /// tasks synchronize. With the watchdog armed, waiters poll (yield)
+  /// instead of blocking on the barrier word — std::atomic::wait has no
+  /// timeout — so enable it for debugging runs, not peak-throughput ones.
+  void set_watchdog_ms(int ms);
+  int watchdog_ms() const {
+    return watchdog_ms_.load(std::memory_order_relaxed);
+  }
+
   /// True while `task` executes a single block (between being elected
   /// executor and its single_done). Migration is illegal in that window.
   bool in_single(int task) const;
@@ -155,6 +169,18 @@ class SyncManager {
     std::atomic<std::uint64_t> nowait_count{0};
   };
 
+  /// Per-task watchdog diagnostics slot, written by its own task (and only
+  /// when the watchdog is armed): which primitive/scope instance the task
+  /// is currently inside, and its episode count for that scope at entry.
+  /// The firing task reads every slot to name who arrived and who is
+  /// missing.
+  struct alignas(64) WatchSlot {
+    /// 0 = not inside a sync primitive; else 1 | sid << 8 | inst << 32.
+    std::atomic<std::uint64_t> where{0};
+    std::atomic<const char*> prim{nullptr};
+    std::atomic<std::uint64_t> epoch{0};
+  };
+
   int sid(const CanonicalScope& scope) const {
     return scope_id(scopes_, scope);
   }
@@ -166,8 +192,15 @@ class SyncManager {
   /// instance's participant count, turning a waiter into the completing
   /// arrival.
   bool flat_arrive(Flat& f, const std::function<int()>& expected,
-                   ult::TaskContext& ctx, bool hold_last);
+                   ult::TaskContext& ctx, bool hold_last,
+                   const CanonicalScope& scope, int inst, const char* prim);
   void flat_release(Flat& f);
+  /// Build the stuck-sync diagnostic, emit it as an obs::Event, and throw
+  /// HlsError(ErrorCode::deadlock). Called from flat_arrive's wait loop
+  /// when the watchdog deadline passes.
+  [[noreturn]] void watchdog_fire(const CanonicalScope& scope, int inst,
+                                  const char* prim, ult::TaskContext& ctx,
+                                  long long waited_ms);
   int group_index(const CanonicalScope& scope, int inst, int cpu) const;
   int group_participants(const CanonicalScope& scope, int inst,
                          int group) const;
@@ -199,6 +232,10 @@ class SyncManager {
   // space is frozen then), so resolution never takes a lock.
   std::vector<std::vector<std::unique_ptr<InstanceSync>>> instances_;
   bool force_flat_ = false;
+  /// 0 = off. Loaded (relaxed) once per primitive entry; the slow-path
+  /// wait loop re-checks the deadline only when armed.
+  std::atomic<int> watchdog_ms_{0};
+  std::vector<WatchSlot> watch_;  // [task], written by owner when armed
 };
 
 }  // namespace hlsmpc::hls

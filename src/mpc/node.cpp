@@ -27,7 +27,8 @@ Node::Node(const topo::Machine& machine, NodeOptions opts,
            hls::Runtime::Options{.tracker = tracker_,
                                  .obs = opts.obs,
                                  .obs_sink = opts.obs_sink,
-                                 .obs_ring_capacity = opts.obs_ring_capacity}),
+                                 .obs_ring_capacity = opts.obs_ring_capacity,
+                                 .watchdog_ms = opts.watchdog_ms}),
       mpi_(machine, with_obs(opts.mpi, hls_.obs()), tracker_) {}
 
 void Node::run(const std::function<void(mpi::Comm&, hls::TaskView&)>& body) {

@@ -23,6 +23,9 @@ struct NodeOptions {
   /// Extra sink chained onto the node's event stream.
   obs::Sink* obs_sink = nullptr;
   std::size_t obs_ring_capacity = 4096;
+  /// Sync watchdog deadline for the HLS runtime (0 = off); see
+  /// hls::Runtime::Options::watchdog_ms.
+  int watchdog_ms = 0;
 };
 
 class Node {

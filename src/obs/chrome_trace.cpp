@@ -43,6 +43,8 @@ const char* category(EventKind k) {
     case EventKind::p2p_send:
     case EventKind::p2p_recv:
       return "mpi";
+    case EventKind::watchdog:
+      return "fault";
   }
   return "?";
 }
@@ -93,6 +95,9 @@ void emit_args(std::ostringstream& os, const Event& e) {
       break;
     case EventKind::ctx_switch:
       os << ", \"worker\": " << e.arg;
+      break;
+    case EventKind::watchdog:
+      os << ", \"waited_ms\": " << e.arg << ", \"missing_mask\": " << e.arg2;
       break;
     default:
       break;

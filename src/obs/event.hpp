@@ -64,6 +64,9 @@ enum class EventKind : std::uint8_t {
   p2p_send,     ///< send initiated (arg = peer task, arg2 = ctx<<32|tag)
   p2p_recv,     ///< receive completed (arg = peer task, arg2 = ctx<<32|tag)
   ctx_switch,   ///< fiber resumed on a worker (arg = worker)
+  watchdog,     ///< sync watchdog fired: a barrier/single stuck past the
+                ///< deadline (instant; arg = ms waited, arg2 = missing-task
+                ///< bitmask for tasks 0..63)
 };
 
 const char* to_string(EventKind k);

@@ -63,6 +63,8 @@ const char* to_string(EventKind k) {
       return "p2p_recv";
     case EventKind::ctx_switch:
       return "ctx_switch";
+    case EventKind::watchdog:
+      return "watchdog";
   }
   return "?";
 }

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <new>
 
+#include "fault/injector.hpp"
+
 namespace hlsmpc::shm {
 
 namespace {
@@ -20,7 +22,9 @@ std::size_t Arena::min_bytes() { return kHeader + sizeof(Block) + 64; }
 
 Arena* Arena::create(void* base, std::size_t bytes) {
   static_assert(sizeof(Arena) <= kHeader, "Arena header region too small");
-  if (bytes < min_bytes()) throw ShmError("Arena: segment too small");
+  if (bytes < min_bytes()) {
+    throw ShmError("Arena: segment too small", ErrorCode::invalid_argument);
+  }
   auto* a = new (base) Arena();
   pthread_mutexattr_t attr;
   pthread_mutexattr_init(&attr);
@@ -44,7 +48,8 @@ Arena* Arena::create(void* base, std::size_t bytes) {
 Arena* Arena::attach(void* base) {
   auto* a = static_cast<Arena*>(base);
   if (a->magic_ != kArenaMagic) {
-    throw ShmError("Arena::attach: no arena at this address");
+    throw ShmError("Arena::attach: no arena at this address",
+                   ErrorCode::corruption);
   }
   return a;
 }
@@ -74,7 +79,8 @@ void Arena::remove_free(Block* b) {
     }
     link = &cur->next_free;
   }
-  throw ShmError("Arena: free-list corruption (block not found)");
+  throw ShmError("Arena: free-list corruption (block not found)",
+                 ErrorCode::corruption);
 }
 
 void Arena::push_free(Block* b) {
@@ -103,8 +109,12 @@ void* Arena::allocate(std::size_t bytes, std::size_t align) {
   const std::size_t need = align_up(bytes + (align > 16 ? align : 0), 16);
 
   pthread_mutex_lock(&mu_);
-  std::uint64_t* link = &first_free_;
-  while (*link != 0) {
+  // Forced-exhaustion injection site: tests make the "shared arena is
+  // full" path deterministically reachable without actually burning the
+  // segment. Checked under the lock so hit counts are exact.
+  std::uint64_t* link =
+      fault::should_fail("arena:allocate") ? nullptr : &first_free_;
+  while (link != nullptr && *link != 0) {
     Block* b = block_at(*link);
     if (b->size >= need) {
       *link = b->next_free;
@@ -141,7 +151,11 @@ void* Arena::allocate(std::size_t bytes, std::size_t align) {
     link = &b->next_free;
   }
   pthread_mutex_unlock(&mu_);
-  throw std::bad_alloc();
+  throw ShmError("Arena: out of space (" + std::to_string(need) +
+                     " bytes requested, " +
+                     std::to_string(static_cast<std::size_t>(total_ - used_)) +
+                     " free but fragmented or exhausted)",
+                 ErrorCode::arena_exhausted);
 }
 
 void Arena::deallocate(void* p) {
@@ -163,7 +177,8 @@ void Arena::deallocate(void* p) {
   }
   if (b == nullptr) {
     pthread_mutex_unlock(&mu_);
-    throw ShmError("Arena::deallocate: not an arena pointer");
+    throw ShmError("Arena::deallocate: not an arena pointer",
+                   ErrorCode::corruption);
   }
   used_ -= b->size;
   // Coalesce with free neighbours.

@@ -1,27 +1,80 @@
 #include "shm/process_node.hpp"
 
+#include <signal.h>
 #include <sys/types.h>
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "fault/injector.hpp"
+
 namespace hlsmpc::shm {
 
 namespace {
+
 std::size_t align_up(std::size_t v, std::size_t a) {
   return (v + a - 1) & ~(a - 1);
 }
+
+timespec monotonic_after_ms(int ms) {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  ts.tv_sec += ms / 1000;
+  ts.tv_nsec += static_cast<long>(ms % 1000) * 1000000L;
+  if (ts.tv_nsec >= 1000000000L) {
+    ts.tv_sec += 1;
+    ts.tv_nsec -= 1000000000L;
+  }
+  return ts;
+}
+
+bool reached(const timespec& t) {
+  timespec now;
+  clock_gettime(CLOCK_MONOTONIC, &now);
+  return now.tv_sec > t.tv_sec ||
+         (now.tv_sec == t.tv_sec && now.tv_nsec >= t.tv_nsec);
+}
+
+/// Blocks SIGCHLD for the supervision loop's sigtimedwait and restores
+/// the previous mask on every exit path (including thrown ShmErrors).
+class SigchldBlock {
+ public:
+  SigchldBlock() {
+    sigemptyset(&mask_);
+    sigaddset(&mask_, SIGCHLD);
+    pthread_sigmask(SIG_BLOCK, &mask_, &old_);
+  }
+  ~SigchldBlock() { pthread_sigmask(SIG_SETMASK, &old_, nullptr); }
+  SigchldBlock(const SigchldBlock&) = delete;
+  SigchldBlock& operator=(const SigchldBlock&) = delete;
+
+  const sigset_t* mask() const { return &mask_; }
+  const sigset_t* old_mask() const { return &old_; }
+
+ private:
+  sigset_t mask_;
+  sigset_t old_;
+};
+
+pid_t waitpid_retry(pid_t pid, int* status, int flags) {
+  pid_t w;
+  do {
+    w = waitpid(pid, status, flags);
+  } while (w < 0 && errno == EINTR);
+  return w;
+}
+
 }  // namespace
 
 ProcessNode::ProcessNode(const topo::Machine& machine, int nranks,
-                         std::size_t arena_bytes)
-    : machine_(machine),
-      sm_(machine_),
-      nranks_(nranks),
-      arena_bytes_(arena_bytes) {
+                         Options opts)
+    : machine_(machine), sm_(machine_), nranks_(nranks), opts_(opts) {
   if (nranks < 1 || nranks > machine.num_cpus()) {
     throw ShmError("ProcessNode: nranks must fit the machine");
   }
@@ -84,21 +137,64 @@ int ProcessNode::participants(const VarInfo& v, int rank) const {
   return count;
 }
 
+void ProcessNode::child_die(SyncState* locked, int exit_code) {
+  if (locked != nullptr) pthread_mutex_unlock(&locked->mu);
+  std::fflush(nullptr);
+  _exit(exit_code);
+}
+
+bool ProcessNode::lock_sync(SyncState* s) {
+  const int rc = pthread_mutex_lock(&s->mu);
+  if (rc == EOWNERDEAD) {
+    // A peer died holding this sync state: make the mutex usable again so
+    // everyone can observe the poison mark and leave, but never complete
+    // the episode — arrived/generation may be mid-update.
+    pthread_mutex_consistent(&s->mu);
+    s->poisoned = 1;
+    pthread_cond_broadcast(&s->cv);
+  }
+  return s->poisoned == 0 && ctrl_->abort_flag == 0;
+}
+
+void ProcessNode::wait_generation(SyncState* s, std::uint64_t g) {
+  const timespec deadline = monotonic_after_ms(opts_.sync_timeout_ms);
+  while (s->generation == g) {
+    if (s->poisoned != 0 || ctrl_->abort_flag != 0) {
+      child_die(s, kPeerAbort);
+    }
+    if (reached(deadline)) child_die(s, kSyncTimeout);
+    const timespec next = monotonic_after_ms(opts_.poll_interval_ms);
+    const int rc = pthread_cond_timedwait(&s->cv, &s->mu, &next);
+    if (rc == EOWNERDEAD) {
+      pthread_mutex_consistent(&s->mu);
+      s->poisoned = 1;
+      pthread_cond_broadcast(&s->cv);
+      child_die(s, kPeerAbort);
+    }
+  }
+}
+
 void ProcessNode::run(const std::function<void(ProcessTask&)>& body) {
   if (ran_) throw ShmError("ProcessNode: run() may only be called once");
   ran_ = true;
 
-  const std::size_t total =
-      align_up(cursor_, 64) + align_up(arena_bytes_, 4096) + 4096;
-  seg_ = std::make_unique<AnonymousSegment>(align_up(total, 4096));
+  const std::size_t ctrl_off = align_up(cursor_, 64);
+  const std::size_t arena_off = align_up(ctrl_off + sizeof(Control), 4096);
+  const std::size_t arena_bytes = align_up(opts_.arena_bytes, 4096);
+  seg_ = std::make_unique<AnonymousSegment>(
+      align_up(arena_off + arena_bytes, 4096));
 
-  // Initialize process-shared sync state for every scope instance.
+  // Initialize process-shared ROBUST sync state for every scope instance:
+  // a lock whose owner dies must hand EOWNERDEAD to the next locker, not
+  // deadlock the instance.
   pthread_mutexattr_t ma;
   pthread_condattr_t ca;
   pthread_mutexattr_init(&ma);
   pthread_mutexattr_setpshared(&ma, PTHREAD_PROCESS_SHARED);
+  pthread_mutexattr_setrobust(&ma, PTHREAD_MUTEX_ROBUST);
   pthread_condattr_init(&ca);
   pthread_condattr_setpshared(&ca, PTHREAD_PROCESS_SHARED);
+  pthread_condattr_setclock(&ca, CLOCK_MONOTONIC);
   for (const VarInfo& v : vars_) {
     const int n = sm_.num_instances(v.scope);
     for (int i = 0; i < n; ++i) {
@@ -108,47 +204,192 @@ void ProcessNode::run(const std::function<void(ProcessTask&)>& body) {
       pthread_mutex_init(&s->mu, &ma);
       pthread_cond_init(&s->cv, &ca);
       s->arrived = 0;
+      s->poisoned = 0;
       s->generation = 0;
     }
   }
   pthread_mutexattr_destroy(&ma);
   pthread_condattr_destroy(&ca);
 
+  auto* base = static_cast<std::byte*>(seg_->base());
+  ctrl_ = reinterpret_cast<Control*>(base + ctrl_off);
+  ctrl_->abort_flag = 0;
+
   // Shared arena at the tail of the segment.
-  auto* arena_base = static_cast<std::byte*>(seg_->base()) +
-                     align_up(cursor_, 4096);
-  arena_ = Arena::create(arena_base, align_up(arena_bytes_, 4096));
+  arena_ = Arena::create(base + arena_off, arena_bytes);
+
+  // Supervision needs SIGCHLD observable via sigtimedwait; block it before
+  // the first fork so no death is missed (children restore the old mask).
+  SigchldBlock sigchld;
 
   // Fork one process per rank (children inherit the mapping at the same
   // virtual address — the §IV.C requirement). Flush first or children
   // re-flush the parent's buffered output.
   std::fflush(nullptr);
-  std::vector<pid_t> pids;
+  std::vector<pid_t> pids(static_cast<std::size_t>(nranks_), -1);
   for (int r = 0; r < nranks_; ++r) {
-    const pid_t pid = fork();
-    if (pid < 0) throw ShmError("ProcessNode: fork failed");
+    pid_t pid = -1;
+    if (fault::should_fail("process:fork", r)) {
+      errno = EAGAIN;
+    } else {
+      pid = fork();
+    }
+    if (pid < 0) {
+      // Mid-loop fork failure: the ranks already forked are waiting at
+      // their first sync point and must not be leaked as orphans. Kill
+      // and reap them before surfacing the error.
+      const int err = errno;
+      int reaped = 0;
+      for (pid_t p : pids) {
+        if (p > 0) kill(p, SIGKILL);
+      }
+      for (pid_t p : pids) {
+        if (p > 0) {
+          int st = 0;
+          waitpid_retry(p, &st, 0);
+          ++reaped;
+        }
+      }
+      throw ShmError(
+          "ProcessNode: fork failed for rank " + std::to_string(r) + ": " +
+              std::strerror(err) + " (killed and reaped " +
+              std::to_string(reaped) + " already-forked task(s))",
+          ErrorCode::fork_failed);
+    }
     if (pid == 0) {
+      pthread_sigmask(SIG_SETMASK, sigchld.old_mask(), nullptr);
+      // Deterministic early-crash site: the child dies as if the rank's
+      // process was lost right after spawn.
+      if (fault::should_fail("process:child_exit", r)) raise(SIGKILL);
       int code = 0;
       try {
         ProcessTask task(this, r);
         body(task);
       } catch (const std::exception&) {
-        code = 42;
+        code = kBodyException;
       }
       std::fflush(nullptr);  // _exit skips stdio flushing
       _exit(code);           // no C++ teardown in the child
     }
-    pids.push_back(pid);
+    pids[static_cast<std::size_t>(r)] = pid;
   }
-  int failures = 0;
-  for (pid_t pid : pids) {
-    int status = 0;
-    waitpid(pid, &status, 0);
-    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) ++failures;
+
+  // SIGCHLD-aware supervision loop: reap ready children without blocking,
+  // classify every abnormal exit, raise the shared abort flag on the
+  // first failure, give survivors a grace window to notice it, then
+  // SIGKILL the stragglers. waitpid can never hang on a rank that is
+  // waiting for a dead peer.
+  struct Failure {
+    int rank;
+    std::string what;
+    ErrorCode code;
+  };
+  std::vector<bool> live_rank(static_cast<std::size_t>(nranks_), true);
+  std::vector<bool> killed_by_us(static_cast<std::size_t>(nranks_), false);
+  std::vector<Failure> failures;
+  int live = nranks_;
+  bool grace_expired = false;
+  timespec grace_deadline{};
+
+  auto raise_abort = [&] {
+    if (ctrl_->abort_flag == 0) {
+      ctrl_->abort_flag = 1;
+      grace_deadline = monotonic_after_ms(opts_.term_grace_ms);
+    }
+  };
+
+  while (live > 0) {
+    for (int r = 0; r < nranks_; ++r) {
+      if (!live_rank[static_cast<std::size_t>(r)]) continue;
+      int status = 0;
+      const pid_t w =
+          waitpid_retry(pids[static_cast<std::size_t>(r)], &status, WNOHANG);
+      if (w != pids[static_cast<std::size_t>(r)]) continue;
+      live_rank[static_cast<std::size_t>(r)] = false;
+      --live;
+      const std::string who = "rank " + std::to_string(r) + " (pid " +
+                              std::to_string(w) + ")";
+      if (WIFSIGNALED(status)) {
+        if (!killed_by_us[static_cast<std::size_t>(r)]) {
+          const int sig = WTERMSIG(status);
+          failures.push_back({r,
+                              who + " killed by signal " +
+                                  std::to_string(sig) + " (" +
+                                  strsignal(sig) + ")",
+                              ErrorCode::task_died});
+          raise_abort();
+        }
+      } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+        const int code = WEXITSTATUS(status);
+        if (code == kPeerAbort) {
+          // The child saw EOWNERDEAD or the abort flag: a symptom of a
+          // peer failure, not a cause — but if nothing else failed yet it
+          // is the only evidence of one (the dead rank may still be
+          // unreaped), so make sure the node comes down either way.
+          raise_abort();
+        } else if (code == kSyncTimeout) {
+          failures.push_back({r,
+                              who + " timed out inside a sync primitive (" +
+                                  std::to_string(opts_.sync_timeout_ms) +
+                                  " ms)",
+                              ErrorCode::sync_timeout});
+          raise_abort();
+        } else if (code == kBodyException) {
+          failures.push_back(
+              {r, who + " failed with an exception in the task body",
+               ErrorCode::task_died});
+          raise_abort();
+        } else {
+          failures.push_back(
+              {r, who + " exited with code " + std::to_string(code),
+               ErrorCode::task_died});
+          raise_abort();
+        }
+      }
+    }
+    if (live == 0) break;
+    if (ctrl_->abort_flag != 0 && !grace_expired && reached(grace_deadline)) {
+      grace_expired = true;
+      for (int r = 0; r < nranks_; ++r) {
+        if (live_rank[static_cast<std::size_t>(r)]) {
+          killed_by_us[static_cast<std::size_t>(r)] = true;
+          kill(pids[static_cast<std::size_t>(r)], SIGKILL);
+        }
+      }
+    }
+    // Sleep until a child changes state (SIGCHLD is blocked, so deaths
+    // since the last sweep are queued and wake us immediately) or the
+    // poll interval elapses — never an unbounded block.
+    timespec ts;
+    ts.tv_sec = 0;
+    ts.tv_nsec = static_cast<long>(opts_.poll_interval_ms) * 1000000L;
+    sigtimedwait(sigchld.mask(), nullptr, &ts);
   }
-  if (failures > 0) {
-    throw ShmError("ProcessNode: " + std::to_string(failures) +
-                   " task process(es) failed");
+
+  if (!failures.empty()) {
+    // Report the root cause: the first hard failure observed.
+    const Failure& primary = failures.front();
+    std::string msg = "ProcessNode: " + primary.what;
+    if (failures.size() > 1) {
+      msg += "; " + std::to_string(failures.size() - 1) +
+             " further rank failure(s) followed";
+    }
+    const int survivors = nranks_ - 1 - static_cast<int>(failures.size() - 1);
+    if (survivors > 0) {
+      msg += "; " + std::to_string(survivors) +
+             " surviving rank(s) aborted and reaped";
+    }
+    throw ShmError(msg, primary.code);
+  }
+  // A rank that exited kPeerAbort with no recorded failure means a peer
+  // died without the parent ever seeing a bad status — should be
+  // impossible, but the abort flag being raised with clean exits all
+  // around still deserves a diagnostic.
+  if (ctrl_->abort_flag != 0) {
+    throw ShmError(
+        "ProcessNode: tasks aborted on a peer-failure signal but every "
+        "child status was clean (EOWNERDEAD observed in the segment?)",
+        ErrorCode::task_died);
   }
 }
 
@@ -162,14 +403,17 @@ void ProcessTask::barrier(const std::string& var_name) {
   const auto& v = node_->find_var(var_name);
   ProcessNode::SyncState* s = node_->sync_of(v, rank_);
   const int expected = node_->participants(v, rank_);
-  pthread_mutex_lock(&s->mu);
+  if (!node_->lock_sync(s)) node_->child_die(s, ProcessNode::kPeerAbort);
+  // Crash site INSIDE the critical section: the rank dies holding the
+  // robust mutex, forcing peers through EOWNERDEAD recovery.
+  if (fault::should_fail("process:barrier_locked", rank_)) raise(SIGKILL);
   const std::uint64_t g = s->generation;
   if (++s->arrived == expected) {
     s->arrived = 0;
     ++s->generation;
     pthread_cond_broadcast(&s->cv);
   } else {
-    while (s->generation == g) pthread_cond_wait(&s->cv, &s->mu);
+    node_->wait_generation(s, g);
   }
   pthread_mutex_unlock(&s->mu);
 }
@@ -178,14 +422,14 @@ bool ProcessTask::single_enter(const std::string& var_name) {
   const auto& v = node_->find_var(var_name);
   ProcessNode::SyncState* s = node_->sync_of(v, rank_);
   const int expected = node_->participants(v, rank_);
-  pthread_mutex_lock(&s->mu);
+  if (!node_->lock_sync(s)) node_->child_die(s, ProcessNode::kPeerAbort);
   const std::uint64_t g = s->generation;
   if (++s->arrived == expected) {
     // Last arriver executes (generation advances in single_done).
     pthread_mutex_unlock(&s->mu);
     return true;
   }
-  while (s->generation == g) pthread_cond_wait(&s->cv, &s->mu);
+  node_->wait_generation(s, g);
   pthread_mutex_unlock(&s->mu);
   return false;
 }
@@ -193,7 +437,7 @@ bool ProcessTask::single_enter(const std::string& var_name) {
 void ProcessTask::single_done(const std::string& var_name) {
   const auto& v = node_->find_var(var_name);
   ProcessNode::SyncState* s = node_->sync_of(v, rank_);
-  pthread_mutex_lock(&s->mu);
+  if (!node_->lock_sync(s)) node_->child_die(s, ProcessNode::kPeerAbort);
   s->arrived = 0;
   ++s->generation;
   pthread_cond_broadcast(&s->cv);

@@ -3,12 +3,26 @@
 //
 // The parent sets up one shared segment (inherited by fork at the same
 // virtual address), carves it into
-//   - a sync block of process-shared mutex/condvar barrier+single state,
+//   - a control block (abort flag the supervisor raises on peer death),
+//   - a sync block of process-shared ROBUST mutex/condvar barrier+single
+//     state per scope instance,
 //   - per-scope-instance HLS variable regions,
 //   - a shared Arena for heap allocations made inside a single,
 // then forks one child per MPI task. Children use ProcessTask to reach
 // their scope instance's variables, synchronize, and allocate shared
 // heap memory — the full §IV.C feature set.
+//
+// Failure containment: a sync primitive must never assume every
+// participant survives to the release. Children wait on robust
+// process-shared mutexes (EOWNERDEAD from a rank that died holding the
+// lock is recovered with pthread_mutex_consistent and treated as a peer
+// failure) with *timed* condvar waits, re-checking the shared abort flag
+// every poll. The parent reaps through a SIGCHLD-aware supervision loop:
+// a rank dying abnormally raises the abort flag, gives survivors
+// `term_grace_ms` to notice and exit, SIGKILLs the stragglers, reaps
+// everything, and throws a ShmError naming the dead rank and its
+// signal/exit code — the run terminates with a diagnosis instead of
+// hanging waitpid forever.
 #pragma once
 
 #include <functional>
@@ -60,9 +74,24 @@ class ProcessTask {
 
 class ProcessNode {
  public:
+  struct Options {
+    std::size_t arena_bytes = 4 << 20;
+    /// A child stuck in barrier/single longer than this exits with a
+    /// sync-timeout code the parent reports as ErrorCode::sync_timeout —
+    /// a livelocked peer (as opposed to a dead one) cannot hang the node.
+    int sync_timeout_ms = 30000;
+    /// Interval at which waiting children re-check the abort flag.
+    int poll_interval_ms = 50;
+    /// After a peer death, survivors get this long to notice the abort
+    /// flag and exit cleanly before the supervisor SIGKILLs them.
+    int term_grace_ms = 2000;
+  };
+
   /// `machine` supplies the scope geometry; `nranks` forked tasks.
+  ProcessNode(const topo::Machine& machine, int nranks, Options opts);
   ProcessNode(const topo::Machine& machine, int nranks,
-              std::size_t arena_bytes = 4 << 20);
+              std::size_t arena_bytes = 4 << 20)
+      : ProcessNode(machine, nranks, Options{.arena_bytes = arena_bytes}) {}
   ~ProcessNode();
   ProcessNode(const ProcessNode&) = delete;
   ProcessNode& operator=(const ProcessNode&) = delete;
@@ -73,17 +102,34 @@ class ProcessNode {
                const topo::ScopeSpec& scope);
 
   /// Fork one process per rank, run `body`, wait for all children.
-  /// Throws ShmError if any child exits nonzero or crashes.
+  /// Throws ShmError if any child exits nonzero, crashes, or times out in
+  /// a sync primitive; the message names the first failed rank and its
+  /// signal/exit code, the code() classifies the failure (task_died,
+  /// sync_timeout, fork_failed).
   void run(const std::function<void(ProcessTask&)>& body);
 
  private:
   friend class ProcessTask;
 
+  // Child exit codes the supervisor interprets (see reap loop).
+  static constexpr int kBodyException = 42;   ///< body threw
+  static constexpr int kPeerAbort = 43;       ///< saw abort flag / EOWNERDEAD
+  static constexpr int kSyncTimeout = 44;     ///< timed out in barrier/single
+
   struct SyncState {  // lives in the segment, one per scope instance
     pthread_mutex_t mu;
     pthread_cond_t cv;
     int arrived;
+    /// A rank died holding mu (EOWNERDEAD observed): the protected state
+    /// is suspect; every member exits instead of completing the episode.
+    int poisoned;
     std::uint64_t generation;
+  };
+
+  struct Control {  // lives in the segment, one per run
+    /// Raised by the supervisor on the first abnormal child exit; waiting
+    /// children exit with kPeerAbort at their next poll.
+    volatile int abort_flag;
   };
 
   struct VarInfo {
@@ -99,13 +145,24 @@ class ProcessNode {
   void* addr_of(const VarInfo& v, int rank);
   int participants(const VarInfo& v, int rank) const;
 
+  /// Lock `s->mu` handling EOWNERDEAD (peer died holding it): the lock is
+  /// made consistent and the state marked poisoned. Returns false when
+  /// the caller must abandon the episode (poisoned or abort raised).
+  bool lock_sync(SyncState* s);
+  /// Wait until `s->generation` moves past `g` with timed polls; exits
+  /// the child process on abort, poison, or sync timeout. `s->mu` held on
+  /// entry and exit.
+  void wait_generation(SyncState* s, std::uint64_t g);
+  [[noreturn]] void child_die(SyncState* locked, int exit_code);
+
   topo::Machine machine_;
   topo::ScopeMap sm_;
   int nranks_;
+  Options opts_;
   std::vector<VarInfo> vars_;
   std::size_t cursor_ = 0;  // layout cursor (bytes) within the segment
-  std::size_t arena_bytes_;
   std::unique_ptr<AnonymousSegment> seg_;
+  Control* ctrl_ = nullptr;
   Arena* arena_ = nullptr;
   bool ran_ = false;
 };

@@ -1,11 +1,17 @@
 #include "shm/segment.hpp"
 
+#include <dirent.h>
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+
+#include "fault/injector.hpp"
 
 #ifndef MAP_FIXED_NOREPLACE
 #define MAP_FIXED_NOREPLACE 0x100000
@@ -13,13 +19,61 @@
 
 namespace hlsmpc::shm {
 
+namespace {
+
+// EINTR-safe shm_open/ftruncate (a profiler or the ProcessNode parent's
+// SIGCHLD can interrupt either mid-call).
+int shm_open_retry(const char* name, int flags, mode_t mode) {
+  int fd;
+  do {
+    fd = shm_open(name, flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+int ftruncate_retry(int fd, off_t length) {
+  int rc;
+  do {
+    rc = ftruncate(fd, length);
+  } while (rc != 0 && errno == EINTR);
+  return rc;
+}
+
+/// Pid embedded in a unique_name()-shaped basename ("hlsmpc.<prefix>.
+/// <pid>.<seq>"), or -1 when the name has a different shape.
+long embedded_pid(const std::string& basename, const std::string& prefix) {
+  const std::string head = "hlsmpc." + prefix + ".";
+  if (basename.rfind(head, 0) != 0) return -1;
+  const std::size_t pid_begin = head.size();
+  const std::size_t pid_end = basename.find('.', pid_begin);
+  if (pid_end == std::string::npos || pid_end == pid_begin) return -1;
+  char* end = nullptr;
+  const long pid =
+      std::strtol(basename.c_str() + pid_begin, &end, 10);
+  if (end != basename.c_str() + pid_end || pid <= 0) return -1;
+  return pid;
+}
+
+bool process_alive(long pid) {
+  return kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH;
+}
+
+}  // namespace
+
 AnonymousSegment::AnonymousSegment(std::size_t bytes) : size_(bytes) {
-  base_ = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
-               MAP_SHARED | MAP_ANONYMOUS, -1, 0);
-  if (base_ == MAP_FAILED) {
-    throw ShmError(std::string("AnonymousSegment: mmap failed: ") +
-                   std::strerror(errno));
+  void* p = MAP_FAILED;
+  if (!fault::should_fail("shm:anon_mmap")) {
+    p = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  } else {
+    errno = ENOMEM;
   }
+  if (p == MAP_FAILED) {
+    throw ShmError(std::string("AnonymousSegment: mmap failed: ") +
+                       std::strerror(errno),
+                   ErrorCode::segment_create);
+  }
+  base_ = p;
 }
 
 AnonymousSegment::~AnonymousSegment() {
@@ -31,34 +85,101 @@ NamedSegment::NamedSegment(const std::string& name, std::size_t bytes,
     : name_(name), size_(bytes), owner_(owner) {
   int flags = O_RDWR;
   if (owner) flags |= O_CREAT | O_EXCL;
-  const int fd = shm_open(name.c_str(), flags, 0600);
-  if (fd < 0) {
-    throw ShmError("NamedSegment: shm_open('" + name +
-                   "') failed: " + std::strerror(errno));
+  int fd = -1;
+  if (fault::should_fail("shm:shm_open")) {
+    errno = EMFILE;
+  } else {
+    fd = shm_open_retry(name.c_str(), flags, 0600);
+    if (fd < 0 && owner && errno == EEXIST) {
+      // A same-named segment exists. If it is the corpse of a crashed run
+      // — any "hlsmpc.<...>.<pid>.<seq>" name whose embedded pid is gone —
+      // reclaim the name; a live owner keeps it and the collision stays an
+      // error.
+      const std::string base = name.substr(1);
+      const std::size_t last_dot = base.rfind('.');
+      const std::size_t pid_dot =
+          last_dot == std::string::npos ? std::string::npos
+                                        : base.rfind('.', last_dot - 1);
+      if (base.rfind("hlsmpc.", 0) == 0 && pid_dot != std::string::npos) {
+        char* end = nullptr;
+        const long owner_pid =
+            std::strtol(base.c_str() + pid_dot + 1, &end, 10);
+        if (end == base.c_str() + last_dot && owner_pid > 0 &&
+            !process_alive(owner_pid)) {
+          shm_unlink(name.c_str());
+          fd = shm_open_retry(name.c_str(), flags, 0600);
+        }
+      }
+      if (fd < 0) errno = EEXIST;
+    }
   }
-  if (owner && ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+  if (fd < 0) {
+    throw ShmError(
+        "NamedSegment: shm_open('" + name + "') failed: " +
+            std::strerror(errno),
+        ErrorCode::segment_create);
+  }
+  const bool truncate_fails = fault::should_fail("shm:ftruncate");
+  if (owner &&
+      (truncate_fails || ftruncate_retry(fd, static_cast<off_t>(bytes)) != 0)) {
+    if (truncate_fails) errno = ENOSPC;
+    const int saved = errno;
     close(fd);
     shm_unlink(name.c_str());
     throw ShmError(std::string("NamedSegment: ftruncate failed: ") +
-                   std::strerror(errno));
+                       std::strerror(saved),
+                   ErrorCode::segment_create);
   }
   // The same virtual address in every process: map with an explicit hint
   // and refuse to silently relocate.
-  base_ = mmap(address_hint, bytes, PROT_READ | PROT_WRITE,
-               MAP_SHARED | (address_hint != nullptr ? MAP_FIXED_NOREPLACE : 0),
-               fd, 0);
-  close(fd);
-  if (base_ == MAP_FAILED || (address_hint != nullptr && base_ != address_hint)) {
-    if (base_ != MAP_FAILED) munmap(base_, bytes);
-    if (owner) shm_unlink(name.c_str());
-    throw ShmError("NamedSegment: cannot map '" + name +
-                   "' at the requested address: " + std::strerror(errno));
+  void* p = MAP_FAILED;
+  if (fault::should_fail("shm:mmap")) {
+    errno = ENOMEM;
+  } else {
+    p = mmap(address_hint, bytes, PROT_READ | PROT_WRITE,
+             MAP_SHARED | (address_hint != nullptr ? MAP_FIXED_NOREPLACE : 0),
+             fd, 0);
   }
+  close(fd);
+  const bool wrong_address =
+      p != MAP_FAILED &&
+      ((address_hint != nullptr && p != address_hint) ||
+       fault::should_fail("shm:map_address"));
+  if (p == MAP_FAILED || wrong_address) {
+    if (p != MAP_FAILED) munmap(p, bytes);
+    if (owner) shm_unlink(name.c_str());
+    throw ShmError(
+        "NamedSegment: cannot map '" + name + "' at the requested address: " +
+            std::strerror(errno),
+        wrong_address ? ErrorCode::segment_address : ErrorCode::segment_create);
+  }
+  base_ = p;
 }
 
 NamedSegment::~NamedSegment() {
   if (base_ != nullptr) munmap(base_, size_);
   if (owner_) shm_unlink(name_.c_str());
+}
+
+std::string NamedSegment::unique_name(const std::string& prefix) {
+  static std::atomic<unsigned long> seq{0};
+  return "/hlsmpc." + prefix + "." + std::to_string(getpid()) + "." +
+         std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+}
+
+int NamedSegment::cleanup_stale(const std::string& prefix) {
+  DIR* dir = opendir("/dev/shm");
+  if (dir == nullptr) return 0;
+  int removed = 0;
+  while (dirent* e = readdir(dir)) {
+    const std::string base = e->d_name;
+    const long pid = embedded_pid(base, prefix);
+    if (pid > 0 && !process_alive(pid)) {
+      if (shm_unlink(("/" + base).c_str()) == 0) ++removed;
+    }
+  }
+  closedir(dir);
+  return removed;
 }
 
 }  // namespace hlsmpc::shm

@@ -9,17 +9,34 @@
 //  - NamedSegment: shm_open + mmap with an explicit address hint and
 //    MAP_FIXED_NOREPLACE, attachable by unrelated processes at the same
 //    virtual address (the general mechanism the paper describes).
+//
+// Failure containment: every system-call failure surfaces as a ShmError
+// carrying an ErrorCode (recoverable resource failures vs fatal
+// corruption — see fault/error.hpp); syscalls are EINTR-safe; and
+// unique_name()/cleanup_stale() give crashed runs a way to not poison
+// /dev/shm forever.
 #pragma once
 
 #include <cstddef>
 #include <stdexcept>
 #include <string>
 
+#include "fault/error.hpp"
+
 namespace hlsmpc::shm {
 
 class ShmError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit ShmError(const std::string& what,
+                    ErrorCode code = ErrorCode::invalid_argument)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+  /// Degradation (retryable resource failure) vs torn shared state.
+  bool recoverable() const { return hlsmpc::recoverable(code_); }
+
+ private:
+  ErrorCode code_;
 };
 
 class AnonymousSegment {
@@ -42,6 +59,9 @@ class NamedSegment {
   /// Create (owner=true) or attach (owner=false) the segment `name`,
   /// mapping it at `address_hint` (must be identical in all attachers —
   /// that is the whole point). Throws ShmError if the address is taken.
+  /// An owner whose name collides with a segment orphaned by a crashed
+  /// run (a unique_name() embedding a dead pid) unlinks the corpse and
+  /// retries once.
   NamedSegment(const std::string& name, std::size_t bytes, void* address_hint,
                bool owner);
   ~NamedSegment();
@@ -51,6 +71,17 @@ class NamedSegment {
   void* base() const { return base_; }
   std::size_t size() const { return size_; }
   const std::string& name() const { return name_; }
+
+  /// Collision-safe segment name: "/hlsmpc.<prefix>.<pid>.<seq>". The
+  /// embedded pid is what cleanup_stale() checks for liveness; the
+  /// process-wide sequence number makes concurrent callers collision-free
+  /// within one process, O_EXCL catches the rest.
+  static std::string unique_name(const std::string& prefix);
+
+  /// Unlink /dev/shm segments named by unique_name(prefix) whose creating
+  /// process is gone (crashed runs leak their segments: no destructor ran).
+  /// Returns the number of segments removed.
+  static int cleanup_stale(const std::string& prefix);
 
  private:
   std::string name_;

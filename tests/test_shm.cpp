@@ -1,7 +1,13 @@
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <set>
 
 #include "shm/arena.hpp"
 #include "shm/process_node.hpp"
@@ -10,6 +16,27 @@
 
 namespace shm = hlsmpc::shm;
 namespace topo = hlsmpc::topo;
+
+namespace {
+
+/// A pid guaranteed dead and reaped (fork a child that exits at once).
+pid_t dead_pid() {
+  const pid_t pid = fork();
+  if (pid == 0) _exit(0);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return pid;
+}
+
+/// Create a raw /dev/shm entry (simulating a crashed run's leftover).
+void make_raw_segment(const std::string& name) {
+  const int fd = shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(ftruncate(fd, 4096), 0);
+  close(fd);
+}
+
+}  // namespace
 
 TEST(Segment, AnonymousIsReadWrite) {
   shm::AnonymousSegment seg(1 << 16);
@@ -39,6 +66,52 @@ TEST(Segment, NamedSegmentOwnerCleansUp) {
   const std::string name = "/hlsmpc_gone_" + std::to_string(getpid());
   { shm::NamedSegment owner(name, 4096, nullptr, true); }
   EXPECT_THROW(shm::NamedSegment(name, 4096, nullptr, false), shm::ShmError);
+}
+
+TEST(Segment, UniqueNamesAreDistinctAndUsable) {
+  std::set<std::string> names;
+  for (int i = 0; i < 16; ++i) {
+    const std::string n = shm::NamedSegment::unique_name("uniq");
+    EXPECT_EQ(n.rfind("/hlsmpc.uniq.", 0), 0u) << n;
+    EXPECT_NE(n.find("." + std::to_string(getpid()) + "."),
+              std::string::npos) << n;
+    names.insert(n);
+  }
+  EXPECT_EQ(names.size(), 16u);
+  shm::NamedSegment seg(shm::NamedSegment::unique_name("uniq"), 4096, nullptr,
+                        /*owner=*/true);
+  EXPECT_NE(seg.base(), nullptr);
+}
+
+TEST(Segment, CleanupStaleRemovesDeadOwnersOnly) {
+  const pid_t dead = dead_pid();
+  const std::string stale =
+      "/hlsmpc.stalesweep." + std::to_string(dead) + ".0";
+  const std::string live =
+      "/hlsmpc.stalesweep." + std::to_string(getpid()) + ".0";
+  make_raw_segment(stale);
+  make_raw_segment(live);
+  EXPECT_EQ(shm::NamedSegment::cleanup_stale("stalesweep"), 1);
+  // The dead owner's segment is gone; the live owner's survives.
+  EXPECT_THROW(shm::NamedSegment(stale, 4096, nullptr, /*owner=*/false),
+               shm::ShmError);
+  shm::NamedSegment view(live, 4096, nullptr, /*owner=*/false);
+  EXPECT_NE(view.base(), nullptr);
+  shm_unlink(live.c_str());
+  // Nothing left to sweep.
+  EXPECT_EQ(shm::NamedSegment::cleanup_stale("stalesweep"), 0);
+}
+
+TEST(Segment, OwnerReclaimsOrphanOfDeadProcess) {
+  // A crashed run left a segment behind (no destructor ran). A new owner
+  // colliding with it must notice the embedded pid is dead, unlink the
+  // corpse and retry — not fail with EEXIST.
+  const pid_t dead = dead_pid();
+  const std::string name = "/hlsmpc.reclaim." + std::to_string(dead) + ".7";
+  make_raw_segment(name);
+  shm::NamedSegment owner(name, 8192, nullptr, /*owner=*/true);
+  EXPECT_NE(owner.base(), nullptr);
+  EXPECT_EQ(owner.size(), 8192u);
 }
 
 TEST(Arena, AllocateWriteFree) {
@@ -73,10 +146,17 @@ TEST(Arena, AlignedAllocation) {
   EXPECT_EQ(a->bytes_used(), 0u);
 }
 
-TEST(Arena, ExhaustionThrowsBadAlloc) {
+TEST(Arena, ExhaustionThrowsArenaExhausted) {
   std::vector<std::byte> mem(4096);
   shm::Arena* a = shm::Arena::create(mem.data(), mem.size());
-  EXPECT_THROW(a->allocate(1 << 20), std::bad_alloc);
+  try {
+    a->allocate(1 << 20);
+    FAIL() << "expected ShmError";
+  } catch (const shm::ShmError& e) {
+    EXPECT_EQ(e.code(), hlsmpc::ErrorCode::arena_exhausted);
+    EXPECT_TRUE(e.recoverable());
+    EXPECT_NE(std::string(e.what()).find("out of space"), std::string::npos);
+  }
 }
 
 TEST(Arena, RandomAllocFreeIntegrity) {
@@ -234,4 +314,84 @@ TEST(ProcessNode, Misuse) {
   });
   EXPECT_THROW(node.run([](shm::ProcessTask&) {}), shm::ShmError);
   EXPECT_THROW(shm::ProcessNode(m, 99), shm::ShmError);
+}
+
+// ---- crash containment (robust sync + SIGCHLD supervision) ----
+
+TEST(ProcessNode, SigkilledRankMidBarrierIsNamedNotHung) {
+  const topo::Machine m = topo::Machine::core2_cluster_node();
+  shm::ProcessNode node(m, 4);
+  node.add_var("x", 8, topo::node_scope());
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    node.run([](shm::ProcessTask& t) {
+      if (t.rank() == 2) raise(SIGKILL);  // dies on the way into the barrier
+      t.barrier("x");
+    });
+    FAIL() << "expected ShmError";
+  } catch (const shm::ShmError& e) {
+    EXPECT_EQ(e.code(), hlsmpc::ErrorCode::task_died);
+    EXPECT_FALSE(e.recoverable());
+    EXPECT_NE(std::string(e.what()).find("rank 2"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("killed by signal 9"),
+              std::string::npos)
+        << e.what();
+  }
+  // Detected by SIGCHLD supervision + abort flag, nowhere near the 30 s
+  // sync timeout (the pre-containment behaviour was an indefinite hang).
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(10));
+}
+
+TEST(ProcessNode, SigkilledSingleWinnerIsNamedNotHung) {
+  const topo::Machine m = topo::Machine::core2_cluster_node();
+  shm::ProcessNode node(m, 4);
+  node.add_var("x", 8, topo::node_scope());
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    node.run([](shm::ProcessTask& t) {
+      if (t.single_enter("x")) {
+        raise(SIGKILL);  // the winner dies before single_done
+      }
+    });
+    FAIL() << "expected ShmError";
+  } catch (const shm::ShmError& e) {
+    EXPECT_EQ(e.code(), hlsmpc::ErrorCode::task_died);
+    EXPECT_NE(std::string(e.what()).find("killed by signal 9"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("rank "), std::string::npos)
+        << e.what();
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(10));
+}
+
+TEST(ProcessNode, LivelockedRankHitsSyncTimeout) {
+  const topo::Machine m = topo::Machine::core2_cluster_node();
+  shm::ProcessNode::Options opts;
+  opts.sync_timeout_ms = 300;
+  opts.poll_interval_ms = 20;
+  opts.term_grace_ms = 200;
+  shm::ProcessNode node(m, 4, opts);
+  node.add_var("x", 8, topo::node_scope());
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    node.run([](shm::ProcessTask& t) {
+      if (t.rank() == 3) {
+        // Alive but never arriving: only the timed wait can diagnose it.
+        for (;;) pause();
+      }
+      t.barrier("x");
+    });
+    FAIL() << "expected ShmError";
+  } catch (const shm::ShmError& e) {
+    EXPECT_EQ(e.code(), hlsmpc::ErrorCode::sync_timeout);
+    EXPECT_NE(std::string(e.what()).find("timed out inside a sync primitive"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(10));
 }
