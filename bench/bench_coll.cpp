@@ -1,0 +1,175 @@
+// Shared-memory vs p2p collective benchmarks (8 ranks on the 2-socket
+// reference machine). Each google-benchmark iteration boots a full MPI
+// job, runs kRounds of one collective inside it, and reports rank 0's
+// wall time per round (manual time, so the job spawn/join cost is not
+// measured). The /shm and /p2p variants of each benchmark differ only in
+// Options::coll.enable_shm, so their ratio is the engine's win.
+//
+// Ranks run on the fiber executor: cooperative scheduling on one carrier
+// thread makes the numbers dominated by the algorithms' actual data
+// movement (copies, message hops) instead of kernel scheduler thrash,
+// and keeps them meaningful on CI hosts with fewer cores than ranks.
+//
+// User counters are the "fewer copies" evidence: mailbox messages, bytes
+// memcpy'd by the engine, and copies elided outright (the shared-image
+// bcast where every rank passes the same buffer). Totals are divided by
+// kRounds; the 4 warmup rounds inflate them by ~1.5%.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mpi/runtime.hpp"
+#include "topo/topology.hpp"
+
+using namespace hlsmpc;
+using ult::TaskContext;
+
+namespace {
+
+constexpr int kRanks = 8;
+constexpr int kRounds = 64;
+constexpr int kWarmup = 4;
+
+/// Per-rank setup: returns the closure run every round, owning that
+/// rank's buffers (ranks share the carrier thread under the fiber
+/// executor, so buffers must be per-rank locals, not thread_local).
+using CollSetup = std::function<std::function<void()>(
+    mpi::Comm&, TaskContext&, int me)>;
+
+mpi::ReduceFn sum_fn() {
+  return [](void* inout, const void* in, std::size_t count) {
+    double* x = static_cast<double*>(inout);
+    const double* y = static_cast<const double*>(in);
+    for (std::size_t i = 0; i < count; ++i) x[i] += y[i];
+  };
+}
+
+void run_rounds(benchmark::State& state, bool shm, const CollSetup& setup) {
+  const topo::Machine machine = topo::Machine::nehalem_ex(2);
+  mpi::Options o;
+  o.nranks = kRanks;
+  o.executor = mpi::ExecutorKind::fiber;
+  o.coll.enable_shm = shm;
+  double msgs = 0.0;
+  double shm_bytes = 0.0;
+  double elided = 0.0;
+  for (auto _ : state) {
+    mpi::Runtime rt(machine, o);
+    std::atomic<std::int64_t> ns{0};
+    rt.run([&](mpi::Comm& world, TaskContext& ctx) {
+      const int me = world.rank(ctx);
+      const std::function<void()> op = setup(world, ctx, me);
+      for (int k = 0; k < kWarmup; ++k) op();
+      world.barrier(ctx);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int k = 0; k < kRounds; ++k) op();
+      const auto t1 = std::chrono::steady_clock::now();
+      if (me == 0) {
+        ns.store(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                     .count());
+      }
+    });
+    state.SetIterationTime(static_cast<double>(ns.load()) * 1e-9 / kRounds);
+    msgs = static_cast<double>(rt.stats().messages.load()) / kRounds;
+    shm_bytes =
+        static_cast<double>(
+            rt.stats().shm_copied_bytes.load(std::memory_order_relaxed)) /
+        kRounds;
+    elided = static_cast<double>(
+                 rt.stats().copies_elided.load(std::memory_order_relaxed)) /
+             kRounds;
+  }
+  state.counters["msgs_per_round"] = benchmark::Counter(msgs);
+  state.counters["shm_bytes_per_round"] = benchmark::Counter(shm_bytes);
+  state.counters["elided_per_round"] = benchmark::Counter(elided);
+}
+
+void BM_Bcast64K(benchmark::State& state, bool shm) {
+  run_rounds(state, shm, [](mpi::Comm& world, TaskContext& ctx, int) {
+    auto buf =
+        std::make_shared<std::vector<std::byte>>(64 * 1024, std::byte{3});
+    return [&world, &ctx, buf] {
+      world.bcast(ctx, buf->data(), buf->size(), 0);
+    };
+  });
+}
+BENCHMARK_CAPTURE(BM_Bcast64K, shm, true)->UseManualTime();
+BENCHMARK_CAPTURE(BM_Bcast64K, p2p, false)->UseManualTime();
+
+void BM_BcastSharedImage64K(benchmark::State& state, bool shm) {
+  // Every rank passes the same buffer (one address space — the HLS
+  // shared-image pattern): the engine elides all n-1 copies. Only
+  // meaningful on the shm path; p2p would recv into the shared buffer
+  // from several ranks at once.
+  auto shared =
+      std::make_shared<std::vector<std::byte>>(64 * 1024, std::byte{5});
+  run_rounds(state, shm, [shared](mpi::Comm& world, TaskContext& ctx, int) {
+    return [&world, &ctx, shared] {
+      world.bcast(ctx, shared->data(), shared->size(), 0);
+    };
+  });
+}
+BENCHMARK_CAPTURE(BM_BcastSharedImage64K, shm, true)->UseManualTime();
+
+void BM_Allreduce128K(benchmark::State& state, bool shm) {
+  run_rounds(state, shm, [](mpi::Comm& world, TaskContext& ctx, int me) {
+    constexpr std::size_t kCount = 16 * 1024;  // doubles, 128 KB
+    auto in = std::make_shared<std::vector<double>>(
+        kCount, static_cast<double>(me + 1));
+    auto out = std::make_shared<std::vector<double>>(kCount);
+    return [&world, &ctx, in, out] {
+      world.allreduce(ctx, in->data(), out->data(), in->size(),
+                      sizeof(double), sum_fn());
+    };
+  });
+}
+BENCHMARK_CAPTURE(BM_Allreduce128K, shm, true)->UseManualTime();
+BENCHMARK_CAPTURE(BM_Allreduce128K, p2p, false)->UseManualTime();
+
+void BM_Allreduce64B(benchmark::State& state, bool shm) {
+  // Small payload: the flat staged path (one copy through the inline
+  // slot) against the p2p reduce+bcast funnel.
+  run_rounds(state, shm, [](mpi::Comm& world, TaskContext& ctx, int me) {
+    constexpr std::size_t kCount = 8;  // doubles, 64 B
+    auto in = std::make_shared<std::vector<double>>(
+        kCount, static_cast<double>(me + 1));
+    auto out = std::make_shared<std::vector<double>>(kCount);
+    return [&world, &ctx, in, out] {
+      world.allreduce(ctx, in->data(), out->data(), in->size(),
+                      sizeof(double), sum_fn());
+    };
+  });
+}
+BENCHMARK_CAPTURE(BM_Allreduce64B, shm, true)->UseManualTime();
+BENCHMARK_CAPTURE(BM_Allreduce64B, p2p, false)->UseManualTime();
+
+void BM_Allgather8K(benchmark::State& state, bool shm) {
+  run_rounds(state, shm, [](mpi::Comm& world, TaskContext& ctx, int me) {
+    constexpr std::size_t kBytes = 8 * 1024;  // per rank
+    auto in = std::make_shared<std::vector<std::byte>>(
+        kBytes, static_cast<std::byte>(me));
+    auto all = std::make_shared<std::vector<std::byte>>(kBytes * kRanks);
+    return [&world, &ctx, in, all] {
+      world.allgather(ctx, in->data(), in->size(), all->data());
+    };
+  });
+}
+BENCHMARK_CAPTURE(BM_Allgather8K, shm, true)->UseManualTime();
+BENCHMARK_CAPTURE(BM_Allgather8K, p2p, false)->UseManualTime();
+
+void BM_Barrier(benchmark::State& state, bool shm) {
+  run_rounds(state, shm, [](mpi::Comm& world, TaskContext& ctx, int) {
+    return [&world, &ctx] { world.barrier(ctx); };
+  });
+}
+BENCHMARK_CAPTURE(BM_Barrier, shm, true)->UseManualTime();
+BENCHMARK_CAPTURE(BM_Barrier, p2p, false)->UseManualTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

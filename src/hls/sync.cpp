@@ -7,20 +7,6 @@
 
 namespace hlsmpc::hls {
 
-namespace {
-
-// Flat::state word layout (see sync.hpp).
-constexpr int kGenShift = 32;
-constexpr std::uint64_t kClaimedBit = 1ull << 31;
-constexpr std::uint64_t kPokeBit = 1ull << 30;
-constexpr std::uint64_t kArrivedMask = kPokeBit - 1;
-
-constexpr std::uint64_t generation_of(std::uint64_t s) { return s >> kGenShift; }
-constexpr std::uint64_t arrived_of(std::uint64_t s) { return s & kArrivedMask; }
-constexpr bool claimed(std::uint64_t s) { return (s & kClaimedBit) != 0; }
-
-}  // namespace
-
 const char* to_string(SyncEvent::Kind k) {
   switch (k) {
     case SyncEvent::Kind::barrier_enter:
@@ -112,12 +98,8 @@ void SyncManager::set_task_cpu(int task, int cpu) {
   // is off every hot path).
   for (auto& per_scope : instances_) {
     for (auto& is : per_scope) {
-      auto poke = [](Flat& f) {
-        f.state.fetch_xor(kPokeBit, std::memory_order_acq_rel);
-        f.state.notify_all();
-      };
-      poke(is->top);
-      for (Flat& g : is->groups) poke(g);
+      is->top.poke();
+      for (Flat& g : is->groups) g.poke();
     }
   }
 }
@@ -200,85 +182,37 @@ bool SyncManager::flat_arrive(Flat& f, const std::function<int()>& expected,
   // deterministic checker schedules through here to expose ordering bugs.
   ctx.sync_point("flat:arrive");
   const int wd_ms = watchdog_ms_.load(std::memory_order_relaxed);
-  if (wd_ms > 0) {
-    // Publish where this task is about to wait, so a peer whose watchdog
-    // fires can name it as arrived (or as stuck elsewhere).
-    WatchSlot& slot = watch_[static_cast<std::size_t>(ctx.task_id())];
-    slot.prim.store(prim, std::memory_order_relaxed);
-    slot.epoch.store(task_sync_count(ctx.task_id(), scope),
-                     std::memory_order_relaxed);
-    slot.where.store(1ull | (static_cast<std::uint64_t>(sid(scope)) << 8) |
-                         (static_cast<std::uint64_t>(inst) << 32),
-                     std::memory_order_release);
+  if (wd_ms == 0) {
+    // Fast path: the extracted barrier's wait loop, nothing layered on.
+    return f.arrive(ctx, expected, hold_last);
   }
-  // Arrive. The release half of the RMW chains this task's prior writes
-  // into the episode; the completing CAS below acquires the whole chain.
-  // Blocked waiters are only woken on transitions they can act on — a
-  // sense flip or a migration poke. A plain arrival needs no notify: the
-  // arriver itself runs the completion check before it ever blocks, so
-  // sleeping peers never miss an episode they were supposed to finish.
-  std::uint64_t s = f.state.fetch_add(1, std::memory_order_acq_rel) + 1;
-  const std::uint64_t g = generation_of(s);
-  ult::Backoff backoff(ctx);
-  std::chrono::steady_clock::time_point wd_start;
-  if (wd_ms > 0) wd_start = std::chrono::steady_clock::now();
-  const auto leave = [&] {
-    if (wd_ms > 0) {
-      watch_[static_cast<std::size_t>(ctx.task_id())].where.store(
-          0, std::memory_order_release);
+  // Watchdog armed. Publish where this task is about to wait, so a peer
+  // whose watchdog fires can name it as arrived (or as stuck elsewhere),
+  // and run the barrier in polled mode: blocking on the word is off the
+  // table (std::atomic::wait has no timeout), so the poll hook checks the
+  // deadline on every spin/yield probe. The slot stays published on fire
+  // (watchdog_fire throws through arrive) so peers that fire later still
+  // see us here.
+  WatchSlot& slot = watch_[static_cast<std::size_t>(ctx.task_id())];
+  slot.prim.store(prim, std::memory_order_relaxed);
+  slot.epoch.store(task_sync_count(ctx.task_id(), scope),
+                   std::memory_order_relaxed);
+  slot.where.store(1ull | (static_cast<std::uint64_t>(sid(scope)) << 8) |
+                       (static_cast<std::uint64_t>(inst) << 32),
+                   std::memory_order_release);
+  const auto wd_start = std::chrono::steady_clock::now();
+  const auto poll = [&] {
+    const auto waited = std::chrono::steady_clock::now() - wd_start;
+    if (waited >= std::chrono::milliseconds(wd_ms)) {
+      watchdog_fire(
+          scope, inst, prim, ctx,
+          std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+              .count());
     }
   };
-  for (;;) {
-    if (generation_of(s) != g) {
-      // Sense flipped: the episode completed (possibly while we probed).
-      // The acquire load/CAS-failure that gave us `s` synchronizes with
-      // the completer's release, so episode-protected writes are visible.
-      leave();
-      return false;
-    }
-    // Complete the episode as the effective last arrival. `expected` can
-    // shrink while we wait (a migration out of the instance lowers the
-    // participant count), and the arrivals already in may then form a
-    // complete episode: any waiter can take over the last-arriver duty,
-    // or the barrier would wait for a task that left and never comes.
-    if (!claimed(s) &&
-        arrived_of(s) >= static_cast<std::uint64_t>(expected())) {
-      const std::uint64_t next =
-          hold_last ? (s | kClaimedBit)        // elected: hold episode open
-                    : ((g + 1) << kGenShift);  // flip sense, release all
-      if (f.state.compare_exchange_weak(s, next, std::memory_order_acq_rel,
-                                        std::memory_order_acquire)) {
-        // The sense flip releases every waiter; a claim only parks them
-        // deeper (they still wait for flat_release), so it needs no wake.
-        if (!hold_last) f.state.notify_all();
-        leave();
-        return true;
-      }
-      continue;  // `s` reloaded by the failed CAS; re-examine
-    }
-    if (wd_ms > 0) {
-      // Watchdog armed: blocking on the word is off the table
-      // (std::atomic::wait has no timeout), so stay in the spin/yield
-      // phases and check the deadline on every probe. The slot stays
-      // published on fire so peers that fire later still see us here.
-      const auto waited = std::chrono::steady_clock::now() - wd_start;
-      if (waited >= std::chrono::milliseconds(wd_ms)) {
-        watchdog_fire(scope, inst, prim, ctx,
-                      std::chrono::duration_cast<std::chrono::milliseconds>(
-                          waited)
-                          .count());
-      }
-      backoff.pause();
-    } else if (backoff.should_block()) {
-      // Spin and yield phases exhausted (oversubscribed run): park on the
-      // word until it changes — next arrival, claim, sense flip, or a
-      // migration poke. Never reached by cooperative contexts.
-      f.state.wait(s, std::memory_order_acquire);
-    } else {
-      backoff.pause();
-    }
-    s = f.state.load(std::memory_order_acquire);
-  }
+  const bool won = f.arrive(ctx, expected, hold_last, &poll);
+  slot.where.store(0, std::memory_order_release);
+  return won;
 }
 
 void SyncManager::set_watchdog_ms(int ms) {
@@ -367,15 +301,11 @@ void SyncManager::watchdog_fire(const CanonicalScope& scope, int inst,
 }
 
 void SyncManager::flat_release(Flat& f) {
-  // Only the claimed single executor releases; flip the sense and reset
-  // the arrival count. An arrival that slipped in after the claim (a task
-  // migrating into the instance) is wiped with the count but leaves via
-  // the generation check, exactly as it would have under the old
-  // mutex/condvar episode accounting.
-  const std::uint64_t s = f.state.load(std::memory_order_relaxed);
-  f.state.store((generation_of(s) + 1) << kGenShift,
-                std::memory_order_release);
-  f.state.notify_all();
+  // Only the claimed single executor releases. An arrival that slipped in
+  // after the claim (a task migrating into the instance) is wiped with the
+  // count but leaves via the generation check, exactly as it would have
+  // under the old mutex/condvar episode accounting.
+  f.release();
 }
 
 void SyncManager::bump_task(int task, const CanonicalScope& scope) {

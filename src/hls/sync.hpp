@@ -24,6 +24,7 @@
 
 #include "hls/registry.hpp"
 #include "obs/event.hpp"
+#include "ult/episode_barrier.hpp"
 #include "ult/task_context.hpp"
 
 namespace hlsmpc::obs {
@@ -138,29 +139,12 @@ class SyncManager {
   void report_migration(const ult::TaskContext& ctx, int to_cpu, bool ok);
 
  private:
-  /// Cache-line-padded sense-reversing episode barrier. The whole barrier
-  /// state lives in ONE atomic word so arrival, completion and release are
-  /// single RMWs with no mutex/condvar (a parked kernel thread under a
-  /// user-level-thread scheduler stalls every fiber it carries):
-  ///
-  ///   bits [32, 64)  episode generation (the "sense"; waiters leave when
-  ///                  it moves past the value they arrived under)
-  ///   bit  31        claimed — an arriver was elected single executor and
-  ///                  holds the episode open until flat_release
-  ///   bit  30        poke — flipped by set_task_cpu to wake blocked
-  ///                  waiters into a participant recount after a migration
-  ///   bits [0, 30)   arrivals in the current episode
-  ///
-  /// Arrive = fetch_add(1). Complete = CAS to (generation+1, 0, 0), which
-  /// releases every waiter by flipping the sense; elect (single) = CAS
-  /// setting the claimed bit. Waiters escalate spin -> yield -> block
-  /// (ult::Backoff + std::atomic::wait on this word), re-evaluating the
-  /// expected participant count on every wake, so a migration-shrunk
-  /// episode completes without a dedicated waker thread: every mutation
-  /// of the word notifies it.
-  struct alignas(64) Flat {
-    std::atomic<std::uint64_t> state{0};
-  };
+  /// Cache-line-padded sense-reversing episode barrier. The word layout
+  /// and wait loop live in ult::EpisodeBarrier (shared with the MPI
+  /// shared-memory collective engine); SyncManager layers the HLS
+  /// specifics on top: watchdog polling, watch-slot diagnostics, and the
+  /// per-task episode counters that gate migration legality.
+  using Flat = ult::EpisodeBarrier;
 
   struct alignas(64) InstanceSync {
     Flat top;

@@ -1,0 +1,21 @@
+// Pure peer-selection math of the p2p collective algorithms, extracted so
+// tests can pin the algebra (pairing, ranges) without running a runtime.
+#pragma once
+
+namespace hlsmpc::mpi::coll {
+
+/// Dissemination barrier: at `step` (a power of two, 0 < step < n) rank
+/// `me` notifies dst and hears from src; after ceil(log2 n) steps every
+/// rank has transitively heard from every other rank. The two are exact
+/// mirrors — dissemination_src(dissemination_dst(me)) == me — which is
+/// what makes every send matched by exactly one posted receive. (An
+/// earlier spelling `(me - step % n + n) % n` parsed as `me - (step % n)`
+/// and was only accidentally correct because step < n.)
+constexpr int dissemination_dst(int me, int step, int n) {
+  return (me + step) % n;
+}
+constexpr int dissemination_src(int me, int step, int n) {
+  return (me - step + n) % n;
+}
+
+}  // namespace hlsmpc::mpi::coll

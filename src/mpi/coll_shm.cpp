@@ -1,0 +1,468 @@
+#include "mpi/coll_shm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <unordered_set>
+
+#include "topo/scope_map.hpp"
+
+namespace hlsmpc::mpi {
+
+ShmCollEngine::ShmCollEngine(const topo::Machine& machine,
+                             std::vector<int> rank_cpus, CollConfig cfg,
+                             TransportStats* stats)
+    : n_(static_cast<int>(rank_cpus.size())),
+      cfg_(cfg),
+      stats_(stats),
+      slots_(rank_cpus.size()),
+      priv_(rank_cpus.size()) {
+  if (n_ < 2) {
+    throw MpiError("ShmCollEngine: communicator needs >= 2 ranks");
+  }
+  for (int cpu : rank_cpus) {
+    if (cpu < 0 || cpu >= machine.num_cpus()) {
+      throw MpiError("ShmCollEngine: rank pinned outside the machine");
+    }
+  }
+  Level flat;
+  auto everyone = std::make_unique<Group>();
+  everyone->members.resize(static_cast<std::size_t>(n_));
+  std::iota(everyone->members.begin(), everyone->members.end(), 0);
+  flat.groups.push_back(std::move(everyone));
+  flat.group_of.assign(static_cast<std::size_t>(n_), 0);
+  flat_.push_back(std::move(flat));
+  hier_ = build_hier(machine, rank_cpus);
+}
+
+ShmCollEngine::Plan ShmCollEngine::build_hier(
+    const topo::Machine& machine, const std::vector<int>& rank_cpus) const {
+  const topo::DenseScopeTable scopes(machine);
+  Plan plan;
+  // Active ranks (ascending) still synchronizing at the current level, and
+  // each rank's current representative: the leader whose ascent stands in
+  // for it. group_of at every level is containment by this leader chain.
+  std::vector<int> active(static_cast<std::size_t>(n_));
+  std::iota(active.begin(), active.end(), 0);
+  std::vector<int> lead(static_cast<std::size_t>(n_));
+  std::iota(lead.begin(), lead.end(), 0);
+
+  for (int sid : scopes.widening_chain()) {
+    if (active.size() == 1) break;
+    // Partition the active ranks by scope instance. The reduction folds
+    // in ascending rank order, so a group must be a consecutive run of
+    // active ranks — an instance that reappears after its run closed
+    // (wrapped pinning) disqualifies the whole level.
+    std::vector<std::vector<int>> cells;
+    std::unordered_set<int> closed;
+    int prev_inst = -1;
+    bool contiguous = true;
+    for (int r : active) {
+      const int inst =
+          scopes.instance_of(sid, rank_cpus[static_cast<std::size_t>(r)]);
+      if (!cells.empty() && inst == prev_inst) {
+        cells.back().push_back(r);
+        continue;
+      }
+      if (closed.count(inst) != 0) {
+        contiguous = false;
+        break;
+      }
+      if (prev_inst != -1) closed.insert(prev_inst);
+      cells.push_back({r});
+      prev_inst = inst;
+    }
+    if (!contiguous) continue;
+    if (cells.size() == active.size()) continue;  // nothing merged here
+
+    Level lv;
+    lv.group_of.assign(static_cast<std::size_t>(n_), -1);
+    std::vector<int> cell_of_active(static_cast<std::size_t>(n_), -1);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      for (int r : cells[i]) {
+        cell_of_active[static_cast<std::size_t>(r)] = static_cast<int>(i);
+      }
+      auto g = std::make_unique<Group>();
+      g->members = cells[i];
+      lv.groups.push_back(std::move(g));
+    }
+    std::vector<int> next_active;
+    next_active.reserve(cells.size());
+    for (const auto& cell : cells) next_active.push_back(cell.front());
+    for (int r = 0; r < n_; ++r) {
+      const int cell =
+          cell_of_active[static_cast<std::size_t>(lead[static_cast<std::size_t>(r)])];
+      lv.group_of[static_cast<std::size_t>(r)] = cell;
+      lead[static_cast<std::size_t>(r)] = cells[static_cast<std::size_t>(cell)].front();
+    }
+    plan.push_back(std::move(lv));
+    active = std::move(next_active);
+  }
+
+  if (plan.empty() || active.size() > 1) {
+    // Defensive catch-all (the node scope always merges, so this is only
+    // reachable if the chain itself degenerates): one top group of the
+    // remaining representatives.
+    Level lv;
+    auto g = std::make_unique<Group>();
+    g->members = active;
+    lv.groups.push_back(std::move(g));
+    lv.group_of.assign(static_cast<std::size_t>(n_), 0);
+    plan.push_back(std::move(lv));
+  }
+  return plan;
+}
+
+std::vector<std::vector<int>> ShmCollEngine::level_groups(int level) const {
+  const Level& lv = hier_.at(static_cast<std::size_t>(level));
+  std::vector<std::vector<int>> out;
+  out.reserve(lv.groups.size());
+  for (const auto& g : lv.groups) out.push_back(g->members);
+  return out;
+}
+
+std::uint64_t ShmCollEngine::begin(int me) {
+  if (stats_ != nullptr) {
+    stats_->shm_collectives.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Every rank bumps on every collective (MPI's matched-call ordering
+  // rule), so the private counter IS the publication sequence number every
+  // peer expects — no shared counter, no negotiation.
+  return ++priv_[static_cast<std::size_t>(me)].seq;
+}
+
+void ShmCollEngine::wait_seq(const std::atomic<std::uint64_t>& w,
+                             std::uint64_t seq, ult::TaskContext& ctx) const {
+  if (w.load(std::memory_order_acquire) >= seq) return;
+  // Spin/yield only, never std::atomic::wait: publishers deliberately do
+  // not notify (a futex wake per publication would dwarf the copy for
+  // small payloads), so parking here could sleep forever.
+  ult::Backoff backoff(ctx);
+  while (w.load(std::memory_order_acquire) < seq) backoff.pause();
+}
+
+void ShmCollEngine::copy_bytes(void* dst, const void* src, std::size_t bytes) {
+  if (dst == src) {
+    if (stats_ != nullptr) {
+      stats_->copies_elided.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  std::memcpy(dst, src, bytes);
+  if (stats_ != nullptr) {
+    stats_->shm_copied_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+}
+
+const void* ShmCollEngine::publish_contrib(int me, const void* p,
+                                           std::size_t bytes, bool stage,
+                                           std::uint64_t seq) {
+  Slot& s = slots_[static_cast<std::size_t>(me)];
+  const void* pub = p;
+  if (stage) {
+    void* dst;
+    if (bytes <= kInlineBytes) {
+      dst = s.inline_buf;
+    } else {
+      auto& scratch = priv_[static_cast<std::size_t>(me)].scratch;
+      if (scratch.size() < bytes) scratch.resize(bytes);
+      dst = scratch.data();
+    }
+    copy_bytes(dst, p, bytes);
+    pub = dst;
+  }
+  s.ptr.store(pub, std::memory_order_relaxed);
+  // The release store orders the payload (and the ptr) before the sequence
+  // word; wait_seq's acquire load on the other side completes the edge.
+  s.seq.store(seq, std::memory_order_release);
+  return pub;
+}
+
+void ShmCollEngine::publish_result(int me, const void* p, std::uint64_t seq) {
+  Slot& s = slots_[static_cast<std::size_t>(me)];
+  s.acc_ptr.store(p, std::memory_order_relaxed);
+  s.acc_seq.store(seq, std::memory_order_release);
+}
+
+void ShmCollEngine::plan_barrier(Plan& plan, ult::TaskContext& ctx, int me) {
+  const int levels = static_cast<int>(plan.size());
+  int held = 0;  // levels [0, held) are claimed by this rank
+  for (int l = 0; l < levels; ++l) {
+    Level& lv = plan[l];
+    Group& g = *lv.groups[static_cast<std::size_t>(
+        lv.group_of[static_cast<std::size_t>(me)])];
+    const bool top = (l + 1 == levels);
+    const int expected = static_cast<int>(g.members.size());
+    // Below the top the effective last arriver holds the episode open and
+    // ascends; at the top it flips the sense, which is what releases the
+    // whole tree (through the cascade below).
+    const bool won =
+        g.bar.arrive(ctx, [expected] { return expected; }, /*hold_last=*/!top);
+    if (!won || top) break;
+    held = l + 1;
+  }
+  // Release wide -> narrow. A rank freshly released from a level-l group
+  // may immediately start the next collective's barrier and ascend; this
+  // order guarantees every wider group on its path has already flipped, so
+  // its new arrival never lands on a still-claimed episode (release()
+  // would wipe it).
+  for (int l = held - 1; l >= 0; --l) {
+    Level& lv = plan[l];
+    lv.groups[static_cast<std::size_t>(
+                  lv.group_of[static_cast<std::size_t>(me)])]
+        ->bar.release();
+  }
+}
+
+std::byte* ShmCollEngine::plan_reduce(Plan& plan, ult::TaskContext& ctx,
+                                      int me, const void* sendbuf,
+                                      std::size_t count,
+                                      std::size_t elem_bytes,
+                                      const ReduceFn& fn, std::uint64_t seq,
+                                      void* rank0_acc, bool stage) {
+  const std::size_t bytes = count * elem_bytes;
+  Level& leaf = plan[0];
+  Group& g = *leaf.groups[static_cast<std::size_t>(
+      leaf.group_of[static_cast<std::size_t>(me)])];
+  if (me != g.members.front()) {
+    // Non-leader: publish the contribution and leave; the caller's
+    // completion barrier keeps sendbuf stable until the leader folded it.
+    publish_contrib(me, sendbuf, bytes, stage, seq);
+    return nullptr;
+  }
+
+  // Leaf leader: fold the group in ascending rank order, accumulator as
+  // the left operand — the associative-only contract. Rank 0 may fold
+  // straight into the caller's result buffer.
+  std::byte* acc;
+  if (rank0_acc != nullptr && me == 0) {
+    acc = static_cast<std::byte*>(rank0_acc);
+  } else {
+    auto& scratch = priv_[static_cast<std::size_t>(me)].scratch;
+    if (scratch.size() < bytes) scratch.resize(bytes);
+    acc = scratch.data();
+  }
+  copy_bytes(acc, sendbuf, bytes);  // elided when acc == sendbuf
+  for (std::size_t i = 1; i < g.members.size(); ++i) {
+    const int r = g.members[i];
+    const Slot& s = slots_[static_cast<std::size_t>(r)];
+    wait_seq(s.seq, seq, ctx);
+    fn(acc, peer_contrib(r), count);
+  }
+
+  // Ascend: at each wider level the cell's lowest rank keeps folding the
+  // other representatives' partials (each a contiguous, adjacent rank
+  // range, so ascending member order preserves global rank order); a
+  // representative that is not its cell's leader publishes its partial
+  // for the leader and stops.
+  for (std::size_t l = 1; l < plan.size(); ++l) {
+    Level& lv = plan[l];
+    Group& cell = *lv.groups[static_cast<std::size_t>(
+        lv.group_of[static_cast<std::size_t>(me)])];
+    if (me != cell.members.front()) {
+      publish_result(me, acc, seq);
+      return nullptr;
+    }
+    for (std::size_t i = 1; i < cell.members.size(); ++i) {
+      const int r = cell.members[i];
+      const Slot& s = slots_[static_cast<std::size_t>(r)];
+      wait_seq(s.acc_seq, seq, ctx);
+      fn(acc, peer_result(r), count);
+    }
+  }
+  // Only rank 0 can lead every level (leaders are group minima).
+  publish_result(me, acc, seq);
+  return acc;
+}
+
+void ShmCollEngine::barrier(ult::TaskContext& ctx, int me) {
+  begin(me);
+  plan_barrier(hier_, ctx, me);
+}
+
+void ShmCollEngine::bcast(ult::TaskContext& ctx, int me, void* buf,
+                          std::size_t bytes, int root) {
+  const std::uint64_t seq = begin(me);
+  if (bytes == 0) return;
+  const bool stage = select(bytes) == obs::CollAlg::shm_flat;
+  if (me == root) {
+    publish_contrib(me, buf, bytes, stage, seq);
+    // Readers never wait for each other — the root alone absorbs the
+    // completion by counting acknowledgements (cumulative across every
+    // bcast this rank ever rooted; publication of the next one is gated
+    // right here, so the counters stay aligned).
+    Priv& p = priv_[static_cast<std::size_t>(me)];
+    p.acks_expected += static_cast<std::uint64_t>(n_ - 1);
+    wait_seq(slots_[static_cast<std::size_t>(me)].acks, p.acks_expected, ctx);
+  } else {
+    Slot& rs = slots_[static_cast<std::size_t>(root)];
+    wait_seq(rs.seq, seq, ctx);
+    copy_bytes(buf, peer_contrib(root), bytes);
+    // Release RMW: the root's acquire of the final count sees every
+    // reader's copy complete (release-sequence chain through the RMWs).
+    rs.acks.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ShmCollEngine::reduce(ult::TaskContext& ctx, int me, const void* sendbuf,
+                           void* recvbuf, std::size_t count,
+                           std::size_t elem_bytes, const ReduceFn& fn,
+                           int root) {
+  const std::uint64_t seq = begin(me);
+  if (count == 0) return;
+  const std::size_t bytes = count * elem_bytes;
+  const obs::CollAlg alg = select(bytes);
+  Plan& plan = plan_for(alg);
+  void* rank0_acc = (me == 0 && root == 0) ? recvbuf : nullptr;
+  plan_reduce(plan, ctx, me, sendbuf, count, elem_bytes, fn, seq, rank0_acc,
+              alg == obs::CollAlg::shm_flat);
+  if (me == root && root != 0) {
+    const Slot& s0 = slots_[0];
+    wait_seq(s0.acc_seq, seq, ctx);
+    copy_bytes(recvbuf, peer_result(0), bytes);
+  }
+  plan_barrier(plan, ctx, me);
+}
+
+void ShmCollEngine::allreduce(ult::TaskContext& ctx, int me,
+                              const void* sendbuf, void* recvbuf,
+                              std::size_t count, std::size_t elem_bytes,
+                              const ReduceFn& fn) {
+  const std::uint64_t seq = begin(me);
+  if (count == 0) return;
+  const std::size_t bytes = count * elem_bytes;
+  const obs::CollAlg alg = select(bytes);
+  Plan& plan = plan_for(alg);
+  void* rank0_acc = (me == 0) ? recvbuf : nullptr;
+  plan_reduce(plan, ctx, me, sendbuf, count, elem_bytes, fn, seq, rank0_acc,
+              alg == obs::CollAlg::shm_flat);
+  if (me != 0) {
+    // The acquire on rank 0's result sequence chains through every fold
+    // that consumed this rank's sendbuf, so writing recvbuf here is safe
+    // even when it aliases sendbuf.
+    const Slot& s0 = slots_[0];
+    wait_seq(s0.acc_seq, seq, ctx);
+    copy_bytes(recvbuf, peer_result(0), bytes);
+  }
+  plan_barrier(plan, ctx, me);
+}
+
+void ShmCollEngine::allgather(ult::TaskContext& ctx, int me,
+                              const void* sendbuf, std::size_t bytes,
+                              void* recvbuf) {
+  const std::uint64_t seq = begin(me);
+  if (bytes == 0) return;
+  const obs::CollAlg alg = select(bytes);
+  publish_contrib(me, sendbuf, bytes, alg == obs::CollAlg::shm_flat, seq);
+  std::byte* out = static_cast<std::byte*>(recvbuf);
+  for (int r = 0; r < n_; ++r) {
+    if (r == me) {
+      copy_bytes(out + static_cast<std::size_t>(me) * bytes, sendbuf, bytes);
+      continue;
+    }
+    const Slot& s = slots_[static_cast<std::size_t>(r)];
+    wait_seq(s.seq, seq, ctx);
+    copy_bytes(out + static_cast<std::size_t>(r) * bytes, peer_contrib(r),
+               bytes);
+  }
+  plan_barrier(plan_for(alg), ctx, me);
+}
+
+void ShmCollEngine::alltoall(ult::TaskContext& ctx, int me,
+                             const void* sendbuf, std::size_t bytes_per_rank,
+                             void* recvbuf) {
+  const std::uint64_t seq = begin(me);
+  if (bytes_per_rank == 0) return;
+  const std::size_t total = bytes_per_rank * static_cast<std::size_t>(n_);
+  const obs::CollAlg alg = select(total);
+  publish_contrib(me, sendbuf, total, alg == obs::CollAlg::shm_flat, seq);
+  const std::byte* own = static_cast<const std::byte*>(sendbuf);
+  std::byte* out = static_cast<std::byte*>(recvbuf);
+  const std::size_t mine = static_cast<std::size_t>(me) * bytes_per_rank;
+  for (int r = 0; r < n_; ++r) {
+    const std::size_t block = static_cast<std::size_t>(r) * bytes_per_rank;
+    if (r == me) {
+      copy_bytes(out + mine, own + mine, bytes_per_rank);
+      continue;
+    }
+    const Slot& s = slots_[static_cast<std::size_t>(r)];
+    wait_seq(s.seq, seq, ctx);
+    copy_bytes(out + block,
+               static_cast<const std::byte*>(peer_contrib(r)) + mine,
+               bytes_per_rank);
+  }
+  plan_barrier(plan_for(alg), ctx, me);
+}
+
+void ShmCollEngine::scan(ult::TaskContext& ctx, int me, const void* sendbuf,
+                         void* recvbuf, std::size_t count,
+                         std::size_t elem_bytes, const ReduceFn& fn) {
+  const std::uint64_t seq = begin(me);
+  if (count == 0) return;
+  const std::size_t bytes = count * elem_bytes;
+  const obs::CollAlg alg = select(bytes);
+  // Always staged: each rank folds into recvbuf, which MPI allows to alias
+  // sendbuf — peers must read the pre-fold snapshot.
+  publish_contrib(me, sendbuf, bytes, /*stage=*/true, seq);
+  if (me == 0) {
+    copy_bytes(recvbuf, sendbuf, bytes);  // elided in-place
+  } else {
+    const Slot& s0 = slots_[0];
+    wait_seq(s0.seq, seq, ctx);
+    copy_bytes(recvbuf, peer_contrib(0), bytes);
+    for (int r = 1; r <= me; ++r) {
+      const Slot& s = slots_[static_cast<std::size_t>(r)];
+      wait_seq(s.seq, seq, ctx);
+      fn(recvbuf, peer_contrib(r), count);
+    }
+  }
+  plan_barrier(plan_for(alg), ctx, me);
+}
+
+void ShmCollEngine::exscan(ult::TaskContext& ctx, int me, const void* sendbuf,
+                           void* recvbuf, std::size_t count,
+                           std::size_t elem_bytes, const ReduceFn& fn) {
+  const std::uint64_t seq = begin(me);
+  if (count == 0) return;
+  const std::size_t bytes = count * elem_bytes;
+  const obs::CollAlg alg = select(bytes);
+  publish_contrib(me, sendbuf, bytes, /*stage=*/true, seq);
+  // Rank 0's recvbuf is undefined for exscan and stays untouched.
+  if (me > 0) {
+    const Slot& s0 = slots_[0];
+    wait_seq(s0.seq, seq, ctx);
+    copy_bytes(recvbuf, peer_contrib(0), bytes);
+    for (int r = 1; r < me; ++r) {
+      const Slot& s = slots_[static_cast<std::size_t>(r)];
+      wait_seq(s.seq, seq, ctx);
+      fn(recvbuf, peer_contrib(r), count);
+    }
+  }
+  plan_barrier(plan_for(alg), ctx, me);
+}
+
+void ShmCollEngine::reduce_scatter_block(ult::TaskContext& ctx, int me,
+                                         const void* sendbuf, void* recvbuf,
+                                         std::size_t count,
+                                         std::size_t elem_bytes,
+                                         const ReduceFn& fn) {
+  const std::uint64_t seq = begin(me);
+  if (count == 0) return;
+  const std::size_t total = count * static_cast<std::size_t>(n_);
+  const std::size_t block_bytes = count * elem_bytes;
+  const obs::CollAlg alg = select(total * elem_bytes);
+  Plan& plan = plan_for(alg);
+  const std::byte* acc =
+      plan_reduce(plan, ctx, me, sendbuf, total, elem_bytes, fn, seq,
+                  /*rank0_acc=*/nullptr, alg == obs::CollAlg::shm_flat);
+  if (acc == nullptr) {
+    const Slot& s0 = slots_[0];
+    wait_seq(s0.acc_seq, seq, ctx);
+    acc = static_cast<const std::byte*>(peer_result(0));
+  }
+  copy_bytes(recvbuf, acc + static_cast<std::size_t>(me) * block_bytes,
+             block_bytes);
+  plan_barrier(plan, ctx, me);
+}
+
+}  // namespace hlsmpc::mpi

@@ -1,0 +1,215 @@
+// Topology-aware shared-memory collective engine.
+//
+// All MPI tasks of a node share one address space (paper §IV), so a
+// collective never needs to move bytes through mailbox messages: ranks can
+// read each other's buffers directly once publication is ordered. This
+// engine — in the spirit of XHC's hierarchical shared-memory collectives —
+// gives every communicator a shared control block of cache-line-padded
+// per-rank slots and runs leader-based algorithms over the machine's
+// topology levels (core -> cache levels -> NUMA -> node):
+//
+//  - bcast: single-copy. The root release-publishes (pointer, sequence);
+//    every reader acquires the sequence, memcpys straight out of the
+//    root's buffer (or elides the copy when the addresses match — the
+//    HLS shared-image trick) and acknowledges with one release RMW. The
+//    root only waits for the acknowledgement count; readers never wait
+//    for each other.
+//  - reduce/allreduce/reduce_scatter_block: per-scope tree reduction.
+//    Members publish their send buffers; the lowest rank of each leaf
+//    group folds them in ascending rank order into an accumulator,
+//    leaders combine upward along the topology tree, and rank 0 publishes
+//    the result. Folding in ascending rank order with the accumulator as
+//    the left operand means only associativity is required of the
+//    ReduceFn — never commutativity.
+//  - allgather/alltoall: every rank publishes its send buffer and copies
+//    each peer's block directly, replacing the rank-0 gather+bcast funnel.
+//  - scan/exscan: each rank publishes a staged copy (staging makes
+//    in-place recvbuf == sendbuf calls safe) and folds ranks [0, me] /
+//    [0, me) locally in rank order.
+//  - barrier: the hierarchical sense-reversing machinery extracted from
+//    hls::SyncManager (ult::EpisodeBarrier): arrive inside the narrowest
+//    group, one representative ascends per level, releases cascade back
+//    down.
+//
+// Publication protocol: each rank's entry into a collective bumps a
+// private call counter; MPI's ordering rule (all ranks issue the same
+// collectives on a communicator in the same order) keeps these counters
+// in lockstep, so the counter value doubles as the publication sequence
+// number every peer waits for. Published data stays untouched until every
+// consumer signalled — a completion barrier for most ops, the
+// acknowledgement count for bcast — which is what makes buffer reuse in
+// the very next collective safe.
+//
+// An algorithm selector picks per call: payloads <= small_threshold take
+// the staged flat path (one copy through an inline slot, flat completion
+// barrier); larger payloads go zero-copy under the hierarchical barrier;
+// the p2p algorithms in collectives.cpp remain as dispatch fallback (size-1
+// comms, engine disabled, ops the engine does not implement).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mpi/mailbox.hpp"
+#include "mpi/types.hpp"
+#include "obs/event.hpp"
+#include "topo/topology.hpp"
+#include "ult/episode_barrier.hpp"
+#include "ult/task_context.hpp"
+
+namespace hlsmpc::mpi {
+
+class ShmCollEngine {
+ public:
+  /// Staging capacity of a slot; payloads up to this size travel through
+  /// the control block itself instead of a heap buffer on the flat path.
+  static constexpr std::size_t kInlineBytes = 1024;
+
+  /// `rank_cpus[r]` = hardware thread rank r is pinned to (how the leader
+  /// tree maps ranks onto the machine's sharing domains).
+  ShmCollEngine(const topo::Machine& machine, std::vector<int> rank_cpus,
+                CollConfig cfg, TransportStats* stats);
+  ShmCollEngine(const ShmCollEngine&) = delete;
+  ShmCollEngine& operator=(const ShmCollEngine&) = delete;
+
+  int size() const { return n_; }
+  /// Levels of the hierarchical plan (1 = degenerate/flat tree: no
+  /// topology level merged contiguous rank ranges).
+  int num_levels() const { return static_cast<int>(hier_.size()); }
+  /// Rank groups at hierarchical level `l`, each ascending; members[0] of
+  /// a group is its leader. Exposed for tests and diagnostics.
+  std::vector<std::vector<int>> level_groups(int level) const;
+
+  /// Algorithm for a payload of `bytes` published per rank. Deterministic
+  /// in (bytes, config), so every rank of a call picks the same one.
+  obs::CollAlg select(std::size_t bytes) const {
+    return bytes <= cfg_.small_threshold ? obs::CollAlg::shm_flat
+                                         : obs::CollAlg::shm_hier;
+  }
+  obs::CollAlg barrier_alg() const {
+    return hier_.size() > 1 ? obs::CollAlg::shm_hier : obs::CollAlg::shm_flat;
+  }
+
+  // Collective bodies. `me` is the caller's rank on the owning
+  // communicator; every member must call (MPI semantics). Buffers follow
+  // the Comm byte-oriented API.
+  void barrier(ult::TaskContext& ctx, int me);
+  void bcast(ult::TaskContext& ctx, int me, void* buf, std::size_t bytes,
+             int root);
+  void reduce(ult::TaskContext& ctx, int me, const void* sendbuf,
+              void* recvbuf, std::size_t count, std::size_t elem_bytes,
+              const ReduceFn& fn, int root);
+  void allreduce(ult::TaskContext& ctx, int me, const void* sendbuf,
+                 void* recvbuf, std::size_t count, std::size_t elem_bytes,
+                 const ReduceFn& fn);
+  void allgather(ult::TaskContext& ctx, int me, const void* sendbuf,
+                 std::size_t bytes, void* recvbuf);
+  void alltoall(ult::TaskContext& ctx, int me, const void* sendbuf,
+                std::size_t bytes_per_rank, void* recvbuf);
+  void scan(ult::TaskContext& ctx, int me, const void* sendbuf, void* recvbuf,
+            std::size_t count, std::size_t elem_bytes, const ReduceFn& fn);
+  void exscan(ult::TaskContext& ctx, int me, const void* sendbuf,
+              void* recvbuf, std::size_t count, std::size_t elem_bytes,
+              const ReduceFn& fn);
+  void reduce_scatter_block(ult::TaskContext& ctx, int me,
+                            const void* sendbuf, void* recvbuf,
+                            std::size_t count, std::size_t elem_bytes,
+                            const ReduceFn& fn);
+
+ private:
+  /// Per-rank slot of the shared control block. Channels live on separate
+  /// cache lines so readers polling a sequence word do not collide with
+  /// the publisher's payload staging.
+  struct alignas(64) Slot {
+    // Contribution channel: this rank's published input buffer.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<const void*> ptr{nullptr};
+    std::byte pad0[64 - 2 * sizeof(void*)];
+    // Result channel: this rank's accumulator (tree reduction partials
+    // ascending the tree; rank 0's slot carries the final result).
+    std::atomic<std::uint64_t> acc_seq{0};
+    std::atomic<const void*> acc_ptr{nullptr};
+    std::byte pad1[64 - 2 * sizeof(void*)];
+    // Cumulative count of readers done with this rank's publication
+    // (bcast acknowledgements).
+    std::atomic<std::uint64_t> acks{0};
+    std::byte pad2[64 - sizeof(std::uint64_t)];
+    // Staging area for the small/flat path.
+    std::byte inline_buf[kInlineBytes];
+  };
+
+  /// One barrier group: its member ranks (ascending; members[0] leads)
+  /// and the episode barrier they synchronize on.
+  struct Group {
+    std::vector<int> members;
+    ult::EpisodeBarrier bar;
+  };
+  struct Level {
+    std::vector<std::unique_ptr<Group>> groups;
+    /// rank -> index of the group containing it (by leader-chain
+    /// containment; defined for every rank at every level).
+    std::vector<int> group_of;
+  };
+  /// Narrow -> wide list of levels; the last level has a single group.
+  using Plan = std::vector<Level>;
+
+  /// Per-rank private state, written only by its own rank.
+  struct alignas(64) Priv {
+    std::uint64_t seq = 0;            ///< collectives entered on this comm
+    std::uint64_t acks_expected = 0;  ///< cumulative acks owed as bcast root
+    std::vector<std::byte> scratch;   ///< accumulator / staging, grows only
+  };
+
+  Plan build_hier(const topo::Machine& machine,
+                  const std::vector<int>& rank_cpus) const;
+  Plan& plan_for(obs::CollAlg alg) {
+    return alg == obs::CollAlg::shm_hier ? hier_ : flat_;
+  }
+
+  std::uint64_t begin(int me);
+  void wait_seq(const std::atomic<std::uint64_t>& w, std::uint64_t seq,
+                ult::TaskContext& ctx) const;
+  /// Publish this rank's contribution; with `stage` the payload is copied
+  /// into the slot's inline buffer (or scratch when it does not fit) so
+  /// the caller may immediately reuse/overwrite `p`. Returns the
+  /// published pointer.
+  const void* publish_contrib(int me, const void* p, std::size_t bytes,
+                              bool stage, std::uint64_t seq);
+  void publish_result(int me, const void* p, std::uint64_t seq);
+  const void* peer_contrib(int r) const {
+    return slots_[static_cast<std::size_t>(r)].ptr.load(
+        std::memory_order_relaxed);
+  }
+  const void* peer_result(int r) const {
+    return slots_[static_cast<std::size_t>(r)].acc_ptr.load(
+        std::memory_order_relaxed);
+  }
+  void copy_bytes(void* dst, const void* src, std::size_t bytes);
+
+  /// Hierarchical barrier over `plan`: arrive in the level-0 group; each
+  /// group's effective last arriver ascends holding the episode open, the
+  /// top level flips, and releases cascade back down (the N-level
+  /// generalization of SyncManager's two-level shared-cache barrier).
+  void plan_barrier(Plan& plan, ult::TaskContext& ctx, int me);
+  /// Tree reduction over `plan` in ascending rank order. Every rank
+  /// publishes (staged when `stage`); leaf leaders fold their group,
+  /// partials combine upward. Returns the final accumulator on rank 0
+  /// (== `rank0_acc` when that is non-null), nullptr elsewhere.
+  std::byte* plan_reduce(Plan& plan, ult::TaskContext& ctx, int me,
+                         const void* sendbuf, std::size_t count,
+                         std::size_t elem_bytes, const ReduceFn& fn,
+                         std::uint64_t seq, void* rank0_acc, bool stage);
+
+  int n_;
+  CollConfig cfg_;
+  TransportStats* stats_;
+  std::vector<Slot> slots_;
+  std::vector<Priv> priv_;
+  Plan flat_;  ///< single group of all ranks
+  Plan hier_;  ///< topology leader tree (>= 1 level)
+};
+
+}  // namespace hlsmpc::mpi

@@ -1,11 +1,19 @@
-// Collective operations, implemented over the p2p engine in a dedicated
-// context so they can never match application point-to-point traffic.
+// Collective operations: a dispatch layer over two engines.
 //
-// Algorithms target intra-node scale (<= a few dozen ranks): dissemination
-// barrier, binomial bcast/reduce, linear gather/scatter, chain scan.
+// When a communicator has a shared-memory engine (HLSMPC_COLL_SHM and >= 2
+// ranks), data-moving collectives route to it — zero-copy reads between
+// ranks of one address space, see coll_shm.hpp. The p2p algorithms below
+// remain the fallback (engine compiled out or disabled, size-1 comms, and
+// gather/gatherv/scatter, which keep their posted-receive form). They run
+// in a dedicated context so they can never match application
+// point-to-point traffic, and target intra-node scale (<= a few dozen
+// ranks): dissemination barrier, binomial bcast/reduce, linear
+// gather/scatter, chain scan.
 #include <cstring>
 #include <vector>
 
+#include "mpi/coll_algo.hpp"
+#include "mpi/coll_shm.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/runtime.hpp"
 #include "obs/recorder.hpp"
@@ -18,7 +26,9 @@ namespace {
 /// RAII span for one collective call: bumps coll_ops on entry, records a
 /// `collective` event covering the whole call on destruction. Composite
 /// collectives (allreduce, allgather, ...) nest their phases' spans inside
-/// their own; a trace viewer renders them as nested slices.
+/// their own; a trace viewer renders them as nested slices. The event's
+/// arg packs the op together with the algorithm that actually served the
+/// call (set_alg; defaults to p2p).
 class CollScope {
  public:
   CollScope(Runtime& rt, obs::CollOp op, const ult::TaskContext& ctx,
@@ -42,14 +52,22 @@ class CollScope {
     e.cpu = cpu_;
     e.t0 = t0_;
     e.t1 = obs_->now();
-    e.arg = static_cast<std::int64_t>(op_);
+    e.arg = obs::coll_event_arg(op_, alg_);
     e.arg2 = bytes_;
     obs_->record(e);
+  }
+
+  void set_alg(obs::CollAlg alg) {
+    alg_ = alg;
+    if (obs_ != nullptr && alg != obs::CollAlg::p2p) {
+      obs_->count(task_, obs::Counter::coll_shm_ops);
+    }
   }
 
  private:
   obs::Recorder* obs_;
   obs::CollOp op_;
+  obs::CollAlg alg_ = obs::CollAlg::p2p;
   int task_;
   int cpu_;
   std::int64_t bytes_;
@@ -58,8 +76,10 @@ class CollScope {
 #define HLSMPC_OBS_COLL(op, bytes)                      \
   CollScope obs_coll_scope_(*rt_, obs::CollOp::op, ctx, \
                             static_cast<std::int64_t>(bytes))
+#define HLSMPC_OBS_COLL_ALG(alg) obs_coll_scope_.set_alg(alg)
 #else
 #define HLSMPC_OBS_COLL(op, bytes) (void)0
+#define HLSMPC_OBS_COLL_ALG(alg) (void)(alg)
 #endif
 
 }  // namespace
@@ -70,11 +90,18 @@ void Comm::barrier(ult::TaskContext& ctx) {
   const int n = size();
   const int tag = next_coll_tag(me);
   if (n == 1) return;
+#if HLSMPC_COLL_SHM_ENABLED
+  if (shm_ != nullptr) {
+    HLSMPC_OBS_COLL_ALG(shm_->barrier_alg());
+    shm_->barrier(ctx, me);
+    return;
+  }
+#endif
   // Dissemination: after ceil(log2 n) rounds every rank has transitively
   // heard from every other rank.
   for (int step = 1; step < n; step <<= 1) {
-    const int dst = (me + step) % n;
-    const int src = (me - step % n + n) % n;
+    const int dst = coll::dissemination_dst(me, step, n);
+    const int src = coll::dissemination_src(me, step, n);
     Request r = irecv_ctx(ctx, nullptr, 0, src, tag, coll_context_);
     Request s = isend_ctx(ctx, nullptr, 0, dst, tag, coll_context_);
     wait(ctx, s);
@@ -90,6 +117,13 @@ void Comm::bcast(ult::TaskContext& ctx, void* buf, std::size_t bytes,
   const int n = size();
   const int tag = next_coll_tag(me);
   if (n == 1) return;
+#if HLSMPC_COLL_SHM_ENABLED
+  if (shm_ != nullptr) {
+    HLSMPC_OBS_COLL_ALG(shm_->select(bytes));
+    shm_->bcast(ctx, me, buf, bytes, root);
+    return;
+  }
+#endif
   const int vr = (me - root + n) % n;  // rank relative to root
 
   // Binomial tree: receive from the parent, then forward to children.
@@ -121,12 +155,20 @@ void Comm::reduce(ult::TaskContext& ctx, const void* sendbuf, void* recvbuf,
   const int n = size();
   const int tag = next_coll_tag(me);
   const std::size_t bytes = count * elem_bytes;
+#if HLSMPC_COLL_SHM_ENABLED
+  if (shm_ != nullptr) {
+    HLSMPC_OBS_COLL_ALG(shm_->select(bytes));
+    shm_->reduce(ctx, me, sendbuf, recvbuf, count, elem_bytes, fn, root);
+    return;
+  }
+#endif
 
-  // Local accumulator: root may reduce in place into recvbuf; others use a
-  // scratch buffer. sendbuf == recvbuf (in-place reduction) is allowed.
+  // Local accumulator: rank 0 with root 0 may reduce in place into
+  // recvbuf; everyone else uses a scratch buffer. sendbuf == recvbuf
+  // (in-place reduction) is allowed.
   std::vector<std::byte> scratch;
   void* acc;
-  if (me == root && recvbuf != nullptr) {
+  if (me == 0 && root == 0 && recvbuf != nullptr) {
     acc = recvbuf;
   } else {
     scratch.resize(bytes);
@@ -134,21 +176,35 @@ void Comm::reduce(ult::TaskContext& ctx, const void* sendbuf, void* recvbuf,
   }
   if (bytes > 0 && acc != sendbuf) std::memcpy(acc, sendbuf, bytes);
 
+  // Binomial tree in TRUE rank order: pairs fold the higher rank's partial
+  // into the lower rank's accumulator as the right operand, so rank 0 ends
+  // with v_0 (+) v_1 (+) ... (+) v_{n-1}. (Rotating the tree around the
+  // root — the previous scheme — folds v_root (+) ... (+) v_{n-1} (+) v_0
+  // (+) ..., which is wrong for non-commutative operators.) When root != 0
+  // the result takes one extra hop from rank 0 to the root.
   std::vector<std::byte> incoming(bytes);
-  const int vr = (me - root + n) % n;
   for (int mask = 1; mask < n; mask <<= 1) {
-    if ((vr & mask) == 0) {
-      const int partner_vr = vr | mask;
-      if (partner_vr < n) {
-        const int partner = (partner_vr + root) % n;
+    if ((me & mask) == 0) {
+      const int partner = me | mask;
+      if (partner < n) {
         recv_ctx(ctx, incoming.data(), bytes, partner, tag, coll_context_,
                  nullptr);
         fn(acc, incoming.data(), count);
       }
     } else {
-      const int parent = ((vr & ~mask) + root) % n;
+      const int parent = me & ~mask;
       send_ctx(ctx, acc, bytes, parent, tag, coll_context_);
       break;
+    }
+  }
+  if (root != 0) {
+    // Distinct (src, tag) from every tree message arriving at these two
+    // ranks: rank 0 never sends inside the tree and the root's tree
+    // partners all differ from rank 0.
+    if (me == 0) {
+      send_ctx(ctx, acc, bytes, root, tag, coll_context_);
+    } else if (me == root) {
+      recv_ctx(ctx, recvbuf, bytes, 0, tag, coll_context_, nullptr);
     }
   }
 }
@@ -157,6 +213,13 @@ void Comm::allreduce(ult::TaskContext& ctx, const void* sendbuf,
                      void* recvbuf, std::size_t count, std::size_t elem_bytes,
                      const ReduceFn& fn) {
   HLSMPC_OBS_COLL(allreduce, count * elem_bytes);
+#if HLSMPC_COLL_SHM_ENABLED
+  if (shm_ != nullptr) {
+    HLSMPC_OBS_COLL_ALG(shm_->select(count * elem_bytes));
+    shm_->allreduce(ctx, rank(ctx), sendbuf, recvbuf, count, elem_bytes, fn);
+    return;
+  }
+#endif
   reduce(ctx, sendbuf, recvbuf, count, elem_bytes, fn, 0);
   bcast(ctx, recvbuf, count * elem_bytes, 0);
 }
@@ -240,6 +303,13 @@ void Comm::scatter(ult::TaskContext& ctx, const void* sendbuf,
 void Comm::allgather(ult::TaskContext& ctx, const void* sendbuf,
                      std::size_t bytes, void* recvbuf) {
   HLSMPC_OBS_COLL(allgather, bytes);
+#if HLSMPC_COLL_SHM_ENABLED
+  if (shm_ != nullptr) {
+    HLSMPC_OBS_COLL_ALG(shm_->select(bytes));
+    shm_->allgather(ctx, rank(ctx), sendbuf, bytes, recvbuf);
+    return;
+  }
+#endif
   // Gather to rank 0, then broadcast the assembled vector. Two internal
   // collectives; per-rank tag counters advance identically on all ranks.
   gather(ctx, sendbuf, bytes, recvbuf, 0);
@@ -252,6 +322,14 @@ void Comm::alltoall(ult::TaskContext& ctx, const void* sendbuf,
   const int me = rank(ctx);
   const int n = size();
   const int tag = next_coll_tag(me);
+#if HLSMPC_COLL_SHM_ENABLED
+  if (shm_ != nullptr) {
+    HLSMPC_OBS_COLL_ALG(
+        shm_->select(bytes_per_rank * static_cast<std::size_t>(n)));
+    shm_->alltoall(ctx, me, sendbuf, bytes_per_rank, recvbuf);
+    return;
+  }
+#endif
   const auto* in = static_cast<const std::byte*>(sendbuf);
   auto* out = static_cast<std::byte*>(recvbuf);
   // Self block.
@@ -283,12 +361,31 @@ void Comm::scan(ult::TaskContext& ctx, const void* sendbuf, void* recvbuf,
   const int n = size();
   const int tag = next_coll_tag(me);
   const std::size_t bytes = count * elem_bytes;
-  if (bytes > 0 && recvbuf != sendbuf) std::memcpy(recvbuf, sendbuf, bytes);
-  // Chain: receive the prefix of ranks [0, me), fold own value in, pass on.
-  if (me > 0) {
-    std::vector<std::byte> prefix(bytes);
-    recv_ctx(ctx, prefix.data(), bytes, me - 1, tag, coll_context_, nullptr);
-    fn(recvbuf, prefix.data(), count);
+#if HLSMPC_COLL_SHM_ENABLED
+  if (shm_ != nullptr) {
+    HLSMPC_OBS_COLL_ALG(shm_->select(bytes));
+    shm_->scan(ctx, me, sendbuf, recvbuf, count, elem_bytes, fn);
+    return;
+  }
+#endif
+  // Chain: receive the prefix of ranks [0, me), fold own value in AS THE
+  // RIGHT OPERAND — prefix (+) own, in rank order — and pass the result
+  // on. (Folding fn(own, prefix) computes own (+) prefix, which is only
+  // the same thing for commutative operators.)
+  if (me == 0) {
+    if (bytes > 0 && recvbuf != sendbuf) std::memcpy(recvbuf, sendbuf, bytes);
+  } else {
+    // Receiving the prefix into recvbuf may clobber sendbuf (in-place
+    // call); snapshot own contribution first if so.
+    const void* own = sendbuf;
+    std::vector<std::byte> own_copy;
+    if (recvbuf == sendbuf && bytes > 0) {
+      own_copy.assign(static_cast<const std::byte*>(sendbuf),
+                      static_cast<const std::byte*>(sendbuf) + bytes);
+      own = own_copy.data();
+    }
+    recv_ctx(ctx, recvbuf, bytes, me - 1, tag, coll_context_, nullptr);
+    fn(recvbuf, own, count);
   }
   if (me + 1 < n) {
     send_ctx(ctx, recvbuf, bytes, me + 1, tag, coll_context_);
@@ -303,14 +400,34 @@ void Comm::exscan(ult::TaskContext& ctx, const void* sendbuf, void* recvbuf,
   const int n = size();
   const int tag = next_coll_tag(me);
   const std::size_t bytes = count * elem_bytes;
+#if HLSMPC_COLL_SHM_ENABLED
+  if (shm_ != nullptr) {
+    HLSMPC_OBS_COLL_ALG(shm_->select(bytes));
+    shm_->exscan(ctx, me, sendbuf, recvbuf, count, elem_bytes, fn);
+    return;
+  }
+#endif
   // Chain carrying the inclusive prefix; each rank hands its successor
   // prefix(0..me) but keeps prefix(0..me-1) for itself. Rank 0's recvbuf
-  // is untouched (MPI_Exscan semantics).
+  // is untouched (MPI_Exscan semantics). The inclusive prefix must fold as
+  // prefix (+) own — own as the RIGHT operand — or non-commutative
+  // operators see their contributions out of rank order.
   std::vector<std::byte> inclusive(bytes);
-  if (bytes > 0) std::memcpy(inclusive.data(), sendbuf, bytes);
-  if (me > 0) {
+  if (me == 0) {
+    if (bytes > 0) std::memcpy(inclusive.data(), sendbuf, bytes);
+  } else {
+    const void* own = sendbuf;
+    std::vector<std::byte> own_copy;
+    if (recvbuf == sendbuf && bytes > 0) {
+      own_copy.assign(static_cast<const std::byte*>(sendbuf),
+                      static_cast<const std::byte*>(sendbuf) + bytes);
+      own = own_copy.data();
+    }
     recv_ctx(ctx, recvbuf, bytes, me - 1, tag, coll_context_, nullptr);
-    fn(inclusive.data(), recvbuf, count);
+    if (me + 1 < n) {
+      if (bytes > 0) std::memcpy(inclusive.data(), recvbuf, bytes);
+      fn(inclusive.data(), own, count);
+    }
   }
   if (me + 1 < n) {
     send_ctx(ctx, inclusive.data(), bytes, me + 1, tag, coll_context_);
@@ -324,6 +441,14 @@ void Comm::reduce_scatter_block(ult::TaskContext& ctx, const void* sendbuf,
   const int me = rank(ctx);
   const int n = size();
   const std::size_t block = count * elem_bytes;
+#if HLSMPC_COLL_SHM_ENABLED
+  if (shm_ != nullptr) {
+    HLSMPC_OBS_COLL_ALG(shm_->select(block * static_cast<std::size_t>(n)));
+    shm_->reduce_scatter_block(ctx, me, sendbuf, recvbuf, count, elem_bytes,
+                               fn);
+    return;
+  }
+#endif
   // Reduce the full vector to rank 0, then scatter the blocks. Simple and
   // correct at node scale; both phases use their own collective tags.
   std::vector<std::byte> full(me == 0 ? block * static_cast<std::size_t>(n)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "mpi/coll_shm.hpp"
 #include "mpi/runtime.hpp"
 
 namespace hlsmpc::mpi {
@@ -27,7 +28,22 @@ Comm::Comm(Runtime& rt, std::vector<int> group, int pt2pt_context,
     }
     rank_of_task_[static_cast<std::size_t>(task)] = static_cast<int>(r);
   }
+#if HLSMPC_COLL_SHM_ENABLED
+  // The engine attaches here so split/dup-created communicators get one
+  // automatically. Its leader tree follows where this comm's members are
+  // actually pinned, not their rank numbers.
+  if (rt.coll_config().enable_shm && size() > 1) {
+    std::vector<int> cpus(group_.size());
+    for (std::size_t r = 0; r < group_.size(); ++r) {
+      cpus[r] = rt.cpu_of_rank(group_[r]);
+    }
+    shm_ = std::make_unique<ShmCollEngine>(rt.machine(), std::move(cpus),
+                                           rt.coll_config(), &rt.stats());
+  }
+#endif
 }
+
+Comm::~Comm() = default;
 
 int Comm::rank(const ult::TaskContext& ctx) const {
   const int task = ctx.task_id();

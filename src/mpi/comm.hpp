@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -19,12 +20,14 @@
 namespace hlsmpc::mpi {
 
 class Runtime;
+class ShmCollEngine;
 
 class Comm {
  public:
   /// Built by Runtime (world) or by split/dup; not user-constructible.
   Comm(Runtime& rt, std::vector<int> group, int pt2pt_context,
        int coll_context, std::string name);
+  ~Comm();
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
 
@@ -60,6 +63,14 @@ class Comm {
                 Status* status = nullptr);
 
   // ---- collectives (byte oriented) ----
+  //
+  // ReduceFn convention (all reduction collectives): `fn(inout, in, count)`
+  // folds with the ACCUMULATOR AS THE LEFT OPERAND, and contributions are
+  // combined in ascending rank order — the result of rank k's reduction is
+  // v_0 (+) v_1 (+) ... (+) v_k with the parenthesization free. The
+  // operator must be associative; it need NOT be commutative (MPI's
+  // MPI_Op_create contract), and both the p2p and shared-memory engines
+  // preserve operand order.
   void barrier(ult::TaskContext& ctx);
   void bcast(ult::TaskContext& ctx, void* buf, std::size_t bytes, int root);
   /// Elementwise reduction of `count` elements of `elem_bytes` each.
@@ -80,11 +91,12 @@ class Comm {
                  std::size_t bytes, void* recvbuf);
   void alltoall(ult::TaskContext& ctx, const void* sendbuf,
                 std::size_t bytes_per_rank, void* recvbuf);
-  /// Inclusive prefix scan.
+  /// Inclusive prefix scan: rank k receives v_0 (+) ... (+) v_k, folded in
+  /// rank order (see the ReduceFn convention above).
   void scan(ult::TaskContext& ctx, const void* sendbuf, void* recvbuf,
             std::size_t count, std::size_t elem_bytes, const ReduceFn& fn);
-  /// Exclusive prefix scan; rank 0's recvbuf is left untouched (MPI
-  /// semantics for MPI_Exscan).
+  /// Exclusive prefix scan: rank k > 0 receives v_0 (+) ... (+) v_{k-1};
+  /// rank 0's recvbuf is left untouched (MPI semantics for MPI_Exscan).
   void exscan(ult::TaskContext& ctx, const void* sendbuf, void* recvbuf,
               std::size_t count, std::size_t elem_bytes, const ReduceFn& fn);
   /// Reduce `size()*count` elements, scatter `count` per rank
@@ -92,6 +104,11 @@ class Comm {
   void reduce_scatter_block(ult::TaskContext& ctx, const void* sendbuf,
                             void* recvbuf, std::size_t count,
                             std::size_t elem_bytes, const ReduceFn& fn);
+
+  /// Shared-memory collective engine serving this comm, or nullptr (size-1
+  /// comm, disabled via CollConfig, or compiled out). Exposed for tests
+  /// and diagnostics.
+  ShmCollEngine* shm_engine() const { return shm_.get(); }
 
   // ---- communicator management ----
   /// Collective. Ranks with the same color land in the same new
@@ -161,7 +178,9 @@ class Comm {
     return out;
   }
   /// Allreduce with a user-defined elementwise combiner (the MPI_Op_create
-  /// analogue). `combine(inout, in)` must be associative & commutative.
+  /// analogue). `combine(inout, in)` must be associative; commutativity is
+  /// NOT required — contributions fold in ascending rank order with the
+  /// accumulator as the left operand.
   template <typename T, typename Fn>
   void allreduce_custom(ult::TaskContext& ctx, std::span<const T> in,
                         std::span<T> out, Fn combine) {
@@ -201,6 +220,9 @@ class Comm {
   int coll_context_;
   std::string name_;
   std::vector<std::uint32_t> coll_seq_;  // per rank
+  /// Topology-aware shared-memory collective engine (null when the p2p
+  /// algorithms serve this comm; see shm_engine()).
+  std::unique_ptr<ShmCollEngine> shm_;
 };
 
 }  // namespace hlsmpc::mpi

@@ -64,6 +64,14 @@ struct TransportStats {
   /// Copies skipped because source and destination buffers were the same
   /// address (HLS-shared image trick, paper §V.B.3).
   std::atomic<std::uint64_t> copies_elided{0};
+  /// Collective calls served by the shared-memory engine (one per rank
+  /// entering such a call; zero mailbox messages are sent for these).
+  std::atomic<std::uint64_t> shm_collectives{0};
+  /// Bytes memcpy'd by the shared-memory collective engine. For a bcast of
+  /// B bytes to n ranks this is (n-1)*B — against the p2p binomial tree's
+  /// per-hop eager/rendezvous copies it is the "fewer copies" evidence the
+  /// benches assert.
+  std::atomic<std::uint64_t> shm_copied_bytes{0};
 };
 
 }  // namespace hlsmpc::mpi

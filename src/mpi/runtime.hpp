@@ -45,6 +45,9 @@ struct Options {
   /// (mpc::Node does). Null = no MPI-side recording. Ignored when the
   /// layer is compiled out (HLSMPC_OBS=OFF).
   obs::Recorder* obs = nullptr;
+  /// Shared-memory collective engine tuning; ignored when the engine is
+  /// compiled out (HLSMPC_COLL_SHM=OFF).
+  CollConfig coll;
 };
 
 class Runtime {
@@ -67,6 +70,7 @@ class Runtime {
   memtrack::Tracker& tracker() { return *tracker_; }
   BufferManager& buffers() { return *buffers_; }
   TransportStats& stats() { return stats_; }
+  const CollConfig& coll_config() const { return opts_.coll; }
   /// Cpu each rank is pinned to (rank-major round robin over the machine).
   int cpu_of_rank(int rank) const;
 

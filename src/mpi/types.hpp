@@ -130,6 +130,25 @@ void apply_op(Op op, T& inout, const T& in) {
 using ReduceFn =
     std::function<void(void* inout, const void* in, std::size_t count)>;
 
+/// Collective-engine tuning (Runtime Options::coll). The shared-memory
+/// engine exploits the fact that all ranks of a node live in one address
+/// space: collectives move data through a per-communicator shared control
+/// block instead of mailbox messages. The compile-time switch
+/// HLSMPC_COLL_SHM (macro HLSMPC_COLL_SHM_ENABLED) removes the dispatch
+/// entirely, keeping the p2p fallback algorithms buildable and testable.
+struct CollConfig {
+  /// Route collectives through the shared-memory engine when a
+  /// communicator has >= 2 ranks. Off = always the p2p algorithms
+  /// (useful for correctness diffing).
+  bool enable_shm = true;
+  /// Payloads <= this many bytes take the staged flat path (one copy into
+  /// an inline cache-line-padded slot, flat completion barrier); larger
+  /// payloads are read zero-copy from the publishing rank's own buffer
+  /// under the hierarchical barrier. Must agree across ranks (it is
+  /// per-runtime, so it does).
+  std::size_t small_threshold = 1024;
+};
+
 template <typename T>
 ReduceFn make_reduce_fn(Op op) {
   return [op](void* inout, const void* in, std::size_t count) {

@@ -59,7 +59,7 @@ std::string slice_name(const TraceNaming& naming, const Event& e) {
       name += e.flag ? " ok" : " rejected";
       break;
     case EventKind::collective:
-      name = std::string("coll ") + to_string(static_cast<CollOp>(e.arg));
+      name = std::string("coll ") + to_string(coll_op_of(e.arg));
       break;
     case EventKind::p2p_send:
       name += " -> " + std::to_string(e.arg);
@@ -84,6 +84,7 @@ void emit_args(std::ostringstream& os, const Event& e) {
       break;
     case EventKind::collective:
       if (e.arg2 > 0) os << ", \"bytes\": " << e.arg2;
+      os << ", \"alg\": \"" << to_string(coll_alg_of(e.arg)) << "\"";
       break;
     case EventKind::migration:
       os << ", \"new_cpu\": " << e.arg;

@@ -44,6 +44,7 @@ enum class Counter : int {
   coll_ops,             ///< MPI collective operations entered
   p2p_sends,            ///< point-to-point sends initiated
   p2p_recvs,            ///< point-to-point receives completed
+  coll_shm_ops,         ///< collectives served by the shared-memory engine
   kCount
 };
 
@@ -60,7 +61,7 @@ enum class EventKind : std::uint8_t {
   nowait,       ///< single-nowait site (instant; flag = claimed)
   migration,    ///< MPC_Move stall: enter -> re-pin (flag = accepted)
   first_touch,  ///< lazy region materialization (arg = bytes)
-  collective,   ///< one MPI collective call (arg = CollOp)
+  collective,   ///< one MPI collective call (arg = CollOp | CollAlg << 8)
   p2p_send,     ///< send initiated (arg = peer task, arg2 = ctx<<32|tag)
   p2p_recv,     ///< receive completed (arg = peer task, arg2 = ctx<<32|tag)
   ctx_switch,   ///< fiber resumed on a worker (arg = worker)
@@ -78,6 +79,27 @@ enum class CollOp : std::int8_t {
 };
 
 const char* to_string(CollOp op);
+
+/// Algorithm the collective dispatcher chose for one call, carried in the
+/// second byte of Event::arg for EventKind::collective (the low byte is
+/// the CollOp). p2p = mailbox message passing (binomial/dissemination
+/// trees); shm_flat = staged copies through the per-comm shared control
+/// block with a flat completion barrier; shm_hier = zero-copy reads from
+/// published user buffers with the topology-aware hierarchical barrier.
+enum class CollAlg : std::int8_t { p2p, shm_flat, shm_hier };
+
+const char* to_string(CollAlg alg);
+
+inline constexpr std::int64_t coll_event_arg(CollOp op, CollAlg alg) {
+  return static_cast<std::int64_t>(op) |
+         (static_cast<std::int64_t>(alg) << 8);
+}
+inline constexpr CollOp coll_op_of(std::int64_t arg) {
+  return static_cast<CollOp>(arg & 0xff);
+}
+inline constexpr CollAlg coll_alg_of(std::int64_t arg) {
+  return static_cast<CollAlg>((arg >> 8) & 0xff);
+}
 
 /// One observable runtime step. 48 bytes; rings of these are per-task.
 struct Event {

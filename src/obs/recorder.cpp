@@ -35,6 +35,8 @@ const char* to_string(Counter c) {
       return "p2p_sends";
     case Counter::p2p_recvs:
       return "p2p_recvs";
+    case Counter::coll_shm_ops:
+      return "coll_shm_ops";
     case Counter::kCount:
       break;
   }
@@ -95,6 +97,18 @@ const char* to_string(CollOp op) {
       return "exscan";
     case CollOp::reduce_scatter:
       return "reduce_scatter";
+  }
+  return "?";
+}
+
+const char* to_string(CollAlg alg) {
+  switch (alg) {
+    case CollAlg::p2p:
+      return "p2p";
+    case CollAlg::shm_flat:
+      return "shm_flat";
+    case CollAlg::shm_hier:
+      return "shm_hier";
   }
   return "?";
 }

@@ -107,6 +107,17 @@ std::string DenseScopeTable::name(int sid) const {
   return "sid" + std::to_string(sid);
 }
 
+std::vector<int> DenseScopeTable::widening_chain() const {
+  std::vector<int> chain;
+  chain.reserve(static_cast<std::size_t>(num_scopes_));
+  chain.push_back(3 + ncache_);  // core
+  for (int level = 1; level <= ncache_; ++level) chain.push_back(2 + level);
+  chain.push_back(1);                        // numa
+  if (numa2_distinct_) chain.push_back(2);   // per-socket, wider than numa
+  chain.push_back(0);                        // node
+  return chain;
+}
+
 int ScopeMap::resolved_cache_level(const ScopeSpec& s) const {
   if (s.kind != ScopeKind::cache) return 0;
   const int level = s.level == 0 ? machine_->llc_level() : s.level;

@@ -71,6 +71,13 @@ class DenseScopeTable {
   /// "cache_L2", "core") for exporters and diagnostics.
   std::string name(int sid) const;
 
+  /// Every dense id ordered narrow -> wide: core, cache(1)..cache(L),
+  /// numa, numa(2) (only when sockets hold several NUMA domains), node.
+  /// Consumers building containment hierarchies — the MPI shared-memory
+  /// collective engine's leader tree — walk this chain and keep the
+  /// levels that actually merge instances.
+  std::vector<int> widening_chain() const;
+
   int num_instances(int sid) const {
     return num_instances_[static_cast<std::size_t>(sid)];
   }

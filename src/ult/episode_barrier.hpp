@@ -1,0 +1,147 @@
+// Single-word sense-reversing episode barrier.
+//
+// Extracted from hls::SyncManager so the MPI shared-memory collective
+// engine (src/mpi/coll_shm.*) can reuse the exact machinery the HLS
+// barrier/single primitives are built on, without sharing SyncManager's
+// per-task episode accounting (those counters gate migration legality and
+// must not be advanced by MPI collectives).
+//
+// The whole barrier state lives in ONE atomic word so arrival, completion
+// and release are single RMWs with no mutex/condvar (a parked kernel
+// thread under a user-level-thread scheduler stalls every fiber it
+// carries):
+//
+//   bits [32, 64)  episode generation (the "sense"; waiters leave when it
+//                  moves past the value they arrived under)
+//   bit  31        claimed — an arriver was elected the episode's single
+//                  executor and holds it open until release()
+//   bit  30       poke — flipped by poke() to wake blocked waiters into a
+//                  re-evaluation of their expected participant count
+//   bits [0, 30)   arrivals in the current episode
+//
+// Arrive = fetch_add(1). Complete = CAS to (generation+1, 0, 0), which
+// releases every waiter by flipping the sense; elect (hold_last) = CAS
+// setting the claimed bit. Waiters escalate spin -> yield -> block
+// (ult::Backoff + std::atomic::wait on this word), re-evaluating the
+// expected participant count on every probe, so an episode whose expected
+// count shrinks completes without a dedicated waker thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "ult/task_context.hpp"
+
+namespace hlsmpc::ult {
+
+struct alignas(64) EpisodeBarrier {
+  static constexpr int kGenShift = 32;
+  static constexpr std::uint64_t kClaimedBit = 1ull << 31;
+  static constexpr std::uint64_t kPokeBit = 1ull << 30;
+  static constexpr std::uint64_t kArrivedMask = kPokeBit - 1;
+
+  static constexpr std::uint64_t generation_of(std::uint64_t s) {
+    return s >> kGenShift;
+  }
+  static constexpr std::uint64_t arrived_of(std::uint64_t s) {
+    return s & kArrivedMask;
+  }
+  static constexpr bool claimed(std::uint64_t s) {
+    return (s & kClaimedBit) != 0;
+  }
+
+  std::atomic<std::uint64_t> state{0};
+
+  /// Arrive at the barrier. With `hold_last` the effective last arriver
+  /// returns true immediately, generation not yet advanced (single
+  /// semantics: it must call release() later); otherwise the last arriver
+  /// flips the sense, releasing everyone, and returns true. `expected` is
+  /// re-evaluated on every waiting probe, so a shrinking participant count
+  /// can turn a waiter into the completing arrival.
+  ///
+  /// `poll`, when non-null, is invoked on every waiting probe and the wait
+  /// loop never blocks on the word (it stays in the spin/yield phases) —
+  /// the hook for SyncManager's watchdog, whose deadline check needs
+  /// periodic control and whose std::atomic::wait has no timeout. `poll`
+  /// may throw; the arrival is then abandoned mid-episode (the watchdog
+  /// path, which tears the runtime down).
+  template <typename ExpectedFn, typename PollFn>
+  bool arrive(TaskContext& ctx, const ExpectedFn& expected, bool hold_last,
+              const PollFn* poll) {
+    // The release half of the RMW chains this task's prior writes into the
+    // episode; the completing CAS below acquires the whole chain. Blocked
+    // waiters are only woken on transitions they can act on — a sense flip
+    // or a poke. A plain arrival needs no notify: the arriver itself runs
+    // the completion check before it ever blocks, so sleeping peers never
+    // miss an episode they were supposed to finish.
+    std::uint64_t s = state.fetch_add(1, std::memory_order_acq_rel) + 1;
+    const std::uint64_t g = generation_of(s);
+    Backoff backoff(ctx);
+    for (;;) {
+      if (generation_of(s) != g) {
+        // Sense flipped: the episode completed (possibly while we probed).
+        // The acquire load/CAS-failure that gave us `s` synchronizes with
+        // the completer's release, so episode-protected writes are visible.
+        return false;
+      }
+      // Complete the episode as the effective last arrival. Any waiter can
+      // take over the last-arriver duty when `expected` shrinks below the
+      // arrivals already in, or the barrier would wait for a participant
+      // that left and never comes.
+      if (!claimed(s) &&
+          arrived_of(s) >= static_cast<std::uint64_t>(expected())) {
+        const std::uint64_t next =
+            hold_last ? (s | kClaimedBit)        // elected: hold episode open
+                      : ((g + 1) << kGenShift);  // flip sense, release all
+        if (state.compare_exchange_weak(s, next, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+          // The sense flip releases every waiter; a claim only parks them
+          // deeper (they still wait for release()), so it needs no wake.
+          if (!hold_last) state.notify_all();
+          return true;
+        }
+        continue;  // `s` reloaded by the failed CAS; re-examine
+      }
+      if (poll != nullptr) {
+        // Polled mode: blocking on the word is off the table, stay in the
+        // spin/yield phases and give the caller control on every probe.
+        (*poll)();
+        backoff.pause();
+      } else if (backoff.should_block()) {
+        // Spin and yield phases exhausted (oversubscribed run): park on the
+        // word until it changes — next arrival, claim, sense flip, or a
+        // poke. Never reached by cooperative contexts.
+        state.wait(s, std::memory_order_acquire);
+      } else {
+        backoff.pause();
+      }
+      s = state.load(std::memory_order_acquire);
+    }
+  }
+
+  template <typename ExpectedFn>
+  bool arrive(TaskContext& ctx, const ExpectedFn& expected, bool hold_last) {
+    // Dummy poll type; the nullptr disables polled mode.
+    using NoPoll = void (*)();
+    return arrive(ctx, expected, hold_last, static_cast<const NoPoll*>(nullptr));
+  }
+
+  /// Release an episode held open by a hold_last winner: flip the sense
+  /// and reset the arrival count. An arrival that slipped in after the
+  /// claim is wiped with the count but leaves via the generation check.
+  void release() {
+    const std::uint64_t s = state.load(std::memory_order_relaxed);
+    state.store((generation_of(s) + 1) << kGenShift,
+                std::memory_order_release);
+    state.notify_all();
+  }
+
+  /// Wake blocked waiters into a re-evaluation of their expected count
+  /// without completing the episode (used after a participant migrates).
+  void poke() {
+    state.fetch_xor(kPokeBit, std::memory_order_acq_rel);
+    state.notify_all();
+  }
+};
+
+}  // namespace hlsmpc::ult

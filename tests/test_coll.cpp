@@ -1,0 +1,508 @@
+// Collective-engine test suite.
+//
+// The centerpiece is a non-commutative reduction sweep: contributions are
+// 2x2 integer matrices over Z_1009 combined by matrix multiplication —
+// associative but emphatically not commutative — so any engine that folds
+// contributions out of ascending rank order (the old scan/exscan operand
+// swap, the root-rotated p2p reduce tree) produces a wrong matrix, not a
+// wrong-by-epsilon float. Every reduction collective is checked against a
+// sequential rank-order reference, across rank counts, payload sizes
+// straddling both the shared-memory engine's small_threshold (1KB) and the
+// p2p eager threshold (8KB), every root, and both the shared-memory and
+// p2p paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "mpi/coll_algo.hpp"
+#include "mpi/coll_shm.hpp"
+#include "mpi/runtime.hpp"
+#include "topo/topology.hpp"
+
+namespace mpi = hlsmpc::mpi;
+namespace topo = hlsmpc::topo;
+using hlsmpc::ult::TaskContext;
+
+namespace {
+
+// ---- the non-commutative operator ----
+
+constexpr std::int64_t kMod = 1009;
+
+struct Mat {
+  std::int32_t a, b, c, d;
+  friend bool operator==(const Mat&, const Mat&) = default;
+};
+
+Mat mul(const Mat& x, const Mat& y) {
+  const auto m = [](std::int64_t v) {
+    return static_cast<std::int32_t>(((v % kMod) + kMod) % kMod);
+  };
+  return Mat{
+      m(static_cast<std::int64_t>(x.a) * y.a +
+        static_cast<std::int64_t>(x.b) * y.c),
+      m(static_cast<std::int64_t>(x.a) * y.b +
+        static_cast<std::int64_t>(x.b) * y.d),
+      m(static_cast<std::int64_t>(x.c) * y.a +
+        static_cast<std::int64_t>(x.d) * y.c),
+      m(static_cast<std::int64_t>(x.c) * y.b +
+        static_cast<std::int64_t>(x.d) * y.d),
+  };
+}
+
+mpi::ReduceFn mat_fn() {
+  return [](void* inout, const void* in, std::size_t count) {
+    Mat* x = static_cast<Mat*>(inout);
+    const Mat* y = static_cast<const Mat*>(in);
+    for (std::size_t i = 0; i < count; ++i) x[i] = mul(x[i], y[i]);
+  };
+}
+
+/// Rank r's deterministic contribution for element i.
+Mat contrib(int r, std::size_t i) {
+  return Mat{static_cast<std::int32_t>(1 + (2 * r + i) % 5),
+             static_cast<std::int32_t>((r + 2 * i + 1) % 7),
+             static_cast<std::int32_t>((r * r + 3 * i + 2) % 6),
+             static_cast<std::int32_t>(1 + (3 * r + 2 * i) % 4)};
+}
+
+std::vector<Mat> make_contrib(int r, std::size_t count) {
+  std::vector<Mat> v(count);
+  for (std::size_t i = 0; i < count; ++i) v[i] = contrib(r, i);
+  return v;
+}
+
+/// Rank-order fold of ranks [0, upto]: v_0 * v_1 * ... * v_upto.
+std::vector<Mat> reference(int upto, std::size_t count) {
+  std::vector<Mat> ref = make_contrib(0, count);
+  for (int r = 1; r <= upto; ++r) {
+    for (std::size_t i = 0; i < count; ++i) ref[i] = mul(ref[i], contrib(r, i));
+  }
+  return ref;
+}
+
+// Payload sizes (in Mat elements, 16 bytes each) straddling the engine's
+// small_threshold (1024 B: 60 -> 960 B flat path, 65 -> 1040 B
+// hierarchical path) and the p2p eager threshold (8 KB: 520 -> 8320 B
+// rendezvous on the p2p path).
+constexpr std::size_t kCounts[] = {1, 60, 65, 520};
+
+struct Param {
+  int nranks;
+  mpi::ExecutorKind exec;
+  bool shm;
+};
+
+std::string param_name(const testing::TestParamInfo<Param>& info) {
+  return std::to_string(info.param.nranks) + "ranks_" +
+         (info.param.exec == mpi::ExecutorKind::thread ? "thread" : "fiber") +
+         (info.param.shm ? "_shm" : "_p2p");
+}
+
+mpi::Options opts(const Param& p) {
+  mpi::Options o;
+  o.nranks = p.nranks;
+  o.executor = p.exec;
+  o.coll.enable_shm = p.shm;
+  return o;
+}
+
+class CollParam : public testing::TestWithParam<Param> {
+ protected:
+  topo::Machine machine_ = topo::Machine::nehalem_ex(2);
+  mpi::Runtime rt_{machine_, opts(GetParam())};
+};
+
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CollParam,
+    testing::Values(Param{1, mpi::ExecutorKind::thread, true},
+                    Param{2, mpi::ExecutorKind::thread, true},
+                    Param{3, mpi::ExecutorKind::thread, true},
+                    Param{5, mpi::ExecutorKind::thread, true},
+                    Param{8, mpi::ExecutorKind::thread, true},
+                    Param{13, mpi::ExecutorKind::thread, true},
+                    Param{16, mpi::ExecutorKind::thread, true},
+                    Param{2, mpi::ExecutorKind::thread, false},
+                    Param{5, mpi::ExecutorKind::thread, false},
+                    Param{16, mpi::ExecutorKind::thread, false},
+                    Param{4, mpi::ExecutorKind::fiber, true},
+                    Param{16, mpi::ExecutorKind::fiber, true},
+                    Param{7, mpi::ExecutorKind::fiber, false}),
+    param_name);
+
+TEST(CollOp, MatrixMultiplyIsNotCommutative) {
+  // The sweep below is only meaningful if operand order is observable.
+  const Mat x = contrib(0, 0);
+  const Mat y = contrib(1, 0);
+  EXPECT_NE(mul(x, y), mul(y, x));
+}
+
+TEST(CollAlgo, DisseminationPeersAreExactMirrors) {
+  // Pins the precedence fix: the old `(me - step % n + n) % n` spelling
+  // must never come back. Every send target's receive source is the
+  // sender, at every power-of-two step, for every communicator size.
+  for (int n = 1; n <= 64; ++n) {
+    for (int step = 1; step < n; step <<= 1) {
+      for (int me = 0; me < n; ++me) {
+        const int dst = mpi::coll::dissemination_dst(me, step, n);
+        const int src = mpi::coll::dissemination_src(me, step, n);
+        EXPECT_EQ(mpi::coll::dissemination_src(dst, step, n), me);
+        EXPECT_EQ(mpi::coll::dissemination_dst(src, step, n), me);
+      }
+    }
+  }
+}
+
+TEST_P(CollParam, NonCommutativeReduceEveryRoot) {
+  const int n = GetParam().nranks;
+  std::atomic<int> bad{0};
+  rt_.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    for (std::size_t count : kCounts) {
+      const std::vector<Mat> ref = reference(n - 1, count);
+      for (int root = 0; root < n; ++root) {
+        const std::vector<Mat> in = make_contrib(me, count);
+        std::vector<Mat> out(count, Mat{-1, -1, -1, -1});
+        world.reduce(ctx, in.data(), out.data(), count, sizeof(Mat), mat_fn(),
+                     root);
+        if (me == root && out != ref) ++bad;
+      }
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_P(CollParam, NonCommutativeAllreduce) {
+  const int n = GetParam().nranks;
+  std::atomic<int> bad{0};
+  rt_.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    for (std::size_t count : kCounts) {
+      const std::vector<Mat> ref = reference(n - 1, count);
+      const std::vector<Mat> in = make_contrib(me, count);
+      std::vector<Mat> out(count);
+      world.allreduce(ctx, in.data(), out.data(), count, sizeof(Mat),
+                      mat_fn());
+      if (out != ref) ++bad;
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_P(CollParam, NonCommutativeScan) {
+  const int n = GetParam().nranks;
+  std::atomic<int> bad{0};
+  rt_.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    for (std::size_t count : kCounts) {
+      const std::vector<Mat> ref = reference(me, count);
+      const std::vector<Mat> in = make_contrib(me, count);
+      std::vector<Mat> out(count);
+      world.scan(ctx, in.data(), out.data(), count, sizeof(Mat), mat_fn());
+      if (out != ref) ++bad;
+    }
+    (void)n;
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_P(CollParam, NonCommutativeExscan) {
+  const int n = GetParam().nranks;
+  std::atomic<int> bad{0};
+  rt_.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    for (std::size_t count : kCounts) {
+      const std::vector<Mat> in = make_contrib(me, count);
+      const Mat sentinel{-7, -7, -7, -7};
+      std::vector<Mat> out(count, sentinel);
+      world.exscan(ctx, in.data(), out.data(), count, sizeof(Mat), mat_fn());
+      if (me == 0) {
+        // MPI_Exscan: rank 0's recvbuf is undefined — ours stays untouched.
+        for (const Mat& m : out) {
+          if (m != sentinel) ++bad;
+        }
+      } else {
+        if (out != reference(me - 1, count)) ++bad;
+      }
+    }
+    (void)n;
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_P(CollParam, NonCommutativeReduceScatterBlock) {
+  const int n = GetParam().nranks;
+  std::atomic<int> bad{0};
+  rt_.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    for (std::size_t count : {std::size_t{3}, std::size_t{130}}) {
+      const std::size_t total = count * static_cast<std::size_t>(n);
+      const std::vector<Mat> ref = reference(n - 1, total);
+      const std::vector<Mat> in = make_contrib(me, total);
+      std::vector<Mat> out(count);
+      world.reduce_scatter_block(ctx, in.data(), out.data(), count,
+                                 sizeof(Mat), mat_fn());
+      for (std::size_t i = 0; i < count; ++i) {
+        if (out[i] != ref[static_cast<std::size_t>(me) * count + i]) ++bad;
+      }
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_P(CollParam, InPlaceAliasedBuffers) {
+  // recvbuf == sendbuf for the ops whose engines stage or sequence around
+  // aliasing. The staged scan/exscan snapshot is exactly what makes the
+  // shared-memory path safe here.
+  const int n = GetParam().nranks;
+  std::atomic<int> bad{0};
+  rt_.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    for (std::size_t count : kCounts) {
+      std::vector<Mat> buf = make_contrib(me, count);
+      world.allreduce(ctx, buf.data(), buf.data(), count, sizeof(Mat),
+                      mat_fn());
+      if (buf != reference(n - 1, count)) ++bad;
+
+      buf = make_contrib(me, count);
+      world.scan(ctx, buf.data(), buf.data(), count, sizeof(Mat), mat_fn());
+      if (buf != reference(me, count)) ++bad;
+
+      buf = make_contrib(me, count);
+      world.exscan(ctx, buf.data(), buf.data(), count, sizeof(Mat), mat_fn());
+      if (me > 0 && buf != reference(me - 1, count)) ++bad;
+
+      buf = make_contrib(me, count);
+      world.reduce(ctx, buf.data(), buf.data(), count, sizeof(Mat), mat_fn(),
+                   0);
+      if (me == 0 && buf != reference(n - 1, count)) ++bad;
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_P(CollParam, BcastEveryRootEverySize) {
+  const int n = GetParam().nranks;
+  std::atomic<int> bad{0};
+  rt_.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    for (const std::size_t bytes : {std::size_t{1}, std::size_t{1000},
+                                    std::size_t{1048}, std::size_t{9000}}) {
+      for (int root = 0; root < n; ++root) {
+        std::vector<std::byte> buf(bytes);
+        for (std::size_t i = 0; i < bytes; ++i) {
+          buf[i] = (me == root)
+                       ? static_cast<std::byte>((i + 7 * root) % 251)
+                       : std::byte{0xee};
+        }
+        world.bcast(ctx, buf.data(), bytes, root);
+        for (std::size_t i = 0; i < bytes; ++i) {
+          if (buf[i] != static_cast<std::byte>((i + 7 * root) % 251)) ++bad;
+        }
+      }
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_P(CollParam, AllgatherAlltoall) {
+  const int n = GetParam().nranks;
+  std::atomic<int> bad{0};
+  rt_.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    for (const std::size_t words : {std::size_t{1}, std::size_t{400}}) {
+      // allgather: everyone contributes a block tagged with its rank.
+      std::vector<std::uint32_t> in(words,
+                                    static_cast<std::uint32_t>(me + 1));
+      std::vector<std::uint32_t> all(words * static_cast<std::size_t>(n));
+      world.allgather(ctx, in.data(), words * sizeof(std::uint32_t),
+                      all.data());
+      for (int r = 0; r < n; ++r) {
+        for (std::size_t i = 0; i < words; ++i) {
+          if (all[static_cast<std::size_t>(r) * words + i] !=
+              static_cast<std::uint32_t>(r + 1)) {
+            ++bad;
+          }
+        }
+      }
+      // alltoall: block (me -> r) carries me * 1000 + r.
+      std::vector<std::uint32_t> out(words * static_cast<std::size_t>(n));
+      std::vector<std::uint32_t> send(words * static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) {
+        for (std::size_t i = 0; i < words; ++i) {
+          send[static_cast<std::size_t>(r) * words + i] =
+              static_cast<std::uint32_t>(me * 1000 + r);
+        }
+      }
+      world.alltoall(ctx, send.data(), words * sizeof(std::uint32_t),
+                     out.data());
+      for (int r = 0; r < n; ++r) {
+        for (std::size_t i = 0; i < words; ++i) {
+          if (out[static_cast<std::size_t>(r) * words + i] !=
+              static_cast<std::uint32_t>(r * 1000 + me)) {
+            ++bad;
+          }
+        }
+      }
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_P(CollParam, ZeroSizeCollectivesKeepSequenceLockstep) {
+  // Zero-byte/zero-count calls are no-ops but still advance the engine's
+  // publication sequence on every rank; a real collective after a burst of
+  // them must still line up.
+  const int n = GetParam().nranks;
+  std::atomic<int> bad{0};
+  rt_.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    world.bcast(ctx, nullptr, 0, 0);
+    std::vector<Mat> empty;
+    world.allreduce(ctx, empty.data(), empty.data(), 0, sizeof(Mat),
+                    mat_fn());
+    world.scan(ctx, empty.data(), empty.data(), 0, sizeof(Mat), mat_fn());
+    const std::vector<Mat> in = make_contrib(me, 8);
+    std::vector<Mat> out(8);
+    world.allreduce(ctx, in.data(), out.data(), 8, sizeof(Mat), mat_fn());
+    if (out != reference(n - 1, 8)) ++bad;
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_P(CollParam, BarrierPhases) {
+  // Back-to-back barriers stress the hierarchical episode machinery — in
+  // particular the wide-to-narrow release order that keeps a fresh arrival
+  // off a still-claimed group.
+  const int n = GetParam().nranks;
+  constexpr int kPhases = 64;
+  std::vector<std::atomic<int>> phase(kPhases);
+  for (auto& p : phase) p.store(0);
+  std::atomic<int> bad{0};
+  rt_.run([&](mpi::Comm& world, TaskContext& ctx) {
+    for (int k = 0; k < kPhases; ++k) {
+      phase[static_cast<std::size_t>(k)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+      world.barrier(ctx);
+      if (phase[static_cast<std::size_t>(k)].load(
+              std::memory_order_relaxed) != n) {
+        ++bad;
+      }
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_P(CollParam, SplitCommunicatorsReduceCorrectly) {
+  // split() hands every child communicator its own engine; odd/even colors
+  // pin the children onto interleaved cpus, exercising the degenerate
+  // (non-contiguous) leader tree.
+  const int n = GetParam().nranks;
+  if (n < 3) GTEST_SKIP();
+  std::atomic<int> bad{0};
+  rt_.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    mpi::Comm& sub = world.split(ctx, me % 2, me);
+    const int sub_n = sub.size();
+    const int sub_me = sub.rank(ctx);
+    for (std::size_t count : {std::size_t{4}, std::size_t{200}}) {
+      const std::vector<Mat> in = make_contrib(sub_me, count);
+      std::vector<Mat> out(count);
+      sub.allreduce(ctx, in.data(), out.data(), count, sizeof(Mat), mat_fn());
+      if (out != reference(sub_n - 1, count)) ++bad;
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+#if HLSMPC_COLL_SHM_ENABLED
+
+TEST(CollShmEngine, AttachesAndFollowsTopology) {
+  // nehalem_ex(2): 2 sockets x 8 cores, one rank per cpu. The leader tree
+  // must pick up the shared-cache level (two groups of 8) below the node
+  // root; every level partitions the ranks into ascending contiguous runs.
+  topo::Machine m = topo::Machine::nehalem_ex(2);
+  mpi::Options o;
+  o.nranks = 16;
+  mpi::Runtime rt(m, o);
+  mpi::ShmCollEngine* eng = rt.world().shm_engine();
+  ASSERT_NE(eng, nullptr);
+  EXPECT_EQ(eng->size(), 16);
+  ASSERT_GE(eng->num_levels(), 2);
+
+  const auto leaf = eng->level_groups(0);
+  EXPECT_GT(leaf.size(), 1u);
+  int expect = 0;
+  for (const auto& g : leaf) {
+    ASSERT_FALSE(g.empty());
+    for (int r : g) EXPECT_EQ(r, expect++);  // ascending, contiguous runs
+  }
+  EXPECT_EQ(expect, 16);
+
+  const auto top = eng->level_groups(eng->num_levels() - 1);
+  EXPECT_EQ(top.size(), 1u);          // single root group
+  EXPECT_EQ(top.front().front(), 0);  // led by rank 0
+}
+
+TEST(CollShmEngine, ConfigDisablesEngine) {
+  topo::Machine m = topo::Machine::nehalem_ex(1);
+  mpi::Options o;
+  o.nranks = 4;
+  o.coll.enable_shm = false;
+  mpi::Runtime rt(m, o);
+  EXPECT_EQ(rt.world().shm_engine(), nullptr);
+}
+
+TEST(CollShmEngine, SingleCopyBcastStats) {
+  // A B-byte bcast to n ranks through the engine moves exactly (n-1)*B
+  // bytes — each non-root copies once, straight out of the root's buffer —
+  // and sends zero mailbox messages.
+  topo::Machine m = topo::Machine::nehalem_ex(1);
+  mpi::Options o;
+  o.nranks = 8;
+  mpi::Runtime rt(m, o);
+  ASSERT_NE(rt.world().shm_engine(), nullptr);
+  const std::uint64_t copied0 =
+      rt.stats().shm_copied_bytes.load(std::memory_order_relaxed);
+  const std::uint64_t msgs0 = rt.stats().messages.load();
+  constexpr std::size_t kBytes = 4096;
+  rt.run([&](mpi::Comm& world, TaskContext& ctx) {
+    std::vector<std::byte> buf(kBytes, std::byte{1});
+    world.bcast(ctx, buf.data(), kBytes, 3);
+  });
+  EXPECT_EQ(rt.stats().shm_copied_bytes.load(std::memory_order_relaxed) -
+                copied0,
+            7 * kBytes);
+  EXPECT_EQ(rt.stats().messages.load() - msgs0, 0u);
+  EXPECT_EQ(rt.stats().shm_collectives.load(std::memory_order_relaxed), 8u);
+}
+
+TEST(CollShmEngine, WrappedPinningDegradesToFlatTree) {
+  // More ranks than cpus: rank pinning wraps, scope instances repeat in
+  // rank order, and every topology level is rejected as non-contiguous —
+  // leaving the single-level (flat) catch-all, which must still be exact.
+  topo::Machine m = topo::Machine::generic(1, 2);  // 2 cpus
+  mpi::Options o;
+  o.nranks = 5;
+  mpi::Runtime rt(m, o);
+  mpi::ShmCollEngine* eng = rt.world().shm_engine();
+  ASSERT_NE(eng, nullptr);
+  EXPECT_EQ(eng->num_levels(), 1);
+  std::atomic<int> bad{0};
+  rt.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    const std::vector<Mat> in = make_contrib(me, 32);
+    std::vector<Mat> out(32);
+    world.allreduce(ctx, in.data(), out.data(), 32, sizeof(Mat), mat_fn());
+    if (out != reference(4, 32)) ++bad;
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+#endif  // HLSMPC_COLL_SHM_ENABLED

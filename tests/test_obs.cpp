@@ -486,6 +486,14 @@ TEST(ObsNode, SharedRecorderSeesMpiAndHls) {
     view.barrier({shared.handle()});
     world.barrier(ctx);
     (void)world.allreduce_value(ctx, 1.0, mpi::Op::sum);
+    // Explicit point-to-point traffic: collectives may be served entirely
+    // by the shared-memory engine, without a single mailbox message.
+    const int me = world.rank(ctx);
+    if (me == 0) {
+      world.send_value(ctx, 41, 1, 7);
+    } else {
+      (void)world.recv_value<int>(ctx, 0, 7);
+    }
   });
 
   const obs::Snapshot s = rec->snapshot();
@@ -514,7 +522,14 @@ TEST(ObsNode, RuntimeTracerRetrofitsAsSink) {
   node.run([&](mpi::Comm& world, hls::TaskView& view) {
     auto& ctx = view.context();
     tracer.on_write(ctx.task_id(), "x", ctx.task_id());
-    world.barrier(ctx);
+    // A real message pair: a barrier alone can be served by the
+    // shared-memory collective engine, which emits no p2p events.
+    const int me = world.rank(ctx);
+    if (me == 0) {
+      world.send_value(ctx, 1, 1, 3);
+    } else {
+      (void)world.recv_value<int>(ctx, 0, 3);
+    }
     tracer.on_read(ctx.task_id(), "x", 0);
   });
 
