@@ -1,0 +1,132 @@
+// One-sided RMA engine benchmarks.
+//
+// The put/get path is the paper's same-node claim in its smallest form:
+// a transfer into another rank's exposed region is one memmove plus an
+// epoch check, so BM_Put/BM_Get must track BM_RawMemcpy (the acceptance
+// gate holds the 64 KB put within 2x of the raw copy loop). These run on
+// a standalone two-rank window driven from one thread — no executor, no
+// scheduler noise, just the engine.
+//
+// BM_HaloExchangeStep is the epoch cost in context: 8 fiber ranks doing
+// the halo_exchange example's round (two boundary puts + two fences),
+// reported as rank 0's wall time per round (manual time; job spawn/join
+// excluded), the way bench_coll measures collectives.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "mpi/rma.hpp"
+#include "mpi/runtime.hpp"
+#include "topo/topology.hpp"
+
+using namespace hlsmpc;
+using ult::TaskContext;
+
+namespace {
+
+constexpr int kHaloRanks = 8;
+constexpr int kHaloCells = 64;  // doubles per rank, plus 2 halo slots
+constexpr int kRounds = 64;
+constexpr int kWarmup = 4;
+
+void BM_RawMemcpy(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> src(bytes, 0xA5);
+  std::vector<std::uint8_t> dst(bytes);
+  for (auto _ : state) {
+    std::memcpy(dst.data(), src.data(), bytes);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+
+void BM_Put(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> src(bytes, 0xA5);
+  std::vector<std::uint8_t> mine(64), theirs(bytes);
+  mpi::rma::Win win({{mine.data(), mine.size()}, {theirs.data(), bytes}});
+  ult::ThreadTaskContext ctx;
+  for (auto _ : state) {
+    win.put(ctx, 0, src.data(), bytes, 1, 0);
+    benchmark::DoNotOptimize(theirs.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+
+void BM_Get(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> dst(bytes);
+  std::vector<std::uint8_t> mine(64), theirs(bytes);
+  mpi::rma::Win win({{mine.data(), mine.size()}, {theirs.data(), bytes}});
+  ult::ThreadTaskContext ctx;
+  for (auto _ : state) {
+    win.get(ctx, 0, dst.data(), bytes, 1, 0);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+
+void BM_HaloExchangeStep(benchmark::State& state) {
+  const topo::Machine machine = topo::Machine::nehalem_ex(2);
+  mpi::Options o;
+  o.nranks = kHaloRanks;
+  o.executor = mpi::ExecutorKind::fiber;
+  for (auto _ : state) {
+    mpi::Runtime rt(machine, o);
+    std::atomic<std::int64_t> ns{0};
+    std::vector<std::vector<double>> strips(
+        kHaloRanks, std::vector<double>(kHaloCells + 2, 1.0));
+    rt.run([&](mpi::Comm& world, TaskContext& ctx) {
+      const int me = world.rank(ctx);
+      auto& u = strips[static_cast<std::size_t>(me)];
+      mpi::rma::Win& win =
+          world.win_create(ctx, u.data(), u.size() * sizeof(double));
+      const int left = me > 0 ? me - 1 : -1;
+      const int right = me + 1 < kHaloRanks ? me + 1 : -1;
+      const auto round = [&] {
+        if (left >= 0) {
+          win.put(ctx, me, &u[1], sizeof(double), left,
+                  (kHaloCells + 1) * sizeof(double));
+        }
+        if (right >= 0) {
+          win.put(ctx, me, &u[kHaloCells], sizeof(double), right, 0);
+        }
+        win.fence(ctx, me);  // halos published
+        u[1] += u[0];
+        u[kHaloCells] += u[kHaloCells + 1];
+        win.fence(ctx, me);  // halos stable for the next round
+      };
+      win.fence(ctx, me);
+      for (int k = 0; k < kWarmup; ++k) round();
+      world.barrier(ctx);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int k = 0; k < kRounds; ++k) round();
+      const auto t1 = std::chrono::steady_clock::now();
+      if (me == 0) {
+        ns.store(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                     .count());
+      }
+      world.win_free(ctx, win);
+    });
+    state.SetIterationTime(static_cast<double>(ns.load()) * 1e-9 / kRounds);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_RawMemcpy)->Arg(256)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_Put)->Arg(256)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_Get)->Arg(256)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_HaloExchangeStep)->UseManualTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Check bench_rma's same-node transfer bound: 64 KB put within 2x of a
+raw memcpy loop (the RMA acceptance criterion).
+
+Usage: check_rma_ratio.py CANDIDATE.json [--max-ratio 2.0]
+
+Both sides come from the same benchmark run, so the check is immune to
+the absolute-timing noise that makes cross-run gates on nanosecond
+kernels flaky: whatever the machine's state, put and memcpy saw it
+equally.
+"""
+
+import argparse
+import json
+import sys
+
+PUT = "BM_Put/65536"
+MEMCPY = "BM_RawMemcpy/65536"
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("candidate")
+    ap.add_argument("--max-ratio", type=float, default=2.0)
+    args = ap.parse_args()
+
+    with open(args.candidate) as f:
+        doc = json.load(f)
+    times = {b["name"]: b["real_time"] for b in doc.get("benchmarks", [])
+             if isinstance(b, dict) and "real_time" in b}
+    missing = [n for n in (PUT, MEMCPY) if n not in times]
+    if missing:
+        print(f"check_rma_ratio: missing benchmarks: {', '.join(missing)}")
+        return 2
+    ratio = times[PUT] / times[MEMCPY]
+    verdict = "ok" if ratio <= args.max_ratio else "REGRESSION"
+    print(f"{PUT} = {ratio:.2f}x {MEMCPY} "
+          f"(bound {args.max_ratio:.2f}x)  {verdict}")
+    return 0 if ratio <= args.max_ratio else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

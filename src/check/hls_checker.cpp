@@ -22,6 +22,26 @@ bool is_migrate(SyncEvent::Kind k) {
          k == SyncEvent::Kind::migrate_rejected;
 }
 
+bool is_rma(SyncEvent::Kind k) {
+  switch (k) {
+    case SyncEvent::Kind::rma_put:
+    case SyncEvent::Kind::rma_get:
+    case SyncEvent::Kind::rma_acc:
+    case SyncEvent::Kind::rma_fence_enter:
+    case SyncEvent::Kind::rma_fence_exit:
+    case SyncEvent::Kind::rma_lock:
+    case SyncEvent::Kind::rma_unlock:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_rma_access(SyncEvent::Kind k) {
+  return k == SyncEvent::Kind::rma_put || k == SyncEvent::Kind::rma_get ||
+         k == SyncEvent::Kind::rma_acc;
+}
+
 topo::ScopeSpec spec_of(const hls::CanonicalScope& scope) {
   return topo::ScopeSpec{scope.kind, scope.cache_level};
 }
@@ -33,7 +53,22 @@ bool contains(const std::vector<int>& v, int x) {
 std::string describe(const SyncEvent& e) {
   std::ostringstream os;
   os << hls::to_string(e.kind) << " task=" << e.task << " cpu=" << e.cpu;
-  if (!is_migrate(e.kind)) {
+  if (is_rma(e.kind)) {
+    os << " win=" << e.instance;
+    if (e.rma_target >= 0) os << " target=" << e.rma_target;
+    if (is_rma_access(e.kind)) {
+      os << " range=[" << e.rma_offset << ", "
+         << (e.rma_offset + e.rma_bytes) << ")";
+    }
+    if (e.kind == SyncEvent::Kind::rma_fence_enter ||
+        e.kind == SyncEvent::Kind::rma_fence_exit) {
+      os << " epoch=" << e.task_count;
+    }
+    if (e.kind == SyncEvent::Kind::rma_lock ||
+        e.kind == SyncEvent::Kind::rma_unlock) {
+      os << (e.rma_excl ? " exclusive" : " shared");
+    }
+  } else if (!is_migrate(e.kind)) {
     os << " scope=" << hls::to_string(e.scope) << " inst=" << e.instance
        << " task_count=" << e.task_count
        << " instance_count=" << e.instance_count;
@@ -55,6 +90,10 @@ const char* to_string(Diagnostic::Code c) {
       return "migrate_mismatch";
     case Diagnostic::Code::migrate_in_single:
       return "migrate_in_single";
+    case Diagnostic::Code::rma_race:
+      return "rma_race";
+    case Diagnostic::Code::rma_lock_overlap:
+      return "rma_lock_overlap";
     case Diagnostic::Code::structural:
       return "structural";
   }
@@ -171,11 +210,86 @@ void HlsChecker::check_migration(const SyncEvent& e) {
   }
 }
 
+void HlsChecker::check_rma(const SyncEvent& e) {
+  const auto word_key = std::make_pair(e.instance, e.rma_target);
+  switch (e.kind) {
+    case SyncEvent::Kind::rma_lock: {
+      LockState& ls = rma_locks_[word_key];
+      // Win emits the lock event after the winning CAS and the unlock
+      // event before the releasing store, so genuinely serialized
+      // critical sections can never interleave in the log: any overlap
+      // seen here is a real protocol violation.
+      if (e.rma_excl) {
+        if (ls.excl >= 0 || !ls.shared.empty()) {
+          add(Diagnostic::Code::rma_lock_overlap, e,
+              "task " + std::to_string(e.task) +
+                  " acquired rank " + std::to_string(e.rma_target) +
+                  "'s lock of window " + std::to_string(e.instance) +
+                  " exclusively while " +
+                  (ls.excl >= 0
+                       ? "task " + std::to_string(ls.excl) + " holds it"
+                       : std::to_string(ls.shared.size()) +
+                             " shared holder(s) remain"));
+        }
+        ls.excl = e.task;
+      } else {
+        if (ls.excl >= 0) {
+          add(Diagnostic::Code::rma_lock_overlap, e,
+              "task " + std::to_string(e.task) + " acquired rank " +
+                  std::to_string(e.rma_target) + "'s lock of window " +
+                  std::to_string(e.instance) +
+                  " shared while task " + std::to_string(ls.excl) +
+                  " holds it exclusively");
+        }
+        ls.shared.insert(e.task);
+      }
+      break;
+    }
+    case SyncEvent::Kind::rma_unlock: {
+      LockState& ls = rma_locks_[word_key];
+      if (e.rma_excl) {
+        if (ls.excl != e.task) {
+          add(Diagnostic::Code::structural, e,
+              "exclusive unlock by a task that does not hold the lock: " +
+                  describe(e));
+        } else {
+          ls.excl = -1;
+        }
+      } else if (ls.shared.erase(e.task) == 0) {
+        add(Diagnostic::Code::structural, e,
+            "shared unlock by a task that does not hold the lock: " +
+                describe(e));
+      }
+      break;
+    }
+    case SyncEvent::Kind::rma_fence_enter: {
+      auto& last = rma_fence_epoch_[std::make_pair(e.instance, e.task)];
+      if (e.task_count <= last) {
+        add(Diagnostic::Code::counter_regression, e,
+            "fence epoch did not advance (" + std::to_string(last) +
+                " -> " + std::to_string(e.task_count) + ") at " +
+                describe(e));
+      }
+      last = e.task_count;
+      break;
+    }
+    default:
+      break;  // accesses and fence exits carry no incremental invariant
+  }
+}
+
 void HlsChecker::on_sync_event(const SyncEvent& e) {
   std::lock_guard<std::mutex> lk(mu_);
   log_.push_back(e);
   if (is_migrate(e.kind)) {
     check_migration(e);
+    return;
+  }
+  // RMA events carry window coordinates, not scope/episode counters —
+  // routing them through the scope checks would trip counter_regression
+  // on the defaulted fields.
+  if (is_rma(e.kind)) {
+    check_rma(e);
     return;
   }
   check_counters(e);
@@ -295,6 +409,115 @@ bool HlsChecker::verify() {
   std::vector<long> episode_of;
   assign_episodes(episodes, episode_of);
 
+  // ---- RMA reconstruction, pass 1: plan the hb messages -------------
+  // Message tags continue after the episode uids so the two families
+  // never collide (episodes use uid*2 / uid*2+1 with uid < size()).
+  long next_uid = static_cast<long>(episodes.size());
+  struct Msg {
+    int peer;
+    long tag;
+  };
+  std::map<std::size_t, std::vector<Msg>> rma_sends;  // log index -> sends
+  std::map<std::size_t, std::vector<Msg>> rma_recvs;  // log index -> recvs
+
+  // Fence groups, keyed (window, epoch). A group only contributes edges
+  // when every rank that ever fences on the window entered AND exited
+  // this epoch — a real fence cannot complete with a participant missing,
+  // so anything less is a truncated log (crash, throw) and modeling it
+  // would leave unmatched receives.
+  {
+    std::map<int, std::set<int>> fencers;  // window -> every fencing task
+    struct Group {
+      std::set<int> enters, exits;
+      long uid = -1;
+    };
+    std::map<std::pair<int, std::uint64_t>, Group> groups;
+    for (const SyncEvent& e : log_) {
+      if (e.kind == SyncEvent::Kind::rma_fence_enter) {
+        fencers[e.instance].insert(e.task);
+        groups[{e.instance, e.task_count}].enters.insert(e.task);
+      } else if (e.kind == SyncEvent::Kind::rma_fence_exit) {
+        groups[{e.instance, e.task_count}].exits.insert(e.task);
+      }
+    }
+    for (auto& [key, g] : groups) {
+      const std::set<int>& all = fencers[key.first];
+      if (all.size() < 2) continue;  // no cross-task edge to model
+      if (g.enters == all && g.exits == all) g.uid = next_uid++;
+    }
+    for (std::size_t k = 0; k < log_.size(); ++k) {
+      const SyncEvent& e = log_[k];
+      if (e.kind != SyncEvent::Kind::rma_fence_enter &&
+          e.kind != SyncEvent::Kind::rma_fence_exit) {
+        continue;
+      }
+      auto git = groups.find({e.instance, e.task_count});
+      if (git == groups.end() || git->second.uid < 0) continue;
+      const Group& g = git->second;
+      const int rep = *g.enters.begin();
+      const long in_tag = g.uid * 2;
+      const long out_tag = g.uid * 2 + 1;
+      if (e.kind == SyncEvent::Kind::rma_fence_enter) {
+        // Every participant's pre-fence work flows to the representative…
+        if (e.task != rep) rma_sends[k].push_back({rep, in_tag});
+      } else if (e.task == rep) {
+        // …who forwards the merged front to everyone at its exit (Win
+        // logs an enter before publishing the epoch and an exit only
+        // after acquiring every publication, so enters precede exits in
+        // the log and every send lands before its receive).
+        for (int p : g.enters) {
+          if (p != rep) rma_recvs[k].push_back({p, in_tag});
+        }
+        for (int p : g.enters) {
+          if (p != rep) rma_sends[k].push_back({p, out_tag});
+        }
+      } else {
+        rma_recvs[k].push_back({rep, out_tag});
+      }
+    }
+  }
+
+  // Lock-release chains per (window, target) word: an exclusive
+  // acquisition synchronizes with the previous exclusive release and
+  // every shared release since (the CAS from 0 reads the end of that
+  // release sequence); a shared acquisition synchronizes with the
+  // previous exclusive release alone. Win's emission discipline (lock
+  // after the CAS, unlock before the store) guarantees each edge's
+  // unlock precedes its lock in the log.
+  {
+    struct WordChain {
+      long last_excl_unlock = -1;          // log index, -1 none
+      std::vector<long> shared_unlocks;    // since last_excl_unlock
+    };
+    std::map<std::pair<int, int>, WordChain> chains;
+    auto edge = [&](long from, std::size_t to) {
+      const int src = log_[static_cast<std::size_t>(from)].task;
+      const int dst = log_[to].task;
+      if (src == dst) return;  // program order already covers it
+      const long tag = (next_uid++) * 2;
+      rma_sends[static_cast<std::size_t>(from)].push_back({dst, tag});
+      rma_recvs[to].push_back({src, tag});
+    };
+    for (std::size_t k = 0; k < log_.size(); ++k) {
+      const SyncEvent& e = log_[k];
+      if (e.kind == SyncEvent::Kind::rma_lock) {
+        WordChain& c = chains[{e.instance, e.rma_target}];
+        if (c.last_excl_unlock >= 0) edge(c.last_excl_unlock, k);
+        if (e.rma_excl) {
+          for (long s : c.shared_unlocks) edge(s, k);
+        }
+      } else if (e.kind == SyncEvent::Kind::rma_unlock) {
+        WordChain& c = chains[{e.instance, e.rma_target}];
+        if (e.rma_excl) {
+          c.last_excl_unlock = static_cast<long>(k);
+          c.shared_unlocks.clear();
+        } else {
+          c.shared_unlocks.push_back(static_cast<long>(k));
+        }
+      }
+    }
+  }
+
   // Rebuild the log as an hb::Trace: per episode, every participant sends
   // to the representative (the single executor, or the lowest-id
   // participant for a barrier) on arrival; the representative receives
@@ -321,7 +544,39 @@ bool HlsChecker::verify() {
   };
   std::map<ScopeKey, std::vector<SingleWrite>> writes;
 
+  /// One one-sided access as a node in the trace, for the pairwise
+  /// conflict scan below.
+  struct RmaAccess {
+    int event_id;
+    std::size_t log_idx;
+  };
+  std::vector<RmaAccess> accesses;
+  long next_value = next_uid;  // unique write values for access nodes
+
   for (std::size_t k = 0; k < log_.size(); ++k) {
+    if (is_rma(log_[k].kind)) {
+      const SyncEvent& re = log_[k];
+      if (re.task < 0 || re.task >= ntasks_) continue;
+      // Receives, then the access node, then sends: a fence exit's
+      // incoming edges land before its outgoing ones, and accesses sit
+      // between the epoch edges that order them.
+      auto rit = rma_recvs.find(k);
+      if (rit != rma_recvs.end()) {
+        for (const Msg& m : rit->second) trace.recv(re.task, m.peer, m.tag);
+      }
+      if (is_rma_access(re.kind)) {
+        accesses.push_back({static_cast<int>(trace.events().size()), k});
+        trace.write(re.task,
+                    "rma:" + std::to_string(re.instance) + ":" +
+                        std::to_string(re.rma_target),
+                    next_value++);
+      }
+      auto sit = rma_sends.find(k);
+      if (sit != rma_sends.end()) {
+        for (const Msg& m : sit->second) trace.send(re.task, m.peer, m.tag);
+      }
+      continue;
+    }
     const long idx = episode_of[k];
     if (idx < 0) continue;
     const Episode& ep = episodes[static_cast<std::size_t>(idx)];
@@ -393,6 +648,42 @@ bool HlsChecker::verify() {
                 " are not ordered by happens-before";
             diags_.push_back(std::move(d));
           }
+        }
+      }
+      // Conflicting one-sided accesses: same window, same target rank,
+      // overlapping byte ranges, not both reads — racy unless some epoch
+      // (fence group or lock chain) orders them. Win::accumulate applies
+      // the ReduceFn without element atomicity, so unlike MPI_Accumulate
+      // two concurrent accumulates DO conflict here.
+      for (std::size_t i = 0; i < accesses.size(); ++i) {
+        const SyncEvent& a = log_[accesses[i].log_idx];
+        for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+          const SyncEvent& b = log_[accesses[j].log_idx];
+          if (a.instance != b.instance || a.rma_target != b.rma_target) {
+            continue;
+          }
+          if (a.task == b.task) continue;  // program order
+          if (a.kind == SyncEvent::Kind::rma_get &&
+              b.kind == SyncEvent::Kind::rma_get) {
+            continue;
+          }
+          if (a.rma_offset + a.rma_bytes <= b.rma_offset ||
+              b.rma_offset + b.rma_bytes <= a.rma_offset) {
+            continue;
+          }
+          if (!hb.parallel(accesses[i].event_id, accesses[j].event_id)) {
+            continue;
+          }
+          Diagnostic d;
+          d.code = Diagnostic::Code::rma_race;
+          d.task = a.task;
+          d.instance = a.instance;
+          d.message = "one-sided accesses race on window " +
+                      std::to_string(a.instance) + " rank " +
+                      std::to_string(a.rma_target) + ": " + describe(a) +
+                      " and " + describe(b) +
+                      " overlap and no epoch orders them";
+          diags_.push_back(std::move(d));
         }
       }
     } catch (const hls::HlsError& err) {

@@ -9,11 +9,19 @@
 //  - migration legality (§IV.A): MPC_Move must only succeed when the
 //    task's episode counters match the destination instance's, and never
 //    while the task is inside a single block.
+//  - RMA epoch discipline (mpi/rma.hpp): at most one exclusive holder
+//    (and no readers beside a writer) per window lock word, and strictly
+//    increasing fence epochs per rank.
 // verify() then re-checks exclusion with the vector-clock machinery from
 // src/hb/: each completed episode is rebuilt from the log and modeled as
 // message traffic (participants -> representative -> participants), each
 // single block as a write on its instance; two writes on one instance
-// that the happens-before order leaves parallel are a violation.
+// that the happens-before order leaves parallel are a violation. RMA
+// events join the same trace — fence groups as all-to-all message
+// exchanges through a representative, lock-release chains as messages
+// from each unlock to the lock acquisitions it released, and every
+// put/get/accumulate as an access node — so conflicting one-sided
+// accesses that neither an epoch nor a lock orders are flagged as races.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +43,10 @@ struct Diagnostic {
     counter_regression,  ///< an episode counter went backwards
     migrate_mismatch,    ///< move accepted despite counter mismatch
     migrate_in_single,   ///< move accepted inside a single block
+    rma_race,            ///< hb analysis: conflicting one-sided accesses
+                         ///< that no epoch orders
+    rma_lock_overlap,    ///< RMA lock protocol violated (incompatible
+                         ///< holders observed concurrently)
     structural,          ///< malformed event stream
   };
 
@@ -87,6 +99,10 @@ class HlsChecker final : public hls::SyncObserver {
   void check_counters(const hls::SyncEvent& e);
   void check_exclusion(const hls::SyncEvent& e);
   void check_migration(const hls::SyncEvent& e);
+  /// Incremental RMA checks: lock-word holder compatibility and fence
+  /// epoch monotonicity. RMA events carry no scope, so they route here
+  /// and never through check_counters/check_exclusion.
+  void check_rma(const hls::SyncEvent& e);
   /// Pass 1 of verify(): episode reconstruction. Fills `episodes` and the
   /// per-log-index assignment (-1 = not part of an episode).
   void assign_episodes(std::vector<Episode>& episodes,
@@ -110,6 +126,15 @@ class HlsChecker final : public hls::SyncObserver {
   std::map<ScopeKey, int> active_executor_;
   std::vector<int> single_depth_;  // per task
   bool migration_seen_ = false;
+
+  // Incremental RMA state, keyed by (window id, target rank).
+  struct LockState {
+    int excl = -1;          // task holding exclusively, -1 none
+    std::set<int> shared;   // tasks holding shared
+  };
+  std::map<std::pair<int, int>, LockState> rma_locks_;
+  std::map<std::pair<int, int>, std::uint64_t>
+      rma_fence_epoch_;  // (win, task) -> last fence epoch entered
 };
 
 }  // namespace hlsmpc::check

@@ -156,6 +156,24 @@ void* Runtime::get_addr(const VarHandle& h, ult::TaskContext& ctx) {
   return r.base + h.offset;
 }
 
+#if HLSMPC_RMA_ENABLED
+VarHandle Runtime::rma_backing(const std::string& name, std::size_t bytes,
+                               const topo::ScopeSpec& scope) {
+  if (bytes == 0) {
+    throw HlsError("rma_backing: window region must be non-empty");
+  }
+  // A window's backing is an ordinary HLS module registered after the
+  // initial commit wave (the registry supports late modules); storage
+  // materializes lazily on each instance's first get_addr like any other
+  // scope variable.
+  ModuleBuilder mb(reg_, "rma:" + name);
+  VarHandle h =
+      mb.add_raw(name, scope, bytes, alignof(std::max_align_t), VarInitFn{});
+  mb.commit();
+  return h;
+}
+#endif  // HLSMPC_RMA_ENABLED
+
 CanonicalScope Runtime::common_scope(
     std::initializer_list<VarHandle> vars) const {
   if (vars.size() == 0) {

@@ -25,6 +25,10 @@
 #include "memtrack/memtrack.hpp"
 #include "obs/recorder.hpp"
 
+#ifndef HLSMPC_RMA_ENABLED
+#define HLSMPC_RMA_ENABLED 1
+#endif
+
 namespace hlsmpc::hls {
 
 class Runtime;
@@ -175,6 +179,19 @@ class Runtime {
   /// task has seen exactly as many single/barrier episodes as the
   /// destination's scope instances (paper §IV.A).
   void migrate(ult::TaskContext& ctx, int new_cpu);
+
+#if HLSMPC_RMA_ENABLED
+  /// Scope backing for a one-sided RMA window (mpi::rma): registers a
+  /// fresh single-variable module "rma:<name>" of `bytes` per scope
+  /// instance and returns its handle. At the default core scope every
+  /// task resolves a private region (one task per core), which each rank
+  /// passes to Comm::win_create — the window then IS scope storage, so
+  /// put/get are single-copy loads/stores into HLS-placed memory. Wider
+  /// scopes alias ranks sharing an instance onto one region (deliberate:
+  /// that is the paper's flexible-sharing knob).
+  VarHandle rma_backing(const std::string& name, std::size_t bytes,
+                        const topo::ScopeSpec& scope = topo::core_scope());
+#endif
 
   /// Scope shared by all variables of the list (throws if mixed: the
   /// paper's "same HLS scope" compile-time check for single).

@@ -29,6 +29,20 @@ const char* to_string(SyncEvent::Kind k) {
       return "migrate_ok";
     case SyncEvent::Kind::migrate_rejected:
       return "migrate_rejected";
+    case SyncEvent::Kind::rma_put:
+      return "rma_put";
+    case SyncEvent::Kind::rma_get:
+      return "rma_get";
+    case SyncEvent::Kind::rma_acc:
+      return "rma_acc";
+    case SyncEvent::Kind::rma_fence_enter:
+      return "rma_fence_enter";
+    case SyncEvent::Kind::rma_fence_exit:
+      return "rma_fence_exit";
+    case SyncEvent::Kind::rma_lock:
+      return "rma_lock";
+    case SyncEvent::Kind::rma_unlock:
+      return "rma_unlock";
   }
   return "?";
 }

@@ -49,17 +49,36 @@ struct SyncEvent {
     nowait_skip,        ///< task skipped an already-claimed nowait site
     migrate_ok,         ///< MPC_Move accepted (cpu = destination)
     migrate_rejected,   ///< MPC_Move refused (cpu = attempted destination)
+    // One-sided RMA steps, emitted by mpi::rma::Win when an observer is
+    // installed (window id in `instance`, details in the rma_* fields;
+    // `scope` is unused). Emission order is disciplined so log order
+    // respects the real synchronization order: fence_enter precedes the
+    // epoch publication, fence_exit follows the last acquire, lock
+    // follows the acquiring CAS, unlock precedes the releasing store.
+    rma_put,            ///< one-sided put by `task` into rma_target
+    rma_get,            ///< one-sided get by `task` from rma_target
+    rma_acc,            ///< one-sided accumulate by `task` into rma_target
+    rma_fence_enter,    ///< task entered a window fence (task_count = epoch)
+    rma_fence_exit,     ///< task left the fence (saw all ranks at the epoch)
+    rma_lock,           ///< passive-target lock acquired (rma_excl set)
+    rma_unlock,         ///< passive-target lock about to be released
   };
 
   Kind kind = Kind::barrier_enter;
   int task = -1;
   int cpu = -1;       ///< task's cpu (destination cpu for migrate events)
   CanonicalScope scope;
-  int instance = -1;  ///< scope instance index (-1 for migrate events)
-  /// Task's episode count for `scope` at emission time (incl. nowait).
+  int instance = -1;  ///< scope instance index; window id for rma events
+  /// Task's episode count for `scope` at emission time (incl. nowait);
+  /// the fence epoch number for rma_fence_* events.
   std::uint64_t task_count = 0;
   /// Instance's episode count for `scope` at emission time (incl. nowait).
   std::uint64_t instance_count = 0;
+  // RMA payload (rma_* kinds only).
+  int rma_target = -1;          ///< target rank of the op / lock word
+  std::uint64_t rma_offset = 0; ///< byte offset inside the target region
+  std::uint64_t rma_bytes = 0;  ///< bytes touched by the op
+  bool rma_excl = false;        ///< lock/unlock: exclusive (vs shared)
 };
 
 const char* to_string(SyncEvent::Kind k);

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "mpi/coll_shm.hpp"
+#include "mpi/rma.hpp"
 #include "mpi/runtime.hpp"
 
 namespace hlsmpc::mpi {
@@ -130,5 +131,46 @@ Comm& Comm::split(ult::TaskContext& ctx, int color, int key) {
 }
 
 Comm& Comm::dup(ult::TaskContext& ctx) { return split(ctx, 0, rank(ctx)); }
+
+#if HLSMPC_RMA_ENABLED
+rma::Win& Comm::win_create(ult::TaskContext& ctx, void* base,
+                           std::size_t bytes, const rma::WinOptions& opts) {
+  const int me = rank(ctx);
+  const int n = size();
+
+  // Gather every rank's exposed region — identical vectors on all ranks.
+  const rma::MemRegion mine{base, bytes};
+  std::vector<rma::MemRegion> regions(static_cast<std::size_t>(n));
+  allgather(ctx, &mine, sizeof(rma::MemRegion), regions.data());
+
+  // Same publication scheme as split(): one address space, so rank 0
+  // builds the shared Win once and bcasts the pointer.
+  rma::Win* win = nullptr;
+  if (me == 0) {
+    rma::WinOptions o = opts;
+    if (o.obs == nullptr) o.obs = rt_->obs();
+    win = &rt_->register_win(
+        std::make_unique<rma::Win>(std::move(regions), std::move(o)));
+  }
+  bcast(ctx, &win, sizeof(win), 0);
+  return *win;
+}
+
+rma::Win& Comm::win_create(ult::TaskContext& ctx, void* base,
+                           std::size_t bytes) {
+  return win_create(ctx, base, bytes, rma::WinOptions{});
+}
+
+void Comm::win_free(ult::TaskContext& ctx, rma::Win& win) {
+  const int me = rank(ctx);
+  // Quiesce: order every outstanding access before destruction.
+  win.fence(ctx, me);
+  // A rank can exit its fence while a peer is still polling the epoch
+  // words, so destruction must wait for every rank to leave the window
+  // entirely — that is what this comm barrier adds over the fence.
+  barrier(ctx);
+  if (me == 0) rt_->release_win(win);
+}
+#endif  // HLSMPC_RMA_ENABLED
 
 }  // namespace hlsmpc::mpi

@@ -17,10 +17,21 @@
 #include "mpi/types.hpp"
 #include "ult/task_context.hpp"
 
+#ifndef HLSMPC_RMA_ENABLED
+#define HLSMPC_RMA_ENABLED 1
+#endif
+
 namespace hlsmpc::mpi {
 
 class Runtime;
 class ShmCollEngine;
+
+#if HLSMPC_RMA_ENABLED
+namespace rma {
+class Win;
+struct WinOptions;
+}  // namespace rma
+#endif
 
 class Comm {
  public:
@@ -116,6 +127,23 @@ class Comm {
   /// communicator (same object for all members of a color).
   Comm& split(ult::TaskContext& ctx, int color, int key);
   Comm& dup(ult::TaskContext& ctx);
+
+#if HLSMPC_RMA_ENABLED
+  // ---- one-sided (RMA) windows ----
+  /// Collective. Exposes each rank's [base, base+bytes) for one-sided
+  /// access by every member of this comm (ranks may expose different
+  /// sizes, including zero). The window lives in the runtime's registry
+  /// until win_free; one Win object is shared by all ranks. The overload
+  /// without options inherits the runtime's obs recorder; `opts` lets
+  /// callers attach a SyncObserver / watchdog (opts.obs == nullptr is
+  /// replaced by the runtime's recorder).
+  rma::Win& win_create(ult::TaskContext& ctx, void* base, std::size_t bytes,
+                       const rma::WinOptions& opts);
+  rma::Win& win_create(ult::TaskContext& ctx, void* base, std::size_t bytes);
+  /// Collective. Quiesces the window with a final fence, then destroys
+  /// it. The reference is dead for every rank after this returns.
+  void win_free(ult::TaskContext& ctx, rma::Win& win);
+#endif
 
   // ---- typed convenience ----
   template <typename T>

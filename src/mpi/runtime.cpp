@@ -3,6 +3,8 @@
 #include <numeric>
 #include <thread>
 
+#include "mpi/rma.hpp"
+
 namespace hlsmpc::mpi {
 
 Runtime::Runtime(const topo::Machine& machine, Options opts,
@@ -87,6 +89,24 @@ Comm& Runtime::register_comm(std::unique_ptr<Comm> comm) {
   comms_.push_back(std::move(comm));
   return *comms_.back();
 }
+
+#if HLSMPC_RMA_ENABLED
+rma::Win& Runtime::register_win(std::unique_ptr<rma::Win> win) {
+  std::lock_guard<std::mutex> lk(comms_mu_);
+  wins_.push_back(std::move(win));
+  return *wins_.back();
+}
+
+void Runtime::release_win(rma::Win& win) {
+  std::lock_guard<std::mutex> lk(comms_mu_);
+  for (auto it = wins_.begin(); it != wins_.end(); ++it) {
+    if (it->get() == &win) {
+      wins_.erase(it);
+      return;
+    }
+  }
+}
+#endif
 
 void Runtime::run(const std::function<void(Comm&, ult::TaskContext&)>& body) {
   std::vector<int> pins(static_cast<std::size_t>(nranks_));

@@ -91,6 +91,14 @@ class Runtime {
   Mailbox& mailbox(int task_id);
   int alloc_context();
   Comm& register_comm(std::unique_ptr<Comm> comm);
+#if HLSMPC_RMA_ENABLED
+  /// Take ownership of a collectively created RMA window (Comm::win_create
+  /// registers through here; windows outlive the creating run() call until
+  /// released).
+  rma::Win& register_win(std::unique_ptr<rma::Win> win);
+  /// Destroy a registered window (Comm::win_free). No-op for unknown wins.
+  void release_win(rma::Win& win);
+#endif
 
  private:
   topo::Machine machine_;
@@ -100,6 +108,9 @@ class Runtime {
   std::unique_ptr<BufferManager> buffers_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<Comm>> comms_;
+#if HLSMPC_RMA_ENABLED
+  std::vector<std::unique_ptr<rma::Win>> wins_;  // guarded by comms_mu_
+#endif
   std::mutex comms_mu_;
   std::atomic<int> next_context_{0};
   TransportStats stats_;

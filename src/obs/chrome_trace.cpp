@@ -45,6 +45,9 @@ const char* category(EventKind k) {
       return "mpi";
     case EventKind::watchdog:
       return "fault";
+    case EventKind::rma_op:
+    case EventKind::rma_epoch:
+      return "rma";
   }
   return "?";
 }
@@ -66,6 +69,14 @@ std::string slice_name(const TraceNaming& naming, const Event& e) {
       break;
     case EventKind::p2p_recv:
       name += " <- " + std::to_string(e.arg);
+      break;
+    case EventKind::rma_op:
+      name = std::string("rma ") +
+             to_string(static_cast<RmaOp>(e.arg));
+      break;
+    case EventKind::rma_epoch:
+      name = e.arg == 0 ? "rma fence"
+                        : (e.arg == 1 ? "rma lock shared" : "rma lock excl");
       break;
     default:
       break;
@@ -99,6 +110,12 @@ void emit_args(std::ostringstream& os, const Event& e) {
       break;
     case EventKind::watchdog:
       os << ", \"waited_ms\": " << e.arg << ", \"missing_mask\": " << e.arg2;
+      break;
+    case EventKind::rma_op:
+      os << ", \"bytes\": " << e.arg2;
+      break;
+    case EventKind::rma_epoch:
+      if (e.arg != 0) os << ", \"target\": " << e.arg2;
       break;
     default:
       break;

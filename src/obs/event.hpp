@@ -45,6 +45,12 @@ enum class Counter : int {
   p2p_sends,            ///< point-to-point sends initiated
   p2p_recvs,            ///< point-to-point receives completed
   coll_shm_ops,         ///< collectives served by the shared-memory engine
+  rma_puts,             ///< one-sided puts performed
+  rma_gets,             ///< one-sided gets performed
+  rma_accs,             ///< one-sided accumulates applied
+  rma_bytes,            ///< bytes moved by one-sided ops (put + get + acc)
+  rma_fences,           ///< RMA fence epochs completed
+  rma_locks,            ///< passive-target RMA locks acquired
   kCount
 };
 
@@ -65,12 +71,22 @@ enum class EventKind : std::uint8_t {
   p2p_send,     ///< send initiated (arg = peer task, arg2 = ctx<<32|tag)
   p2p_recv,     ///< receive completed (arg = peer task, arg2 = ctx<<32|tag)
   ctx_switch,   ///< fiber resumed on a worker (arg = worker)
-  watchdog,     ///< sync watchdog fired: a barrier/single stuck past the
-                ///< deadline (instant; arg = ms waited, arg2 = missing-task
-                ///< bitmask for tasks 0..63)
+  watchdog,     ///< sync watchdog fired: a barrier/single/RMA epoch stuck
+                ///< past the deadline (instant; arg = ms waited, arg2 =
+                ///< missing-task bitmask for tasks 0..63)
+  rma_op,       ///< one one-sided op: put/get/accumulate (instance =
+                ///< window id, arg = RmaOp, arg2 = bytes)
+  rma_epoch,    ///< one RMA epoch episode: fence enter -> exit (arg = 0)
+                ///< or lock -> unlock (arg = 1 shared / 2 exclusive,
+                ///< arg2 = target rank); instance = window id
 };
 
 const char* to_string(EventKind k);
+
+/// One-sided op id carried in Event::arg for EventKind::rma_op.
+enum class RmaOp : std::int8_t { put, get, accumulate };
+
+const char* to_string(RmaOp op);
 
 /// Collective operation id carried in Event::arg for EventKind::collective.
 enum class CollOp : std::int8_t {

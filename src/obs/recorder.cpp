@@ -37,6 +37,18 @@ const char* to_string(Counter c) {
       return "p2p_recvs";
     case Counter::coll_shm_ops:
       return "coll_shm_ops";
+    case Counter::rma_puts:
+      return "rma_puts";
+    case Counter::rma_gets:
+      return "rma_gets";
+    case Counter::rma_accs:
+      return "rma_accs";
+    case Counter::rma_bytes:
+      return "rma_bytes";
+    case Counter::rma_fences:
+      return "rma_fences";
+    case Counter::rma_locks:
+      return "rma_locks";
     case Counter::kCount:
       break;
   }
@@ -67,6 +79,22 @@ const char* to_string(EventKind k) {
       return "ctx_switch";
     case EventKind::watchdog:
       return "watchdog";
+    case EventKind::rma_op:
+      return "rma_op";
+    case EventKind::rma_epoch:
+      return "rma_epoch";
+  }
+  return "?";
+}
+
+const char* to_string(RmaOp op) {
+  switch (op) {
+    case RmaOp::put:
+      return "put";
+    case RmaOp::get:
+      return "get";
+    case RmaOp::accumulate:
+      return "accumulate";
   }
   return "?";
 }

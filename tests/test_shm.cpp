@@ -5,7 +5,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <set>
 
@@ -394,4 +397,76 @@ TEST(ProcessNode, LivelockedRankHitsSyncTimeout) {
   }
   EXPECT_LT(std::chrono::steady_clock::now() - start,
             std::chrono::seconds(10));
+}
+
+// An RMA-style passive-target lock word (mpi/rma.hpp's layout: bit 63 =
+// exclusive, bits 32.. = owner+1) lives in node-shared storage; the rank
+// holding it exclusively is SIGKILLed. The supervisor must name the dead
+// rank, and the surviving ranks must recover the orphaned word the way
+// robust mutexes signal EOWNERDEAD: observe the holder is gone, restore
+// the word to a consistent (free) state, and take the lock themselves.
+TEST(ProcessNode, SigkilledExclusiveLockHolderIsNamedAndWordRecovered) {
+  constexpr std::uint64_t kExclBit = std::uint64_t{1} << 63;
+  const auto excl_word = [](int rank) {
+    return kExclBit | (static_cast<std::uint64_t>(rank + 1) << 32);
+  };
+  const std::string marker =
+      testing::TempDir() + "/hlsmpc_rma_lock_recovery_marker";
+  std::remove(marker.c_str());
+
+  const topo::Machine m = topo::Machine::core2_cluster_node();
+  shm::ProcessNode node(m, 4);
+  // [0] = lock word, [1] = holder pid (so survivors can prove it died).
+  node.add_var("win", 2 * sizeof(std::uint64_t), topo::node_scope());
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    node.run([&](shm::ProcessTask& t) {
+      auto* base = t.var_as<std::uint64_t>("win");
+      auto* word = reinterpret_cast<std::atomic<std::uint64_t>*>(base);
+      auto* holder_pid = reinterpret_cast<std::atomic<std::uint64_t>*>(base + 1);
+      if (t.rank() == 1) {
+        std::uint64_t expected = 0;
+        word->compare_exchange_strong(expected, excl_word(1));
+        holder_pid->store(static_cast<std::uint64_t>(getpid()));
+        raise(SIGKILL);  // dies holding the exclusive lock
+      }
+      // Survivors: wait until rank 1 provably holds the word, then wait
+      // for its death (ESRCH once the supervisor reaped it) and recover.
+      while (word->load() != excl_word(1) || holder_pid->load() == 0) {
+        usleep(500);
+      }
+      const pid_t dead = static_cast<pid_t>(holder_pid->load());
+      while (!(kill(dead, 0) == -1 && errno == ESRCH)) usleep(500);
+      std::uint64_t orphaned = excl_word(1);
+      if (word->compare_exchange_strong(orphaned, 0)) {
+        // This rank made the word consistent again; leave the evidence.
+        if (FILE* f = fopen(marker.c_str(), "w")) fclose(f);
+      }
+      // The recovered word must be takeable by a survivor.
+      for (;;) {
+        std::uint64_t free_word = 0;
+        if (word->compare_exchange_strong(free_word, excl_word(t.rank()))) {
+          word->store(0);
+          break;
+        }
+        usleep(100);
+      }
+      t.barrier("win");  // rank 1 never arrives: the supervisor reports it
+    });
+    FAIL() << "expected ShmError";
+  } catch (const shm::ShmError& e) {
+    EXPECT_EQ(e.code(), hlsmpc::ErrorCode::task_died);
+    EXPECT_NE(std::string(e.what()).find("rank 1"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("killed by signal 9"),
+              std::string::npos)
+        << e.what();
+  }
+  // Exactly one survivor won the recovery CAS and left the marker.
+  FILE* f = fopen(marker.c_str(), "r");
+  EXPECT_NE(f, nullptr) << "no survivor recovered the orphaned lock word";
+  if (f != nullptr) fclose(f);
+  std::remove(marker.c_str());
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(20));
 }
