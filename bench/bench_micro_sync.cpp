@@ -201,4 +201,4 @@ BENCHMARK(BM_SingleNowait)->Threads(8)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main: bench/gbench_main.cpp (stamps hlsmpc_build_type into the context)

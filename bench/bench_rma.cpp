@@ -129,4 +129,4 @@ BENCHMARK(BM_Put)->Arg(256)->Arg(4096)->Arg(65536);
 BENCHMARK(BM_Get)->Arg(256)->Arg(4096)->Arg(65536);
 BENCHMARK(BM_HaloExchangeStep)->UseManualTime();
 
-BENCHMARK_MAIN();
+// main: bench/gbench_main.cpp (stamps hlsmpc_build_type into the context)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Check the pipelined-collective acceptance bounds within one bench_coll
+run.
+
+The gated number is BM_AllreducePipelineSpeedup's speedup_best counter:
+that benchmark interleaves monolithic and pipelined batches rep by rep
+inside one process and reports the ratio of each variant's minimum batch
+time. External load only ever inflates a batch, so the min over several
+interleaved reps is each path's quiet-window cost — the machine-intrinsic
+number the bound is about — immune to the load drift that makes
+cross-benchmark (let alone cross-run) timing diffs flake on shared
+hosts. Bounds: at 4 MB — where
+the per-rank working set spills L2 and fragment blocking pays — the
+pipelined path must win by --min-speedup; at 1 MB (near the crossover)
+it must at least break even; at 1 KB — where both variants select the
+identical staged path — the pipelined configuration must not cost more
+than --small-slack.
+
+The message-size sweep families (BM_BcastSweep, BM_AllreduceSweep,
+BM_AllgatherSweep) are checked for presence at every power-of-two point:
+the crossover curve must be complete in the candidate even though its
+absolute times are too load-sensitive to diff against a baseline.
+
+Usage: check_coll_ratio.py CANDIDATE.json [--min-speedup 1.3]
+                                          [--mid-floor 0.95]
+                                          [--small-slack 1.15]
+"""
+
+import argparse
+import json
+import sys
+
+SPEEDUP_SIZE = 4 << 20
+MID_SIZE = 1 << 20
+SMALL_SIZE = 1024
+
+SWEEP_FAMILIES = ("BM_BcastSweep", "BM_AllreduceSweep", "BM_AllgatherSweep")
+SWEEP_SIZES = [64 << i for i in range(15)]  # 64 B .. 1 MB
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("candidate")
+    ap.add_argument("--min-speedup", type=float, default=1.3,
+                    help="required median mono/pipelined time ratio at 4 MB "
+                         "(default 1.3)")
+    ap.add_argument("--mid-floor", type=float, default=0.95,
+                    help="min median mono/pipelined time ratio at 1 MB "
+                         "(default 0.95: break even within noise)")
+    ap.add_argument("--small-slack", type=float, default=1.15,
+                    help="max median pipelined/mono time ratio at 1 KB "
+                         "(default 1.15)")
+    args = ap.parse_args()
+
+    with open(args.candidate) as f:
+        doc = json.load(f)
+    entries = {b["name"]: b for b in doc.get("benchmarks", [])
+               if isinstance(b, dict) and "name" in b}
+
+    failures = []
+
+    bounds = {
+        SPEEDUP_SIZE: ("4 MB", args.min_speedup),
+        MID_SIZE: ("1 MB", args.mid_floor),
+        SMALL_SIZE: ("1 KB", 1.0 / args.small_slack),
+    }
+    for size, (label, floor) in bounds.items():
+        name = f"BM_AllreducePipelineSpeedup/{size}/iterations:1/manual_time"
+        entry = entries.get(name)
+        if entry is None or "speedup_best" not in entry:
+            print(f"check_coll_ratio: missing speedup_best for {label}")
+            return 2
+        speedup = entry["speedup_best"]
+        median = entry.get("speedup_median", float("nan"))
+        verdict = "ok" if speedup >= floor else "REGRESSION"
+        if verdict != "ok":
+            failures.append(name)
+        print(f"allreduce {label:>5}: pipelined speedup_best {speedup:.2f}x "
+              f"(median {median:.2f}x, bound >= {floor:.2f}x)  {verdict}")
+
+    for family in SWEEP_FAMILIES:
+        missing = [s for s in SWEEP_SIZES
+                   if f"{family}/{s}/iterations:1/manual_time" not in entries]
+        if missing:
+            failures.append(family)
+            print(f"{family}: missing sweep points {missing}")
+        else:
+            print(f"{family}: all {len(SWEEP_SIZES)} sweep points present")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

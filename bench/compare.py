@@ -23,6 +23,15 @@ renamed or dropped benchmark silently passing is how gates rot);
 a benchmark run at all (no "benchmarks" array, or entries without the
 expected metric fields) exits 2.
 
+A run from an unoptimized build exits 2 as well: timings from -O0 code
+gate nothing. The binaries stamp "hlsmpc_build_type" into the run
+context (see bench/gbench_main.cpp — the stock "library_build_type" key
+reports how the *benchmark library* was compiled, which on hosts with a
+debug-built system package says "debug" for every run); when the stamp
+is absent, library_build_type is the fallback, so old baselines recorded
+before the stamp existed are rejected until regenerated. Runs without
+any "context" object (fig3's counter format) skip the check.
+
 Observability counters (bench_micro_sync emits them as user counters,
 fig3 as a "counters" object) are compared when a benchmark carries them
 in both runs; drift is reported but only fails with --check-counters.
@@ -44,6 +53,7 @@ _GBENCH_FIELDS = {
     "per_family_instance_index", "repetitions", "repetition_index",
     "threads", "iterations", "real_time", "cpu_time", "time_unit",
     "aggregate_name", "aggregate_unit", "big_o", "rms",
+    "bytes_per_second", "items_per_second",
 }
 
 
@@ -54,6 +64,14 @@ def load(path):
             doc.get("benchmarks"), list):
         raise SchemaError(f"{path}: no \"benchmarks\" array — not a "
                           "benchmark run")
+    ctx = doc.get("context")
+    if isinstance(ctx, dict):
+        build = ctx.get("hlsmpc_build_type", ctx.get("library_build_type"))
+        if build == "debug":
+            raise SchemaError(
+                f"{path}: context reports a debug build — unoptimized "
+                "timings cannot serve as a baseline or candidate "
+                "(rebuild with the bench preset)")
     metrics = {}
     counters = {}
     for b in doc["benchmarks"]:

@@ -1,0 +1,19 @@
+// Shared main for the google-benchmark binaries. The stock
+// library_build_type context key reports how the *benchmark library* was
+// compiled — the system package here is a debug build, so it says "debug"
+// no matter what flags this repo builds with. Stamp the build type of the
+// benchmark binary itself so bench/compare.py can refuse to gate timings
+// from genuinely unoptimized builds without tripping on the library's.
+#include <benchmark/benchmark.h>
+
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("hlsmpc_build_type", "release");
+#else
+  benchmark::AddCustomContext("hlsmpc_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

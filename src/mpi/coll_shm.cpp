@@ -1,7 +1,10 @@
 #include "mpi/coll_shm.hpp"
 
+#if HLSMPC_COLL_SHM_ENABLED
+
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <numeric>
 #include <unordered_set>
 
@@ -25,6 +28,12 @@ ShmCollEngine::ShmCollEngine(const topo::Machine& machine,
       throw MpiError("ShmCollEngine: rank pinned outside the machine");
     }
   }
+#if !HLSMPC_COLL_PIPELINE_ENABLED
+  // Pipeline kill switch: no payload is ever strictly above SIZE_MAX, so
+  // the selector degenerates to the two-way staged/zero-copy choice.
+  cfg_.pipeline_threshold = std::numeric_limits<std::size_t>::max();
+#endif
+  if (cfg_.fragment_bytes == 0) cfg_.fragment_bytes = 1;
   Level flat;
   auto everyone = std::make_unique<Group>();
   everyone->members.resize(static_cast<std::size_t>(n_));
@@ -121,6 +130,69 @@ std::vector<std::vector<int>> ShmCollEngine::level_groups(int level) const {
   return out;
 }
 
+ShmCollEngine::FragGeom ShmCollEngine::frag_geom(std::size_t count,
+                                                 std::size_t elem_bytes) const {
+  FragGeom g;
+  if (count == 0) return g;
+  std::size_t fe =
+      elem_bytes != 0 ? cfg_.fragment_bytes / elem_bytes : cfg_.fragment_bytes;
+  if (fe == 0) fe = 1;  // one oversized element per fragment
+  if (fe > count) fe = count;
+  g.frag_elems = fe;
+  g.nfrags = static_cast<std::uint32_t>((count + fe - 1) / fe);
+  return g;
+}
+
+void ShmCollEngine::invalidate_registrations() {
+  for (Priv& p : priv_) {
+    for (Registration& r : p.reg) r = Registration{};
+    p.reg_stamp = 0;
+    p.reg_cpu = -1;
+  }
+}
+
+ShmCollEngine::Registration& ShmCollEngine::resolve_registration(
+    ult::TaskContext& ctx, int me, const void* addr, std::size_t count,
+    std::size_t elem_bytes) {
+  Priv& p = priv_[static_cast<std::size_t>(me)];
+  if (p.reg_cpu != ctx.cpu()) {
+    // First lookup, or the rank migrated since these entries were
+    // resolved: the attach blocks are warm in another CPU's cache domain,
+    // so flush the whole set — the invalidate-on-migrate discipline of
+    // the per-task address cache.
+    for (Registration& r : p.reg) r = Registration{};
+    p.reg_cpu = ctx.cpu();
+  }
+  Registration* victim = &p.reg[0];
+  for (Registration& r : p.reg) {
+    if (r.stamp != 0 && r.addr == addr && r.count == count &&
+        r.elem_bytes == elem_bytes) {
+      r.stamp = ++p.reg_stamp;
+      if (stats_ != nullptr) {
+        stats_->reg_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      return r;
+    }
+    if (r.stamp < victim->stamp) victim = &r;
+  }
+  if (stats_ != nullptr) {
+    stats_->reg_cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Evict the least-recently-used way but keep its block's capacity: the
+  // storage is what the cache exists to keep stable.
+  victim->addr = addr;
+  victim->count = count;
+  victim->elem_bytes = elem_bytes;
+  victim->geom = frag_geom(count, elem_bytes);
+  victim->stamp = ++p.reg_stamp;
+  return *victim;
+}
+
+std::byte* ShmCollEngine::reg_block(Registration& reg, std::size_t bytes) {
+  if (reg.block.size() < bytes) reg.block.resize(bytes);
+  return reg.block.data();
+}
+
 std::uint64_t ShmCollEngine::begin(int me) {
   if (stats_ != nullptr) {
     stats_->shm_collectives.fetch_add(1, std::memory_order_relaxed);
@@ -129,6 +201,14 @@ std::uint64_t ShmCollEngine::begin(int me) {
   // rule), so the private counter IS the publication sequence number every
   // peer expects — no shared counter, no negotiation.
   return ++priv_[static_cast<std::size_t>(me)].seq;
+}
+
+ShmCollEngine::FragGeom ShmCollEngine::begin_pipelined(
+    std::size_t count, std::size_t elem_bytes) {
+  if (stats_ != nullptr) {
+    stats_->shm_pipelined_collectives.fetch_add(1, std::memory_order_relaxed);
+  }
+  return frag_geom(count, elem_bytes);
 }
 
 void ShmCollEngine::wait_seq(const std::atomic<std::uint64_t>& w,
@@ -182,6 +262,53 @@ void ShmCollEngine::publish_result(int me, const void* p, std::uint64_t seq) {
   Slot& s = slots_[static_cast<std::size_t>(me)];
   s.acc_ptr.store(p, std::memory_order_relaxed);
   s.acc_seq.store(seq, std::memory_order_release);
+}
+
+void ShmCollEngine::publish_frag(ult::TaskContext& ctx,
+                                 std::atomic<std::uint64_t>& w,
+                                 std::uint64_t value) {
+  // Explorer preemption point between producing a fragment and making it
+  // visible — ScheduleExplorer sweeps fragment publication orders through
+  // here (and a mutation that hoists the store above the production is
+  // exactly the seeded bug the explorer test catches).
+  ctx.sync_point("coll:frag-publish");
+  w.store(value, std::memory_order_release);
+}
+
+void ShmCollEngine::count_frags(std::uint32_t nfrags) {
+  // One batched bump per call instead of one atomic RMW per published
+  // fragment: the stat sits on the producer's critical path.
+  if (stats_ != nullptr && nfrags != 0) {
+    stats_->shm_fragments.fetch_add(nfrags, std::memory_order_relaxed);
+  }
+}
+
+void ShmCollEngine::drain_frags(ult::TaskContext& ctx,
+                                const std::atomic<std::uint64_t>& w,
+                                std::uint64_t base, const FragGeom& geom,
+                                std::size_t elem_bytes, std::size_t bytes,
+                                const std::atomic<const void*>& srcp,
+                                std::byte* dst) {
+  std::uint32_t f = 0;
+  wait_seq(w, base + 1, ctx);
+  // Only now is the producer's pointer store visible (it precedes the
+  // first release in program order); loading it before the acquire would
+  // read null or a stale registration from an earlier call.
+  const std::byte* src =
+      static_cast<const std::byte*>(srcp.load(std::memory_order_relaxed));
+  while (f < geom.nfrags) {
+    wait_seq(w, base + f + 1, ctx);
+    // Everything the producer has published by now is consumed as one
+    // contiguous span (the acquire above orders the payload reads).
+    std::uint64_t avail = w.load(std::memory_order_acquire) - base;
+    if (avail > geom.nfrags) avail = geom.nfrags;
+    const std::size_t off =
+        static_cast<std::size_t>(f) * geom.frag_elems * elem_bytes;
+    const std::size_t end = std::min(
+        bytes, static_cast<std::size_t>(avail) * geom.frag_elems * elem_bytes);
+    copy_bytes(dst + off, src + off, end - off);
+    f = static_cast<std::uint32_t>(avail);
+  }
 }
 
 void ShmCollEngine::plan_barrier(Plan& plan, ult::TaskContext& ctx, int me) {
@@ -275,6 +402,145 @@ std::byte* ShmCollEngine::plan_reduce(Plan& plan, ult::TaskContext& ctx,
   return acc;
 }
 
+std::uint32_t ShmCollEngine::yield_stride(const FragGeom& geom,
+                                          std::size_t elem_bytes) const {
+  if (!cfg_.pipeline_yield) return 0;
+  constexpr std::size_t kYieldWindowBytes = 128 * 1024;
+  const std::size_t frag_bytes =
+      std::max<std::size_t>(geom.frag_elems * elem_bytes, 1);
+  return static_cast<std::uint32_t>(
+      std::max<std::size_t>(kYieldWindowBytes / frag_bytes, 1));
+}
+
+std::byte* ShmCollEngine::plan_reduce_pipelined(ult::TaskContext& ctx, int me,
+                                                const void* sendbuf,
+                                                std::size_t count,
+                                                std::size_t elem_bytes,
+                                                const ReduceFn& fn,
+                                                void* rank0_acc) {
+  // Pipelined reductions always run over the topology tree: the overlap
+  // comes from a leader forwarding fragment f up a level while the level
+  // below still folds fragment f+1.
+  Plan& plan = hier_;
+  const std::size_t bytes = count * elem_bytes;
+  const FragGeom geom = frag_geom(count, elem_bytes);
+  const std::uint32_t ystride = yield_stride(geom, elem_bytes);
+  const std::uint64_t base = priv_[static_cast<std::size_t>(me)].frag_base;
+  Slot& my = slots_[static_cast<std::size_t>(me)];
+
+  Level& leaf = plan[0];
+  Group& g = *leaf.groups[static_cast<std::size_t>(
+      leaf.group_of[static_cast<std::size_t>(me)])];
+  if (me != g.members.front()) {
+    // Non-leader: the whole send buffer is ready at entry, so publish the
+    // pointer and every fragment with a single release store of the final
+    // fragment value (covering values are satisfied by wait_seq's `>=`).
+    // The completion barrier keeps sendbuf stable until folded.
+    my.ptr.store(sendbuf, std::memory_order_relaxed);
+    publish_frag(ctx, my.frag, base + geom.nfrags);
+    count_frags(geom.nfrags);
+    return nullptr;
+  }
+
+  // Leaf leader: fold fragment by fragment — inside a fragment the fold
+  // is the usual ascending rank order with the accumulator as the left
+  // operand (associative-only contract), and a completed accumulator
+  // fragment is release-published immediately so the cell leader one
+  // level up forwards it while this rank folds the next one. Rank 0
+  // folds straight into the caller's result buffer; other leaders fold
+  // into the send buffer's registered attach block (stable across calls,
+  // so repeated collectives on one buffer reuse warm storage).
+  std::byte* acc;
+  if (rank0_acc != nullptr && me == 0) {
+    acc = static_cast<std::byte*>(rank0_acc);
+  } else {
+    Registration& reg =
+        resolve_registration(ctx, me, sendbuf, count, elem_bytes);
+    acc = reg_block(reg, bytes);
+  }
+  // Highest level whose cell this rank leads; it folds levels
+  // [1, top_led] into each fragment before publishing it, so a published
+  // fragment always carries the rank's whole subtree.
+  std::size_t top_led = 0;
+  for (std::size_t l = 1; l < plan.size(); ++l) {
+    Level& lv = plan[l];
+    Group& cell = *lv.groups[static_cast<std::size_t>(
+        lv.group_of[static_cast<std::size_t>(me)])];
+    if (me != cell.members.front()) break;
+    top_led = l;
+  }
+  my.acc_ptr.store(acc, std::memory_order_relaxed);
+  // Leaf members publish their whole buffer with a single release store at
+  // entry (above), so one wait per member for the covering value stands in
+  // for every per-fragment wait the fold loop would otherwise issue.
+  for (std::size_t i = 1; i < g.members.size(); ++i) {
+    wait_seq(slots_[static_cast<std::size_t>(g.members[i])].frag,
+             base + geom.nfrags, ctx);
+  }
+  const std::byte* src = static_cast<const std::byte*>(sendbuf);
+  for (std::uint32_t f = 0; f < geom.nfrags; ++f) {
+    const std::size_t e0 = static_cast<std::size_t>(f) * geom.frag_elems;
+    const std::size_t ne = std::min(geom.frag_elems, count - e0);
+    const std::size_t off = e0 * elem_bytes;
+    const std::size_t fb = ne * elem_bytes;
+    copy_bytes(acc + off, src + off, fb);  // elided when acc aliases sendbuf
+    for (std::size_t i = 1; i < g.members.size(); ++i) {
+      const int r = g.members[i];
+      fn(acc + off, static_cast<const std::byte*>(peer_contrib(r)) + off, ne);
+    }
+    for (std::size_t l = 1; l <= top_led; ++l) {
+      Level& lv = plan[l];
+      Group& cell = *lv.groups[static_cast<std::size_t>(
+          lv.group_of[static_cast<std::size_t>(me)])];
+      for (std::size_t i = 1; i < cell.members.size(); ++i) {
+        const int r = cell.members[i];
+        const Slot& s = slots_[static_cast<std::size_t>(r)];
+        wait_seq(s.acc_frag, base + f + 1, ctx);
+        fn(acc + off, static_cast<const std::byte*>(peer_result(r)) + off,
+           ne);
+      }
+    }
+    publish_frag(ctx, my.acc_frag, base + f + 1);
+    // Give consumers a chance to drain published fragments while they are
+    // cache-hot (on cooperative executors this is what realizes the
+    // interleave: a producer that never blocks would otherwise finish the
+    // whole buffer before any consumer runs). Yielding per fragment costs
+    // a full scheduler round trip through every waiting rank, so yields
+    // fire per ~128 KB window instead: fragments stay small enough to keep
+    // the fold's accumulator L1-resident while consumers wake with a
+    // window's worth of L2-hot fragments to batch-copy.
+    if (ystride != 0 && (f + 1) % ystride == 0) ctx.yield();
+  }
+  count_frags(geom.nfrags);
+  // Only rank 0 leads every level (leaders are group minima); everyone
+  // else's accumulator was consumed by the cell leader at top_led + 1.
+  return (top_led + 1 == plan.size()) ? acc : nullptr;
+}
+
+const std::byte* ShmCollEngine::publish_staged_pipelined(
+    ult::TaskContext& ctx, int me, const void* sendbuf, std::size_t count,
+    std::size_t elem_bytes) {
+  const std::size_t bytes = count * elem_bytes;
+  const FragGeom geom = frag_geom(count, elem_bytes);
+  const std::uint32_t ystride = yield_stride(geom, elem_bytes);
+  Registration& reg = resolve_registration(ctx, me, sendbuf, count, elem_bytes);
+  std::byte* st = reg_block(reg, bytes);
+  Slot& my = slots_[static_cast<std::size_t>(me)];
+  my.ptr.store(st, std::memory_order_relaxed);
+  const std::uint64_t base = priv_[static_cast<std::size_t>(me)].frag_base;
+  const std::byte* src = static_cast<const std::byte*>(sendbuf);
+  for (std::uint32_t f = 0; f < geom.nfrags; ++f) {
+    const std::size_t off = static_cast<std::size_t>(f) * geom.frag_elems *
+                            elem_bytes;
+    const std::size_t fb = std::min(bytes - off, geom.frag_elems * elem_bytes);
+    copy_bytes(st + off, src + off, fb);
+    publish_frag(ctx, my.frag, base + f + 1);
+    if (ystride != 0 && (f + 1) % ystride == 0) ctx.yield();
+  }
+  count_frags(geom.nfrags);
+  return st;
+}
+
 void ShmCollEngine::barrier(ult::TaskContext& ctx, int me) {
   begin(me);
   plan_barrier(hier_, ctx, me);
@@ -284,7 +550,31 @@ void ShmCollEngine::bcast(ult::TaskContext& ctx, int me, void* buf,
                           std::size_t bytes, int root) {
   const std::uint64_t seq = begin(me);
   if (bytes == 0) return;
-  const bool stage = select(bytes) == obs::CollAlg::shm_flat;
+  const obs::CollAlg alg = select(bytes);
+  if (alg == obs::CollAlg::shm_pipelined) {
+    const FragGeom geom = begin_pipelined(bytes, 1);
+    Priv& p = priv_[static_cast<std::size_t>(me)];
+    const std::uint64_t base = p.frag_base;
+    if (me == root) {
+      // The source is fully available at entry: publish every fragment
+      // with one release store. Readers copy fragment-sized pieces (each
+      // wait satisfied instantly), keeping the working set cache-sized.
+      Slot& s = slots_[static_cast<std::size_t>(me)];
+      s.ptr.store(buf, std::memory_order_relaxed);
+      publish_frag(ctx, s.frag, base + geom.nfrags);
+      count_frags(geom.nfrags);
+      p.acks_expected += static_cast<std::uint64_t>(n_ - 1);
+      wait_seq(s.acks, p.acks_expected, ctx);
+    } else {
+      Slot& rs = slots_[static_cast<std::size_t>(root)];
+      drain_frags(ctx, rs.frag, base, geom, 1, bytes, rs.ptr,
+                  static_cast<std::byte*>(buf));
+      rs.acks.fetch_add(1, std::memory_order_release);
+    }
+    p.frag_base += geom.nfrags;
+    return;
+  }
+  const bool stage = alg == obs::CollAlg::shm_flat;
   if (me == root) {
     publish_contrib(me, buf, bytes, stage, seq);
     // Readers never wait for each other — the root alone absorbs the
@@ -312,6 +602,22 @@ void ShmCollEngine::reduce(ult::TaskContext& ctx, int me, const void* sendbuf,
   if (count == 0) return;
   const std::size_t bytes = count * elem_bytes;
   const obs::CollAlg alg = select(bytes);
+  if (alg == obs::CollAlg::shm_pipelined) {
+    const FragGeom geom = begin_pipelined(count, elem_bytes);
+    const std::uint64_t base = priv_[static_cast<std::size_t>(me)].frag_base;
+    std::byte* acc = plan_reduce_pipelined(
+        ctx, me, sendbuf, count, elem_bytes, fn,
+        (me == 0 && root == 0) ? recvbuf : nullptr);
+    if (me == root && acc == nullptr) {
+      // Non-zero root: drain rank 0's result fragment by fragment while
+      // later fragments are still being reduced.
+      drain_frags(ctx, slots_[0].acc_frag, base, geom, elem_bytes, bytes,
+                  slots_[0].acc_ptr, static_cast<std::byte*>(recvbuf));
+    }
+    priv_[static_cast<std::size_t>(me)].frag_base += geom.nfrags;
+    plan_barrier(hier_, ctx, me);
+    return;
+  }
   Plan& plan = plan_for(alg);
   void* rank0_acc = (me == 0 && root == 0) ? recvbuf : nullptr;
   plan_reduce(plan, ctx, me, sendbuf, count, elem_bytes, fn, seq, rank0_acc,
@@ -332,6 +638,27 @@ void ShmCollEngine::allreduce(ult::TaskContext& ctx, int me,
   if (count == 0) return;
   const std::size_t bytes = count * elem_bytes;
   const obs::CollAlg alg = select(bytes);
+  if (alg == obs::CollAlg::shm_pipelined) {
+    // The reduce and bcast phases interleave per fragment: a consumer
+    // copies result fragment f out of rank 0's accumulator as soon as its
+    // per-fragment publication lands, while fragments f+1.. are still
+    // folding up the tree.
+    const FragGeom geom = begin_pipelined(count, elem_bytes);
+    const std::uint64_t base = priv_[static_cast<std::size_t>(me)].frag_base;
+    std::byte* acc = plan_reduce_pipelined(ctx, me, sendbuf, count,
+                                           elem_bytes, fn,
+                                           me == 0 ? recvbuf : nullptr);
+    if (acc == nullptr) {
+      // The acquire on each result fragment chains through every fold
+      // that consumed this rank's sendbuf fragment, so writing recvbuf
+      // fragment f here is safe even when recvbuf aliases sendbuf.
+      drain_frags(ctx, slots_[0].acc_frag, base, geom, elem_bytes, bytes,
+                  slots_[0].acc_ptr, static_cast<std::byte*>(recvbuf));
+    }
+    priv_[static_cast<std::size_t>(me)].frag_base += geom.nfrags;
+    plan_barrier(hier_, ctx, me);
+    return;
+  }
   Plan& plan = plan_for(alg);
   void* rank0_acc = (me == 0) ? recvbuf : nullptr;
   plan_reduce(plan, ctx, me, sendbuf, count, elem_bytes, fn, seq, rank0_acc,
@@ -353,6 +680,28 @@ void ShmCollEngine::allgather(ult::TaskContext& ctx, int me,
   const std::uint64_t seq = begin(me);
   if (bytes == 0) return;
   const obs::CollAlg alg = select(bytes);
+  if (alg == obs::CollAlg::shm_pipelined) {
+    const FragGeom geom = begin_pipelined(bytes, 1);
+    Priv& p = priv_[static_cast<std::size_t>(me)];
+    const std::uint64_t base = p.frag_base;
+    Slot& my = slots_[static_cast<std::size_t>(me)];
+    my.ptr.store(sendbuf, std::memory_order_relaxed);
+    publish_frag(ctx, my.frag, base + geom.nfrags);
+    count_frags(geom.nfrags);
+    std::byte* out = static_cast<std::byte*>(recvbuf);
+    for (int r = 0; r < n_; ++r) {
+      std::byte* dst = out + static_cast<std::size_t>(r) * bytes;
+      if (r == me) {
+        copy_bytes(dst, sendbuf, bytes);
+        continue;
+      }
+      const Slot& s = slots_[static_cast<std::size_t>(r)];
+      drain_frags(ctx, s.frag, base, geom, 1, bytes, s.ptr, dst);
+    }
+    p.frag_base += geom.nfrags;
+    plan_barrier(hier_, ctx, me);
+    return;
+  }
   publish_contrib(me, sendbuf, bytes, alg == obs::CollAlg::shm_flat, seq);
   std::byte* out = static_cast<std::byte*>(recvbuf);
   for (int r = 0; r < n_; ++r) {
@@ -374,6 +723,10 @@ void ShmCollEngine::alltoall(ult::TaskContext& ctx, int me,
   const std::uint64_t seq = begin(me);
   if (bytes_per_rank == 0) return;
   const std::size_t total = bytes_per_rank * static_cast<std::size_t>(n_);
+  // A rank's block reads are scattered (one slice per peer), so there is
+  // no in-order fragment stream to pipeline: payloads above the small
+  // threshold — pipelined-selected ones included — go monolithic
+  // zero-copy.
   const obs::CollAlg alg = select(total);
   publish_contrib(me, sendbuf, total, alg == obs::CollAlg::shm_flat, seq);
   const std::byte* own = static_cast<const std::byte*>(sendbuf);
@@ -401,6 +754,40 @@ void ShmCollEngine::scan(ult::TaskContext& ctx, int me, const void* sendbuf,
   if (count == 0) return;
   const std::size_t bytes = count * elem_bytes;
   const obs::CollAlg alg = select(bytes);
+  if (alg == obs::CollAlg::shm_pipelined) {
+    // Staged fragment-wise: each rank snapshots its send buffer into the
+    // buffer's registration block, publishing fragments as they land, so
+    // rank r can fold prefix fragment f while rank r+1's staging of
+    // fragment f+1 is still in flight. Staging completes before any fold
+    // writes recvbuf, which keeps in-place calls safe.
+    const FragGeom geom = begin_pipelined(count, elem_bytes);
+    const std::uint64_t base = priv_[static_cast<std::size_t>(me)].frag_base;
+    publish_staged_pipelined(ctx, me, sendbuf, count, elem_bytes);
+    if (me == 0) {
+      copy_bytes(recvbuf, sendbuf, bytes);  // elided in-place
+    } else {
+      std::byte* out = static_cast<std::byte*>(recvbuf);
+      for (std::uint32_t f = 0; f < geom.nfrags; ++f) {
+        const std::size_t e0 = static_cast<std::size_t>(f) * geom.frag_elems;
+        const std::size_t ne = std::min(geom.frag_elems, count - e0);
+        const std::size_t off = e0 * elem_bytes;
+        const Slot& s0 = slots_[0];
+        wait_seq(s0.frag, base + f + 1, ctx);
+        copy_bytes(out + off,
+                   static_cast<const std::byte*>(peer_contrib(0)) + off,
+                   ne * elem_bytes);
+        for (int r = 1; r <= me; ++r) {
+          const Slot& s = slots_[static_cast<std::size_t>(r)];
+          wait_seq(s.frag, base + f + 1, ctx);
+          fn(out + off,
+             static_cast<const std::byte*>(peer_contrib(r)) + off, ne);
+        }
+      }
+    }
+    priv_[static_cast<std::size_t>(me)].frag_base += geom.nfrags;
+    plan_barrier(hier_, ctx, me);
+    return;
+  }
   // Always staged: each rank folds into recvbuf, which MPI allows to alias
   // sendbuf — peers must read the pre-fold snapshot.
   publish_contrib(me, sendbuf, bytes, /*stage=*/true, seq);
@@ -426,6 +813,34 @@ void ShmCollEngine::exscan(ult::TaskContext& ctx, int me, const void* sendbuf,
   if (count == 0) return;
   const std::size_t bytes = count * elem_bytes;
   const obs::CollAlg alg = select(bytes);
+  if (alg == obs::CollAlg::shm_pipelined) {
+    const FragGeom geom = begin_pipelined(count, elem_bytes);
+    const std::uint64_t base = priv_[static_cast<std::size_t>(me)].frag_base;
+    publish_staged_pipelined(ctx, me, sendbuf, count, elem_bytes);
+    // Rank 0's recvbuf is undefined for exscan and stays untouched.
+    if (me > 0) {
+      std::byte* out = static_cast<std::byte*>(recvbuf);
+      for (std::uint32_t f = 0; f < geom.nfrags; ++f) {
+        const std::size_t e0 = static_cast<std::size_t>(f) * geom.frag_elems;
+        const std::size_t ne = std::min(geom.frag_elems, count - e0);
+        const std::size_t off = e0 * elem_bytes;
+        const Slot& s0 = slots_[0];
+        wait_seq(s0.frag, base + f + 1, ctx);
+        copy_bytes(out + off,
+                   static_cast<const std::byte*>(peer_contrib(0)) + off,
+                   ne * elem_bytes);
+        for (int r = 1; r < me; ++r) {
+          const Slot& s = slots_[static_cast<std::size_t>(r)];
+          wait_seq(s.frag, base + f + 1, ctx);
+          fn(out + off,
+             static_cast<const std::byte*>(peer_contrib(r)) + off, ne);
+        }
+      }
+    }
+    priv_[static_cast<std::size_t>(me)].frag_base += geom.nfrags;
+    plan_barrier(hier_, ctx, me);
+    return;
+  }
   publish_contrib(me, sendbuf, bytes, /*stage=*/true, seq);
   // Rank 0's recvbuf is undefined for exscan and stays untouched.
   if (me > 0) {
@@ -451,6 +866,29 @@ void ShmCollEngine::reduce_scatter_block(ult::TaskContext& ctx, int me,
   const std::size_t total = count * static_cast<std::size_t>(n_);
   const std::size_t block_bytes = count * elem_bytes;
   const obs::CollAlg alg = select(total * elem_bytes);
+  if (alg == obs::CollAlg::shm_pipelined) {
+    const FragGeom geom = begin_pipelined(total, elem_bytes);
+    const std::uint64_t base = priv_[static_cast<std::size_t>(me)].frag_base;
+    const std::byte* acc = plan_reduce_pipelined(ctx, me, sendbuf, total,
+                                                 elem_bytes, fn,
+                                                 /*rank0_acc=*/nullptr);
+    if (acc == nullptr) {
+      // Wait only for the fragments covering this rank's block — low
+      // ranks' blocks complete earliest, so the scatter itself pipelines.
+      const std::size_t last_elem =
+          static_cast<std::size_t>(me) * count + count - 1;
+      const std::uint32_t fl =
+          static_cast<std::uint32_t>(last_elem / geom.frag_elems);
+      const Slot& s0 = slots_[0];
+      wait_seq(s0.acc_frag, base + fl + 1, ctx);
+      acc = static_cast<const std::byte*>(peer_result(0));
+    }
+    copy_bytes(recvbuf, acc + static_cast<std::size_t>(me) * block_bytes,
+               block_bytes);
+    priv_[static_cast<std::size_t>(me)].frag_base += geom.nfrags;
+    plan_barrier(hier_, ctx, me);
+    return;
+  }
   Plan& plan = plan_for(alg);
   const std::byte* acc =
       plan_reduce(plan, ctx, me, sendbuf, total, elem_bytes, fn, seq,
@@ -466,3 +904,5 @@ void ShmCollEngine::reduce_scatter_block(ult::TaskContext& ctx, int me,
 }
 
 }  // namespace hlsmpc::mpi
+
+#endif  // HLSMPC_COLL_SHM_ENABLED

@@ -42,11 +42,38 @@
 //
 // An algorithm selector picks per call: payloads <= small_threshold take
 // the staged flat path (one copy through an inline slot, flat completion
-// barrier); larger payloads go zero-copy under the hierarchical barrier;
-// the p2p algorithms in collectives.cpp remain as dispatch fallback (size-1
-// comms, engine disabled, ops the engine does not implement).
+// barrier); mid-size payloads go zero-copy under the hierarchical barrier;
+// payloads above pipeline_threshold take the *pipelined* path — XHC-style
+// data-wise pipelining, where the buffer is split into cache-friendly
+// fragments and every slot carries per-fragment publication counts next to
+// the per-call sequence word. A leaf leader folds fragment k across its
+// group and release-publishes it the moment it is complete, so the cell
+// leader one level up forwards fragment k while the leaf is still folding
+// fragment k+1; inside allreduce the consumers likewise copy result
+// fragment k out of rank 0's accumulator while later fragments are still
+// being reduced — reduce and bcast interleave per fragment instead of
+// running back-to-back. Fragment publication counts are *absolute*: every
+// pipelined call advances a private frag_base by its fragment count on
+// every rank (MPI's matched-call ordering keeps the bases in lockstep),
+// and fragment f of a call is published as frag_base + f + 1, so the
+// values a slot's fragment words take are monotone across calls even
+// though only some ranks physically publish in any one call — which is
+// what keeps wait_seq's `>=` comparison safe on lagging slots (DESIGN.md
+// §13 gives the full argument).
+//
+// A per-rank registration cache (8-way, LRU) maps (buffer, count,
+// elem_bytes) to the resolved fragment geometry plus a stable attach
+// block (the accumulator / staging storage for that buffer), so repeated
+// collectives on the same buffers skip re-resolution and reuse
+// cache-warm storage. Entries are tagged with the CPU they were resolved
+// on and flushed wholesale when the rank migrates (same discipline as the
+// per-task address cache of PR 2).
+//
+// The p2p algorithms in collectives.cpp remain as dispatch fallback
+// (size-1 comms, engine disabled, ops the engine does not implement).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -59,6 +86,10 @@
 #include "topo/topology.hpp"
 #include "ult/episode_barrier.hpp"
 #include "ult/task_context.hpp"
+
+#ifndef HLSMPC_COLL_PIPELINE_ENABLED
+#define HLSMPC_COLL_PIPELINE_ENABLED 1
+#endif
 
 namespace hlsmpc::mpi {
 
@@ -84,11 +115,26 @@ class ShmCollEngine {
   std::vector<std::vector<int>> level_groups(int level) const;
 
   /// Algorithm for a payload of `bytes` published per rank. Deterministic
-  /// in (bytes, config), so every rank of a call picks the same one.
+  /// in (bytes, config), so every rank of a call picks the same one. The
+  /// staged arm wins ties when pipeline_threshold < small_threshold.
   obs::CollAlg select(std::size_t bytes) const {
-    return bytes <= cfg_.small_threshold ? obs::CollAlg::shm_flat
-                                         : obs::CollAlg::shm_hier;
+    if (bytes <= cfg_.small_threshold) return obs::CollAlg::shm_flat;
+    if (bytes > cfg_.pipeline_threshold) return obs::CollAlg::shm_pipelined;
+    return obs::CollAlg::shm_hier;
   }
+
+  /// Fragment geometry of the pipelined path for one payload, identical on
+  /// every rank (derived from the call shape and config only).
+  struct FragGeom {
+    std::size_t frag_elems = 0;  ///< elements per fragment (last may be short)
+    std::uint32_t nfrags = 0;
+  };
+  FragGeom frag_geom(std::size_t count, std::size_t elem_bytes) const;
+
+  /// Drop every rank's registration-cache entries (test/diagnostic hook;
+  /// callers must be quiescent — between collectives). Migration flushes
+  /// a rank's own entries automatically via the CPU tag.
+  void invalidate_registrations();
   obs::CollAlg barrier_alg() const {
     return hier_.size() > 1 ? obs::CollAlg::shm_hier : obs::CollAlg::shm_flat;
   }
@@ -137,6 +183,15 @@ class ShmCollEngine {
     // (bcast acknowledgements).
     std::atomic<std::uint64_t> acks{0};
     std::byte pad2[64 - sizeof(std::uint64_t)];
+    // Pipelined-path fragment publication counts, absolute across calls
+    // (frag_base + fragments published so far). `frag` gates the
+    // contribution channel's fragments, `acc_frag` the result channel's;
+    // each is the release word ordering that channel's payload — the
+    // per-call seq words above are not used by pipelined consumers.
+    std::atomic<std::uint64_t> frag{0};
+    std::byte pad3[64 - sizeof(std::uint64_t)];
+    std::atomic<std::uint64_t> acc_frag{0};
+    std::byte pad4[64 - sizeof(std::uint64_t)];
     // Staging area for the small/flat path.
     std::byte inline_buf[kInlineBytes];
   };
@@ -156,17 +211,40 @@ class ShmCollEngine {
   /// Narrow -> wide list of levels; the last level has a single group.
   using Plan = std::vector<Level>;
 
+  /// One registration-cache entry: the resolved fragment geometry and the
+  /// stable attach block (accumulator / staging storage) for a buffer the
+  /// rank keeps issuing collectives on.
+  struct Registration {
+    const void* addr = nullptr;
+    std::size_t count = 0;
+    std::size_t elem_bytes = 0;
+    FragGeom geom;
+    std::vector<std::byte> block;  ///< sized lazily, survives eviction reuse
+    std::uint64_t stamp = 0;       ///< LRU clock; 0 = empty way
+  };
+  static constexpr std::size_t kRegWays = 8;
+
   /// Per-rank private state, written only by its own rank.
   struct alignas(64) Priv {
     std::uint64_t seq = 0;            ///< collectives entered on this comm
     std::uint64_t acks_expected = 0;  ///< cumulative acks owed as bcast root
     std::vector<std::byte> scratch;   ///< accumulator / staging, grows only
+    /// Base of this rank's fragment numbering: advanced by the fragment
+    /// count of every pipelined call (by every rank, published or not),
+    /// so the bases stay in lockstep and fragment words stay monotone.
+    std::uint64_t frag_base = 0;
+    /// Registration cache (see Registration). reg_cpu tags the CPU the
+    /// entries were resolved on; a mismatch at lookup means the rank
+    /// migrated and flushes the set.
+    std::array<Registration, kRegWays> reg;
+    std::uint64_t reg_stamp = 0;
+    int reg_cpu = -1;
   };
 
   Plan build_hier(const topo::Machine& machine,
                   const std::vector<int>& rank_cpus) const;
   Plan& plan_for(obs::CollAlg alg) {
-    return alg == obs::CollAlg::shm_hier ? hier_ : flat_;
+    return alg == obs::CollAlg::shm_flat ? flat_ : hier_;
   }
 
   std::uint64_t begin(int me);
@@ -202,6 +280,58 @@ class ShmCollEngine {
                          const void* sendbuf, std::size_t count,
                          std::size_t elem_bytes, const ReduceFn& fn,
                          std::uint64_t seq, void* rank0_acc, bool stage);
+
+  /// Registration-cache lookup for (addr, count, elem_bytes) on rank `me`;
+  /// resolves geometry and evicts LRU on miss, flushes on migration.
+  Registration& resolve_registration(ult::TaskContext& ctx, int me,
+                                     const void* addr, std::size_t count,
+                                     std::size_t elem_bytes);
+  /// The registration's attach block, grown to `bytes` on first use.
+  std::byte* reg_block(Registration& reg, std::size_t bytes);
+  /// Release-publish a fragment word value (with an explorer sync point
+  /// between payload production and publication).
+  void publish_frag(ult::TaskContext& ctx, std::atomic<std::uint64_t>& w,
+                    std::uint64_t value);
+  /// Batched shm_fragments stat bump (once per call, not per fragment).
+  void count_frags(std::uint32_t nfrags);
+  /// Producer yield cadence in fragments: 0 when pipeline_yield is off,
+  /// otherwise one yield per ~128 KB of published fragments. Yielding per
+  /// fragment costs a scheduler round trip through every waiting rank,
+  /// which at default fragment sizes erases the cache win.
+  std::uint32_t yield_stride(const FragGeom& geom,
+                             std::size_t elem_bytes) const;
+  /// Consumer side of the fragment protocol: copy the producer's fragments
+  /// into `dst` as `w` publishes them, batching every already-published
+  /// fragment into one contiguous span copy (one wait per batch and
+  /// longer streams for the hardware prefetcher, instead of one wait and
+  /// one small memcpy per fragment). The source pointer is read from
+  /// `srcp` only after the first fragment's acquire — the producer stores
+  /// it before the first release, so loading it any earlier races.
+  void drain_frags(ult::TaskContext& ctx, const std::atomic<std::uint64_t>& w,
+                   std::uint64_t base, const FragGeom& geom,
+                   std::size_t elem_bytes, std::size_t bytes,
+                   const std::atomic<const void*>& srcp, std::byte* dst);
+  /// Fragmented tree reduction over the hierarchical plan: non-leaders
+  /// publish their buffer zero-copy with all fragments at once; leaders
+  /// fold and release-publish per fragment, interleaving tree levels.
+  /// Returns the final accumulator on rank 0, nullptr elsewhere. Callers
+  /// advance frag_base and run the completion barrier.
+  std::byte* plan_reduce_pipelined(ult::TaskContext& ctx, int me,
+                                   const void* sendbuf, std::size_t count,
+                                   std::size_t elem_bytes, const ReduceFn& fn,
+                                   void* rank0_acc);
+  /// Fragment-wise staged publication for scan/exscan: stages `sendbuf`
+  /// into the buffer's registration block fragment by fragment, publishing
+  /// each as it lands. Returns the staged base pointer.
+  const std::byte* publish_staged_pipelined(ult::TaskContext& ctx, int me,
+                                            const void* sendbuf,
+                                            std::size_t count,
+                                            std::size_t elem_bytes);
+  /// Entry bookkeeping shared by every pipelined op body: bumps the
+  /// pipelined-call stat and returns the geometry. The body reads its
+  /// frag_base before publishing and advances it by nfrags once its own
+  /// waits are issued (every rank advances, published or not).
+  FragGeom begin_pipelined(std::size_t count, std::size_t elem_bytes);
 
   int n_;
   CollConfig cfg_;

@@ -61,6 +61,9 @@ class CollScope {
     alg_ = alg;
     if (obs_ != nullptr && alg != obs::CollAlg::p2p) {
       obs_->count(task_, obs::Counter::coll_shm_ops);
+      if (alg == obs::CollAlg::shm_pipelined) {
+        obs_->count(task_, obs::Counter::coll_shm_pipelined_ops);
+      }
     }
   }
 

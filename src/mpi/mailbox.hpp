@@ -72,6 +72,17 @@ struct TransportStats {
   /// per-hop eager/rendezvous copies it is the "fewer copies" evidence the
   /// benches assert.
   std::atomic<std::uint64_t> shm_copied_bytes{0};
+  /// Collective calls that took the fragmented pipelined large-message
+  /// path (one per rank entering such a call).
+  std::atomic<std::uint64_t> shm_pipelined_collectives{0};
+  /// Fragments published by the pipelined path (contribution and result
+  /// channels combined).
+  std::atomic<std::uint64_t> shm_fragments{0};
+  /// Registration-cache outcomes: a hit means the (buffer, length) pair's
+  /// fragment geometry and attach block were reused from the per-rank
+  /// cache; a miss re-resolved and possibly evicted.
+  std::atomic<std::uint64_t> reg_cache_hits{0};
+  std::atomic<std::uint64_t> reg_cache_misses{0};
 };
 
 }  // namespace hlsmpc::mpi

@@ -147,6 +147,31 @@ struct CollConfig {
   /// under the hierarchical barrier. Must agree across ranks (it is
   /// per-runtime, so it does).
   std::size_t small_threshold = 1024;
+  /// Payloads strictly above this many bytes take the pipelined path:
+  /// buffers are split into `fragment_bytes` fragments with per-fragment
+  /// release-publish sequence numbers, so leaders forward fragment k up
+  /// the topology tree while children still produce fragment k+1 and the
+  /// reduce and bcast phases of allreduce interleave per fragment.
+  /// SIZE_MAX restores the PR 5 two-way selector (and the
+  /// HLSMPC_COLL_PIPELINE=OFF build forces exactly that). The staged arm
+  /// wins ties: bytes <= small_threshold is checked first. The default
+  /// selects pipelining only where fragment-sized working sets beat the
+  /// monolithic fold's cache behaviour: below ~256 KB per rank the whole
+  /// collective already fits in L2 on current parts and the two paths
+  /// measure even, so the crossover sits past that point.
+  std::size_t pipeline_threshold = 256 * 1024;
+  /// Fragment granularity of the pipelined path (clamped to >= 1 element).
+  /// Cache-friendly sizes (8–64KB) keep a fragment plus its accumulator
+  /// resident in L1/L2 across the whole tree fold; 32 KB measured best on
+  /// the multi-megabyte payloads the selector sends here.
+  std::size_t fragment_bytes = 32 * 1024;
+  /// Yield the producing task periodically while publishing result
+  /// fragments (once per ~128 KB window, not per fragment — a yield is a
+  /// full scheduler round trip through every waiting rank). On
+  /// cooperative (fiber) executors this is what makes the pipeline real:
+  /// consumers batch-drain a window of fragments while they are still
+  /// cache-hot instead of after the producer finished the entire buffer.
+  bool pipeline_yield = true;
 };
 
 template <typename T>

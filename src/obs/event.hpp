@@ -45,6 +45,8 @@ enum class Counter : int {
   p2p_sends,            ///< point-to-point sends initiated
   p2p_recvs,            ///< point-to-point receives completed
   coll_shm_ops,         ///< collectives served by the shared-memory engine
+  coll_shm_pipelined_ops,  ///< shm collectives served by the fragmented
+                           ///< pipelined large-message path
   rma_puts,             ///< one-sided puts performed
   rma_gets,             ///< one-sided gets performed
   rma_accs,             ///< one-sided accumulates applied
@@ -101,8 +103,11 @@ const char* to_string(CollOp op);
 /// the CollOp). p2p = mailbox message passing (binomial/dissemination
 /// trees); shm_flat = staged copies through the per-comm shared control
 /// block with a flat completion barrier; shm_hier = zero-copy reads from
-/// published user buffers with the topology-aware hierarchical barrier.
-enum class CollAlg : std::int8_t { p2p, shm_flat, shm_hier };
+/// published user buffers with the topology-aware hierarchical barrier;
+/// shm_pipelined = shm_hier plus data-wise fragmentation — payloads above
+/// the pipeline threshold move as cache-friendly fragments with
+/// per-fragment release-publish sequence numbers, so tree levels overlap.
+enum class CollAlg : std::int8_t { p2p, shm_flat, shm_hier, shm_pipelined };
 
 const char* to_string(CollAlg alg);
 

@@ -37,6 +37,8 @@ const char* to_string(Counter c) {
       return "p2p_recvs";
     case Counter::coll_shm_ops:
       return "coll_shm_ops";
+    case Counter::coll_shm_pipelined_ops:
+      return "coll_shm_pipelined_ops";
     case Counter::rma_puts:
       return "rma_puts";
     case Counter::rma_gets:
@@ -137,6 +139,8 @@ const char* to_string(CollAlg alg) {
       return "shm_flat";
     case CollAlg::shm_hier:
       return "shm_hier";
+    case CollAlg::shm_pipelined:
+      return "shm_pipelined";
   }
   return "?";
 }

@@ -12,18 +12,24 @@
 // p2p paths.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
+#include "check/deterministic_executor.hpp"
+#include "check/explorer.hpp"
 #include "mpi/coll_algo.hpp"
 #include "mpi/coll_shm.hpp"
 #include "mpi/runtime.hpp"
 #include "topo/topology.hpp"
 
+namespace check = hlsmpc::check;
 namespace mpi = hlsmpc::mpi;
+namespace obs = hlsmpc::obs;
 namespace topo = hlsmpc::topo;
 using hlsmpc::ult::TaskContext;
 
@@ -421,6 +427,320 @@ TEST_P(CollParam, SplitCommunicatorsReduceCorrectly) {
   EXPECT_EQ(bad.load(), 0);
 }
 
+// ---- pipelined large-message path ----
+//
+// A dedicated sweep drives the shm_pipelined selector arm with a shrunken
+// config (1KB small threshold, 4KB pipeline threshold, 2KB fragments =
+// 128 Mats per fragment) so modest payloads run real multi-fragment
+// pipelines. Counts straddle every fragment boundary: 256 Mats = 4096 B
+// sits exactly ON the pipeline threshold (still monolithic zero-copy),
+// 257 crosses it, 384/385 and 512/513 straddle the third and fourth
+// fragment boundaries, 1000 ends in a short tail fragment. Under the
+// coll-pipeline-off preset the same sweep exercises the two-way selector.
+
+namespace {
+
+constexpr std::size_t kPipeCounts[] = {256, 257, 384, 385, 512, 513, 1000};
+
+struct PipeParam {
+  int nranks;
+  mpi::ExecutorKind exec;
+};
+
+std::string pipe_param_name(const testing::TestParamInfo<PipeParam>& info) {
+  return std::to_string(info.param.nranks) + "ranks_" +
+         (info.param.exec == mpi::ExecutorKind::thread ? "thread" : "fiber");
+}
+
+mpi::Options pipe_opts(const PipeParam& p) {
+  mpi::Options o;
+  o.nranks = p.nranks;
+  o.executor = p.exec;
+  o.coll.small_threshold = 1024;
+  o.coll.pipeline_threshold = 4096;
+  o.coll.fragment_bytes = 2048;
+  return o;
+}
+
+class CollPipelined : public testing::TestWithParam<PipeParam> {
+ protected:
+  topo::Machine machine_ = topo::Machine::nehalem_ex(2);
+  mpi::Runtime rt_{machine_, pipe_opts(GetParam())};
+};
+
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CollPipelined,
+    testing::Values(PipeParam{2, mpi::ExecutorKind::thread},
+                    PipeParam{3, mpi::ExecutorKind::thread},
+                    PipeParam{5, mpi::ExecutorKind::thread},
+                    PipeParam{8, mpi::ExecutorKind::thread},
+                    PipeParam{13, mpi::ExecutorKind::thread},
+                    PipeParam{16, mpi::ExecutorKind::thread},
+                    PipeParam{4, mpi::ExecutorKind::fiber},
+                    PipeParam{16, mpi::ExecutorKind::fiber}),
+    pipe_param_name);
+
+TEST_P(CollPipelined, NonCommutativeAllreduceAcrossFragmentBoundaries) {
+  const int n = GetParam().nranks;
+  std::atomic<int> bad{0};
+  rt_.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    for (std::size_t count : kPipeCounts) {
+      const std::vector<Mat> ref = reference(n - 1, count);
+      const std::vector<Mat> in = make_contrib(me, count);
+      std::vector<Mat> out(count);
+      world.allreduce(ctx, in.data(), out.data(), count, sizeof(Mat),
+                      mat_fn());
+      if (out != ref) ++bad;
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_P(CollPipelined, NonCommutativeReduceEveryRoot) {
+  const int n = GetParam().nranks;
+  std::atomic<int> bad{0};
+  rt_.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    for (std::size_t count : {std::size_t{257}, std::size_t{513}}) {
+      const std::vector<Mat> ref = reference(n - 1, count);
+      for (int root = 0; root < n; ++root) {
+        const std::vector<Mat> in = make_contrib(me, count);
+        std::vector<Mat> out(count, Mat{-1, -1, -1, -1});
+        world.reduce(ctx, in.data(), out.data(), count, sizeof(Mat), mat_fn(),
+                     root);
+        if (me == root && out != ref) ++bad;
+      }
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_P(CollPipelined, NonCommutativeScanExscan) {
+  std::atomic<int> bad{0};
+  rt_.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    for (std::size_t count : kPipeCounts) {
+      const std::vector<Mat> in = make_contrib(me, count);
+      std::vector<Mat> out(count);
+      world.scan(ctx, in.data(), out.data(), count, sizeof(Mat), mat_fn());
+      if (out != reference(me, count)) ++bad;
+
+      const Mat sentinel{-7, -7, -7, -7};
+      std::vector<Mat> ex(count, sentinel);
+      world.exscan(ctx, in.data(), ex.data(), count, sizeof(Mat), mat_fn());
+      if (me == 0) {
+        for (const Mat& m : ex) {
+          if (m != sentinel) ++bad;
+        }
+      } else if (ex != reference(me - 1, count)) {
+        ++bad;
+      }
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_P(CollPipelined, NonCommutativeReduceScatterBlock) {
+  const int n = GetParam().nranks;
+  std::atomic<int> bad{0};
+  rt_.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    for (std::size_t count : {std::size_t{129}, std::size_t{200}}) {
+      const std::size_t total = count * static_cast<std::size_t>(n);
+      const std::vector<Mat> ref = reference(n - 1, total);
+      const std::vector<Mat> in = make_contrib(me, total);
+      std::vector<Mat> out(count);
+      world.reduce_scatter_block(ctx, in.data(), out.data(), count,
+                                 sizeof(Mat), mat_fn());
+      for (std::size_t i = 0; i < count; ++i) {
+        if (out[i] != ref[static_cast<std::size_t>(me) * count + i]) ++bad;
+      }
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_P(CollPipelined, BcastAllgatherAcrossFragmentBoundaries) {
+  const int n = GetParam().nranks;
+  std::atomic<int> bad{0};
+  rt_.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    for (const std::size_t bytes :
+         {std::size_t{4097}, std::size_t{6144}, std::size_t{6145},
+          std::size_t{16000}}) {
+      for (int root : {0, n - 1}) {
+        std::vector<std::byte> buf(bytes);
+        for (std::size_t i = 0; i < bytes; ++i) {
+          buf[i] = (me == root)
+                       ? static_cast<std::byte>((i + 7 * root) % 251)
+                       : std::byte{0xee};
+        }
+        world.bcast(ctx, buf.data(), bytes, root);
+        for (std::size_t i = 0; i < bytes; ++i) {
+          if (buf[i] != static_cast<std::byte>((i + 7 * root) % 251)) ++bad;
+        }
+      }
+      std::vector<std::uint8_t> in(bytes, static_cast<std::uint8_t>(me + 1));
+      std::vector<std::uint8_t> all(bytes * static_cast<std::size_t>(n));
+      world.allgather(ctx, in.data(), bytes, all.data());
+      for (int r = 0; r < n; ++r) {
+        for (std::size_t i = 0; i < bytes; ++i) {
+          if (all[static_cast<std::size_t>(r) * bytes + i] !=
+              static_cast<std::uint8_t>(r + 1)) {
+            ++bad;
+          }
+        }
+      }
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_P(CollPipelined, InPlaceAliasedBuffers) {
+  const int n = GetParam().nranks;
+  std::atomic<int> bad{0};
+  rt_.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    for (std::size_t count : {std::size_t{257}, std::size_t{513}}) {
+      std::vector<Mat> buf = make_contrib(me, count);
+      world.allreduce(ctx, buf.data(), buf.data(), count, sizeof(Mat),
+                      mat_fn());
+      if (buf != reference(n - 1, count)) ++bad;
+
+      buf = make_contrib(me, count);
+      world.scan(ctx, buf.data(), buf.data(), count, sizeof(Mat), mat_fn());
+      if (buf != reference(me, count)) ++bad;
+
+      buf = make_contrib(me, count);
+      world.exscan(ctx, buf.data(), buf.data(), count, sizeof(Mat), mat_fn());
+      if (me > 0 && buf != reference(me - 1, count)) ++bad;
+
+      buf = make_contrib(me, count);
+      world.reduce(ctx, buf.data(), buf.data(), count, sizeof(Mat), mat_fn(),
+                   0);
+      if (me == 0 && buf != reference(n - 1, count)) ++bad;
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+// ---- selector boundaries ----
+//
+// In-place aliasing and zero-count calls at exactly small_threshold,
+// small_threshold + 1, pipeline_threshold and pipeline_threshold + 1
+// bytes, with a shrunken config (256 B / 1KB, 512 B fragments) so both
+// edges sit within quick payloads. Zero-count calls are interleaved
+// between the sized ones, so a boundary-size collective right after a
+// no-op burst proves the sequence/fragment lockstep holds on every arm.
+
+namespace {
+
+mpi::ReduceFn u8_sum() {
+  return [](void* inout, const void* in, std::size_t count) {
+    auto* a = static_cast<std::uint8_t*>(inout);
+    const auto* b = static_cast<const std::uint8_t*>(in);
+    for (std::size_t i = 0; i < count; ++i) {
+      a[i] = static_cast<std::uint8_t>(a[i] + b[i]);
+    }
+  };
+}
+
+std::uint8_t u8_contrib(int r, std::size_t i) {
+  return static_cast<std::uint8_t>((static_cast<std::size_t>(r) * 31 + i) %
+                                   256);
+}
+
+mpi::Options boundary_opts(const PipeParam& p) {
+  mpi::Options o;
+  o.nranks = p.nranks;
+  o.executor = p.exec;
+  o.coll.small_threshold = 256;
+  o.coll.pipeline_threshold = 1024;
+  o.coll.fragment_bytes = 512;
+  return o;
+}
+
+class CollSelectorBoundary : public testing::TestWithParam<PipeParam> {
+ protected:
+  topo::Machine machine_ = topo::Machine::nehalem_ex(2);
+  mpi::Runtime rt_{machine_, boundary_opts(GetParam())};
+};
+
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CollSelectorBoundary,
+    testing::Values(PipeParam{1, mpi::ExecutorKind::thread},
+                    PipeParam{2, mpi::ExecutorKind::thread},
+                    PipeParam{3, mpi::ExecutorKind::thread},
+                    PipeParam{5, mpi::ExecutorKind::thread},
+                    PipeParam{8, mpi::ExecutorKind::thread},
+                    PipeParam{13, mpi::ExecutorKind::thread},
+                    PipeParam{16, mpi::ExecutorKind::thread},
+                    PipeParam{1, mpi::ExecutorKind::fiber},
+                    PipeParam{4, mpi::ExecutorKind::fiber},
+                    PipeParam{16, mpi::ExecutorKind::fiber}),
+    pipe_param_name);
+
+TEST_P(CollSelectorBoundary, InPlaceAndZeroCountAtEveryThresholdEdge) {
+  const int n = GetParam().nranks;
+  std::atomic<int> bad{0};
+  rt_.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    std::vector<std::uint8_t> empty;
+    for (const std::size_t bytes : {std::size_t{256}, std::size_t{257},
+                                    std::size_t{1024}, std::size_t{1025}}) {
+      // Zero-count no-ops on either side of every sized call.
+      world.allreduce(ctx, empty.data(), empty.data(), 0, 1, u8_sum());
+      world.bcast(ctx, empty.data(), 0, 0);
+
+      // In-place allreduce at the exact boundary size.
+      std::vector<std::uint8_t> buf(bytes);
+      for (std::size_t i = 0; i < bytes; ++i) buf[i] = u8_contrib(me, i);
+      world.allreduce(ctx, buf.data(), buf.data(), bytes, 1, u8_sum());
+      for (std::size_t i = 0; i < bytes; ++i) {
+        std::uint8_t want = 0;
+        for (int r = 0; r < n; ++r) {
+          want = static_cast<std::uint8_t>(want + u8_contrib(r, i));
+        }
+        if (buf[i] != want) ++bad;
+      }
+
+      world.scan(ctx, empty.data(), empty.data(), 0, 1, u8_sum());
+
+      // In-place scan at the same size.
+      for (std::size_t i = 0; i < bytes; ++i) buf[i] = u8_contrib(me, i);
+      world.scan(ctx, buf.data(), buf.data(), bytes, 1, u8_sum());
+      for (std::size_t i = 0; i < bytes; ++i) {
+        std::uint8_t want = 0;
+        for (int r = 0; r <= me; ++r) {
+          want = static_cast<std::uint8_t>(want + u8_contrib(r, i));
+        }
+        if (buf[i] != want) ++bad;
+      }
+
+      // Separate-buffer reduce to the highest rank at the boundary size.
+      std::vector<std::uint8_t> in(bytes);
+      for (std::size_t i = 0; i < bytes; ++i) in[i] = u8_contrib(me, i);
+      std::vector<std::uint8_t> out(bytes, 0xa5);
+      world.reduce(ctx, in.data(), out.data(), bytes, 1, u8_sum(), n - 1);
+      if (me == n - 1) {
+        for (std::size_t i = 0; i < bytes; ++i) {
+          std::uint8_t want = 0;
+          for (int r = 0; r < n; ++r) {
+            want = static_cast<std::uint8_t>(want + u8_contrib(r, i));
+          }
+          if (out[i] != want) ++bad;
+        }
+      }
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
 #if HLSMPC_COLL_SHM_ENABLED
 
 TEST(CollShmEngine, AttachesAndFollowsTopology) {
@@ -503,6 +823,275 @@ TEST(CollShmEngine, WrappedPinningDegradesToFlatTree) {
     if (out != reference(4, 32)) ++bad;
   });
   EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(CollShmEngine, SelectorArmsAndFragmentGeometry) {
+  topo::Machine m = topo::Machine::nehalem_ex(1);
+  mpi::TransportStats stats;
+  mpi::CollConfig cfg;
+  cfg.small_threshold = 1024;
+  cfg.pipeline_threshold = 4096;
+  cfg.fragment_bytes = 2048;
+  mpi::ShmCollEngine eng(m, {0, 1}, cfg, &stats);
+  EXPECT_EQ(eng.select(0), obs::CollAlg::shm_flat);
+  EXPECT_EQ(eng.select(1024), obs::CollAlg::shm_flat);
+  EXPECT_EQ(eng.select(1025), obs::CollAlg::shm_hier);
+  EXPECT_EQ(eng.select(4096), obs::CollAlg::shm_hier);
+#if HLSMPC_COLL_PIPELINE_ENABLED
+  EXPECT_EQ(eng.select(4097), obs::CollAlg::shm_pipelined);
+  // Geometry is pure in (count, elem_bytes, config): 2048-byte fragments
+  // of 16-byte elements hold 128 elements, and a one-past-boundary count
+  // gets a short tail fragment.
+  const auto g = eng.frag_geom(257, 16);
+  EXPECT_EQ(g.frag_elems, 128u);
+  EXPECT_EQ(g.nfrags, 3u);
+  const auto whole = eng.frag_geom(256, 16);
+  EXPECT_EQ(whole.nfrags, 2u);
+  // Oversized elements get one element per fragment instead of zero.
+  const auto big = eng.frag_geom(3, 64 * 1024);
+  EXPECT_EQ(big.frag_elems, 1u);
+  EXPECT_EQ(big.nfrags, 3u);
+#else
+  // Pipeline compiled out: the ctor clamps the threshold to SIZE_MAX.
+  EXPECT_EQ(eng.select(4097), obs::CollAlg::shm_hier);
+  EXPECT_EQ(eng.select(std::size_t{1} << 30), obs::CollAlg::shm_hier);
+#endif
+}
+
+#if HLSMPC_COLL_PIPELINE_ENABLED
+
+TEST(CollShmEngine, PipelinedStatsCountCallsAndFragments) {
+  topo::Machine m = topo::Machine::nehalem_ex(1);
+  mpi::Options o;
+  o.nranks = 8;
+  o.coll.pipeline_threshold = 4096;
+  o.coll.fragment_bytes = 2048;
+  mpi::Runtime rt(m, o);
+  ASSERT_NE(rt.world().shm_engine(), nullptr);
+  constexpr std::size_t kCount = 1000;  // 16000 B: pipelined, 8 fragments
+  std::atomic<int> bad{0};
+  rt.run([&](mpi::Comm& world, TaskContext& ctx) {
+    const int me = world.rank(ctx);
+    const std::vector<Mat> in = make_contrib(me, kCount);
+    std::vector<Mat> out(kCount);
+    world.allreduce(ctx, in.data(), out.data(), kCount, sizeof(Mat),
+                    mat_fn());
+    if (out != reference(7, kCount)) ++bad;
+  });
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(
+      rt.stats().shm_pipelined_collectives.load(std::memory_order_relaxed),
+      8u);
+  // Every rank publishes its 8 fragments on one channel or the other
+  // (contributions for non-leaders, accumulator fragments for leaders), so
+  // the fragment count is exactly ranks x fragments.
+  EXPECT_EQ(rt.stats().shm_fragments.load(std::memory_order_relaxed), 64u);
+}
+
+TEST(CollShmEngine, RegistrationCacheReusesResolvedBuffers) {
+  // scan stages every rank's send buffer through its registration, so the
+  // hit/miss counters are exact: one miss per (rank, buffer), hits after.
+  topo::Machine m = topo::Machine::generic(1, 4);
+  mpi::TransportStats stats;
+  mpi::CollConfig cfg;
+  cfg.small_threshold = 64;
+  cfg.pipeline_threshold = 128;
+  cfg.fragment_bytes = 128;
+  mpi::ShmCollEngine eng(m, {0, 1}, cfg, &stats);
+  constexpr std::size_t kCount = 64;  // 256 B of u32: pipelined, 2 frags
+  auto fn = [](void* inout, const void* in, std::size_t count) {
+    auto* a = static_cast<std::uint32_t*>(inout);
+    const auto* b = static_cast<const std::uint32_t*>(in);
+    for (std::size_t i = 0; i < count; ++i) a[i] += b[i];
+  };
+  std::array<std::vector<std::uint32_t>, 2> in;
+  std::array<std::vector<std::uint32_t>, 2> out;
+  for (int r = 0; r < 2; ++r) {
+    in[static_cast<std::size_t>(r)].assign(kCount,
+                                           static_cast<std::uint32_t>(r + 1));
+    out[static_cast<std::size_t>(r)].resize(kCount);
+  }
+  std::vector<int> pins{0, 1};
+  {
+    check::RoundRobinPolicy policy(1, 0);
+    check::DeterministicExecutor ex(policy);
+    ex.run(2, pins, [&](TaskContext& ctx) {
+      const auto me = static_cast<std::size_t>(ctx.task_id());
+      for (int iter = 0; iter < 4; ++iter) {
+        eng.scan(ctx, ctx.task_id(), in[me].data(), out[me].data(), kCount,
+                 sizeof(std::uint32_t), fn);
+      }
+    });
+  }
+  EXPECT_EQ(stats.reg_cache_misses.load(std::memory_order_relaxed), 2u);
+  EXPECT_EQ(stats.reg_cache_hits.load(std::memory_order_relaxed), 6u);
+  EXPECT_EQ(out[1][0], 3u);  // 1 + 2: the data still reduces correctly
+
+  // Migration invalidates: entries are tagged with the CPU they were
+  // resolved on, so a rank that moved re-resolves (miss) and re-caches.
+  {
+    check::RoundRobinPolicy policy(1, 0);
+    check::DeterministicExecutor ex(policy);
+    ex.run(2, pins, [&](TaskContext& ctx) {
+      const auto me = static_cast<std::size_t>(ctx.task_id());
+      ctx.set_cpu(ctx.task_id() + 2);  // simulate a migrate/re-pin
+      for (int iter = 0; iter < 2; ++iter) {
+        eng.scan(ctx, ctx.task_id(), in[me].data(), out[me].data(), kCount,
+                 sizeof(std::uint32_t), fn);
+      }
+    });
+  }
+  EXPECT_EQ(stats.reg_cache_misses.load(std::memory_order_relaxed), 4u);
+  EXPECT_EQ(stats.reg_cache_hits.load(std::memory_order_relaxed), 8u);
+
+  // The explicit flush hook drops every rank's entries.
+  eng.invalidate_registrations();
+  {
+    check::RoundRobinPolicy policy(1, 0);
+    check::DeterministicExecutor ex(policy);
+    ex.run(2, pins, [&](TaskContext& ctx) {
+      const auto me = static_cast<std::size_t>(ctx.task_id());
+      ctx.set_cpu(ctx.task_id() + 2);
+      eng.scan(ctx, ctx.task_id(), in[me].data(), out[me].data(), kCount,
+               sizeof(std::uint32_t), fn);
+    });
+  }
+  EXPECT_EQ(stats.reg_cache_misses.load(std::memory_order_relaxed), 6u);
+}
+
+#endif  // HLSMPC_COLL_PIPELINE_ENABLED
+
+// ---- schedule exploration of fragment publication order ----
+
+TEST(CollPipelineExplore, FragmentedAllreduceHoldsUnderEverySchedule) {
+  // Three ranks run a pipelined non-commutative allreduce on the
+  // deterministic executor; the explorer sweeps fragment publication
+  // orders through the coll:frag-publish sync points (and every yield).
+  // Under the coll-pipeline-off preset the same sweep explores the
+  // monolithic zero-copy path.
+  auto attempt = [](hlsmpc::ult::Executor& ex) {
+    topo::Machine m = topo::Machine::generic(1, 4);
+    mpi::TransportStats stats;
+    mpi::CollConfig cfg;
+    cfg.small_threshold = 16;
+    cfg.pipeline_threshold = 32;
+    cfg.fragment_bytes = 32;  // 2 Mats per fragment
+    mpi::ShmCollEngine eng(m, {0, 1, 2}, cfg, &stats);
+    constexpr std::size_t kCount = 12;  // 192 B -> 6 fragments
+    std::array<std::vector<Mat>, 3> out;
+    std::vector<int> pins{0, 1, 2};
+    ex.run(3, pins, [&](TaskContext& ctx) {
+      const int me = ctx.task_id();
+      const std::vector<Mat> in = make_contrib(me, kCount);
+      out[static_cast<std::size_t>(me)].assign(kCount, Mat{0, 0, 0, 0});
+      eng.allreduce(ctx, me, in.data(),
+                    out[static_cast<std::size_t>(me)].data(), kCount,
+                    sizeof(Mat), mat_fn());
+    });
+    const std::vector<Mat> ref = reference(2, kCount);
+    for (int r = 0; r < 3; ++r) {
+      if (out[static_cast<std::size_t>(r)] != ref) {
+        throw std::runtime_error("pipelined allreduce wrong on rank " +
+                                 std::to_string(r));
+      }
+    }
+  };
+  check::ExploreOptions eo;
+  eo.schedules = 250;
+  check::ScheduleExplorer explorer(eo);
+  const check::ExploreResult res = explorer.explore(attempt);
+  EXPECT_TRUE(res.ok) << res.repro;
+}
+
+TEST(CollPipelineExplore, FragmentedScanHoldsUnderEverySchedule) {
+  auto attempt = [](hlsmpc::ult::Executor& ex) {
+    topo::Machine m = topo::Machine::generic(1, 4);
+    mpi::TransportStats stats;
+    mpi::CollConfig cfg;
+    cfg.small_threshold = 16;
+    cfg.pipeline_threshold = 32;
+    cfg.fragment_bytes = 32;
+    mpi::ShmCollEngine eng(m, {0, 1, 2}, cfg, &stats);
+    constexpr std::size_t kCount = 10;
+    std::array<std::vector<Mat>, 3> out;
+    std::vector<int> pins{0, 1, 2};
+    ex.run(3, pins, [&](TaskContext& ctx) {
+      const int me = ctx.task_id();
+      // In-place: recvbuf aliases the contribution, leaning on the staged
+      // fragment snapshot.
+      out[static_cast<std::size_t>(me)] = make_contrib(me, kCount);
+      eng.scan(ctx, me, out[static_cast<std::size_t>(me)].data(),
+               out[static_cast<std::size_t>(me)].data(), kCount, sizeof(Mat),
+               mat_fn());
+    });
+    for (int r = 0; r < 3; ++r) {
+      if (out[static_cast<std::size_t>(r)] != reference(r, kCount)) {
+        throw std::runtime_error("pipelined scan wrong on rank " +
+                                 std::to_string(r));
+      }
+    }
+  };
+  check::ExploreOptions eo;
+  eo.schedules = 150;
+  check::ScheduleExplorer explorer(eo);
+  const check::ExploreResult res = explorer.explore(attempt);
+  EXPECT_TRUE(res.ok) << res.repro;
+}
+
+TEST(CollPipelineExplore, SeededEarlyPublicationIsFoundAndReplays) {
+  // The seeded publication bug: a producer that bumps the fragment count
+  // BEFORE writing the fragment payload — the store hoisted above
+  // production, exactly the ordering publish_frag's release-after-write
+  // protocol forbids. The explorer must find a schedule where a consumer
+  // acquires the count and reads the unwritten fragment, and the shrunk
+  // trace must replay to the same failure.
+  auto attempt = [](hlsmpc::ult::Executor& ex) {
+    constexpr int kFrags = 4;
+    std::array<int, kFrags> data{};
+    std::array<int, kFrags> seen{};
+    std::atomic<std::uint64_t> published{0};
+    std::vector<int> pins{0, 1};
+    ex.run(2, pins, [&](TaskContext& ctx) {
+      if (ctx.task_id() == 0) {
+        for (int f = 0; f < kFrags; ++f) {
+          published.store(static_cast<std::uint64_t>(f) + 1,
+                          std::memory_order_release);  // BUG: data not ready
+          ctx.sync_point("coll:frag-publish");
+          data[static_cast<std::size_t>(f)] = 100 + f;
+        }
+      } else {
+        hlsmpc::ult::Backoff backoff(ctx);
+        for (int f = 0; f < kFrags; ++f) {
+          while (published.load(std::memory_order_acquire) <
+                 static_cast<std::uint64_t>(f) + 1) {
+            backoff.pause();
+          }
+          seen[static_cast<std::size_t>(f)] =
+              data[static_cast<std::size_t>(f)];
+        }
+      }
+    });
+    for (int f = 0; f < kFrags; ++f) {
+      if (seen[static_cast<std::size_t>(f)] != 100 + f) {
+        throw std::runtime_error("fragment published before payload write");
+      }
+    }
+  };
+  check::ExploreOptions eo;
+  eo.schedules = 300;
+  check::ScheduleExplorer explorer(eo);
+  const check::ExploreResult res = explorer.explore(attempt);
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("fragment published"), std::string::npos)
+      << res.error;
+  try {
+    explorer.replay(attempt, res.failing_trace);
+    FAIL() << "shrunk trace did not reproduce the failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("fragment published"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 #endif  // HLSMPC_COLL_SHM_ENABLED
