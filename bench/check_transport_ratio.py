@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Check bench_transport's fabric-overhead bound: a 64 KB simulated-fabric
+send+recv round (owned-buffer capture + copy-out + locking) within 8x of
+a raw memcpy at the same size.
+
+Usage: check_transport_ratio.py CANDIDATE.json [--max-ratio 8.0]
+
+Both sides come from the same benchmark run, so the check is immune to
+the absolute-timing noise that makes cross-run gates on microsecond
+kernels flaky: whatever the machine's state, the fabric round and the
+memcpy saw it equally.
+"""
+
+import argparse
+import json
+import sys
+
+FABRIC = "BM_FabricSendRecv/65536"
+MEMCPY = "BM_RawMemcpy/65536"
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("candidate")
+    ap.add_argument("--max-ratio", type=float, default=8.0)
+    args = ap.parse_args()
+
+    with open(args.candidate) as f:
+        doc = json.load(f)
+    times = {b["name"]: b["real_time"] for b in doc.get("benchmarks", [])
+             if isinstance(b, dict) and "real_time" in b}
+    missing = [n for n in (FABRIC, MEMCPY) if n not in times]
+    if missing:
+        print(f"check_transport_ratio: missing benchmarks: "
+              f"{', '.join(missing)}")
+        return 2
+    ratio = times[FABRIC] / times[MEMCPY]
+    verdict = "ok" if ratio <= args.max_ratio else "REGRESSION"
+    print(f"{FABRIC} = {ratio:.2f}x {MEMCPY} "
+          f"(bound {args.max_ratio:.2f}x)  {verdict}")
+    return 0 if ratio <= args.max_ratio else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,12 +23,18 @@ enum class ErrorCode {
   segment_address,   ///< mapping did not land at the requested address
   arena_exhausted,   ///< shared arena out of space
   fork_failed,       ///< task process spawn failed; partial fork cleaned up
+  transport_exhausted,  ///< transport unexpected-message capacity exceeded;
+                        ///< no message was enqueued, the caller may drain
+                        ///< and retry
 
   // --- fatal: shared state may be torn; tear the node down ---
   task_died,     ///< a peer task process died mid-run
   sync_timeout,  ///< a rank timed out inside a sync primitive
   deadlock,      ///< watchdog: barrier/single stuck past its deadline
   corruption,    ///< shared metadata failed validation
+  node_unreachable,  ///< a whole peer node stopped responding (dead-rank
+                     ///< supervision lifted to the node level); in-flight
+                     ///< traffic to/from it is lost
 };
 
 /// True when the error describes clean degradation: the runtime's shared
@@ -42,11 +48,13 @@ constexpr bool recoverable(ErrorCode c) {
     case ErrorCode::segment_address:
     case ErrorCode::arena_exhausted:
     case ErrorCode::fork_failed:
+    case ErrorCode::transport_exhausted:
       return true;
     case ErrorCode::task_died:
     case ErrorCode::sync_timeout:
     case ErrorCode::deadlock:
     case ErrorCode::corruption:
+    case ErrorCode::node_unreachable:
       return false;
   }
   return false;
@@ -68,6 +76,8 @@ constexpr const char* to_string(ErrorCode c) {
       return "arena_exhausted";
     case ErrorCode::fork_failed:
       return "fork_failed";
+    case ErrorCode::transport_exhausted:
+      return "transport_exhausted";
     case ErrorCode::task_died:
       return "task_died";
     case ErrorCode::sync_timeout:
@@ -76,6 +86,8 @@ constexpr const char* to_string(ErrorCode c) {
       return "deadlock";
     case ErrorCode::corruption:
       return "corruption";
+    case ErrorCode::node_unreachable:
+      return "node_unreachable";
   }
   return "?";
 }

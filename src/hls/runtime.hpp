@@ -166,15 +166,6 @@ class Runtime {
     return single_nowait(ScopeSet(*this, vars), ctx);
   }
 
-  /// Deprecated spelling of single_nowait (the `_enter` suffix drifted
-  /// from single_nowait_scope; one release grace, then removed).
-  [[deprecated("use single_nowait(); the _enter suffix drifted from "
-               "single_nowait_scope")]]
-  bool single_nowait_enter(std::initializer_list<VarHandle> vars,
-                           ult::TaskContext& ctx) {
-    return single_nowait(vars, ctx);
-  }
-
   /// MPC_Move: re-pin the task to `new_cpu`. Throws HlsError unless the
   /// task has seen exactly as many single/barrier episodes as the
   /// destination's scope instances (paper §IV.A).

@@ -1,0 +1,459 @@
+#include "mpi/cluster.hpp"
+
+#include <cstring>
+#include <thread>
+
+#include "mpi/coll_algo.hpp"
+#include "obs/recorder.hpp"
+
+namespace hlsmpc::mpi {
+
+namespace {
+
+/// Fabric context ids: user p2p and collective internals must not match
+/// each other's messages.
+constexpr int kP2pContext = 0;
+constexpr int kCollContext = 1;
+
+/// Per-call view of a cluster-global task as a node-local one: node-level
+/// Comm calls derive the rank from ctx.task_id(), which must be the LOCAL
+/// id there. Scheduling behaviour (yield, cooperativeness, schedule hook)
+/// forwards to the real context, so blocking local collectives remain
+/// explorable under the deterministic executor — its hook tracks the
+/// running fiber itself and ignores the context object's identity.
+class LocalCtx final : public ult::TaskContext {
+ public:
+  LocalCtx(ult::TaskContext& outer, int local_id) : outer_(&outer) {
+    set_task_id(local_id);
+    set_cpu(outer.cpu());
+    set_schedule_hook(outer.schedule_hook());
+  }
+  void yield() override { outer_->yield(); }
+  bool cooperative() const override { return outer_->cooperative(); }
+
+ private:
+  ult::TaskContext* outer_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SimCluster
+
+SimCluster::SimCluster(ClusterOptions opts)
+    : opts_(opts), machine_(topo::Machine::nehalem_ex(2)) {
+  if (opts_.nnodes <= 0 || opts_.ranks_per_node <= 0) {
+    throw MpiError("SimCluster: nnodes and ranks_per_node must be positive");
+  }
+  SimFabricTransport::Options fo;
+  fo.nranks = nranks();
+  fo.ranks_per_node = opts_.ranks_per_node;
+  fo.limits = opts_.fabric_limits;
+  fabric_ = std::make_unique<SimFabricTransport>(fo);
+
+  nodes_.reserve(static_cast<std::size_t>(opts_.nnodes));
+  for (int n = 0; n < opts_.nnodes; ++n) {
+    Options o;
+    o.nranks = opts_.ranks_per_node;
+    o.buffers = opts_.buffers;
+    // The per-pair eager reservation model sizes buffers for the whole
+    // job, exactly what total_ranks is for.
+    o.total_ranks = nranks();
+    o.coll = opts_.coll;
+    // Node runtimes never record: their local task ids would collide
+    // across nodes. Cluster-level recording uses global ids (obs()).
+    o.obs = nullptr;
+    nodes_.push_back(std::make_unique<Runtime>(machine_, o));
+  }
+
+  switch (opts_.executor) {
+    case ExecutorKind::thread:
+      executor_ = std::make_unique<ult::ThreadExecutor>();
+      break;
+    case ExecutorKind::fiber: {
+      int workers = opts_.fiber_workers;
+      if (workers <= 0) {
+        const int hw =
+            static_cast<int>(std::thread::hardware_concurrency());
+        workers = std::min(machine_.num_cpus(), std::max(hw, 1));
+      }
+      auto fe = std::make_unique<ult::FiberExecutor>(workers);
+#if HLSMPC_OBS_ENABLED
+      fe->set_obs(opts_.obs);
+#endif
+      executor_ = std::move(fe);
+      break;
+    }
+  }
+  comm_ = std::make_unique<ClusterComm>(*this);
+}
+
+SimCluster::~SimCluster() = default;
+
+Runtime& SimCluster::node_runtime(int node) {
+  if (node < 0 || node >= opts_.nnodes) {
+    throw MpiError("node_runtime: bad node " + std::to_string(node));
+  }
+  return *nodes_[static_cast<std::size_t>(node)];
+}
+
+void SimCluster::run(const Body& body) { run_on(*executor_, body); }
+
+void SimCluster::run_on(ult::Executor& exec, const Body& body) {
+  const int n = nranks();
+  std::vector<int> pins(static_cast<std::size_t>(n));
+  for (int g = 0; g < n; ++g) {
+    pins[static_cast<std::size_t>(g)] =
+        nodes_[static_cast<std::size_t>(g / opts_.ranks_per_node)]
+            ->cpu_of_rank(g % opts_.ranks_per_node);
+  }
+  exec.run(n, pins, [&](ult::TaskContext& ctx) { body(*comm_, ctx); });
+}
+
+// ---------------------------------------------------------------------------
+// ClusterComm
+
+ClusterComm::ClusterComm(SimCluster& cluster)
+    : cluster_(&cluster),
+      fabric_(&cluster.fabric()),
+      nnodes_(cluster.nnodes()),
+      rpn_(cluster.ranks_per_node()),
+      nranks_(cluster.nranks()),
+      coll_seq_(static_cast<std::size_t>(cluster.nranks()), 0) {
+  node_world_.reserve(static_cast<std::size_t>(nnodes_));
+  for (int n = 0; n < nnodes_; ++n) {
+    node_world_.push_back(&cluster.node_runtime(n).world());
+  }
+#if HLSMPC_OBS_ENABLED
+  obs_ = cluster.obs();
+#endif
+}
+
+Comm& ClusterComm::node_comm(int node) const {
+  if (node < 0 || node >= nnodes_) {
+    throw MpiError("node_comm: bad node " + std::to_string(node));
+  }
+  return *node_world_[static_cast<std::size_t>(node)];
+}
+
+int ClusterComm::next_coll_tag(int grank) {
+  // Per-rank counters agree because all ranks enter collectives on this
+  // comm in the same order (MPI requirement); wraparound is harmless, a
+  // tag only disambiguates calls close in time.
+  const std::uint32_t seq = coll_seq_[static_cast<std::size_t>(grank)]++;
+  return static_cast<int>(seq & 0x7fffffffu);
+}
+
+void ClusterComm::check_alive(const char* what) const {
+  const int d = fabric_->first_dead_node();
+  if (d >= 0) {
+    throw NodeDeadError(d, std::string(what) + ": node " +
+                               std::to_string(d) + " unreachable");
+  }
+}
+
+void ClusterComm::count_coll(int grank) {
+#if HLSMPC_OBS_ENABLED
+  if (obs_ != nullptr) obs_->count(grank, obs::Counter::coll_ops);
+#else
+  (void)grank;
+#endif
+}
+
+// ---- global p2p ----
+
+void ClusterComm::send(ult::TaskContext& ctx, const void* buf,
+                       std::size_t bytes, int dst, int tag) {
+  if (dst < 0 || dst >= nranks_) {
+    throw MpiError("cluster send: bad rank " + std::to_string(dst));
+  }
+  if (tag < 0 || tag > kMaxUserTag) {
+    throw MpiError("cluster send: bad tag " + std::to_string(tag));
+  }
+  const int me = rank(ctx);
+  Request r = fabric_->isend(ctx, me, dst, dst, buf, bytes, tag, kP2pContext);
+  transport_wait(ctx, r);
+#if HLSMPC_OBS_ENABLED
+  if (obs_ != nullptr) obs_->count(me, obs::Counter::net_sends);
+#endif
+}
+
+void ClusterComm::recv(ult::TaskContext& ctx, void* buf, std::size_t capacity,
+                       int src, int tag, Status* status) {
+  if (src != kAnySource && (src < 0 || src >= nranks_)) {
+    throw MpiError("cluster recv: bad rank " + std::to_string(src));
+  }
+  if (tag != kAnyTag && (tag < 0 || tag > kMaxUserTag)) {
+    throw MpiError("cluster recv: bad tag " + std::to_string(tag));
+  }
+  const int me = rank(ctx);
+  Request r = fabric_->irecv(ctx, me, buf, capacity, src, tag, kP2pContext);
+  transport_wait(ctx, r, status);
+#if HLSMPC_OBS_ENABLED
+  if (obs_ != nullptr) obs_->count(me, obs::Counter::net_recvs);
+#endif
+}
+
+// ---- leader-tier primitives ----
+
+bool ClusterComm::coll_send(ult::TaskContext& ctx, int g_me, int dst_g,
+                            const void* buf, std::size_t bytes, int tag) {
+  try {
+    Request r =
+        fabric_->isend(ctx, g_me, dst_g, dst_g, buf, bytes, tag, kCollContext);
+    transport_wait(ctx, r);
+  } catch (const NodeDeadError&) {
+    return false;
+  } catch (const TransportError&) {
+    // The link failed but the peer was not (yet) known dead: declare the
+    // node we could not reach unreachable, so the whole job tears down
+    // naming it (dead-rank supervision lifted to nodes).
+    fabric_->kill_node(node_of(dst_g));
+    return false;
+  }
+#if HLSMPC_OBS_ENABLED
+  if (obs_ != nullptr) obs_->count(g_me, obs::Counter::net_sends);
+#endif
+  return true;
+}
+
+bool ClusterComm::coll_recv(ult::TaskContext& ctx, int g_me, int src_g,
+                            void* buf, std::size_t capacity, int tag) {
+  try {
+    Request r = fabric_->irecv(ctx, g_me, buf, capacity, src_g, tag,
+                               kCollContext);
+    transport_wait(ctx, r);
+  } catch (const NodeDeadError&) {
+    return false;
+  } catch (const TransportError&) {
+    fabric_->kill_node(node_of(src_g));
+    return false;
+  }
+#if HLSMPC_OBS_ENABLED
+  if (obs_ != nullptr) obs_->count(g_me, obs::Counter::net_recvs);
+#endif
+  return true;
+}
+
+bool ClusterComm::leader_fold(ult::TaskContext& ctx, int node, void* acc,
+                              std::size_t count, std::size_t elem_bytes,
+                              const ReduceFn& fn, int tag) {
+  // Binomial reduce tree in TRUE node order (the PR 5 contract lifted to
+  // the leader tier): the lower node of each pair holds the fold of a
+  // contiguous node range ending right before its partner's range, so it
+  // applies the partner's partial as the RIGHT operand. Result lands at
+  // node 0's leader.
+  const int g_me = leader_of(node);
+  const std::size_t bytes = count * elem_bytes;
+  bool ok = true;
+  std::vector<std::byte> partner(bytes);
+  for (int mask = 1; mask < nnodes_; mask <<= 1) {
+    if ((node & mask) != 0) {
+      if (!coll_send(ctx, g_me, leader_of(node - mask), acc, bytes, tag)) {
+        ok = false;
+      }
+      break;
+    }
+    const int src_node = node + mask;
+    if (src_node < nnodes_) {
+      if (coll_recv(ctx, g_me, leader_of(src_node), partner.data(), bytes,
+                    tag)) {
+        fn(acc, partner.data(), count);
+      } else {
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
+bool ClusterComm::leader_bcast(ult::TaskContext& ctx, int node, void* buf,
+                               std::size_t bytes, int root_node, int tag) {
+  // Binomial bcast over virtual node ids rotated so root_node is virtual
+  // 0 (rotation is legal here: bcast has no fold order to preserve).
+  const int g_me = leader_of(node);
+  const int vme = (node - root_node + nnodes_) % nnodes_;
+  bool ok = true;
+  int mask = 1;
+  while (mask < nnodes_) {
+    if ((vme & mask) != 0) {
+      const int src = (vme - mask + root_node) % nnodes_;
+      if (!coll_recv(ctx, g_me, leader_of(src), buf, bytes, tag)) ok = false;
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vme + mask < nnodes_) {
+      const int dst = (vme + mask + root_node) % nnodes_;
+      if (!coll_send(ctx, g_me, leader_of(dst), buf, bytes, tag)) ok = false;
+    }
+    mask >>= 1;
+  }
+  return ok;
+}
+
+// ---- hierarchical collectives ----
+
+void ClusterComm::barrier(ult::TaskContext& ctx) {
+  const int g = rank(ctx);
+  const int node = node_of(g);
+  const int tag = next_coll_tag(g);
+  count_coll(g);
+  check_alive("cluster barrier");
+  LocalCtx lctx(ctx, local_of(g));
+  Comm& nc = node_comm(node);
+  // Local arrival: after this, every rank of the node has entered.
+  nc.barrier(lctx);
+  if (local_of(g) == 0) {
+    // Leader dissemination over nodes: after ceil(log2 N) rounds each
+    // leader has transitively heard from every node.
+    for (int step = 1; step < nnodes_; step <<= 1) {
+      const int dst = coll::dissemination_dst(node, step, nnodes_);
+      const int src = coll::dissemination_src(node, step, nnodes_);
+      coll_send(ctx, g, leader_of(dst), nullptr, 0, tag);
+      coll_recv(ctx, g, leader_of(src), nullptr, 0, tag);
+    }
+  }
+  // Local release: nobody leaves before its leader heard from all nodes.
+  nc.barrier(lctx);
+  check_alive("cluster barrier");
+}
+
+void ClusterComm::bcast(ult::TaskContext& ctx, void* buf, std::size_t bytes,
+                        int root) {
+  if (root < 0 || root >= nranks_) {
+    throw MpiError("cluster bcast: bad root " + std::to_string(root));
+  }
+  const int g = rank(ctx);
+  const int node = node_of(g);
+  const int root_node = node_of(root);
+  const int tag = next_coll_tag(g);
+  count_coll(g);
+  check_alive("cluster bcast");
+  LocalCtx lctx(ctx, local_of(g));
+  Comm& nc = node_comm(node);
+  if (node == root_node) {
+    // Root's node first shares locally (this is what puts the payload in
+    // the leader's hands), then its leader feeds the leader tier.
+    nc.bcast(lctx, buf, bytes, local_of(root));
+    if (local_of(g) == 0) {
+      leader_bcast(ctx, node, buf, bytes, root_node, tag);
+    }
+  } else {
+    if (local_of(g) == 0) {
+      leader_bcast(ctx, node, buf, bytes, root_node, tag);
+    }
+    nc.bcast(lctx, buf, bytes, 0);
+  }
+  check_alive("cluster bcast");
+}
+
+void ClusterComm::reduce(ult::TaskContext& ctx, const void* sendbuf,
+                         void* recvbuf, std::size_t count,
+                         std::size_t elem_bytes, const ReduceFn& fn,
+                         int root) {
+  if (root < 0 || root >= nranks_) {
+    throw MpiError("cluster reduce: bad root " + std::to_string(root));
+  }
+  const int g = rank(ctx);
+  const int node = node_of(g);
+  const int tag = next_coll_tag(g);
+  const std::size_t bytes = count * elem_bytes;
+  count_coll(g);
+  check_alive("cluster reduce");
+  LocalCtx lctx(ctx, local_of(g));
+  Comm& nc = node_comm(node);
+
+  // Local tier: fold the node's contributions (ascending local = ascending
+  // global within the node) into the leader's partial.
+  std::vector<std::byte> partial;
+  if (local_of(g) == 0) partial.resize(bytes);
+  nc.reduce(lctx, sendbuf, local_of(g) == 0 ? partial.data() : nullptr,
+            count, elem_bytes, fn, 0);
+
+  if (local_of(g) == 0) {
+    // Leader tier: fold per-node partials to node 0 in true node order.
+    leader_fold(ctx, node, partial.data(), count, elem_bytes, fn, tag);
+    if (node == 0) {
+      // Deliver node 0's folded total to the global root.
+      if (g == root) {
+        if (bytes > 0) std::memcpy(recvbuf, partial.data(), bytes);
+      } else {
+        coll_send(ctx, g, root, partial.data(), bytes, tag);
+      }
+    }
+  }
+  if (g == root && g != leader_of(0)) {
+    coll_recv(ctx, g, leader_of(0), recvbuf, bytes, tag);
+  }
+  check_alive("cluster reduce");
+}
+
+void ClusterComm::allreduce(ult::TaskContext& ctx, const void* sendbuf,
+                            void* recvbuf, std::size_t count,
+                            std::size_t elem_bytes, const ReduceFn& fn) {
+  const int g = rank(ctx);
+  const int node = node_of(g);
+  const int tag = next_coll_tag(g);
+  count_coll(g);
+  check_alive("cluster allreduce");
+  LocalCtx lctx(ctx, local_of(g));
+  Comm& nc = node_comm(node);
+
+  // Local reduce into the leader's recvbuf, leader fold to node 0, leader
+  // bcast of the total, local bcast — reduce+bcast with the leader's
+  // recvbuf as the accumulator throughout, so no extra staging buffer.
+  nc.reduce(lctx, sendbuf, local_of(g) == 0 ? recvbuf : nullptr, count,
+            elem_bytes, fn, 0);
+  if (local_of(g) == 0) {
+    leader_fold(ctx, node, recvbuf, count, elem_bytes, fn, tag);
+    leader_bcast(ctx, node, recvbuf, count * elem_bytes, 0, tag);
+  }
+  nc.bcast(lctx, recvbuf, count * elem_bytes, 0);
+  check_alive("cluster allreduce");
+}
+
+void ClusterComm::allgather(ult::TaskContext& ctx, const void* sendbuf,
+                            std::size_t bytes, void* recvbuf) {
+  const int g = rank(ctx);
+  const int node = node_of(g);
+  const int tag = next_coll_tag(g);
+  const std::size_t node_block = static_cast<std::size_t>(rpn_) * bytes;
+  count_coll(g);
+  check_alive("cluster allgather");
+  LocalCtx lctx(ctx, local_of(g));
+  Comm& nc = node_comm(node);
+
+  auto* out = static_cast<std::byte*>(recvbuf);
+  // Local tier: the leader gathers its node's block in place, at the
+  // node's slot of the global-rank-ordered result.
+  nc.gather(lctx, sendbuf, bytes,
+            local_of(g) == 0 ? out + static_cast<std::size_t>(node) *
+                                         node_block
+                             : nullptr,
+            0);
+  if (local_of(g) == 0 && nnodes_ > 1) {
+    // Leader tier: linear block exchange. Fabric sends complete
+    // immediately (always-copy), so send-all-then-receive-all cannot
+    // deadlock.
+    for (int p = 0; p < nnodes_; ++p) {
+      if (p == node) continue;
+      coll_send(ctx, g, leader_of(p),
+                out + static_cast<std::size_t>(node) * node_block,
+                node_block, tag);
+    }
+    for (int p = 0; p < nnodes_; ++p) {
+      if (p == node) continue;
+      coll_recv(ctx, g, leader_of(p),
+                out + static_cast<std::size_t>(p) * node_block, node_block,
+                tag);
+    }
+  }
+  // Local tier: share the assembled result.
+  nc.bcast(lctx, recvbuf, static_cast<std::size_t>(nranks_) * bytes, 0);
+  check_alive("cluster allgather");
+}
+
+}  // namespace hlsmpc::mpi

@@ -1,0 +1,192 @@
+// Simulated multi-node cluster with node-leader hierarchical collectives.
+//
+// The MPI+MPI hierarchical structure of Eleliemy & Ciorba (PAPERS.md)
+// composed from this repo's two tiers:
+//
+//   intra-node tier: each node is a full mpi::Runtime — one address
+//     space, ShmCollEngine collectives, ShmTransport p2p (PR 5/7).
+//   inter-node tier: node leaders (local rank 0) exchange over a
+//     Transport — here the deterministic SimFabricTransport, so
+//     multi-node schedules are explorable with src/check's executor.
+//
+// Global rank g of a cluster with R ranks per node lives on node g/R as
+// local rank g%R (node-major order). All nodes are hosted in this
+// process: node runtimes provide the local tier, while their run() is
+// never called — the cluster drives one executor with nranks() tasks and
+// hands each a per-call local context when it enters node-level calls.
+//
+// Fold-order contract (comm.hpp): contributions combine in ascending
+// GLOBAL rank order with the accumulator as the left operand. Node-major
+// rank order factors that fold exactly: the local tier produces per-node
+// partials P_n = v_{nR} (+) ... (+) v_{nR+R-1} in local rank order, and
+// the leader tier folds P_0 (+) P_1 (+) ... (+) P_{N-1} in ascending
+// node order (binomial tree in TRUE node order: the lower node applies
+// the higher partner's partial as the RIGHT operand). Associativity is
+// all that regrouping needs — commutativity is never required.
+//
+// Dead-node supervision: a leader whose fabric exchange fails declares
+// the peer node unreachable (SimFabricTransport::kill_node), finishes its
+// local phases so co-resident ranks are not stranded mid-collective, and
+// every rank then throws NodeDeadError naming the FIRST unreachable node
+// from the collective's exit check.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mpi/runtime.hpp"
+#include "mpi/sim_fabric.hpp"
+
+namespace hlsmpc::mpi {
+
+class SimCluster;
+
+struct ClusterOptions {
+  int nnodes = 2;
+  int ranks_per_node = 1;
+  /// Executor hosting the cluster-global tasks (SimCluster::run).
+  ExecutorKind executor = ExecutorKind::thread;
+  int fiber_workers = 0;
+  /// Per-node runtime tuning.
+  BufferConfig buffers;
+  CollConfig coll;
+  /// Fabric capacity bounds (0 = unlimited).
+  TransportLimits fabric_limits;
+  /// Cluster-level observability recorder; task ids are cluster-global
+  /// ranks. Node runtimes record nothing (their local ids would collide).
+  obs::Recorder* obs = nullptr;
+};
+
+/// The cluster-global communicator: one object shared by all global
+/// ranks. Global p2p rides the fabric; collectives are hierarchical
+/// (local tier + leader tier, see the file comment).
+class ClusterComm {
+ public:
+  ClusterComm(SimCluster& cluster);
+  ClusterComm(const ClusterComm&) = delete;
+  ClusterComm& operator=(const ClusterComm&) = delete;
+
+  int size() const { return nranks_; }
+  int nnodes() const { return nnodes_; }
+  int ranks_per_node() const { return rpn_; }
+  /// Cluster-global rank of the calling task.
+  int rank(const ult::TaskContext& ctx) const { return ctx.task_id(); }
+  int node_of(int grank) const { return grank / rpn_; }
+  int local_of(int grank) const { return grank % rpn_; }
+  int leader_of(int node) const { return node * rpn_; }
+  /// The intra-node world communicator of `node` (local rank space).
+  Comm& node_comm(int node) const;
+  SimFabricTransport& fabric() const { return *fabric_; }
+  /// First node observed unreachable, or -1 while all are alive.
+  int first_dead_node() const { return fabric_->first_dead_node(); }
+
+  // ---- global point to point (global ranks, over the fabric) ----
+  void send(ult::TaskContext& ctx, const void* buf, std::size_t bytes,
+            int dst, int tag);
+  void recv(ult::TaskContext& ctx, void* buf, std::size_t capacity, int src,
+            int tag, Status* status = nullptr);
+
+  // ---- hierarchical collectives (global ranks) ----
+  void barrier(ult::TaskContext& ctx);
+  void bcast(ult::TaskContext& ctx, void* buf, std::size_t bytes, int root);
+  /// recvbuf is significant at the global root only.
+  void reduce(ult::TaskContext& ctx, const void* sendbuf, void* recvbuf,
+              std::size_t count, std::size_t elem_bytes, const ReduceFn& fn,
+              int root);
+  void allreduce(ult::TaskContext& ctx, const void* sendbuf, void* recvbuf,
+                 std::size_t count, std::size_t elem_bytes,
+                 const ReduceFn& fn);
+  /// recvbuf holds size()*bytes, ordered by global rank.
+  void allgather(ult::TaskContext& ctx, const void* sendbuf,
+                 std::size_t bytes, void* recvbuf);
+
+  // ---- typed convenience ----
+  template <typename T>
+  T bcast_value(ult::TaskContext& ctx, T v, int root) {
+    bcast(ctx, &v, sizeof(T), root);
+    return v;
+  }
+  template <typename T>
+  void allreduce(ult::TaskContext& ctx, std::span<const T> in,
+                 std::span<T> out, Op op) {
+    allreduce(ctx, in.data(), out.data(), in.size(), sizeof(T),
+              make_reduce_fn<T>(op));
+  }
+  template <typename T>
+  T allreduce_value(ult::TaskContext& ctx, const T& v, Op op) {
+    T out{};
+    allreduce(ctx, &v, &out, 1, sizeof(T), make_reduce_fn<T>(op));
+    return out;
+  }
+
+ private:
+  /// Leader-tier exchange primitives with dead-node containment: a
+  /// failure records/declares the peer node unreachable and returns
+  /// false; callers push on (subsequent fabric ops fail fast against the
+  /// poisoned fabric) so local phases still run and nobody strands
+  /// co-resident ranks.
+  bool coll_send(ult::TaskContext& ctx, int g_me, int dst_g, const void* buf,
+                 std::size_t bytes, int tag);
+  bool coll_recv(ult::TaskContext& ctx, int g_me, int src_g, void* buf,
+                 std::size_t capacity, int tag);
+  /// Leader-tier binomial fold to node 0 in TRUE node order; `acc` is the
+  /// caller's node partial, overwritten with the folded prefix at
+  /// receiving nodes. Returns false on containment.
+  bool leader_fold(ult::TaskContext& ctx, int node, void* acc,
+                   std::size_t count, std::size_t elem_bytes,
+                   const ReduceFn& fn, int tag);
+  /// Leader-tier binomial bcast rooted at `root_node` (virtual-node
+  /// rotation).
+  bool leader_bcast(ult::TaskContext& ctx, int node, void* buf,
+                    std::size_t bytes, int root_node, int tag);
+  /// Fresh tag for the caller's next collective (all ranks enter
+  /// collectives in the same order, so per-rank counters agree).
+  int next_coll_tag(int grank);
+  /// Throws NodeDeadError naming the first unreachable node, if any.
+  void check_alive(const char* what) const;
+  void count_coll(int grank);
+
+  SimCluster* cluster_;
+  SimFabricTransport* fabric_;
+  std::vector<Comm*> node_world_;
+  int nnodes_ = 0;
+  int rpn_ = 0;
+  int nranks_ = 0;
+  std::vector<std::uint32_t> coll_seq_;  // per global rank
+  obs::Recorder* obs_ = nullptr;
+};
+
+class SimCluster {
+ public:
+  explicit SimCluster(ClusterOptions opts);
+  ~SimCluster();
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  int nnodes() const { return opts_.nnodes; }
+  int ranks_per_node() const { return opts_.ranks_per_node; }
+  int nranks() const { return opts_.nnodes * opts_.ranks_per_node; }
+  SimFabricTransport& fabric() { return *fabric_; }
+  Runtime& node_runtime(int node);
+  ClusterComm& comm() { return *comm_; }
+  /// The cluster-level recorder from ClusterOptions (may be null).
+  obs::Recorder* obs() const { return opts_.obs; }
+
+  using Body = std::function<void(ClusterComm&, ult::TaskContext&)>;
+  /// Run `body` once per cluster-global rank on the cluster's executor.
+  void run(const Body& body);
+  /// Same, on a caller-provided executor — check::DeterministicExecutor
+  /// here makes the whole multi-node schedule explorable/replayable.
+  void run_on(ult::Executor& exec, const Body& body);
+
+ private:
+  ClusterOptions opts_;
+  topo::Machine machine_;
+  std::vector<std::unique_ptr<Runtime>> nodes_;
+  std::unique_ptr<SimFabricTransport> fabric_;
+  std::unique_ptr<ult::Executor> executor_;
+  std::unique_ptr<ClusterComm> comm_;
+};
+
+}  // namespace hlsmpc::mpi

@@ -80,7 +80,7 @@
 #include <memory>
 #include <vector>
 
-#include "mpi/mailbox.hpp"
+#include "mpi/transport.hpp"
 #include "mpi/types.hpp"
 #include "obs/event.hpp"
 #include "topo/topology.hpp"

@@ -6,6 +6,24 @@
 // implemented in p2p.cpp / collectives.cpp; typed templates below forward
 // to it. Every operation takes the caller's TaskContext so blocking waits
 // cooperate with the fiber scheduler.
+//
+// Layering (top down — include mpi/mpi.hpp to get the whole public
+// surface):
+//
+//   ClusterComm (cluster.hpp)   multi-node view: node-leader hierarchical
+//       |                       collectives, global p2p over the fabric
+//   Comm (this file)            intra-node MPI surface; delegates small/
+//       |                       large collectives to ShmCollEngine
+//   Transport (transport.hpp)   the only way bytes move between ranks:
+//       |                       isend/irecv/iprobe + TransportStats
+//   ShmTransport | SimFabricTransport | TcpTransport
+//                               intra-node mailboxes; a deterministic,
+//                               explorable multi-node fabric; real
+//                               sockets for multi-process runs
+//
+// detail/mailbox.hpp (namespace mpi::detail) is the matching-engine
+// state shared by the transport implementations; nothing above the
+// Transport interface may include it.
 #pragma once
 
 #include <cstdint>

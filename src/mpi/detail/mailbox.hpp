@@ -1,0 +1,71 @@
+// Per-endpoint message matching structures (transport-internal).
+//
+// This header is implementation detail of the Transport layer: only
+// Transport implementations (ShmTransport, SimFabricTransport) may
+// include it. Application- and Comm-level code talks to mpi/transport.hpp.
+//
+// The matching model is MPI's: a send is either (a) a direct copy into an
+// already-posted receive buffer, (b) an eager copy queued as "unexpected",
+// or (c) for large intra-node messages, a rendezvous record pointing at
+// the sender's buffer, copied when the receive is posted and only then
+// completing the sender. Matching follows MPI's non-overtaking rule:
+// queues are scanned front to back, so messages from the same
+// (source, tag, context) match in order.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mpi/buffers.hpp"
+#include "mpi/types.hpp"
+
+namespace hlsmpc::mpi::detail {
+
+struct PostedRecv {
+  void* buf = nullptr;
+  std::size_t capacity = 0;
+  int src = kAnySource;
+  int tag = kAnyTag;
+  int context = 0;
+  std::shared_ptr<RequestState> req;
+};
+
+struct UnexpectedMsg {
+  int src = 0;
+  int tag = 0;
+  int context = 0;
+  std::size_t bytes = 0;
+  /// Eager protocol, shared-memory path: the payload copy lives in a
+  /// leased buffer of the node's BufferManager.
+  BufferManager::Lease payload;
+  /// Eager protocol, fabric path: transports whose endpoints do not share
+  /// a BufferManager (SimFabricTransport) own the payload copy outright.
+  std::vector<std::byte> owned;
+  bool has_owned = false;
+  /// Rendezvous protocol: sender's buffer; valid until sender_req is
+  /// completed by the receiver after copying.
+  const void* rdv_src = nullptr;
+  std::shared_ptr<RequestState> sender_req;
+
+  bool is_rendezvous() const { return sender_req != nullptr; }
+  const void* data() const { return has_owned ? owned.data() : payload.data(); }
+  bool matches(int want_src, int want_tag, int want_ctx) const {
+    return context == want_ctx &&
+           (want_src == kAnySource || want_src == src) &&
+           (want_tag == kAnyTag || want_tag == tag);
+  }
+};
+
+struct Mailbox {
+  std::mutex mu;
+  std::deque<UnexpectedMsg> unexpected;
+  std::deque<PostedRecv> posted;
+  /// Bytes held by queued unexpected messages (eager payloads only; a
+  /// rendezvous descriptor parks the bytes in the sender's buffer).
+  std::size_t unexpected_bytes = 0;
+};
+
+}  // namespace hlsmpc::mpi::detail

@@ -1,6 +1,8 @@
-// Point-to-point engine: eager / rendezvous protocols over shared memory.
-#include <cstring>
-
+// Point-to-point layer: MPI semantics over the Transport abstraction.
+//
+// Comm validates arguments, stamps rank labels, and feeds the trace /
+// obs hooks; the actual matching and byte movement happen inside the
+// runtime's Transport (shm_transport.cpp for the intra-node engine).
 #include "mpi/comm.hpp"
 #include "mpi/runtime.hpp"
 #include "obs/recorder.hpp"
@@ -31,36 +33,12 @@ void obs_p2p(obs::Recorder* obs, obs::EventKind kind, int task, int cpu,
 }
 #endif
 
-/// Copy that skips the memcpy when source and destination alias — the
-/// intra-node optimisation the paper exploits for Tachyon's shared image
-/// (§V.B.3): "if the source and the destination are identical ... this
-/// copy is not realized".
-void copy_payload(void* dst, const void* src, std::size_t bytes,
-                  TransportStats& stats) {
-  if (bytes == 0) return;
-  if (dst == src) {
-    stats.copies_elided.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  std::memcpy(dst, src, bytes);
-}
-
-bool posted_matches(const PostedRecv& pr, int src_rank, int tag,
-                    int context) {
-  return pr.context == context &&
-         (pr.src == kAnySource || pr.src == src_rank) &&
-         (pr.tag == kAnyTag || pr.tag == tag);
-}
-
 }  // namespace
 
 Request Comm::isend_ctx(ult::TaskContext& ctx, const void* buf,
                         std::size_t bytes, int dst, int tag, int context) {
   check_rank(dst, "send");
   const int me = rank(ctx);
-  TransportStats& stats = rt_->stats();
-  stats.messages.fetch_add(1, std::memory_order_relaxed);
-  stats.bytes.fetch_add(bytes, std::memory_order_relaxed);
   if (TraceHook* hook = rt_->trace_hook()) {
     hook->on_send(ctx.task_id(), global_task(dst), context, tag);
   }
@@ -68,106 +46,18 @@ Request Comm::isend_ctx(ult::TaskContext& ctx, const void* buf,
   obs_p2p(rt_->obs(), obs::EventKind::p2p_send, ctx.task_id(), ctx.cpu(),
           global_task(dst), context, tag);
 #endif
-
-  Mailbox& mb = rt_->mailbox(global_task(dst));
-  auto req = std::make_shared<RequestState>();
-
-  std::unique_lock<std::mutex> lk(mb.mu);
-  // Fast path: a matching receive is already posted — copy straight into
-  // the user buffer (this is what makes thread-based intra-node MPI fast).
-  for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
-    if (!posted_matches(*it, me, tag, context)) continue;
-    PostedRecv pr = *it;
-    mb.posted.erase(it);
-    lk.unlock();
-    if (bytes > pr.capacity) {
-      pr.req->complete_error("recv truncated: message of " +
-                             std::to_string(bytes) + " bytes into " +
-                             std::to_string(pr.capacity) + " byte buffer");
-      req->complete_error("send: matching receive buffer too small");
-      return Request(req);
-    }
-    copy_payload(pr.buf, buf, bytes, stats);
-    pr.req->complete(Status{me, tag, bytes});
-    req->complete(Status{dst, tag, bytes});
-    return Request(req);
-  }
-
-  if (bytes <= rt_->buffers().eager_threshold()) {
-    // Eager: copy into a leased buffer; the send completes immediately
-    // (buffered-send semantics, like any eager protocol).
-    UnexpectedMsg msg;
-    msg.src = me;
-    msg.tag = tag;
-    msg.context = context;
-    msg.bytes = bytes;
-    msg.payload = rt_->buffers().acquire(bytes);
-    if (bytes > 0) std::memcpy(msg.payload.data(), buf, bytes);
-    mb.unexpected.push_back(std::move(msg));
-    lk.unlock();
-    stats.eager_sends.fetch_add(1, std::memory_order_relaxed);
-    req->complete(Status{dst, tag, bytes});
-    return Request(req);
-  }
-
-  // Rendezvous: leave a descriptor pointing at the caller's buffer; the
-  // receiver copies and only then completes this request, so the caller's
-  // buffer stays live while the message is in flight.
-  UnexpectedMsg msg;
-  msg.src = me;
-  msg.tag = tag;
-  msg.context = context;
-  msg.bytes = bytes;
-  msg.rdv_src = buf;
-  msg.sender_req = req;
-  mb.unexpected.push_back(std::move(msg));
-  lk.unlock();
-  stats.rendezvous_sends.fetch_add(1, std::memory_order_relaxed);
-  return Request(req);
+  // The message is stamped with the sender's comm-local rank (matching is
+  // per communicator via the context id); the endpoint is the
+  // destination's node-local task id, which indexes the shm mailboxes.
+  return rt_->transport().isend(ctx, me, global_task(dst), dst, buf, bytes,
+                                tag, context);
 }
 
 Request Comm::irecv_ctx(ult::TaskContext& ctx, void* buf,
                         std::size_t capacity, int src, int tag, int context) {
   if (src != kAnySource) check_rank(src, "recv");
-  TransportStats& stats = rt_->stats();
-  Mailbox& mb = rt_->mailbox(ctx.task_id());
-  auto req = std::make_shared<RequestState>();
-  req->trace_is_recv = true;
-  req->trace_context = context;
-
-  std::unique_lock<std::mutex> lk(mb.mu);
-  for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
-    if (!it->matches(src, tag, context)) continue;
-    UnexpectedMsg msg = std::move(*it);
-    mb.unexpected.erase(it);
-    lk.unlock();
-    if (msg.bytes > capacity) {
-      if (msg.is_rendezvous()) {
-        msg.sender_req->complete_error("send: receive buffer too small");
-      }
-      req->complete_error("recv truncated: message of " +
-                          std::to_string(msg.bytes) + " bytes into " +
-                          std::to_string(capacity) + " byte buffer");
-      return Request(req);
-    }
-    if (msg.is_rendezvous()) {
-      copy_payload(buf, msg.rdv_src, msg.bytes, stats);
-      msg.sender_req->complete(Status{/*source=*/-1, msg.tag, msg.bytes});
-    } else {
-      // Note: no same-address elision here. An eager send completes
-      // immediately, so by match time the sender's buffer may be freed
-      // and its address legitimately reused — only the payload copy is
-      // trustworthy. Same-address elision applies on the synchronous
-      // paths (posted-receive match and rendezvous), where the sender's
-      // buffer is still live.
-      copy_payload(buf, msg.payload.data(), msg.bytes, stats);
-    }
-    req->complete(Status{msg.src, msg.tag, msg.bytes});
-    return Request(req);
-  }
-
-  mb.posted.push_back(PostedRecv{buf, capacity, src, tag, context, req});
-  return Request(req);
+  return rt_->transport().irecv(ctx, ctx.task_id(), buf, capacity, src, tag,
+                                context);
 }
 
 Request Comm::isend(ult::TaskContext& ctx, const void* buf, std::size_t bytes,
@@ -277,15 +167,8 @@ void Comm::recv_ctx(ult::TaskContext& ctx, void* buf, std::size_t capacity,
 
 bool Comm::iprobe(ult::TaskContext& ctx, int src, int tag, Status* status) {
   if (src != kAnySource) check_rank(src, "iprobe");
-  Mailbox& mb = rt_->mailbox(ctx.task_id());
-  std::lock_guard<std::mutex> lk(mb.mu);
-  for (const UnexpectedMsg& msg : mb.unexpected) {
-    if (msg.matches(src, tag, pt2pt_context_)) {
-      if (status != nullptr) *status = Status{msg.src, msg.tag, msg.bytes};
-      return true;
-    }
-  }
-  return false;
+  return rt_->transport().iprobe(ctx.task_id(), src, tag, pt2pt_context_,
+                                 status);
 }
 
 void Comm::probe(ult::TaskContext& ctx, int src, int tag, Status* status) {

@@ -1,15 +1,63 @@
 #include "mpi/runtime.hpp"
 
+#include <cstdlib>
 #include <numeric>
 #include <thread>
 
 #include "mpi/rma.hpp"
+#include "mpi/shm_transport.hpp"
 
 namespace hlsmpc::mpi {
+
+namespace {
+
+/// Parse env var `name` as a non-negative integer into `out`; unset or
+/// unparsable values leave `out` untouched.
+void env_size(const char* name, std::size_t& out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0') return;
+  out = static_cast<std::size_t>(parsed);
+}
+
+void env_bool(const char* name, bool& out) {
+  std::size_t v = out ? 1 : 0;
+  env_size(name, v);
+  out = v != 0;
+}
+
+std::size_t clamp_size(std::size_t v, std::size_t lo, std::size_t hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace
+
+CollConfig coll_config_from_env(CollConfig base) {
+  env_bool("HLSMPC_COLL_SHM", base.enable_shm);
+  env_size("HLSMPC_COLL_SMALL_THRESHOLD", base.small_threshold);
+  base.small_threshold = clamp_size(base.small_threshold, 0, 1u << 20);
+  env_size("HLSMPC_COLL_PIPELINE_THRESHOLD", base.pipeline_threshold);
+  if (base.pipeline_threshold == 0) {
+    // 0 = never pipeline (the documented spelling of SIZE_MAX).
+    base.pipeline_threshold = SIZE_MAX;
+  }
+  // The staged arm wins ties at small_threshold; a pipeline crossover
+  // below it would carve out an unreachable selector band.
+  if (base.pipeline_threshold < base.small_threshold) {
+    base.pipeline_threshold = base.small_threshold;
+  }
+  env_size("HLSMPC_COLL_FRAGMENT_BYTES", base.fragment_bytes);
+  base.fragment_bytes = clamp_size(base.fragment_bytes, 1u << 10, 16u << 20);
+  env_bool("HLSMPC_COLL_PIPELINE_YIELD", base.pipeline_yield);
+  return base;
+}
 
 Runtime::Runtime(const topo::Machine& machine, Options opts,
                  memtrack::Tracker* tracker)
     : machine_(machine), opts_(opts) {
+  opts_.coll = coll_config_from_env(opts_.coll);
 #if HLSMPC_OBS_ENABLED
   obs_ = opts_.obs;
 #endif
@@ -26,10 +74,7 @@ Runtime::Runtime(const topo::Machine& machine, Options opts,
   }
   buffers_ = std::make_unique<BufferManager>(opts_.buffers, nranks_, total,
                                              *tracker_);
-  mailboxes_.reserve(static_cast<std::size_t>(nranks_));
-  for (int i = 0; i < nranks_; ++i) {
-    mailboxes_.push_back(std::make_unique<Mailbox>());
-  }
+  transport_ = std::make_unique<ShmTransport>(nranks_, *buffers_);
   tracker_->on_alloc(memtrack::Category::runtime_other,
                      static_cast<std::size_t>(nranks_) *
                          opts_.per_task_overhead_bytes);
@@ -73,13 +118,6 @@ int Runtime::cpu_of_rank(int rank) const {
     throw MpiError("cpu_of_rank: bad rank");
   }
   return rank % machine_.num_cpus();
-}
-
-Mailbox& Runtime::mailbox(int task_id) {
-  if (task_id < 0 || task_id >= nranks_) {
-    throw MpiError("mailbox: bad task id");
-  }
-  return *mailboxes_[static_cast<std::size_t>(task_id)];
 }
 
 int Runtime::alloc_context() { return next_context_.fetch_add(1); }

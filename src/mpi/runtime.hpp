@@ -3,8 +3,9 @@
 // Mirrors MPC's design (paper §IV): MPI tasks share one address space and
 // are pinned to hardware threads of the machine's topology; the executor
 // back end chooses between kernel threads and user-level fibers. The
-// runtime owns the communicator registry, per-rank mailboxes, the eager
-// buffer manager and the memory tracker the benchmarks read.
+// runtime owns the communicator registry, the intra-node ShmTransport
+// (transport.hpp), the eager buffer manager and the memory tracker the
+// benchmarks read.
 #pragma once
 
 #include <functional>
@@ -14,8 +15,8 @@
 #include "memtrack/memtrack.hpp"
 #include "mpi/buffers.hpp"
 #include "mpi/comm.hpp"
-#include "mpi/mailbox.hpp"
 #include "mpi/trace_hook.hpp"
+#include "mpi/transport.hpp"
 #include "obs/event.hpp"
 #include "topo/topology.hpp"
 #include "ult/scheduler.hpp"
@@ -46,9 +47,25 @@ struct Options {
   /// layer is compiled out (HLSMPC_OBS=OFF).
   obs::Recorder* obs = nullptr;
   /// Shared-memory collective engine tuning; ignored when the engine is
-  /// compiled out (HLSMPC_COLL_SHM=OFF).
+  /// compiled out (HLSMPC_COLL_SHM=OFF). Runtime construction applies the
+  /// HLSMPC_COLL_* environment overrides on top (coll_config_from_env).
   CollConfig coll;
 };
+
+/// Apply the HLSMPC_COLL_* environment overrides to `base` and return the
+/// result, range-clamped to sane values:
+///   HLSMPC_COLL_SHM=0|1                  enable_shm
+///   HLSMPC_COLL_SMALL_THRESHOLD=<bytes>  staged/zero-copy crossover,
+///                                        clamped to [0, 1 MiB]
+///   HLSMPC_COLL_PIPELINE_THRESHOLD=<bytes>
+///                                        pipelined-path crossover, clamped
+///                                        up to small_threshold; 0 means
+///                                        "never pipeline" (SIZE_MAX)
+///   HLSMPC_COLL_FRAGMENT_BYTES=<bytes>   fragment size, clamped to
+///                                        [1 KiB, 16 MiB]
+///   HLSMPC_COLL_PIPELINE_YIELD=0|1       producer yield while publishing
+/// Unset or unparsable variables leave the corresponding field untouched.
+CollConfig coll_config_from_env(CollConfig base);
 
 class Runtime {
  public:
@@ -69,7 +86,9 @@ class Runtime {
   const topo::Machine& machine() const { return machine_; }
   memtrack::Tracker& tracker() { return *tracker_; }
   BufferManager& buffers() { return *buffers_; }
-  TransportStats& stats() { return stats_; }
+  /// The intra-node transport every Comm of this runtime sends through.
+  Transport& transport() { return *transport_; }
+  TransportStats& stats() { return transport_->stats(); }
   const CollConfig& coll_config() const { return opts_.coll; }
   /// Cpu each rank is pinned to (rank-major round robin over the machine).
   int cpu_of_rank(int rank) const;
@@ -88,7 +107,6 @@ class Runtime {
 #endif
 
   // -- internals used by Comm --
-  Mailbox& mailbox(int task_id);
   int alloc_context();
   Comm& register_comm(std::unique_ptr<Comm> comm);
 #if HLSMPC_RMA_ENABLED
@@ -106,14 +124,13 @@ class Runtime {
   std::unique_ptr<memtrack::Tracker> owned_tracker_;
   memtrack::Tracker* tracker_;
   std::unique_ptr<BufferManager> buffers_;
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<Comm>> comms_;
 #if HLSMPC_RMA_ENABLED
   std::vector<std::unique_ptr<rma::Win>> wins_;  // guarded by comms_mu_
 #endif
   std::mutex comms_mu_;
   std::atomic<int> next_context_{0};
-  TransportStats stats_;
   TraceHook* trace_hook_ = nullptr;
 #if HLSMPC_OBS_ENABLED
   obs::Recorder* obs_ = nullptr;

@@ -1,0 +1,48 @@
+// Intra-node shared-memory transport: the mailbox matching engine.
+//
+// All endpoints live in one address space (thread-based MPI, paper §IV),
+// so a send is a memcpy at worst and nothing at best: a matching posted
+// receive is filled directly, small messages go eager through leased
+// buffers, large ones rendezvous on the sender's buffer, and a copy whose
+// source and destination alias is elided outright (§V.B.3).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mpi/buffers.hpp"
+#include "mpi/detail/mailbox.hpp"
+#include "mpi/transport.hpp"
+
+namespace hlsmpc::mpi {
+
+class ShmTransport : public Transport {
+ public:
+  /// `buffers` backs the eager protocol and must outlive the transport.
+  /// Default limits are unbounded: eager payloads are charged to the
+  /// node's memory tracker through the BufferManager.
+  ShmTransport(int nendpoints, BufferManager& buffers,
+               TransportLimits limits = {});
+
+  const char* name() const override { return "shm"; }
+  int nendpoints() const override {
+    return static_cast<int>(mailboxes_.size());
+  }
+
+  Request isend(ult::TaskContext& ctx, int src, int dst_ep, int dst,
+                const void* buf, std::size_t bytes, int tag,
+                int context) override;
+  Request irecv(ult::TaskContext& ctx, int me_ep, void* buf,
+                std::size_t capacity, int src, int tag, int context) override;
+  bool iprobe(int me_ep, int src, int tag, int context,
+              Status* status) override;
+
+ private:
+  detail::Mailbox& mailbox(int ep, const char* what);
+
+  BufferManager& buffers_;
+  TransportLimits limits_;
+  std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
+};
+
+}  // namespace hlsmpc::mpi

@@ -1,0 +1,243 @@
+#include "mpi/sim_fabric.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "fault/injector.hpp"
+
+namespace hlsmpc::mpi {
+
+namespace {
+
+bool posted_matches(const detail::PostedRecv& pr, int src_rank, int tag,
+                    int context) {
+  return pr.context == context &&
+         (pr.src == kAnySource || pr.src == src_rank) &&
+         (pr.tag == kAnyTag || pr.tag == tag);
+}
+
+}  // namespace
+
+SimFabricTransport::SimFabricTransport(Options opts) : opts_(opts) {
+  if (opts_.ranks_per_node <= 0 || opts_.nranks <= 0 ||
+      opts_.nranks % opts_.ranks_per_node != 0) {
+    throw MpiError("SimFabricTransport: nranks must be a positive multiple "
+                   "of ranks_per_node");
+  }
+  nnodes_ = opts_.nranks / opts_.ranks_per_node;
+  mailboxes_.reserve(static_cast<std::size_t>(opts_.nranks));
+  for (int i = 0; i < opts_.nranks; ++i) {
+    mailboxes_.push_back(std::make_unique<detail::Mailbox>());
+  }
+  dead_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(nnodes_));
+  for (int n = 0; n < nnodes_; ++n) dead_[n].store(false);
+}
+
+detail::Mailbox& SimFabricTransport::mailbox(int ep, const char* what) {
+  if (ep < 0 || ep >= nendpoints()) {
+    throw MpiError(std::string(what) + ": bad endpoint " +
+                   std::to_string(ep));
+  }
+  return *mailboxes_[static_cast<std::size_t>(ep)];
+}
+
+void SimFabricTransport::throw_node_dead(int node, const char* what) const {
+  throw NodeDeadError(node, std::string(what) + ": node " +
+                                std::to_string(node) + " unreachable");
+}
+
+Request SimFabricTransport::isend(ult::TaskContext& ctx, int src, int dst_ep,
+                                  int dst, const void* buf, std::size_t bytes,
+                                  int tag, int context) {
+  // Schedule edge first, with no locks held: the explorer may suspend us
+  // here and run the receiver (or the node-killer) before the message
+  // exists.
+  ctx.sync_point("fabric:send");
+  detail::Mailbox& mb = mailbox(dst_ep, "fabric send");
+  if (src < 0 || src >= nendpoints()) {
+    throw MpiError("fabric send: bad source endpoint " + std::to_string(src));
+  }
+  if (fault::should_fail("fabric:send", dst_ep)) {
+    throw TransportError(hlsmpc::ErrorCode::transport_exhausted,
+                         "fabric send: injected link failure towards node " +
+                             std::to_string(node_of(dst_ep)));
+  }
+  stats_.messages.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  auto req = std::make_shared<RequestState>();
+
+  std::unique_lock<std::mutex> lk(mb.mu);
+  // A node death is fatal to the whole job (fault/error.hpp taxonomy):
+  // the fabric refuses all further traffic so every surviving rank learns
+  // the name of the first unreachable node instead of deadlocking on a
+  // peer that will never answer. Checked UNDER the mailbox lock:
+  // kill_node publishes the dead flag before sweeping each mailbox, so a
+  // check inside the lock either sees the flag or enqueues before the
+  // sweep reaches this mailbox — never neither.
+  if (const int d = first_dead_node(); d >= 0) {
+    lk.unlock();
+    throw_node_dead(d, "fabric send");
+  }
+  for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
+    if (!posted_matches(*it, src, tag, context)) continue;
+    detail::PostedRecv pr = *it;
+    mb.posted.erase(it);
+    lk.unlock();
+    if (bytes > pr.capacity) {
+      pr.req->complete_error("recv truncated: message of " +
+                             std::to_string(bytes) + " bytes into " +
+                             std::to_string(pr.capacity) + " byte buffer");
+      req->complete_error("send: matching receive buffer too small");
+      return Request(req);
+    }
+    // A fabric always moves the bytes — no same-address elision (the
+    // buffers live on different nodes in the model, even when the
+    // simulation colocates them).
+    if (bytes > 0 && pr.buf != buf) std::memcpy(pr.buf, buf, bytes);
+    pr.req->complete(Status{src, tag, bytes});
+    req->complete(Status{dst, tag, bytes});
+    return Request(req);
+  }
+
+  if ((opts_.limits.max_unexpected_msgs != 0 &&
+       mb.unexpected.size() >= opts_.limits.max_unexpected_msgs) ||
+      (opts_.limits.max_unexpected_bytes != 0 &&
+       mb.unexpected_bytes + bytes > opts_.limits.max_unexpected_bytes)) {
+    throw TransportError(hlsmpc::ErrorCode::transport_exhausted,
+                         "fabric send: unexpected-message queue of endpoint " +
+                             std::to_string(dst_ep) + " full");
+  }
+
+  // Always-eager: capture the payload into an owned buffer ("on the
+  // wire") and complete the send immediately.
+  detail::UnexpectedMsg msg;
+  msg.src = src;
+  msg.tag = tag;
+  msg.context = context;
+  msg.bytes = bytes;
+  msg.owned.assign(static_cast<const std::byte*>(buf),
+                   static_cast<const std::byte*>(buf) + bytes);
+  msg.has_owned = true;
+  mb.unexpected.push_back(std::move(msg));
+  mb.unexpected_bytes += bytes;
+  lk.unlock();
+  stats_.eager_sends.fetch_add(1, std::memory_order_relaxed);
+  req->complete(Status{dst, tag, bytes});
+  return Request(req);
+}
+
+Request SimFabricTransport::irecv(ult::TaskContext& ctx, int me_ep, void* buf,
+                                  std::size_t capacity, int src, int tag,
+                                  int context) {
+  ctx.sync_point("fabric:recv");
+  detail::Mailbox& mb = mailbox(me_ep, "fabric recv");
+  if (fault::should_fail("fabric:recv", me_ep)) {
+    throw TransportError(hlsmpc::ErrorCode::transport_exhausted,
+                         "fabric recv: injected link failure at endpoint " +
+                             std::to_string(me_ep));
+  }
+  auto req = std::make_shared<RequestState>();
+  req->trace_is_recv = true;
+  req->trace_context = context;
+
+  std::unique_lock<std::mutex> lk(mb.mu);
+  // Under the lock, like isend: either this receive sees the dead flag
+  // here, or it is in `posted` before kill_node's sweep locks this
+  // mailbox and gets error-completed by it. A post-sweep orphan recv
+  // (the deadlock) is impossible.
+  if (const int d = first_dead_node(); d >= 0) {
+    lk.unlock();
+    throw_node_dead(d, "fabric recv");
+  }
+  for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
+    if (!it->matches(src, tag, context)) continue;
+    detail::UnexpectedMsg msg = std::move(*it);
+    mb.unexpected.erase(it);
+    mb.unexpected_bytes -= msg.bytes;
+    lk.unlock();
+    if (msg.bytes > capacity) {
+      req->complete_error("recv truncated: message of " +
+                          std::to_string(msg.bytes) + " bytes into " +
+                          std::to_string(capacity) + " byte buffer");
+      return Request(req);
+    }
+    if (msg.bytes > 0) std::memcpy(buf, msg.data(), msg.bytes);
+    req->complete(Status{msg.src, msg.tag, msg.bytes});
+    return Request(req);
+  }
+
+  if (src != kAnySource && (src < 0 || src >= nendpoints())) {
+    lk.unlock();
+    throw MpiError("fabric recv: bad source endpoint " + std::to_string(src));
+  }
+  mb.posted.push_back(
+      detail::PostedRecv{buf, capacity, src, tag, context, req});
+  return Request(req);
+}
+
+bool SimFabricTransport::iprobe(int me_ep, int src, int tag, int context,
+                                Status* status) {
+  detail::Mailbox& mb = mailbox(me_ep, "fabric iprobe");
+  std::lock_guard<std::mutex> lk(mb.mu);
+  for (const detail::UnexpectedMsg& msg : mb.unexpected) {
+    if (msg.matches(src, tag, context)) {
+      if (status != nullptr) *status = Status{msg.src, msg.tag, msg.bytes};
+      return true;
+    }
+  }
+  return false;
+}
+
+void SimFabricTransport::kill_node(int node) {
+  if (node < 0 || node >= nnodes_) {
+    throw MpiError("kill_node: bad node " + std::to_string(node));
+  }
+  bool expected = false;
+  if (!dead_[static_cast<std::size_t>(node)].compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    return;  // already dead
+  }
+  int want = -1;
+  first_dead_.compare_exchange_strong(want, node,
+                                      std::memory_order_acq_rel);
+  const int first = first_dead_.load(std::memory_order_acquire);
+
+  // Every posted receive is now doomed: either its sender is dead, or its
+  // sender will hit the poisoned-fabric check and never transmit. That
+  // includes receives posted at the DEAD node's own endpoints — all ranks
+  // are hosted in this process, and a rank whose node was declared dead
+  // (e.g. after an injected link failure, where the node's task is in
+  // fact still running) must unblock and learn the verdict rather than
+  // wait forever. Complete them all with an error naming the first
+  // unreachable node so blocked waiters unblock deterministically.
+  for (int ep = 0; ep < nendpoints(); ++ep) {
+    detail::Mailbox& mb = *mailboxes_[static_cast<std::size_t>(ep)];
+    std::deque<detail::PostedRecv> doomed;
+    {
+      std::lock_guard<std::mutex> lk(mb.mu);
+      doomed.swap(mb.posted);
+    }
+    for (detail::PostedRecv& pr : doomed) {
+      pr.req->complete_error(
+          "fabric recv: node " + std::to_string(first) + " unreachable",
+          first);
+    }
+  }
+}
+
+void transport_wait(ult::TaskContext& ctx, Request& req, Status* status) {
+  auto st = req.state();
+  if (!st) throw MpiError("transport_wait: invalid request");
+  std::unique_lock<std::mutex> lk(st->mu);
+  ult::wait_until(ctx, lk, st->cv, [&] { return st->done; });
+  if (!st->error.empty()) {
+    if (st->error_node >= 0) throw NodeDeadError(st->error_node, st->error);
+    throw MpiError(st->error);
+  }
+  if (status != nullptr) *status = st->status;
+  lk.unlock();
+  req.state().reset();
+}
+
+}  // namespace hlsmpc::mpi

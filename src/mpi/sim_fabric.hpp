@@ -1,0 +1,97 @@
+// Deterministic simulated inter-node fabric.
+//
+// Endpoints are cluster-global ranks partitioned into nodes of
+// `ranks_per_node` consecutive ranks (node-major global order). The
+// fabric models a network, not shared memory:
+//
+//   - Every send is a copy. No rendezvous, no same-address elision — the
+//     payload is captured into an owned buffer at send time (or copied
+//     straight into a posted receive), exactly like bytes leaving through
+//     a NIC. Sends therefore always complete immediately (buffered
+//     semantics).
+//   - Capacity is bounded per endpoint when Options::limits says so; an
+//     exhausted queue refuses the send with
+//     TransportError(transport_exhausted) before enqueuing anything.
+//   - Schedule points: isend/irecv announce themselves through
+//     ctx.sync_point("fabric:send"/"fabric:recv") *before* touching the
+//     mailbox, so check::DeterministicExecutor and ScheduleExplorer can
+//     interleave inter-node protocol steps and replay/shrink schedules.
+//   - Fault injection: the sites "fabric:send" and "fabric:recv"
+//     (fault/injector.hpp) make link failures deterministically reachable.
+//   - Dead nodes: kill_node(n) simulates a whole node dropping off the
+//     network. Traffic to/from it fails with NodeDeadError, receives
+//     already posted against its ranks are completed with an error naming
+//     it, and first_dead_node() reports the first node observed dead —
+//     the name cluster-level supervision propagates.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "mpi/detail/mailbox.hpp"
+#include "mpi/transport.hpp"
+
+namespace hlsmpc::mpi {
+
+class SimFabricTransport : public Transport {
+ public:
+  struct Options {
+    /// Total endpoints (cluster-global ranks); must be a multiple of
+    /// ranks_per_node.
+    int nranks = 0;
+    int ranks_per_node = 1;
+    /// Per-endpoint unexpected-queue bounds (0 = unlimited).
+    TransportLimits limits;
+  };
+
+  explicit SimFabricTransport(Options opts);
+
+  const char* name() const override { return "sim_fabric"; }
+  int nendpoints() const override {
+    return static_cast<int>(mailboxes_.size());
+  }
+  int nnodes() const { return nnodes_; }
+  int ranks_per_node() const { return opts_.ranks_per_node; }
+  int node_of(int ep) const { return ep / opts_.ranks_per_node; }
+
+  /// On the fabric the sender's rank label IS its endpoint id (cluster
+  /// ranks are global on both sides); `src` doubles as the origin
+  /// endpoint for dead-node accounting.
+  Request isend(ult::TaskContext& ctx, int src, int dst_ep, int dst,
+                const void* buf, std::size_t bytes, int tag,
+                int context) override;
+  Request irecv(ult::TaskContext& ctx, int me_ep, void* buf,
+                std::size_t capacity, int src, int tag, int context) override;
+  bool iprobe(int me_ep, int src, int tag, int context,
+              Status* status) override;
+
+  /// Simulate node `node` dropping off the network. A node death is fatal
+  /// to the whole job (ErrorCode::node_unreachable is in the fatal band):
+  /// the fabric is poisoned — every subsequent send/recv anywhere throws
+  /// NodeDeadError naming the first dead node, and every already-posted
+  /// receive at a live endpoint is completed with that error so blocked
+  /// waiters unblock instead of deadlocking on a silent peer. Idempotent.
+  void kill_node(int node);
+  bool node_dead(int node) const {
+    return dead_[static_cast<std::size_t>(node)].load(
+        std::memory_order_acquire);
+  }
+  /// First node observed dead, or -1. This is the node cluster
+  /// supervision names when it tears a job down.
+  int first_dead_node() const {
+    return first_dead_.load(std::memory_order_acquire);
+  }
+
+ private:
+  detail::Mailbox& mailbox(int ep, const char* what);
+  void throw_node_dead(int node, const char* what) const;
+
+  Options opts_;
+  int nnodes_ = 0;
+  std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
+  std::unique_ptr<std::atomic<bool>[]> dead_;
+  std::atomic<int> first_dead_{-1};
+};
+
+}  // namespace hlsmpc::mpi

@@ -46,6 +46,10 @@ struct RequestState {
   /// Non-empty if the operation failed (e.g. truncation); surfaced as an
   /// MpiError from wait()/test() in the initiating task.
   std::string error;
+  /// >= 0 when the failure is a dead peer *node* (transport-level
+  /// supervision): transport_wait() rethrows these as NodeDeadError so
+  /// cluster code can name the first unreachable node.
+  int error_node = -1;
   /// Tracing metadata: receives are reported to the TraceHook at wait()
   /// time (when the synchronization takes effect and the source is
   /// resolved).
@@ -61,10 +65,11 @@ struct RequestState {
     cv.notify_all();
   }
 
-  void complete_error(std::string message) {
+  void complete_error(std::string message, int dead_node = -1) {
     {
       std::lock_guard<std::mutex> lk(mu);
       error = std::move(message);
+      error_node = dead_node;
       done = true;
     }
     cv.notify_all();

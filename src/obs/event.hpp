@@ -53,6 +53,8 @@ enum class Counter : int {
   rma_bytes,            ///< bytes moved by one-sided ops (put + get + acc)
   rma_fences,           ///< RMA fence epochs completed
   rma_locks,            ///< passive-target RMA locks acquired
+  net_sends,            ///< inter-node (fabric/socket) sends initiated
+  net_recvs,            ///< inter-node (fabric/socket) receives completed
   kCount
 };
 

@@ -51,6 +51,10 @@ const char* to_string(Counter c) {
       return "rma_fences";
     case Counter::rma_locks:
       return "rma_locks";
+    case Counter::net_sends:
+      return "net_sends";
+    case Counter::net_recvs:
+      return "net_recvs";
     case Counter::kCount:
       break;
   }

@@ -1,7 +1,7 @@
 // Tests for the observability layer (src/obs/): recorder counters and
 // event rings, sink chaining, exporters (snapshot JSON, Chrome trace),
 // runtime instrumentation counts, the consolidated directive surface
-// (ScopeSet, the deprecated single_nowait_enter shim), and — via the
+// (ScopeSet, single_nowait on a bound task), and — via the
 // deterministic schedule explorer — that episode counters are invariant
 // across task interleavings.
 #include <gtest/gtest.h>
@@ -246,7 +246,7 @@ TEST(ScopeSet, DirectivesDispatchThroughPreresolvedSet) {
   EXPECT_EQ(singles, 3);
 }
 
-TEST(DirectiveSurface, DeprecatedNowaitShimStillWorks) {
+TEST(DirectiveSurface, SingleNowaitOnBoundTask) {
   topo::Machine m = topo::Machine::generic(1, 1);
   hls::Runtime rt(m, 1);
   hls::ModuleBuilder mb(rt.registry(), "mod");
@@ -256,10 +256,7 @@ TEST(DirectiveSurface, DeprecatedNowaitShimStillWorks) {
   ctx.set_task_id(0);
   ctx.set_cpu(0);
   rt.bind_task(ctx);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_TRUE(rt.single_nowait_enter({v.handle()}, ctx));
-#pragma GCC diagnostic pop
+  EXPECT_TRUE(rt.single_nowait({v.handle()}, ctx));
 }
 
 // ---------- runtime instrumentation ----------
