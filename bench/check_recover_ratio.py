@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Check bench_recover's acceptance bounds as within-run ratios:
+
+  - restoring a 4 MiB scope checkpoint from the page cache within 4x of
+    a raw memcpy of the same payload
+    (BM_RestoreVsMemcpy/4194304 restore_ratio_best);
+  - one shrink() on a 4-node x 2-rank cluster within 50x of one cluster
+    barrier round on the same topology
+    (BM_ShrinkVsBarrier shrink_ratio_best).
+
+Usage: check_recover_ratio.py CANDIDATE.json
+       [--max-restore-ratio 4.0] [--max-shrink-ratio 50.0]
+
+Both sides of each ratio come from interleaved reps of one benchmark
+run, gated on minimums (external load only ever inflates a rep), so the
+check is immune to the absolute-timing noise that makes cross-run gates
+on shared VMs flaky.
+"""
+
+import argparse
+import json
+import sys
+
+RESTORE = "BM_RestoreVsMemcpy/4194304/iterations:1/manual_time"
+SHRINK = "BM_ShrinkVsBarrier/iterations:1/manual_time"
+
+
+def find(doc, name):
+    for b in doc.get("benchmarks", []):
+        if isinstance(b, dict) and b.get("name") == name:
+            return b
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("candidate")
+    ap.add_argument("--max-restore-ratio", type=float, default=4.0)
+    ap.add_argument("--max-shrink-ratio", type=float, default=50.0)
+    args = ap.parse_args()
+
+    with open(args.candidate) as f:
+        doc = json.load(f)
+
+    bounds = [
+        (RESTORE, "restore_ratio_best", args.max_restore_ratio,
+         "4 MiB restore vs memcpy"),
+        (SHRINK, "shrink_ratio_best", args.max_shrink_ratio,
+         "4x2 shrink vs barrier round"),
+    ]
+    rc = 0
+    for name, counter, bound, what in bounds:
+        b = find(doc, name)
+        if b is None or counter not in b:
+            print(f"check_recover_ratio: missing {name}.{counter}")
+            rc = max(rc, 2)
+            continue
+        ratio = float(b[counter])
+        verdict = "ok" if ratio <= bound else "REGRESSION"
+        print(f"{what}: {ratio:.2f}x (bound {bound:.2f}x)  {verdict}")
+        if ratio > bound:
+            rc = max(rc, 1)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,15 @@
 //   process:child_exit   rank child crashes (SIGKILL) right after fork
 //   process:barrier_locked rank child crashes while HOLDING the robust
 //                             sync mutex (exercises EOWNERDEAD recovery)
+//   shm:flap             ep   transiently failing intra-node endpoint;
+//                             the transport retries with backoff
+//   fabric:flap          ep   transiently failing fabric endpoint (link
+//                             flap); retried like shm:flap
+//   ckpt:write           -    torn checkpoint write: the version file is
+//                             published with a truncated payload and no
+//                             CRC trailer (restore must fall back)
+//   cluster:respawn      node replacement-node launch failure in
+//                             SimCluster::respawn
 //
 // Injection checks cost one relaxed atomic load when no injector is
 // installed, and sit on cold paths only (never on warm get_addr or the

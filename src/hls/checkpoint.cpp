@@ -1,0 +1,483 @@
+#include "hls/checkpoint.hpp"
+
+#if HLSMPC_RECOVERY_ENABLED
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "fault/injector.hpp"
+
+namespace hlsmpc::hls {
+
+namespace {
+
+// Mirrors shm/segment.cpp's liveness probe for pid-stamped temporaries.
+// Local copy on purpose: hls does not link against shm (layering rule in
+// src/CMakeLists.txt), and the probe is two lines.
+bool process_alive(long pid) {
+  return kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH;
+}
+
+constexpr char kMagic[8] = {'H', 'L', 'S', 'C', 'K', 'P', 'T', '1'};
+constexpr std::uint32_t kFormat = 1;
+
+struct FileHeader {
+  char magic[8];
+  std::uint32_t format = kFormat;
+  std::int32_t scope_kind = 0;
+  std::int32_t cache_level = 0;
+  std::uint32_t nregions = 0;
+  std::uint64_t version = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+struct RegionHeader {
+  std::int32_t module = 0;
+  std::int32_t instance = 0;
+  std::uint64_t bytes = 0;
+};
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw HlsError(what + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const void* data, std::size_t bytes,
+               const char* what) {
+  const char* p = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::write(fd, p, bytes);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(std::string("checkpoint: write of ") + what + " failed");
+    }
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Streams file contents while folding them into a running CRC, so the
+/// trailer covers exactly the bytes on disk.
+struct CrcWriter {
+  int fd;
+  std::uint32_t crc = 0;
+
+  void write(const void* data, std::size_t bytes, const char* what) {
+    crc = crc32c(data, bytes, crc);
+    write_all(fd, data, bytes, what);
+  }
+};
+
+/// Read-only view of a version file. mmap when possible — restore then
+/// checksums and imports straight from the page cache, no intermediate
+/// copy — falling back to a buffered read on filesystems that refuse to
+/// map (the bench gate's restore-vs-memcpy bound assumes the mmap path).
+struct FileView {
+  const char* data = nullptr;
+  std::size_t size = 0;
+
+  FileView() = default;
+  FileView(const FileView&) = delete;
+  FileView& operator=(const FileView&) = delete;
+  ~FileView() {
+    if (map_ != nullptr) ::munmap(map_, size);
+  }
+
+  bool load(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return false;
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      return false;
+    }
+    size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      data = nullptr;
+      return true;  // header-size validation rejects it downstream
+    }
+    void* m = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (m != MAP_FAILED) {
+      map_ = m;
+      data = static_cast<const char*>(m);
+      ::close(fd);
+      return true;
+    }
+    buf_.resize(size);
+    std::size_t got = 0;
+    while (got < size) {
+      const ssize_t n = ::read(fd, buf_.data() + got, size - got);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return false;
+      }
+      if (n == 0) break;  // truncated under us: short view fails CRC
+      got += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    size = got;
+    data = buf_.data();
+    return true;
+  }
+
+ private:
+  void* map_ = nullptr;
+  std::vector<char> buf_;
+};
+
+/// Parse a strictly-numeric version suffix; -1 on anything else.
+long long parse_version(const std::string& name, const std::string& prefix) {
+  if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
+    return -1;
+  }
+  const std::string digits = name.substr(prefix.size());
+  char* end = nullptr;
+  const long long v = std::strtoll(digits.c_str(), &end, 10);
+  if (end != digits.c_str() + digits.size() || v < 0) return -1;
+  return v;
+}
+
+std::string scope_token(const CanonicalScope& s) {
+  switch (s.kind) {
+    case topo::ScopeKind::core:
+      return "core";
+    case topo::ScopeKind::cache:
+      return "cacheL" + std::to_string(s.cache_level);
+    case topo::ScopeKind::numa:
+      return s.cache_level == 2 ? "numaS" : "numa";
+    case topo::ScopeKind::node:
+      return "node";
+  }
+  return "scope";
+}
+
+}  // namespace
+
+namespace {
+
+/// Software CRC-32C: slice-by-8 tables, built once — table[0] is the
+/// classic byte table, table[k] shifts it k extra bytes so eight lookups
+/// retire eight input bytes per iteration.
+std::uint32_t crc32c_sw(const unsigned char* p, std::size_t bytes,
+                        std::uint32_t crc) {
+  static const auto tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c >> 1) ^ ((c & 1u) != 0 ? 0x82F63B78u : 0u);
+      }
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t k = 1; k < 8; ++k) {
+        c = t[0][c & 0xffu] ^ (c >> 8);
+        t[k][i] = c;
+      }
+    }
+    return t;
+  }();
+
+  while (bytes >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = tables[7][lo & 0xffu] ^ tables[6][(lo >> 8) & 0xffu] ^
+          tables[5][(lo >> 16) & 0xffu] ^ tables[4][lo >> 24] ^
+          tables[3][hi & 0xffu] ^ tables[2][(hi >> 8) & 0xffu] ^
+          tables[1][(hi >> 16) & 0xffu] ^ tables[0][hi >> 24];
+    p += 8;
+    bytes -= 8;
+  }
+  while (bytes-- > 0) {
+    crc = tables[0][(crc ^ *p++) & 0xffu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+/// Hardware CRC-32C via SSE4.2 (the instruction implements exactly the
+/// Castagnoli polynomial, so the value matches crc32c_sw bit for bit).
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(
+    const unsigned char* p, std::size_t bytes, std::uint32_t crc) {
+  std::uint64_t c = crc;
+  while (bytes >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    c = __builtin_ia32_crc32di(c, word);
+    p += 8;
+    bytes -= 8;
+  }
+  std::uint32_t c32 = static_cast<std::uint32_t>(c);
+  while (bytes-- > 0) {
+    c32 = __builtin_ia32_crc32qi(c32, *p++);
+  }
+  return c32;
+}
+
+bool have_sse42() {
+  static const bool have = __builtin_cpu_supports("sse4.2");
+  return have;
+}
+#endif
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t bytes,
+                     std::uint32_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  const std::uint32_t crc = ~seed;
+#if defined(__x86_64__) && defined(__GNUC__)
+  if (have_sse42()) return ~crc32c_hw(p, bytes, crc);
+#endif
+  return ~crc32c_sw(p, bytes, crc);
+}
+
+CheckpointStore::CheckpointStore(Options opts) : opts_(std::move(opts)) {
+  if (opts_.dir.empty()) {
+    throw HlsError("CheckpointStore: empty directory");
+  }
+  if (opts_.tag.empty()) {
+    throw HlsError("CheckpointStore: empty tag");
+  }
+  if (opts_.keep < 2) opts_.keep = 2;
+  if (::mkdir(opts_.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw_errno("CheckpointStore: mkdir '" + opts_.dir + "' failed");
+  }
+  cleanup_stale_tmp();
+}
+
+std::string CheckpointStore::stem(const CanonicalScope& scope) const {
+  return opts_.tag + "." + scope_token(scope);
+}
+
+std::vector<std::uint64_t> CheckpointStore::versions(
+    const CanonicalScope& scope) const {
+  const std::string prefix = stem(scope) + ".v";
+  std::vector<std::uint64_t> out;
+  DIR* dir = ::opendir(opts_.dir.c_str());
+  if (dir == nullptr) return out;
+  while (dirent* e = ::readdir(dir)) {
+    const long long v = parse_version(e->d_name, prefix);
+    if (v >= 0) out.push_back(static_cast<std::uint64_t>(v));
+  }
+  ::closedir(dir);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int CheckpointStore::cleanup_stale_tmp() const {
+  const std::string marker = ".tmp.";
+  int removed = 0;
+  DIR* dir = ::opendir(opts_.dir.c_str());
+  if (dir == nullptr) return 0;
+  while (dirent* e = ::readdir(dir)) {
+    const std::string name = e->d_name;
+    if (name.compare(0, opts_.tag.size() + 1, opts_.tag + ".") != 0) continue;
+    const std::size_t pos = name.rfind(marker);
+    if (pos == std::string::npos) continue;
+    const std::string digits = name.substr(pos + marker.size());
+    char* end = nullptr;
+    const long pid = std::strtol(digits.c_str(), &end, 10);
+    if (end != digits.c_str() + digits.size() || pid <= 0) continue;
+    if (process_alive(pid)) continue;
+    if (::unlink((opts_.dir + "/" + name).c_str()) == 0) ++removed;
+  }
+  ::closedir(dir);
+  return removed;
+}
+
+CheckpointStore::Report CheckpointStore::save(StorageManager& storage,
+                                              const Registry& reg,
+                                              const CanonicalScope& scope) {
+  (void)reg;
+  struct Entry {
+    int instance;
+    int module;
+    StorageManager::Resolved r;
+  };
+  std::vector<Entry> entries;
+  storage.for_each_materialized(
+      scope, [&](int instance, int module, StorageManager::Resolved r) {
+        entries.push_back(Entry{instance, module, r});
+      });
+
+  const std::vector<std::uint64_t> existing = versions(scope);
+  const std::uint64_t version = existing.empty() ? 1 : existing.back() + 1;
+
+  FileHeader hdr;
+  std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
+  hdr.scope_kind = static_cast<std::int32_t>(scope.kind);
+  hdr.cache_level = scope.cache_level;
+  hdr.nregions = static_cast<std::uint32_t>(entries.size());
+  hdr.version = version;
+  for (const Entry& e : entries) hdr.payload_bytes += e.r.size;
+
+  const std::string base = stem(scope);
+  const std::string tmp = opts_.dir + "/" + base + ".tmp." +
+                          std::to_string(static_cast<long>(::getpid()));
+  const std::string final_path =
+      opts_.dir + "/" + base + ".v" + std::to_string(version);
+
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("checkpoint: open '" + tmp + "' failed");
+
+  bool torn = false;
+  try {
+    CrcWriter w{fd};
+    w.write(&hdr, sizeof(hdr), "header");
+    for (const Entry& e : entries) {
+      RegionHeader rh;
+      rh.module = e.module;
+      rh.instance = e.instance;
+      rh.bytes = e.r.size;
+      w.write(&rh, sizeof(rh), "region header");
+      // Torn-write injection: a crash mid-payload leaves a short file
+      // that still gets published (the rename below) — exactly the
+      // half-written version restore() must reject by CRC/size and fall
+      // back past. Half of one region keeps the tear unambiguous.
+      if (fault::should_fail("ckpt:write")) {
+        write_all(fd, e.r.base, e.r.size / 2, "torn payload");
+        torn = true;
+        break;
+      }
+      w.write(e.r.base, e.r.size, "region payload");
+    }
+    if (!torn) {
+      write_all(fd, &w.crc, sizeof(w.crc), "crc trailer");
+    }
+    if (::fsync(fd) != 0) throw_errno("checkpoint: fsync failed");
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("checkpoint: rename to '" + final_path + "' failed");
+  }
+
+  // Prune beyond `keep`, oldest first. The just-published version counts;
+  // a torn newest plus keep >= 2 still leaves a consistent fallback.
+  std::vector<std::uint64_t> all = versions(scope);
+  while (static_cast<int>(all.size()) > opts_.keep) {
+    const std::string victim =
+        opts_.dir + "/" + base + ".v" + std::to_string(all.front());
+    ::unlink(victim.c_str());
+    all.erase(all.begin());
+  }
+
+  Report rep;
+  rep.version = version;
+  rep.payload_bytes = hdr.payload_bytes;
+  rep.regions = static_cast<int>(entries.size());
+  return rep;
+}
+
+CheckpointStore::Report CheckpointStore::restore(StorageManager& storage,
+                                                 const Registry& reg,
+                                                 const CanonicalScope& scope) {
+  std::vector<std::uint64_t> all = versions(scope);
+  if (all.empty()) {
+    throw HlsError("restore: no checkpoint of scope " + to_string(scope) +
+                   " under '" + opts_.dir + "' (tag '" + opts_.tag + "')");
+  }
+
+  const std::string base = stem(scope);
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    const std::string path =
+        opts_.dir + "/" + base + ".v" + std::to_string(*it);
+    FileView file;
+    if (!file.load(path)) continue;
+    if (file.size < sizeof(FileHeader) + sizeof(std::uint32_t)) continue;
+
+    FileHeader hdr;
+    std::memcpy(&hdr, file.data, sizeof(hdr));
+    if (std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) != 0) continue;
+    if (hdr.format != kFormat) continue;
+    if (hdr.scope_kind != static_cast<std::int32_t>(scope.kind) ||
+        hdr.cache_level != scope.cache_level) {
+      continue;
+    }
+
+    const std::size_t body = file.size - sizeof(std::uint32_t);
+    std::uint32_t trailer;
+    std::memcpy(&trailer, file.data + body, sizeof(trailer));
+    if (crc32c(file.data, body, 0) != trailer) continue;
+
+    // Manifest walk: bounds-check the declared regions against the file,
+    // then against the current registry layout. Any mismatch disqualifies
+    // the whole version — imports below are all-or-nothing.
+    struct Pending {
+      RegionHeader rh;
+      const char* payload;
+    };
+    std::vector<Pending> pending;
+    pending.reserve(hdr.nregions);
+    std::size_t off = sizeof(FileHeader);
+    std::uint64_t payload_total = 0;
+    bool valid = true;
+    for (std::uint32_t i = 0; i < hdr.nregions; ++i) {
+      if (off + sizeof(RegionHeader) > body) {
+        valid = false;
+        break;
+      }
+      RegionHeader rh;
+      std::memcpy(&rh, file.data + off, sizeof(rh));
+      off += sizeof(rh);
+      if (rh.bytes > body - off) {
+        valid = false;
+        break;
+      }
+      pending.push_back(Pending{rh, file.data + off});
+      off += rh.bytes;
+      payload_total += rh.bytes;
+    }
+    if (!valid || off != body || payload_total != hdr.payload_bytes) continue;
+    const int ninst = reg.scopes().num_instances(scope_id(reg.scopes(), scope));
+    for (const Pending& p : pending) {
+      if (p.rh.instance < 0 || p.rh.instance >= ninst || p.rh.module < 0 ||
+          p.rh.module >= reg.num_modules() || !reg.committed(p.rh.module) ||
+          reg.module(p.rh.module).region_size(scope) != p.rh.bytes) {
+        valid = false;
+        break;
+      }
+    }
+    if (!valid) continue;
+
+    for (const Pending& p : pending) {
+      storage.import_region(scope, p.rh.instance, p.rh.module, p.payload,
+                            p.rh.bytes);
+    }
+    Report rep;
+    rep.version = hdr.version;
+    rep.payload_bytes = hdr.payload_bytes;
+    rep.regions = static_cast<int>(pending.size());
+    return rep;
+  }
+
+  throw HlsError("restore: no consistent checkpoint of scope " +
+                     to_string(scope) + " under '" + opts_.dir +
+                     "' — every version failed validation",
+                 ErrorCode::corruption);
+}
+
+}  // namespace hlsmpc::hls
+
+#endif  // HLSMPC_RECOVERY_ENABLED

@@ -1,0 +1,102 @@
+// Versioned file-backed checkpoints of HLS scope storage.
+//
+// A CheckpointStore snapshots every materialized region of one canonical
+// scope into a single self-describing file ("HLSCKPT1" header, per-region
+// manifest, CRC-32C trailer) published atomically: the writer streams into
+// a pid-stamped temporary, fsyncs, then renames to "<tag>.<scope>.v<N>".
+// Readers walk versions newest-first and take the first one whose CRC and
+// region manifest verify — a torn write (crash or the "ckpt:write"
+// injection) costs one version, never the store. This is the warm-restart
+// half of shrink-and-recover: a respawned node restores the committed
+// scope data its predecessor checkpointed (ClusterComm::shrink /
+// SimCluster::respawn handle the membership half).
+//
+// Files are host-local (native endianness, no cross-machine portability):
+// the intended reader is a replacement process on the same node, per the
+// paper's single-address-space node model.
+#pragma once
+
+#ifndef HLSMPC_RECOVERY_ENABLED
+#define HLSMPC_RECOVERY_ENABLED 1
+#endif
+
+#if HLSMPC_RECOVERY_ENABLED
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hls/registry.hpp"
+#include "hls/storage.hpp"
+
+namespace hlsmpc::hls {
+
+/// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78). Uses the x86
+/// crc32 instruction when the CPU has SSE4.2, falling back to slice-by-8
+/// tables that produce identical values — so verification throughput
+/// stays within the bench gate's small multiple of memcpy, and a file
+/// checksummed on either path verifies on the other. `seed` chains
+/// incremental updates (pass the previous return value; 0 starts a
+/// fresh sum).
+std::uint32_t crc32c(const void* data, std::size_t bytes,
+                     std::uint32_t seed = 0);
+
+class CheckpointStore {
+ public:
+  struct Options {
+    /// Directory holding the version files; created if missing (one
+    /// level — the parent must exist).
+    std::string dir;
+    /// Filename prefix separating stores sharing a directory.
+    std::string tag = "hls";
+    /// Newest versions retained per scope after a save. At least 2, so a
+    /// torn newest version always leaves a consistent fallback.
+    int keep = 2;
+  };
+
+  /// Opens the store (creating `dir` if needed) and reclaims temporaries
+  /// leaked by crashed writers (pid-stamped, like shm segment names).
+  explicit CheckpointStore(Options opts);
+
+  struct Report {
+    std::uint64_t version = 0;
+    std::size_t payload_bytes = 0;  ///< region payload total (manifest excl.)
+    int regions = 0;
+  };
+
+  /// Snapshot every materialized region of `scope` into a new version.
+  /// Quiescent callers only (no task mutating the scope's storage).
+  /// Returns the published version; prunes versions beyond `keep`.
+  Report save(StorageManager& storage, const Registry& reg,
+              const CanonicalScope& scope);
+
+  /// Rehydrate `scope` from the newest version that passes validation
+  /// (magic, scope identity, CRC, and every region matching the current
+  /// registry layout). Regions not yet materialized are first-touched
+  /// before being overwritten. Throws HlsError when no version survives:
+  /// ErrorCode::corruption if candidates existed (all torn or stale),
+  /// ErrorCode::invalid_argument if the store holds none for this scope.
+  Report restore(StorageManager& storage, const Registry& reg,
+                 const CanonicalScope& scope);
+
+  /// Version numbers present for `scope`, ascending (torn files included —
+  /// consistency is only established by restore()).
+  std::vector<std::uint64_t> versions(const CanonicalScope& scope) const;
+
+  /// Unlink temporaries whose writing process is gone. Returns the number
+  /// removed. The constructor runs this once; long-lived stores may rerun
+  /// it at will.
+  int cleanup_stale_tmp() const;
+
+  const std::string& dir() const { return opts_.dir; }
+
+ private:
+  std::string stem(const CanonicalScope& scope) const;
+
+  Options opts_;
+};
+
+}  // namespace hlsmpc::hls
+
+#endif  // HLSMPC_RECOVERY_ENABLED

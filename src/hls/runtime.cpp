@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#if HLSMPC_RECOVERY_ENABLED
+#include "hls/checkpoint.hpp"
+#endif
+
 namespace hlsmpc::hls {
 
 ScopeSet::ScopeSet(const Runtime& rt, std::initializer_list<VarHandle> vars) {
@@ -173,6 +177,28 @@ VarHandle Runtime::rma_backing(const std::string& name, std::size_t bytes,
   return h;
 }
 #endif  // HLSMPC_RMA_ENABLED
+
+#if HLSMPC_RECOVERY_ENABLED
+std::uint64_t Runtime::checkpoint(CheckpointStore& store,
+                                  const topo::ScopeSpec& scope) {
+  const CanonicalScope c = canonicalize(sm_, scope);
+  const CheckpointStore::Report rep = store.save(storage_, reg_, c);
+#if HLSMPC_OBS_ENABLED
+  obs_->count(0, obs::Counter::ckpt_bytes, rep.payload_bytes);
+#endif
+  return rep.version;
+}
+
+std::uint64_t Runtime::restore(CheckpointStore& store,
+                               const topo::ScopeSpec& scope) {
+  const CanonicalScope c = canonicalize(sm_, scope);
+  const CheckpointStore::Report rep = store.restore(storage_, reg_, c);
+#if HLSMPC_OBS_ENABLED
+  obs_->count(0, obs::Counter::ckpt_bytes, rep.payload_bytes);
+#endif
+  return rep.version;
+}
+#endif  // HLSMPC_RECOVERY_ENABLED
 
 CanonicalScope Runtime::common_scope(
     std::initializer_list<VarHandle> vars) const {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <memory>
 #include <vector>
@@ -29,9 +30,16 @@
 #define HLSMPC_RMA_ENABLED 1
 #endif
 
+#ifndef HLSMPC_RECOVERY_ENABLED
+#define HLSMPC_RECOVERY_ENABLED 1
+#endif
+
 namespace hlsmpc::hls {
 
 class Runtime;
+#if HLSMPC_RECOVERY_ENABLED
+class CheckpointStore;
+#endif
 
 /// A directive's variable list with its scope checks done once: the
 /// common scope (what `single` needs — all variables share it) and the
@@ -182,6 +190,24 @@ class Runtime {
   /// that is the paper's flexible-sharing knob).
   VarHandle rma_backing(const std::string& name, std::size_t bytes,
                         const topo::ScopeSpec& scope = topo::core_scope());
+#endif
+
+#if HLSMPC_RECOVERY_ENABLED
+  /// Snapshot every materialized region of `scope` into `store` as a new
+  /// checkpoint version (see hls/checkpoint.hpp for format and atomic
+  /// publication). Quiescent callers only: run it between episodes, after
+  /// a barrier of at least `scope`, so the payload is committed data.
+  /// Counts the bytes to obs::Counter::ckpt_bytes. Returns the version.
+  std::uint64_t checkpoint(CheckpointStore& store,
+                           const topo::ScopeSpec& scope);
+  /// Rehydrate `scope` storage from the newest consistent version in
+  /// `store` — the warm-restart path of a respawned node. Regions never
+  /// touched in this runtime are first-touched before being overwritten,
+  /// so a fresh process restores straight into lazily-built storage.
+  /// In-place overwrite: resolved addresses (and task caches) stay valid.
+  /// Throws HlsError when no version passes validation. Returns the
+  /// version restored.
+  std::uint64_t restore(CheckpointStore& store, const topo::ScopeSpec& scope);
 #endif
 
   /// Scope shared by all variables of the list (throws if mixed: the

@@ -1,5 +1,8 @@
 #include "hls/storage.hpp"
 
+#include <cstring>
+#include <string>
+
 #include "fault/injector.hpp"
 #include "obs/recorder.hpp"
 
@@ -164,6 +167,65 @@ void* StorageManager::get_addr(const CanonicalScope& scope, int module,
                    "module region");
   }
   return r.base + offset;
+}
+
+void StorageManager::for_each_materialized(
+    const CanonicalScope& scope,
+    const std::function<void(int, int, Resolved)>& fn) const {
+  const topo::DenseScopeTable& t = reg_->scopes();
+  const int sid = scope_id(t, scope);
+  const auto& per_scope = instances_[static_cast<std::size_t>(sid)];
+  for (std::size_t inst = 0; inst < per_scope.size(); ++inst) {
+    const InstanceStorage& st = *per_scope[inst];
+    for (int c = 0; c < kMaxChunks; ++c) {
+      const Chunk* chunk =
+          st.chunks[static_cast<std::size_t>(c)].load(std::memory_order_acquire);
+      if (chunk == nullptr) continue;
+      for (int s = 0; s < kChunkSize; ++s) {
+        const ModuleRegion* region =
+            chunk->slots[static_cast<std::size_t>(s)].load(
+                std::memory_order_acquire);
+        if (region == nullptr) continue;
+        std::byte* base = region->base.load(std::memory_order_acquire);
+        if (base == nullptr) continue;
+        fn(static_cast<int>(inst), c * kChunkSize + s,
+           Resolved{base, region->bytes});
+      }
+    }
+  }
+}
+
+void StorageManager::import_region(const CanonicalScope& scope, int instance,
+                                   int module, const void* data,
+                                   std::size_t bytes) {
+  const topo::DenseScopeTable& t = reg_->scopes();
+  const int sid = scope_id(t, scope);
+  if (instance < 0 || instance >= t.num_instances(sid)) {
+    throw HlsError("import_region: instance " + std::to_string(instance) +
+                   " out of range for scope " + to_string(scope));
+  }
+  // resolve() keys materialization by cpu; any cpu of the instance names
+  // the same region.
+  int cpu = -1;
+  for (int c = 0; c < t.num_cpus(); ++c) {
+    if (t.instance_of(sid, c) == instance) {
+      cpu = c;
+      break;
+    }
+  }
+  if (cpu < 0) {
+    throw HlsError("import_region: scope instance contains no cpus");
+  }
+  const Resolved r = resolve(scope, module, cpu);
+  if (r.size != bytes) {
+    throw HlsError("import_region: checkpoint payload of " +
+                       std::to_string(bytes) + " bytes does not match the " +
+                       std::to_string(r.size) + "-byte region of module " +
+                       std::to_string(module) + " at scope " +
+                       to_string(scope) + " — module layout changed",
+                   ErrorCode::corruption);
+  }
+  if (bytes > 0) std::memcpy(r.base, data, bytes);
 }
 
 std::size_t StorageManager::bytes_allocated() const {

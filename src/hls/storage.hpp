@@ -16,6 +16,7 @@
 
 #include <array>
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -65,6 +66,25 @@ class StorageManager {
   void* get_addr(const VarHandle& h, int cpu) {
     return get_addr(h.scope, h.module, h.offset, h.size, cpu);
   }
+
+  /// Enumerate every materialized (instance, module) region of `scope` in
+  /// ascending (instance, module) order — the checkpoint writer's stable
+  /// iteration. Published bases are read with acquire loads, so `fn` sees
+  /// fully initialized regions; the *contents* are only a consistent
+  /// snapshot if the caller is quiescent (no task mutating scope storage
+  /// while the walk runs), which is the checkpoint contract.
+  void for_each_materialized(
+      const CanonicalScope& scope,
+      const std::function<void(int instance, int module, Resolved)>& fn) const;
+
+  /// Checkpoint-restore hook: materialize (scope, instance, module) — as
+  /// a first touch, initializers and all, if the region was never resolved
+  /// — then overwrite its payload with `bytes` bytes from `data`. Throws
+  /// HlsError(corruption) when `bytes` differs from the module's region
+  /// size for `scope`: the checkpoint was taken against a different module
+  /// layout and importing it would tear the region.
+  void import_region(const CanonicalScope& scope, int instance, int module,
+                     const void* data, std::size_t bytes);
 
   /// Bytes currently materialized for HLS storage (all scopes/instances).
   std::size_t bytes_allocated() const;

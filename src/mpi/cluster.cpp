@@ -1,10 +1,17 @@
 #include "mpi/cluster.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <numeric>
 #include <thread>
 
+#include "fault/injector.hpp"
 #include "mpi/coll_algo.hpp"
 #include "obs/recorder.hpp"
+
+#if HLSMPC_RECOVERY_ENABLED
+#include "mpi/recover.hpp"
+#endif
 
 namespace hlsmpc::mpi {
 
@@ -49,6 +56,8 @@ SimCluster::SimCluster(ClusterOptions opts)
   fo.nranks = nranks();
   fo.ranks_per_node = opts_.ranks_per_node;
   fo.limits = opts_.fabric_limits;
+  fo.retry = opts_.fabric_retry;
+  fo.obs = opts_.obs;
   fabric_ = std::make_unique<SimFabricTransport>(fo);
 
   nodes_.reserve(static_cast<std::size_t>(opts_.nnodes));
@@ -97,6 +106,34 @@ Runtime& SimCluster::node_runtime(int node) {
   return *nodes_[static_cast<std::size_t>(node)];
 }
 
+#if HLSMPC_RECOVERY_ENABLED
+void SimCluster::respawn(int node) {
+  if (node < 0 || node >= opts_.nnodes) {
+    throw MpiError("respawn: bad node " + std::to_string(node));
+  }
+  if (!fabric_->node_dead(node)) {
+    throw MpiError("respawn: node " + std::to_string(node) +
+                   " is not dead");
+  }
+  if (fault::should_fail("cluster:respawn", node)) {
+    throw MpiError("respawn: injected launch failure for node " +
+                   std::to_string(node));
+  }
+  // A replacement process: brand-new runtime, empty storage — warm
+  // restarts rehydrate it from a checkpoint inside the next run().
+  Options o;
+  o.nranks = opts_.ranks_per_node;
+  o.buffers = opts_.buffers;
+  o.total_ranks = nranks();
+  o.coll = opts_.coll;
+  o.obs = nullptr;
+  nodes_[static_cast<std::size_t>(node)] =
+      std::make_unique<Runtime>(machine_, o);
+  fabric_->revive_node(node);
+  comm_->readmit(node);
+}
+#endif  // HLSMPC_RECOVERY_ENABLED
+
 void SimCluster::run(const Body& body) { run_on(*executor_, body); }
 
 void SimCluster::run_on(ult::Executor& exec, const Body& body) {
@@ -119,11 +156,17 @@ ClusterComm::ClusterComm(SimCluster& cluster)
       nnodes_(cluster.nnodes()),
       rpn_(cluster.ranks_per_node()),
       nranks_(cluster.nranks()),
-      coll_seq_(static_cast<std::size_t>(cluster.nranks()), 0) {
+      coll_seq_(static_cast<std::size_t>(cluster.nranks()), 0),
+      shrink_round_timeout_(cluster.options().shrink_round_timeout) {
   node_world_.reserve(static_cast<std::size_t>(nnodes_));
   for (int n = 0; n < nnodes_; ++n) {
     node_world_.push_back(&cluster.node_runtime(n).world());
   }
+  auto v = std::make_shared<View>();
+  v->live.resize(static_cast<std::size_t>(nnodes_));
+  std::iota(v->live.begin(), v->live.end(), 0);
+  view_ = std::move(v);
+  gate_ = std::make_unique<GateSlot[]>(static_cast<std::size_t>(nnodes_));
 #if HLSMPC_OBS_ENABLED
   obs_ = cluster.obs();
 #endif
@@ -136,19 +179,42 @@ Comm& ClusterComm::node_comm(int node) const {
   return *node_world_[static_cast<std::size_t>(node)];
 }
 
-int ClusterComm::next_coll_tag(int grank) {
-  // Per-rank counters agree because all ranks enter collectives on this
-  // comm in the same order (MPI requirement); wraparound is harmless, a
-  // tag only disambiguates calls close in time.
-  const std::uint32_t seq = coll_seq_[static_cast<std::size_t>(grank)]++;
-  return static_cast<int>(seq & 0x7fffffffu);
+int ClusterComm::pos_of(const View& v, int node) {
+  const auto it = std::lower_bound(v.live.begin(), v.live.end(), node);
+  if (it == v.live.end() || *it != node) return -1;
+  return static_cast<int>(it - v.live.begin());
 }
 
-void ClusterComm::check_alive(const char* what) const {
-  const int d = fabric_->first_dead_node();
-  if (d >= 0) {
-    throw NodeDeadError(d, std::string(what) + ": node " +
-                               std::to_string(d) + " unreachable");
+int ClusterComm::next_coll_tag(int grank, std::uint64_t epoch) {
+  // Per-rank counters agree because all ranks enter collectives on this
+  // comm in the same order (MPI requirement). The epoch in the high bits
+  // keeps any straggler of a pre-shrink collective from matching a
+  // post-shrink one; low-bits wraparound is harmless, a tag only
+  // disambiguates calls close in time.
+  const std::uint32_t seq = coll_seq_[static_cast<std::size_t>(grank)]++;
+  return static_cast<int>(((static_cast<std::uint32_t>(epoch) & 0x7fu)
+                           << 24) |
+                          (seq & 0xffffffu));
+}
+
+void ClusterComm::node_gate(ult::TaskContext& lctx, Comm& nc, int node,
+                            const char* what) {
+  // Fused verdict: between two local barriers, the node's local rank 0
+  // publishes the fabric's poison state and EVERY rank of the node acts
+  // on that one value — so co-resident ranks all throw or all proceed,
+  // and a throwing node is never stranded mid-local-phase. (The next
+  // gate's opening barrier orders any later verdict write after every
+  // read of this one, so one slot per node suffices.)
+  nc.barrier(lctx);
+  std::atomic<int>& v = gate_[static_cast<std::size_t>(node)].verdict;
+  if (lctx.task_id() == 0) {
+    v.store(fabric_->poisoned_node(), std::memory_order_release);
+  }
+  nc.barrier(lctx);
+  const int dead = v.load(std::memory_order_acquire);
+  if (dead >= 0) {
+    throw NodeDeadError(dead, std::string(what) + ": node " +
+                                  std::to_string(dead) + " unreachable");
   }
 }
 
@@ -202,12 +268,17 @@ bool ClusterComm::coll_send(ult::TaskContext& ctx, int g_me, int dst_g,
     Request r =
         fabric_->isend(ctx, g_me, dst_g, dst_g, buf, bytes, tag, kCollContext);
     transport_wait(ctx, r);
-  } catch (const NodeDeadError&) {
+  } catch (const NodeDeadError& e) {
+    // Re-arm the episode poison when the failure names a node that died
+    // in an EARLIER, already-healed episode (kill_node re-poisons then;
+    // it is a no-op while the naming episode is still open) — the gates
+    // must see a verdict, or co-resident ranks would sail past.
+    fabric_->kill_node(e.node());
     return false;
   } catch (const TransportError&) {
     // The link failed but the peer was not (yet) known dead: declare the
-    // node we could not reach unreachable, so the whole job tears down
-    // naming it (dead-rank supervision lifted to nodes).
+    // node we could not reach unreachable, so supervision names it
+    // (dead-rank supervision lifted to nodes).
     fabric_->kill_node(node_of(dst_g));
     return false;
   }
@@ -223,7 +294,8 @@ bool ClusterComm::coll_recv(ult::TaskContext& ctx, int g_me, int src_g,
     Request r = fabric_->irecv(ctx, g_me, buf, capacity, src_g, tag,
                                kCollContext);
     transport_wait(ctx, r);
-  } catch (const NodeDeadError&) {
+  } catch (const NodeDeadError& e) {
+    fabric_->kill_node(e.node());
     return false;
   } catch (const TransportError&) {
     fabric_->kill_node(node_of(src_g));
@@ -235,29 +307,34 @@ bool ClusterComm::coll_recv(ult::TaskContext& ctx, int g_me, int src_g,
   return true;
 }
 
-bool ClusterComm::leader_fold(ult::TaskContext& ctx, int node, void* acc,
-                              std::size_t count, std::size_t elem_bytes,
-                              const ReduceFn& fn, int tag) {
-  // Binomial reduce tree in TRUE node order (the PR 5 contract lifted to
-  // the leader tier): the lower node of each pair holds the fold of a
-  // contiguous node range ending right before its partner's range, so it
-  // applies the partner's partial as the RIGHT operand. Result lands at
-  // node 0's leader.
-  const int g_me = leader_of(node);
+bool ClusterComm::leader_fold(ult::TaskContext& ctx, int pos, const View& v,
+                              void* acc, std::size_t count,
+                              std::size_t elem_bytes, const ReduceFn& fn,
+                              int tag) {
+  // Binomial reduce tree in TRUE live-position order (the PR 5 contract
+  // lifted to the leader tier): the lower position of each pair holds the
+  // fold of a contiguous survivor range ending right before its partner's
+  // range, so it applies the partner's partial as the RIGHT operand.
+  // Ascending position is ascending node id, so the result — landing at
+  // live[0]'s leader — is the exact ascending-global-rank fold over the
+  // surviving contributions.
+  const int npos = static_cast<int>(v.live.size());
+  const int g_me = leader_of(v.live[static_cast<std::size_t>(pos)]);
   const std::size_t bytes = count * elem_bytes;
   bool ok = true;
   std::vector<std::byte> partner(bytes);
-  for (int mask = 1; mask < nnodes_; mask <<= 1) {
-    if ((node & mask) != 0) {
-      if (!coll_send(ctx, g_me, leader_of(node - mask), acc, bytes, tag)) {
+  for (int mask = 1; mask < npos; mask <<= 1) {
+    if ((pos & mask) != 0) {
+      const int dst = v.live[static_cast<std::size_t>(pos - mask)];
+      if (!coll_send(ctx, g_me, leader_of(dst), acc, bytes, tag)) {
         ok = false;
       }
       break;
     }
-    const int src_node = node + mask;
-    if (src_node < nnodes_) {
-      if (coll_recv(ctx, g_me, leader_of(src_node), partner.data(), bytes,
-                    tag)) {
+    const int src_pos = pos + mask;
+    if (src_pos < npos) {
+      const int src = v.live[static_cast<std::size_t>(src_pos)];
+      if (coll_recv(ctx, g_me, leader_of(src), partner.data(), bytes, tag)) {
         fn(acc, partner.data(), count);
       } else {
         ok = false;
@@ -267,17 +344,20 @@ bool ClusterComm::leader_fold(ult::TaskContext& ctx, int node, void* acc,
   return ok;
 }
 
-bool ClusterComm::leader_bcast(ult::TaskContext& ctx, int node, void* buf,
-                               std::size_t bytes, int root_node, int tag) {
-  // Binomial bcast over virtual node ids rotated so root_node is virtual
+bool ClusterComm::leader_bcast(ult::TaskContext& ctx, int pos, const View& v,
+                               void* buf, std::size_t bytes, int root_pos,
+                               int tag) {
+  // Binomial bcast over virtual positions rotated so root_pos is virtual
   // 0 (rotation is legal here: bcast has no fold order to preserve).
-  const int g_me = leader_of(node);
-  const int vme = (node - root_node + nnodes_) % nnodes_;
+  const int npos = static_cast<int>(v.live.size());
+  const int g_me = leader_of(v.live[static_cast<std::size_t>(pos)]);
+  const int vme = (pos - root_pos + npos) % npos;
   bool ok = true;
   int mask = 1;
-  while (mask < nnodes_) {
+  while (mask < npos) {
     if ((vme & mask) != 0) {
-      const int src = (vme - mask + root_node) % nnodes_;
+      const int src =
+          v.live[static_cast<std::size_t>((vme - mask + root_pos) % npos)];
       if (!coll_recv(ctx, g_me, leader_of(src), buf, bytes, tag)) ok = false;
       break;
     }
@@ -285,8 +365,9 @@ bool ClusterComm::leader_bcast(ult::TaskContext& ctx, int node, void* buf,
   }
   mask >>= 1;
   while (mask > 0) {
-    if (vme + mask < nnodes_) {
-      const int dst = (vme + mask + root_node) % nnodes_;
+    if (vme + mask < npos) {
+      const int dst =
+          v.live[static_cast<std::size_t>((vme + mask + root_pos) % npos)];
       if (!coll_send(ctx, g_me, leader_of(dst), buf, bytes, tag)) ok = false;
     }
     mask >>= 1;
@@ -299,26 +380,34 @@ bool ClusterComm::leader_bcast(ult::TaskContext& ctx, int node, void* buf,
 void ClusterComm::barrier(ult::TaskContext& ctx) {
   const int g = rank(ctx);
   const int node = node_of(g);
-  const int tag = next_coll_tag(g);
   count_coll(g);
-  check_alive("cluster barrier");
+  const auto view = snapshot_view();
+  const int tag = next_coll_tag(g, view->epoch);
+  const int pos = pos_of(*view, node);
+  if (pos < 0) {
+    throw NodeDeadError(node, "cluster barrier: node " +
+                                  std::to_string(node) +
+                                  " was excluded by shrink");
+  }
   LocalCtx lctx(ctx, local_of(g));
   Comm& nc = node_comm(node);
-  // Local arrival: after this, every rank of the node has entered.
-  nc.barrier(lctx);
+  // The gates themselves provide local arrival and release, so the
+  // barrier body is just the leader dissemination.
+  node_gate(lctx, nc, node, "cluster barrier");
   if (local_of(g) == 0) {
-    // Leader dissemination over nodes: after ceil(log2 N) rounds each
-    // leader has transitively heard from every node.
-    for (int step = 1; step < nnodes_; step <<= 1) {
-      const int dst = coll::dissemination_dst(node, step, nnodes_);
-      const int src = coll::dissemination_src(node, step, nnodes_);
+    // Leader dissemination over live positions: after ceil(log2 N) rounds
+    // each leader has transitively heard from every live node.
+    const int npos = static_cast<int>(view->live.size());
+    for (int step = 1; step < npos; step <<= 1) {
+      const int dst = view->live[static_cast<std::size_t>(
+          coll::dissemination_dst(pos, step, npos))];
+      const int src = view->live[static_cast<std::size_t>(
+          coll::dissemination_src(pos, step, npos))];
       coll_send(ctx, g, leader_of(dst), nullptr, 0, tag);
       coll_recv(ctx, g, leader_of(src), nullptr, 0, tag);
     }
   }
-  // Local release: nobody leaves before its leader heard from all nodes.
-  nc.barrier(lctx);
-  check_alive("cluster barrier");
+  node_gate(lctx, nc, node, "cluster barrier");
 }
 
 void ClusterComm::bcast(ult::TaskContext& ctx, void* buf, std::size_t bytes,
@@ -329,25 +418,37 @@ void ClusterComm::bcast(ult::TaskContext& ctx, void* buf, std::size_t bytes,
   const int g = rank(ctx);
   const int node = node_of(g);
   const int root_node = node_of(root);
-  const int tag = next_coll_tag(g);
   count_coll(g);
-  check_alive("cluster bcast");
+  const auto view = snapshot_view();
+  const int tag = next_coll_tag(g, view->epoch);
+  const int pos = pos_of(*view, node);
+  if (pos < 0) {
+    throw NodeDeadError(node, "cluster bcast: node " + std::to_string(node) +
+                                  " was excluded by shrink");
+  }
+  const int root_pos = pos_of(*view, root_node);
+  if (root_pos < 0) {
+    throw NodeDeadError(root_node, "cluster bcast: root node " +
+                                       std::to_string(root_node) +
+                                       " was excluded by shrink");
+  }
   LocalCtx lctx(ctx, local_of(g));
   Comm& nc = node_comm(node);
+  node_gate(lctx, nc, node, "cluster bcast");
   if (node == root_node) {
     // Root's node first shares locally (this is what puts the payload in
     // the leader's hands), then its leader feeds the leader tier.
     nc.bcast(lctx, buf, bytes, local_of(root));
     if (local_of(g) == 0) {
-      leader_bcast(ctx, node, buf, bytes, root_node, tag);
+      leader_bcast(ctx, pos, *view, buf, bytes, root_pos, tag);
     }
   } else {
     if (local_of(g) == 0) {
-      leader_bcast(ctx, node, buf, bytes, root_node, tag);
+      leader_bcast(ctx, pos, *view, buf, bytes, root_pos, tag);
     }
     nc.bcast(lctx, buf, bytes, 0);
   }
-  check_alive("cluster bcast");
+  node_gate(lctx, nc, node, "cluster bcast");
 }
 
 void ClusterComm::reduce(ult::TaskContext& ctx, const void* sendbuf,
@@ -359,12 +460,23 @@ void ClusterComm::reduce(ult::TaskContext& ctx, const void* sendbuf,
   }
   const int g = rank(ctx);
   const int node = node_of(g);
-  const int tag = next_coll_tag(g);
   const std::size_t bytes = count * elem_bytes;
   count_coll(g);
-  check_alive("cluster reduce");
+  const auto view = snapshot_view();
+  const int tag = next_coll_tag(g, view->epoch);
+  const int pos = pos_of(*view, node);
+  if (pos < 0) {
+    throw NodeDeadError(node, "cluster reduce: node " + std::to_string(node) +
+                                  " was excluded by shrink");
+  }
+  if (pos_of(*view, node_of(root)) < 0) {
+    throw NodeDeadError(node_of(root), "cluster reduce: root node " +
+                                           std::to_string(node_of(root)) +
+                                           " was excluded by shrink");
+  }
   LocalCtx lctx(ctx, local_of(g));
   Comm& nc = node_comm(node);
+  node_gate(lctx, nc, node, "cluster reduce");
 
   // Local tier: fold the node's contributions (ascending local = ascending
   // global within the node) into the leader's partial.
@@ -373,11 +485,13 @@ void ClusterComm::reduce(ult::TaskContext& ctx, const void* sendbuf,
   nc.reduce(lctx, sendbuf, local_of(g) == 0 ? partial.data() : nullptr,
             count, elem_bytes, fn, 0);
 
+  const int root_leader = leader_of(view->live[0]);
   if (local_of(g) == 0) {
-    // Leader tier: fold per-node partials to node 0 in true node order.
-    leader_fold(ctx, node, partial.data(), count, elem_bytes, fn, tag);
-    if (node == 0) {
-      // Deliver node 0's folded total to the global root.
+    // Leader tier: fold live-node partials to live[0] in true position
+    // order.
+    leader_fold(ctx, pos, *view, partial.data(), count, elem_bytes, fn, tag);
+    if (pos == 0) {
+      // Deliver the folded total to the global root.
       if (g == root) {
         if (bytes > 0) std::memcpy(recvbuf, partial.data(), bytes);
       } else {
@@ -385,10 +499,10 @@ void ClusterComm::reduce(ult::TaskContext& ctx, const void* sendbuf,
       }
     }
   }
-  if (g == root && g != leader_of(0)) {
-    coll_recv(ctx, g, leader_of(0), recvbuf, bytes, tag);
+  if (g == root && g != root_leader) {
+    coll_recv(ctx, g, root_leader, recvbuf, bytes, tag);
   }
-  check_alive("cluster reduce");
+  node_gate(lctx, nc, node, "cluster reduce");
 }
 
 void ClusterComm::allreduce(ult::TaskContext& ctx, const void* sendbuf,
@@ -396,64 +510,213 @@ void ClusterComm::allreduce(ult::TaskContext& ctx, const void* sendbuf,
                             std::size_t elem_bytes, const ReduceFn& fn) {
   const int g = rank(ctx);
   const int node = node_of(g);
-  const int tag = next_coll_tag(g);
   count_coll(g);
-  check_alive("cluster allreduce");
+  const auto view = snapshot_view();
+  const int tag = next_coll_tag(g, view->epoch);
+  const int pos = pos_of(*view, node);
+  if (pos < 0) {
+    throw NodeDeadError(node, "cluster allreduce: node " +
+                                  std::to_string(node) +
+                                  " was excluded by shrink");
+  }
   LocalCtx lctx(ctx, local_of(g));
   Comm& nc = node_comm(node);
+  node_gate(lctx, nc, node, "cluster allreduce");
 
-  // Local reduce into the leader's recvbuf, leader fold to node 0, leader
-  // bcast of the total, local bcast — reduce+bcast with the leader's
-  // recvbuf as the accumulator throughout, so no extra staging buffer.
+  // Local reduce into the leader's recvbuf, leader fold to live[0],
+  // leader bcast of the total, local bcast — reduce+bcast with the
+  // leader's recvbuf as the accumulator throughout, so no extra staging
+  // buffer.
   nc.reduce(lctx, sendbuf, local_of(g) == 0 ? recvbuf : nullptr, count,
             elem_bytes, fn, 0);
   if (local_of(g) == 0) {
-    leader_fold(ctx, node, recvbuf, count, elem_bytes, fn, tag);
-    leader_bcast(ctx, node, recvbuf, count * elem_bytes, 0, tag);
+    leader_fold(ctx, pos, *view, recvbuf, count, elem_bytes, fn, tag);
+    leader_bcast(ctx, pos, *view, recvbuf, count * elem_bytes, 0, tag);
   }
   nc.bcast(lctx, recvbuf, count * elem_bytes, 0);
-  check_alive("cluster allreduce");
+  node_gate(lctx, nc, node, "cluster allreduce");
 }
 
 void ClusterComm::allgather(ult::TaskContext& ctx, const void* sendbuf,
                             std::size_t bytes, void* recvbuf) {
   const int g = rank(ctx);
   const int node = node_of(g);
-  const int tag = next_coll_tag(g);
   const std::size_t node_block = static_cast<std::size_t>(rpn_) * bytes;
   count_coll(g);
-  check_alive("cluster allgather");
+  const auto view = snapshot_view();
+  const int tag = next_coll_tag(g, view->epoch);
+  const int pos = pos_of(*view, node);
+  if (pos < 0) {
+    throw NodeDeadError(node, "cluster allgather: node " +
+                                  std::to_string(node) +
+                                  " was excluded by shrink");
+  }
+  const int npos = static_cast<int>(view->live.size());
   LocalCtx lctx(ctx, local_of(g));
   Comm& nc = node_comm(node);
+  node_gate(lctx, nc, node, "cluster allgather");
 
   auto* out = static_cast<std::byte*>(recvbuf);
   // Local tier: the leader gathers its node's block in place, at the
-  // node's slot of the global-rank-ordered result.
+  // node's POSITION slot of the live-rank-ordered result (dead nodes
+  // leave no gap — the output is compacted by survivor position).
   nc.gather(lctx, sendbuf, bytes,
-            local_of(g) == 0 ? out + static_cast<std::size_t>(node) *
-                                         node_block
-                             : nullptr,
+            local_of(g) == 0
+                ? out + static_cast<std::size_t>(pos) * node_block
+                : nullptr,
             0);
-  if (local_of(g) == 0 && nnodes_ > 1) {
+  if (local_of(g) == 0 && npos > 1) {
     // Leader tier: linear block exchange. Fabric sends complete
     // immediately (always-copy), so send-all-then-receive-all cannot
     // deadlock.
-    for (int p = 0; p < nnodes_; ++p) {
-      if (p == node) continue;
-      coll_send(ctx, g, leader_of(p),
-                out + static_cast<std::size_t>(node) * node_block,
-                node_block, tag);
+    for (int p = 0; p < npos; ++p) {
+      if (p == pos) continue;
+      coll_send(ctx, g, leader_of(view->live[static_cast<std::size_t>(p)]),
+                out + static_cast<std::size_t>(pos) * node_block, node_block,
+                tag);
     }
-    for (int p = 0; p < nnodes_; ++p) {
-      if (p == node) continue;
-      coll_recv(ctx, g, leader_of(p),
+    for (int p = 0; p < npos; ++p) {
+      if (p == pos) continue;
+      coll_recv(ctx, g, leader_of(view->live[static_cast<std::size_t>(p)]),
                 out + static_cast<std::size_t>(p) * node_block, node_block,
                 tag);
     }
   }
   // Local tier: share the assembled result.
-  nc.bcast(lctx, recvbuf, static_cast<std::size_t>(nranks_) * bytes, 0);
-  check_alive("cluster allgather");
+  nc.bcast(lctx, recvbuf, static_cast<std::size_t>(npos) * node_block, 0);
+  node_gate(lctx, nc, node, "cluster allgather");
 }
+
+// ---- shrink and recover ----
+
+#if HLSMPC_RECOVERY_ENABLED
+
+void ClusterComm::install_view(std::uint64_t expected_epoch,
+                               std::uint64_t dead_mask) {
+  std::lock_guard<std::mutex> lk(view_mu_);
+  if (view_->epoch != expected_epoch) return;  // another leader won
+  auto v = std::make_shared<View>();
+  v->epoch = expected_epoch + 1;
+  for (int n : view_->live) {
+    if ((dead_mask >> n & 1u) == 0) v->live.push_back(n);
+  }
+  view_ = std::move(v);
+}
+
+ShrinkReport ClusterComm::shrink(ult::TaskContext& ctx) {
+  const int g = rank(ctx);
+  const int node = node_of(g);
+  const auto view = snapshot_view();
+  if (pos_of(*view, node) < 0) {
+    throw NodeDeadError(node, "shrink: node " + std::to_string(node) +
+                                  " was excluded by an earlier shrink");
+  }
+  LocalCtx lctx(ctx, local_of(g));
+  Comm& nc = node_comm(node);
+  // Sample the reset generation BEFORE the quiescing barrier: the leader
+  // bumps it after the barrier, so sampling first guarantees every rank
+  // holds the pre-shrink value and cannot miss the bump.
+  std::atomic<std::uint32_t>& reset_gen =
+      gate_[static_cast<std::size_t>(node)].reset_gen;
+  const std::uint32_t gen0 = reset_gen.load(std::memory_order_acquire);
+  // Quiesce the node: after this barrier every co-resident rank has
+  // unwound from the failed collective (the gates guarantee they threw
+  // together) and is inside shrink.
+  nc.barrier(lctx);
+
+  struct Pod {
+    std::uint64_t mask = 0;
+    std::uint64_t epoch = 0;
+    std::int32_t attempts = 0;
+    std::int32_t status = 0;  // 0 ok, 1 self declared dead, 2 no agreement
+  } pod;
+  if (local_of(g) == 0) {
+    try {
+      recover::FabricRecoveryChannel ch(*fabric_, node);
+      recover::ShrinkConfig cfg;
+      cfg.round_timeout = shrink_round_timeout_;
+      cfg.epoch = static_cast<std::uint32_t>(view->epoch);
+      const recover::ShrinkDecision dec =
+          recover::shrink_agree(ctx, ch, node, view->live, cfg);
+      install_view(view->epoch, dec.dead_mask);
+      fabric_->heal(dec.dead_mask);
+      // Rebuild the node's collective control blocks. The gates kept them
+      // consistent (local phases never abort halfway), so this is a cheap
+      // belt-and-suspenders re-zeroing, and it also clears any stale
+      // intra-node unexpected traffic.
+      cluster_->node_runtime(node).reset_collectives();
+      pod.mask = dec.dead_mask;
+      pod.epoch = view->epoch + 1;
+      pod.attempts = dec.attempts;
+#if HLSMPC_OBS_ENABLED
+      if (obs_ != nullptr) {
+        obs_->count(g, obs::Counter::recoveries);
+        obs::Event e;
+        e.kind = obs::EventKind::recovery;
+        e.task = g;
+        e.cpu = ctx.cpu();
+        e.t0 = e.t1 = obs_->now();
+        e.arg = static_cast<std::int64_t>(dec.dead_mask);
+        e.arg2 = dec.attempts;
+        obs_->record(e);
+      }
+#endif
+    } catch (const NodeDeadError&) {
+      pod.status = 1;
+    } catch (const MpiError&) {
+      pod.status = 2;
+    }
+    // Release the node only now: reset_collectives() is quiescent-only,
+    // and without this gate a co-resident rank could already be waiting
+    // inside the pod bcast when the engine is re-zeroed under it —
+    // wiping its arrival and wedging the node. Bumped on the failure
+    // paths too (no reset happened, but the waiters must still wake).
+    reset_gen.store(gen0 + 1, std::memory_order_release);
+  } else {
+    while (reset_gen.load(std::memory_order_acquire) == gen0) {
+      ctx.yield();
+    }
+  }
+  nc.bcast(lctx, &pod, sizeof(pod), 0);
+  nc.barrier(lctx);
+  if (pod.status == 1) {
+    throw NodeDeadError(node, "shrink: node " + std::to_string(node) +
+                                  " was declared dead by the survivors");
+  }
+  if (pod.status == 2) {
+    throw MpiError("shrink: agreement did not converge");
+  }
+  // Restart collective numbering under the new epoch — every survivor
+  // rank resets its own counter here, inside the collective, so the
+  // counters stay in lockstep.
+  coll_seq_[static_cast<std::size_t>(g)] = 0;
+
+  ShrinkReport rep;
+  rep.epoch = pod.epoch;
+  rep.dead_mask = pod.mask;
+  rep.attempts = pod.attempts;
+  for (int n : view->live) {
+    if ((pod.mask >> n & 1u) == 0) rep.live.push_back(n);
+  }
+  return rep;
+}
+
+void ClusterComm::readmit(int node) {
+  std::lock_guard<std::mutex> lk(view_mu_);
+  auto v = std::make_shared<View>();
+  v->epoch = view_->epoch + 1;
+  v->live = view_->live;
+  const auto it = std::lower_bound(v->live.begin(), v->live.end(), node);
+  if (it == v->live.end() || *it != node) v->live.insert(it, node);
+  view_ = std::move(v);
+  // The respawned node's runtime is brand new — rebind its world comm.
+  node_world_[static_cast<std::size_t>(node)] =
+      &cluster_->node_runtime(node).world();
+  // Everybody starts the next run with fresh collective numbering (the
+  // epoch bump keeps any earlier traffic unmatchable anyway).
+  std::fill(coll_seq_.begin(), coll_seq_.end(), 0);
+}
+
+#endif  // HLSMPC_RECOVERY_ENABLED
 
 }  // namespace hlsmpc::mpi

@@ -151,6 +151,28 @@ void ShmCollEngine::invalidate_registrations() {
   }
 }
 
+void ShmCollEngine::reset() {
+  // Quiescent callers only: every rank's publication/consumption of the
+  // previous collective has completed (ClusterComm::shrink brackets this
+  // with local barriers, which also order these plain writes against the
+  // ranks' later accesses).
+  for (Slot& s : slots_) {
+    s.seq.store(0, std::memory_order_relaxed);
+    s.ptr.store(nullptr, std::memory_order_relaxed);
+    s.acc_seq.store(0, std::memory_order_relaxed);
+    s.acc_ptr.store(nullptr, std::memory_order_relaxed);
+    s.acks.store(0, std::memory_order_relaxed);
+    s.frag.store(0, std::memory_order_relaxed);
+    s.acc_frag.store(0, std::memory_order_relaxed);
+  }
+  for (Priv& p : priv_) {
+    p.seq = 0;
+    p.acks_expected = 0;
+    p.frag_base = 0;
+  }
+  invalidate_registrations();
+}
+
 ShmCollEngine::Registration& ShmCollEngine::resolve_registration(
     ult::TaskContext& ctx, int me, const void* addr, std::size_t count,
     std::size_t elem_bytes) {

@@ -135,6 +135,14 @@ class ShmCollEngine {
   /// callers must be quiescent — between collectives). Migration flushes
   /// a rank's own entries automatically via the CPU tag.
   void invalidate_registrations();
+  /// Recovery hook: re-zero the whole control block — publication
+  /// sequences, pointers, acks, fragment counts, private counters and
+  /// registration caches — back to its initial state. Callers must be
+  /// quiescent (ClusterComm::shrink runs it between its local barriers).
+  /// EpisodeBarrier state is deliberately untouched: the fused node gates
+  /// guarantee a local phase either runs to completion or is never
+  /// entered, so every barrier episode is already consistent.
+  void reset();
   obs::CollAlg barrier_alg() const {
     return hier_.size() > 1 ? obs::CollAlg::shm_hier : obs::CollAlg::shm_flat;
   }

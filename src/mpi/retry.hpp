@@ -1,0 +1,89 @@
+// Transient-failure retry policy: bounded exponential backoff with jitter.
+//
+// Transports distinguish two failure bands (fault/error.hpp):
+//
+//   transient — EINTR, EAGAIN, a partial write, an injected link flap
+//     that heals. Worth retrying: the op is re-issued after a bounded
+//     backoff, and only the *attempt budget* running out reclassifies the
+//     failure as persistent.
+//   persistent — the budget is exhausted (or the peer is positively known
+//     dead). Surfaces as TransportError(transport_exhausted) or
+//     NodeDeadError; cluster supervision escalates it to node poison.
+//
+// Backoff is exponential with a multiplicative cap and deterministic
+// xorshift jitter (seeded per backoff object), so two ranks retrying the
+// same flapping link do not stampede in lockstep. Cooperative contexts
+// (fibers under the deterministic executor) never sleep — they yield,
+// which keeps every retry interleaving explorable and replayable; the
+// backoff arithmetic still runs so the attempt accounting is identical
+// across executor back ends.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "fault/error.hpp"
+#include "ult/task_context.hpp"
+
+namespace hlsmpc::mpi {
+
+struct RetryPolicy {
+  /// Total tries for one operation, including the first. Exhaustion
+  /// reclassifies the failure as persistent.
+  int max_attempts = 8;
+  /// Backoff before retry k (1-based) is base * 2^(k-1), capped, +/- up
+  /// to 25% jitter.
+  std::chrono::microseconds backoff_base{50};
+  std::chrono::microseconds backoff_cap{2000};
+};
+
+/// True when `code` names a condition a bounded retry may clear.
+inline bool transient_error(hlsmpc::ErrorCode code) {
+  return code == hlsmpc::ErrorCode::transport_exhausted ||
+         code == hlsmpc::ErrorCode::out_of_memory;
+}
+
+/// Per-operation backoff state. Cheap to construct (two words); make one
+/// per op, call wait() before each retry.
+class RetryBackoff {
+ public:
+  explicit RetryBackoff(const RetryPolicy& policy,
+                        std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull)
+      : policy_(&policy),
+        // xorshift state must be nonzero.
+        rng_(jitter_seed | 1u) {}
+
+  /// Back off before retry `attempt` (1-based). Preemptive contexts
+  /// sleep; cooperative ones yield so the deterministic executor keeps
+  /// full control of the interleaving.
+  void wait(ult::TaskContext& ctx, int attempt) {
+    if (ctx.cooperative()) {
+      ctx.yield();
+      return;
+    }
+    auto d = policy_->backoff_base;
+    for (int i = 1; i < attempt && d < policy_->backoff_cap; ++i) d *= 2;
+    if (d > policy_->backoff_cap) d = policy_->backoff_cap;
+    // +/- 25% deterministic jitter (xorshift64*).
+    rng_ ^= rng_ >> 12;
+    rng_ ^= rng_ << 25;
+    rng_ ^= rng_ >> 27;
+    const std::uint64_t r = rng_ * 0x2545f4914f6cdd1dull;
+    const auto quarter = d / 4;
+    const auto jitter = quarter.count() > 0
+                            ? std::chrono::microseconds(
+                                  static_cast<std::int64_t>(
+                                      r % static_cast<std::uint64_t>(
+                                              2 * quarter.count() + 1)) -
+                                  quarter.count())
+                            : std::chrono::microseconds(0);
+    std::this_thread::sleep_for(d + jitter);
+  }
+
+ private:
+  const RetryPolicy* policy_;
+  std::uint64_t rng_;
+};
+
+}  // namespace hlsmpc::mpi

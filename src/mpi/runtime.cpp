@@ -4,6 +4,7 @@
 #include <numeric>
 #include <thread>
 
+#include "mpi/coll_shm.hpp"
 #include "mpi/rma.hpp"
 #include "mpi/shm_transport.hpp"
 
@@ -126,6 +127,18 @@ Comm& Runtime::register_comm(std::unique_ptr<Comm> comm) {
   std::lock_guard<std::mutex> lk(comms_mu_);
   comms_.push_back(std::move(comm));
   return *comms_.back();
+}
+
+void Runtime::reset_collectives() {
+  {
+    std::lock_guard<std::mutex> lk(comms_mu_);
+    for (auto& c : comms_) {
+      if (ShmCollEngine* e = c->shm_engine()) e->reset();
+    }
+  }
+  if (auto* shm = dynamic_cast<ShmTransport*>(transport_.get())) {
+    shm->drain();
+  }
 }
 
 #if HLSMPC_RMA_ENABLED

@@ -93,6 +93,13 @@ class Runtime {
   /// Cpu each rank is pinned to (rank-major round robin over the machine).
   int cpu_of_rank(int rank) const;
 
+  /// Recovery hook: re-zero every registered communicator's shared-memory
+  /// collective engine and drain the intra-node transport's mailboxes —
+  /// the clean slate ClusterComm::shrink installs on surviving nodes.
+  /// Quiescent callers only (no rank inside a collective or with a
+  /// pending p2p operation).
+  void reset_collectives();
+
   /// Attach a synchronization tracer (nullptr to detach). The hook sees
   /// every p2p completion; it must outlive subsequent run() calls.
   void set_trace_hook(TraceHook* hook) { trace_hook_ = hook; }

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <string>
 
+#include "fault/injector.hpp"
+
 namespace hlsmpc::mpi {
 
 namespace {
@@ -47,9 +49,30 @@ detail::Mailbox& ShmTransport::mailbox(int ep, const char* what) {
   return *mailboxes_[static_cast<std::size_t>(ep)];
 }
 
-Request ShmTransport::isend(ult::TaskContext&, int src, int dst_ep, int dst,
-                            const void* buf, std::size_t bytes, int tag,
-                            int context) {
+void ShmTransport::ride_out_flaps(ult::TaskContext& ctx, int ep,
+                                  const char* what) {
+  RetryBackoff backoff(retry_, 0x9e3779b97f4a7c15ull ^
+                                   static_cast<std::uint64_t>(ep + 1));
+  int attempt = 1;
+  while (fault::should_fail("shm:flap", ep)) {
+    stats_.link_flaps.fetch_add(1, std::memory_order_relaxed);
+    if (attempt >= retry_.max_attempts) {
+      throw TransportError(
+          hlsmpc::ErrorCode::transport_exhausted,
+          std::string(what) + ": endpoint " + std::to_string(ep) +
+              " still failing after " + std::to_string(attempt) +
+              " attempts — transient retry budget exhausted");
+    }
+    stats_.retries.fetch_add(1, std::memory_order_relaxed);
+    backoff.wait(ctx, attempt);
+    ++attempt;
+  }
+}
+
+Request ShmTransport::isend(ult::TaskContext& ctx, int src, int dst_ep,
+                            int dst, const void* buf, std::size_t bytes,
+                            int tag, int context) {
+  ride_out_flaps(ctx, dst_ep, "send");
   stats_.messages.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes.fetch_add(bytes, std::memory_order_relaxed);
   detail::Mailbox& mb = mailbox(dst_ep, "send");
@@ -121,9 +144,10 @@ Request ShmTransport::isend(ult::TaskContext&, int src, int dst_ep, int dst,
   return Request(req);
 }
 
-Request ShmTransport::irecv(ult::TaskContext&, int me_ep, void* buf,
+Request ShmTransport::irecv(ult::TaskContext& ctx, int me_ep, void* buf,
                             std::size_t capacity, int src, int tag,
                             int context) {
+  ride_out_flaps(ctx, me_ep, "recv");
   detail::Mailbox& mb = mailbox(me_ep, "recv");
   auto req = std::make_shared<RequestState>();
   req->trace_is_recv = true;
@@ -164,6 +188,28 @@ Request ShmTransport::irecv(ult::TaskContext&, int me_ep, void* buf,
   mb.posted.push_back(
       detail::PostedRecv{buf, capacity, src, tag, context, req});
   return Request(req);
+}
+
+void ShmTransport::drain() {
+  for (auto& mbp : mailboxes_) {
+    detail::Mailbox& mb = *mbp;
+    std::deque<detail::UnexpectedMsg> unexpected;
+    std::deque<detail::PostedRecv> posted;
+    {
+      std::lock_guard<std::mutex> lk(mb.mu);
+      unexpected.swap(mb.unexpected);
+      posted.swap(mb.posted);
+      mb.unexpected_bytes = 0;
+    }
+    for (detail::PostedRecv& pr : posted) {
+      pr.req->complete_error("recv: transport drained for recovery");
+    }
+    for (detail::UnexpectedMsg& msg : unexpected) {
+      if (msg.is_rendezvous()) {
+        msg.sender_req->complete_error("send: transport drained for recovery");
+      }
+    }
+  }
 }
 
 bool ShmTransport::iprobe(int me_ep, int src, int tag, int context,

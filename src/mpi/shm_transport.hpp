@@ -12,6 +12,7 @@
 
 #include "mpi/buffers.hpp"
 #include "mpi/detail/mailbox.hpp"
+#include "mpi/retry.hpp"
 #include "mpi/transport.hpp"
 
 namespace hlsmpc::mpi {
@@ -37,11 +38,22 @@ class ShmTransport : public Transport {
   bool iprobe(int me_ep, int src, int tag, int context,
               Status* status) override;
 
+  /// Recovery hook: empty every mailbox. Posted receives error-complete
+  /// ("drained"), pending rendezvous senders likewise, queued eager
+  /// payloads are released. Quiescent callers only
+  /// (Runtime::reset_collectives) — a clean slate for the next epoch.
+  void drain();
+
  private:
   detail::Mailbox& mailbox(int ep, const char* what);
+  /// Bounded retry against the "shm:flap" injection site (a transiently
+  /// failing intra-node channel — e.g. a briefly exhausted buffer pool);
+  /// throws transport_exhausted once the budget runs out.
+  void ride_out_flaps(ult::TaskContext& ctx, int ep, const char* what);
 
   BufferManager& buffers_;
   TransportLimits limits_;
+  RetryPolicy retry_;
   std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
 };
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "fault/injector.hpp"
+#include "obs/recorder.hpp"
 
 namespace hlsmpc::mpi {
 
@@ -31,7 +32,12 @@ SimFabricTransport::SimFabricTransport(Options opts) : opts_(opts) {
   }
   dead_ = std::make_unique<std::atomic<bool>[]>(
       static_cast<std::size_t>(nnodes_));
-  for (int n = 0; n < nnodes_; ++n) dead_[n].store(false);
+  flap_ops_ = std::make_unique<std::atomic<int>[]>(
+      static_cast<std::size_t>(nnodes_));
+  for (int n = 0; n < nnodes_; ++n) {
+    dead_[n].store(false);
+    flap_ops_[n].store(0);
+  }
 }
 
 detail::Mailbox& SimFabricTransport::mailbox(int ep, const char* what) {
@@ -47,6 +53,47 @@ void SimFabricTransport::throw_node_dead(int node, const char* what) const {
                                 std::to_string(node) + " unreachable");
 }
 
+bool SimFabricTransport::link_flapping(int node) {
+  auto& rem = flap_ops_[static_cast<std::size_t>(node)];
+  int cur = rem.load(std::memory_order_acquire);
+  while (cur > 0) {
+    if (rem.compare_exchange_weak(cur, cur - 1,
+                                  std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SimFabricTransport::ride_out_flaps(ult::TaskContext& ctx, int node,
+                                        int site_index, const char* what) {
+  RetryBackoff backoff(opts_.retry,
+                       0x9e3779b97f4a7c15ull ^
+                           static_cast<std::uint64_t>(ctx.task_id() + 1));
+  int attempt = 1;
+  while (link_flapping(node) || fault::should_fail("fabric:flap", site_index)) {
+    stats_.link_flaps.fetch_add(1, std::memory_order_relaxed);
+    if (attempt >= opts_.retry.max_attempts) {
+      // Transient budget exhausted: reclassify as persistent. The fabric
+      // itself does NOT poison — that escalation (kill_node) belongs to
+      // cluster supervision, which knows whether the op was vital.
+      throw TransportError(
+          hlsmpc::ErrorCode::transport_exhausted,
+          std::string(what) + ": link of node " + std::to_string(node) +
+              " still failing after " + std::to_string(attempt) +
+              " attempts — transient retry budget exhausted");
+    }
+    stats_.retries.fetch_add(1, std::memory_order_relaxed);
+#if HLSMPC_OBS_ENABLED
+    if (opts_.obs != nullptr) {
+      opts_.obs->count(ctx.task_id(), obs::Counter::net_retries);
+    }
+#endif
+    backoff.wait(ctx, attempt);
+    ++attempt;
+  }
+}
+
 Request SimFabricTransport::isend(ult::TaskContext& ctx, int src, int dst_ep,
                                   int dst, const void* buf, std::size_t bytes,
                                   int tag, int context) {
@@ -58,6 +105,7 @@ Request SimFabricTransport::isend(ult::TaskContext& ctx, int src, int dst_ep,
   if (src < 0 || src >= nendpoints()) {
     throw MpiError("fabric send: bad source endpoint " + std::to_string(src));
   }
+  ride_out_flaps(ctx, node_of(dst_ep), dst_ep, "fabric send");
   if (fault::should_fail("fabric:send", dst_ep)) {
     throw TransportError(hlsmpc::ErrorCode::transport_exhausted,
                          "fabric send: injected link failure towards node " +
@@ -68,16 +116,30 @@ Request SimFabricTransport::isend(ult::TaskContext& ctx, int src, int dst_ep,
   auto req = std::make_shared<RequestState>();
 
   std::unique_lock<std::mutex> lk(mb.mu);
-  // A node death is fatal to the whole job (fault/error.hpp taxonomy):
-  // the fabric refuses all further traffic so every surviving rank learns
-  // the name of the first unreachable node instead of deadlocking on a
-  // peer that will never answer. Checked UNDER the mailbox lock:
-  // kill_node publishes the dead flag before sweeping each mailbox, so a
-  // check inside the lock either sees the flag or enqueues before the
-  // sweep reaches this mailbox — never neither.
-  if (const int d = first_dead_node(); d >= 0) {
+  // A node death poisons ordinary traffic so every surviving rank learns
+  // the poison node's name instead of deadlocking on a peer that will
+  // never answer. Checked UNDER the mailbox lock: kill_node publishes the
+  // flags before sweeping each mailbox, so a check inside the lock either
+  // sees them or enqueues before the sweep reaches this mailbox — never
+  // neither. Recovery traffic bypasses the episode poison (the shrink
+  // agreement must run over the poisoned fabric) but never the per-node
+  // flags below.
+  if (context != kRecoveryContext) {
+    if (const int p = poisoned_node(); p >= 0) {
+      lk.unlock();
+      throw_node_dead(p, "fabric send");
+    }
+  }
+  // Per-node dead flags outlive heal(): traffic to or from a dead node
+  // always fails, naming that node (a send cannot reach a dead NIC; a
+  // rank whose own node was declared dead must learn the verdict).
+  if (node_dead(node_of(dst_ep))) {
     lk.unlock();
-    throw_node_dead(d, "fabric send");
+    throw_node_dead(node_of(dst_ep), "fabric send");
+  }
+  if (node_dead(node_of(src))) {
+    lk.unlock();
+    throw_node_dead(node_of(src), "fabric send");
   }
   for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
     if (!posted_matches(*it, src, tag, context)) continue;
@@ -132,6 +194,7 @@ Request SimFabricTransport::irecv(ult::TaskContext& ctx, int me_ep, void* buf,
                                   int context) {
   ctx.sync_point("fabric:recv");
   detail::Mailbox& mb = mailbox(me_ep, "fabric recv");
+  ride_out_flaps(ctx, node_of(me_ep), me_ep, "fabric recv");
   if (fault::should_fail("fabric:recv", me_ep)) {
     throw TransportError(hlsmpc::ErrorCode::transport_exhausted,
                          "fabric recv: injected link failure at endpoint " +
@@ -142,13 +205,19 @@ Request SimFabricTransport::irecv(ult::TaskContext& ctx, int me_ep, void* buf,
   req->trace_context = context;
 
   std::unique_lock<std::mutex> lk(mb.mu);
-  // Under the lock, like isend: either this receive sees the dead flag
-  // here, or it is in `posted` before kill_node's sweep locks this
-  // mailbox and gets error-completed by it. A post-sweep orphan recv
-  // (the deadlock) is impossible.
-  if (const int d = first_dead_node(); d >= 0) {
+  // Under the lock, like isend: either this receive sees the flags here,
+  // or it is in `posted` before kill_node's sweep locks this mailbox and
+  // gets error-completed by it. A post-sweep orphan recv (the deadlock)
+  // is impossible.
+  if (context != kRecoveryContext) {
+    if (const int p = poisoned_node(); p >= 0) {
+      lk.unlock();
+      throw_node_dead(p, "fabric recv");
+    }
+  }
+  if (node_dead(node_of(me_ep))) {
     lk.unlock();
-    throw_node_dead(d, "fabric recv");
+    throw_node_dead(node_of(me_ep), "fabric recv");
   }
   for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
     if (!it->matches(src, tag, context)) continue;
@@ -171,6 +240,13 @@ Request SimFabricTransport::irecv(ult::TaskContext& ctx, int me_ep, void* buf,
     lk.unlock();
     throw MpiError("fabric recv: bad source endpoint " + std::to_string(src));
   }
+  // Nothing queued from a dead source will ever arrive: refuse the post
+  // (delivered bytes above are still served — they made it off the wire
+  // before the death).
+  if (src != kAnySource && node_dead(node_of(src))) {
+    lk.unlock();
+    throw_node_dead(node_of(src), "fabric recv");
+  }
   mb.posted.push_back(
       detail::PostedRecv{buf, capacity, src, tag, context, req});
   return Request(req);
@@ -189,41 +265,116 @@ bool SimFabricTransport::iprobe(int me_ep, int src, int tag, int context,
   return false;
 }
 
-void SimFabricTransport::kill_node(int node) {
-  if (node < 0 || node >= nnodes_) {
-    throw MpiError("kill_node: bad node " + std::to_string(node));
-  }
-  bool expected = false;
-  if (!dead_[static_cast<std::size_t>(node)].compare_exchange_strong(
-          expected, true, std::memory_order_acq_rel)) {
-    return;  // already dead
-  }
-  int want = -1;
-  first_dead_.compare_exchange_strong(want, node,
-                                      std::memory_order_acq_rel);
-  const int first = first_dead_.load(std::memory_order_acquire);
-
-  // Every posted receive is now doomed: either its sender is dead, or its
-  // sender will hit the poisoned-fabric check and never transmit. That
-  // includes receives posted at the DEAD node's own endpoints — all ranks
-  // are hosted in this process, and a rank whose node was declared dead
-  // (e.g. after an injected link failure, where the node's task is in
-  // fact still running) must unblock and learn the verdict rather than
-  // wait forever. Complete them all with an error naming the first
-  // unreachable node so blocked waiters unblock deterministically.
+void SimFabricTransport::sweep_posted(int dead_node) {
+  // Every ordinary posted receive is now doomed: either its sender is
+  // dead, or its sender will hit the poison check and never transmit.
+  // That includes receives posted at the DEAD node's own endpoints — all
+  // ranks are hosted in this process, and a rank whose node was declared
+  // dead (e.g. after an injected link failure, where the node's task is
+  // in fact still running) must unblock and learn the verdict rather
+  // than wait forever. Recovery-context receives between LIVE nodes stay
+  // posted: their senders bypass the poison, the bytes will still come —
+  // sweeping them would wipe the shrink agreement's protocol state on
+  // every secondary death. Only recovery receives whose source node is
+  // now dead complete, with an error naming THAT node so the agreement
+  // learns exactly which peer to exclude.
+  const int poison = poisoned_node() >= 0 ? poisoned_node() : dead_node;
   for (int ep = 0; ep < nendpoints(); ++ep) {
     detail::Mailbox& mb = *mailboxes_[static_cast<std::size_t>(ep)];
     std::deque<detail::PostedRecv> doomed;
     {
       std::lock_guard<std::mutex> lk(mb.mu);
-      doomed.swap(mb.posted);
+      for (auto it = mb.posted.begin(); it != mb.posted.end();) {
+        const bool recovery = it->context == kRecoveryContext;
+        const bool src_dead = it->src != kAnySource &&
+                              node_dead(node_of(it->src));
+        if (!recovery || src_dead) {
+          doomed.push_back(*it);
+          it = mb.posted.erase(it);
+        } else {
+          ++it;
+        }
+      }
     }
     for (detail::PostedRecv& pr : doomed) {
+      const int name = pr.context == kRecoveryContext && pr.src != kAnySource
+                           ? node_of(pr.src)
+                           : poison;
       pr.req->complete_error(
-          "fabric recv: node " + std::to_string(first) + " unreachable",
-          first);
+          "fabric recv: node " + std::to_string(name) + " unreachable",
+          name);
     }
   }
+}
+
+void SimFabricTransport::kill_node(int node) {
+  if (node < 0 || node >= nnodes_) {
+    throw MpiError("kill_node: bad node " + std::to_string(node));
+  }
+  bool expected = false;
+  const bool newly_dead =
+      dead_[static_cast<std::size_t>(node)].compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel);
+  int want = -1;
+  first_dead_.compare_exchange_strong(want, node,
+                                      std::memory_order_acq_rel);
+  want = -1;
+  const bool newly_poisoned = poison_.compare_exchange_strong(
+      want, node, std::memory_order_acq_rel);
+  // Sweep on a fresh death (unblock its pending peers) and on a
+  // re-poison after heal (a survivor touched a node that died in an
+  // earlier episode: receives posted since the heal must unblock too).
+  // An already-dead, already-poisoned node needs neither — the episode
+  // that set the poison swept.
+  if (newly_dead || newly_poisoned) sweep_posted(node);
+}
+
+void SimFabricTransport::heal(std::uint64_t agreed_dead_mask) {
+  int p = poison_.load(std::memory_order_acquire);
+  while (p >= 0 && p < 64 && ((agreed_dead_mask >> p) & 1u) != 0) {
+    if (poison_.compare_exchange_weak(p, -1, std::memory_order_acq_rel)) {
+      return;
+    }
+    // CAS failure reloaded p: a concurrent death re-poisoned with a node
+    // the agreement may not cover — loop re-checks the mask.
+  }
+}
+
+void SimFabricTransport::revive_node(int node) {
+  if (node < 0 || node >= nnodes_) {
+    throw MpiError("revive_node: bad node " + std::to_string(node));
+  }
+  // Quiescent by contract (between SimCluster::run()s): plain stores.
+  dead_[static_cast<std::size_t>(node)].store(false,
+                                              std::memory_order_release);
+  const int lo = node * opts_.ranks_per_node;
+  for (int ep = lo; ep < lo + opts_.ranks_per_node; ++ep) {
+    detail::Mailbox& mb = *mailboxes_[static_cast<std::size_t>(ep)];
+    std::lock_guard<std::mutex> lk(mb.mu);
+    mb.unexpected.clear();
+    mb.unexpected_bytes = 0;
+    mb.posted.clear();
+  }
+  int p = node;
+  poison_.compare_exchange_strong(p, -1, std::memory_order_acq_rel);
+  // first_dead_ names the first node of the *current* dead set; with this
+  // node readmitted, recompute (or clear) it.
+  int first = -1;
+  for (int n = 0; n < nnodes_; ++n) {
+    if (node_dead(n)) {
+      first = n;
+      break;
+    }
+  }
+  first_dead_.store(first, std::memory_order_release);
+}
+
+void SimFabricTransport::flap_link(int node, int ops) {
+  if (node < 0 || node >= nnodes_) {
+    throw MpiError("flap_link: bad node " + std::to_string(node));
+  }
+  flap_ops_[static_cast<std::size_t>(node)].store(
+      ops, std::memory_order_release);
 }
 
 void transport_wait(ult::TaskContext& ctx, Request& req, Status* status) {
@@ -238,6 +389,41 @@ void transport_wait(ult::TaskContext& ctx, Request& req, Status* status) {
   if (status != nullptr) *status = st->status;
   lk.unlock();
   req.state().reset();
+}
+
+bool transport_wait_for(ult::TaskContext& ctx, Request& req,
+                        std::chrono::milliseconds timeout, Status* status) {
+  auto st = req.state();
+  if (!st) throw MpiError("transport_wait_for: invalid request");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lk(st->mu);
+  if (ctx.cooperative()) {
+    // Deterministic executors own the interleaving: poll-and-yield, with
+    // the wall clock only bounding a genuinely silent peer (in the
+    // simulated fabric a death error-completes the request promptly, so
+    // this deadline never fires under exploration).
+    while (!st->done) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      lk.unlock();
+      ctx.yield();
+      lk.lock();
+    }
+  } else {
+    while (!st->done) {
+      if (st->cv.wait_until(lk, deadline) == std::cv_status::timeout &&
+          !st->done) {
+        return false;
+      }
+    }
+  }
+  if (!st->error.empty()) {
+    if (st->error_node >= 0) throw NodeDeadError(st->error_node, st->error);
+    throw MpiError(st->error);
+  }
+  if (status != nullptr) *status = st->status;
+  lk.unlock();
+  req.state().reset();
+  return true;
 }
 
 }  // namespace hlsmpc::mpi

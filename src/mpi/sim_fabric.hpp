@@ -16,13 +16,23 @@
 //     ctx.sync_point("fabric:send"/"fabric:recv") *before* touching the
 //     mailbox, so check::DeterministicExecutor and ScheduleExplorer can
 //     interleave inter-node protocol steps and replay/shrink schedules.
-//   - Fault injection: the sites "fabric:send" and "fabric:recv"
-//     (fault/injector.hpp) make link failures deterministically reachable.
+//   - Fault injection: "fabric:send"/"fabric:recv" fail an op outright
+//     (hard link failure); "fabric:flap" (and the programmatic
+//     flap_link()) model a TRANSIENT link failure — the op retries with
+//     bounded backoff and either outlasts the flap or, after
+//     Options::retry.max_attempts, reports transport_exhausted so the
+//     caller classifies the link as persistently down.
 //   - Dead nodes: kill_node(n) simulates a whole node dropping off the
-//     network. Traffic to/from it fails with NodeDeadError, receives
-//     already posted against its ranks are completed with an error naming
-//     it, and first_dead_node() reports the first node observed dead —
-//     the name cluster-level supervision propagates.
+//     network. It sets n's dead flag, POISONS the fabric (every ordinary
+//     send/recv anywhere throws NodeDeadError naming the poison node) and
+//     error-completes posted receives so blocked waiters unblock. Unlike
+//     the pre-recovery fabric the poison is an *episode*, not a death
+//     sentence: recovery traffic (context == kRecoveryContext) bypasses
+//     the poison check, the shrink agreement runs over the poisoned
+//     fabric, and heal() lifts the poison once the survivors agreed to
+//     exclude the dead member. Per-node dead flags persist across heal —
+//     traffic to a dead node keeps failing with its name — until
+//     revive_node() readmits a respawned replacement.
 #pragma once
 
 #include <atomic>
@@ -30,7 +40,12 @@
 #include <vector>
 
 #include "mpi/detail/mailbox.hpp"
+#include "mpi/retry.hpp"
 #include "mpi/transport.hpp"
+
+namespace hlsmpc::obs {
+class Recorder;
+}  // namespace hlsmpc::obs
 
 namespace hlsmpc::mpi {
 
@@ -43,6 +58,12 @@ class SimFabricTransport : public Transport {
     int ranks_per_node = 1;
     /// Per-endpoint unexpected-queue bounds (0 = unlimited).
     TransportLimits limits;
+    /// Transient-failure budget for flapping links.
+    RetryPolicy retry;
+    /// Cluster-level recorder (task ids are cluster-global ranks); when
+    /// given, each transient-retry bumps Counter::net_retries for the
+    /// retrying rank.
+    obs::Recorder* obs = nullptr;
   };
 
   explicit SimFabricTransport(Options opts);
@@ -66,32 +87,72 @@ class SimFabricTransport : public Transport {
   bool iprobe(int me_ep, int src, int tag, int context,
               Status* status) override;
 
-  /// Simulate node `node` dropping off the network. A node death is fatal
-  /// to the whole job (ErrorCode::node_unreachable is in the fatal band):
-  /// the fabric is poisoned — every subsequent send/recv anywhere throws
-  /// NodeDeadError naming the first dead node, and every already-posted
-  /// receive at a live endpoint is completed with that error so blocked
-  /// waiters unblock instead of deadlocking on a silent peer. Idempotent.
+  /// Simulate node `node` dropping off the network: sets its dead flag,
+  /// poisons the fabric for ordinary traffic, and completes every posted
+  /// receive that can no longer be served — all ordinary-context posts
+  /// (their senders will refuse against the poison), plus recovery-
+  /// context posts whose source lives on a node now known dead (recovery
+  /// receives between LIVE nodes stay posted: their senders bypass the
+  /// poison and will still deliver). Idempotent per death; calling it
+  /// again after heal() re-poisons, which is exactly what supervision
+  /// wants when a survivor touches a node that died in an earlier
+  /// episode.
   void kill_node(int node);
   bool node_dead(int node) const {
     return dead_[static_cast<std::size_t>(node)].load(
         std::memory_order_acquire);
   }
-  /// First node observed dead, or -1. This is the node cluster
-  /// supervision names when it tears a job down.
+  /// First node EVER observed dead, or -1 — the name historical
+  /// supervision reports; survives heal()/revive_node().
   int first_dead_node() const {
     return first_dead_.load(std::memory_order_acquire);
   }
+  /// Node whose death poisons ordinary traffic right now, or -1 when the
+  /// fabric is healthy (no death yet, or the episode was heal()ed).
+  int poisoned_node() const {
+    return poison_.load(std::memory_order_acquire);
+  }
+
+  /// Lift the poison of the current episode, provided the poisoning node
+  /// is in `agreed_dead_mask` (bit n = node n): the survivors' shrink
+  /// agreement accounted for it, ordinary traffic may resume. A death the
+  /// agreement did NOT cover keeps the fabric poisoned — the next episode
+  /// starts immediately. Dead flags are untouched.
+  void heal(std::uint64_t agreed_dead_mask);
+
+  /// Readmit a respawned replacement for `node`: clears its dead flag,
+  /// drops whatever is queued at its endpoints (a replacement starts with
+  /// an empty NIC), lifts the poison if it named this node, and
+  /// recomputes first_dead_node() from the remaining dead flags. Must be
+  /// quiescent (no in-flight ops touching the node) — SimCluster calls it
+  /// between run()s.
+  void revive_node(int node);
+
+  /// Programmatic transient failure: the next `ops` operations touching
+  /// `node` (sends towards it, receives at it) fail transiently, then the
+  /// link heals. Ops observing the flap retry under Options::retry, so a
+  /// flap shorter than the budget is invisible to callers apart from
+  /// stats().link_flaps.
+  void flap_link(int node, int ops);
 
  private:
   detail::Mailbox& mailbox(int ep, const char* what);
   void throw_node_dead(int node, const char* what) const;
+  /// Consume one flap token for `node`; true while the link is flapping.
+  bool link_flapping(int node);
+  /// Bounded retry against flap sites; throws transport_exhausted when
+  /// the budget runs out. `site_index` is the injection-site operand.
+  void ride_out_flaps(ult::TaskContext& ctx, int node, int site_index,
+                      const char* what);
+  void sweep_posted(int dead_node);
 
   Options opts_;
   int nnodes_ = 0;
   std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
   std::unique_ptr<std::atomic<bool>[]> dead_;
+  std::unique_ptr<std::atomic<int>[]> flap_ops_;
   std::atomic<int> first_dead_{-1};
+  std::atomic<int> poison_{-1};
 };
 
 }  // namespace hlsmpc::mpi

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace hlsmpc::mpi {
@@ -42,15 +43,65 @@ void encode_header(std::byte* p, int src, int tag, int context,
   put_u32(p + 16, static_cast<std::uint32_t>(bytes >> 32));
 }
 
-/// Write all of buf to a stream socket. MSG_NOSIGNAL: a dead peer must
-/// surface as EPIPE, not a process-killing SIGPIPE.
-bool full_send(int fd, const void* buf, std::size_t bytes) {
+/// Remaining milliseconds until `deadline`, for poll(); negative
+/// deadline_ms disables the deadline entirely (-1 = poll forever).
+int remaining_ms(std::chrono::steady_clock::time_point deadline,
+                 bool bounded) {
+  if (!bounded) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+/// Wait until `fd` is ready for `events` (POLLIN/POLLOUT) or the deadline
+/// passes. True = ready; false = timed out or socket error.
+bool wait_ready(int fd, short events,
+                std::chrono::steady_clock::time_point deadline,
+                bool bounded) {
+  for (;;) {
+    pollfd pf{fd, events, 0};
+    const int left = remaining_ms(deadline, bounded);
+    if (bounded && left == 0) return false;
+    const int rc = ::poll(&pf, 1, left);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (rc == 0) return false;  // deadline expired: peer too slow = dead
+    if ((pf.revents & (POLLERR | POLLNVAL)) != 0) return false;
+    return true;
+  }
+}
+
+/// Write all of buf to a stream socket, riding out the transient band —
+/// EINTR (signal storms), EAGAIN/EWOULDBLOCK (full socket buffer: poll
+/// for writability) and partial writes — up to `deadline`. Each re-issue
+/// after a transient failure bumps stats.retries, so signal/backpressure
+/// churn is observable. MSG_NOSIGNAL: a dead peer must surface as EPIPE,
+/// not a process-killing SIGPIPE.
+bool full_send(int fd, const void* buf, std::size_t bytes,
+               std::chrono::steady_clock::time_point deadline, bool bounded,
+               TransportStats& stats) {
   const char* p = static_cast<const char*>(buf);
+  const std::size_t total = bytes;
   while (bytes > 0) {
     const ssize_t n = ::send(fd, p, bytes, MSG_NOSIGNAL);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        stats.retries.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        stats.retries.fetch_add(1, std::memory_order_relaxed);
+        if (!wait_ready(fd, POLLOUT, deadline, bounded)) return false;
+        continue;
+      }
       return false;
+    }
+    if (static_cast<std::size_t>(n) < bytes && bytes < total) {
+      // A short write past the first chunk means the kernel buffer filled
+      // mid-frame: a re-issue, not normal chunking of the first call.
+      stats.retries.fetch_add(1, std::memory_order_relaxed);
     }
     p += n;
     bytes -= static_cast<std::size_t>(n);
@@ -58,12 +109,23 @@ bool full_send(int fd, const void* buf, std::size_t bytes) {
   return true;
 }
 
-/// Read exactly `bytes`. false on EOF or error (either means: peer gone).
-bool full_recv(int fd, void* buf, std::size_t bytes) {
+/// Read exactly `bytes`, riding out EINTR/EAGAIN like full_send. False on
+/// EOF, error or deadline (all mean: peer gone).
+bool full_recv(int fd, void* buf, std::size_t bytes,
+               std::chrono::steady_clock::time_point deadline, bool bounded,
+               TransportStats& stats) {
   char* p = static_cast<char*>(buf);
   while (bytes > 0) {
     const ssize_t n = ::recv(fd, p, bytes, 0);
-    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && errno == EINTR) {
+      stats.retries.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      stats.retries.fetch_add(1, std::memory_order_relaxed);
+      if (!wait_ready(fd, POLLIN, deadline, bounded)) return false;
+      continue;
+    }
     if (n <= 0) return false;
     p += n;
     bytes -= static_cast<std::size_t>(n);
@@ -116,7 +178,7 @@ TcpTransport::~TcpTransport() {
 }
 
 void TcpTransport::check_poisoned(const char* what) const {
-  const int d = first_dead_node();
+  const int d = poisoned_node();
   if (d >= 0) {
     throw NodeDeadError(d, std::string(what) + ": node " +
                                std::to_string(d) + " unreachable");
@@ -125,25 +187,61 @@ void TcpTransport::check_poisoned(const char* what) const {
 
 void TcpTransport::mark_dead(int node) {
   bool expected = false;
-  if (!dead_[static_cast<std::size_t>(node)].compare_exchange_strong(
-          expected, true, std::memory_order_acq_rel)) {
-    return;
-  }
+  const bool newly_dead =
+      dead_[static_cast<std::size_t>(node)].compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel);
   int want = -1;
   first_dead_.compare_exchange_strong(want, node, std::memory_order_acq_rel);
-  const int first = first_dead_.load(std::memory_order_acquire);
+  want = -1;
+  const bool newly_poisoned = poison_.compare_exchange_strong(
+      want, node, std::memory_order_acq_rel);
+  if (!newly_dead && !newly_poisoned) return;
+  const int p = poisoned_node() >= 0 ? poisoned_node() : node;
 
   // Same containment model as the simulated fabric: a node death poisons
-  // the transport and every blocked receive unblocks with the first dead
-  // node's name instead of waiting on a peer that will never answer.
+  // the transport and blocked receives unblock with the poisoning node's
+  // name instead of waiting on a peer that will never answer. Recovery-
+  // context receives (src labels are NODE ids by contract) are spared
+  // while their source node lives: their senders bypass the poison and
+  // will still deliver, and sweeping them would wipe the shrink
+  // agreement's protocol state on every secondary death.
   std::deque<detail::PostedRecv> doomed;
   {
     std::lock_guard<std::mutex> lk(inbox_.mu);
-    doomed.swap(inbox_.posted);
+    for (auto it = inbox_.posted.begin(); it != inbox_.posted.end();) {
+      const bool recovery = it->context == kRecoveryContext;
+      const bool src_dead =
+          it->src != kAnySource && it->src >= 0 &&
+          it->src < opts_.nendpoints && node_dead(it->src);
+      if (!recovery || src_dead) {
+        doomed.push_back(*it);
+        it = inbox_.posted.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
   for (detail::PostedRecv& pr : doomed) {
+    const int name =
+        pr.context == kRecoveryContext && pr.src != kAnySource ? pr.src : p;
     pr.req->complete_error(
-        "tcp recv: node " + std::to_string(first) + " unreachable", first);
+        "tcp recv: node " + std::to_string(name) + " unreachable", name);
+  }
+}
+
+void TcpTransport::declare_dead(int node) {
+  if (node < 0 || node >= opts_.nendpoints) {
+    throw MpiError("tcp declare_dead: bad node " + std::to_string(node));
+  }
+  mark_dead(node);
+}
+
+void TcpTransport::heal(std::uint64_t agreed_dead_mask) {
+  int p = poison_.load(std::memory_order_acquire);
+  while (p >= 0 && p < 64 && ((agreed_dead_mask >> p) & 1u) != 0) {
+    if (poison_.compare_exchange_weak(p, -1, std::memory_order_acq_rel)) {
+      return;
+    }
   }
 }
 
@@ -204,8 +302,13 @@ void TcpTransport::receiver_loop() {
     for (std::size_t i = 1; i < fds.size(); ++i) {
       const int node = nodes[i - 1];
       if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const bool bounded = opts_.io_deadline_ms > 0;
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(bounded ? opts_.io_deadline_ms : 0);
       std::byte header[kHeaderBytes];
-      if (!full_recv(fds[i].fd, header, kHeaderBytes)) {
+      if (!full_recv(fds[i].fd, header, kHeaderBytes, deadline, bounded,
+                     stats_)) {
         mark_dead(node);  // EOF/reset: the peer process or host is gone
         continue;
       }
@@ -216,7 +319,8 @@ void TcpTransport::receiver_loop() {
           get_u32(header + 12) |
           (static_cast<std::uint64_t>(get_u32(header + 16)) << 32);
       std::vector<std::byte> payload(static_cast<std::size_t>(bytes));
-      if (bytes > 0 && !full_recv(fds[i].fd, payload.data(), payload.size())) {
+      if (bytes > 0 && !full_recv(fds[i].fd, payload.data(), payload.size(),
+                                  deadline, bounded, stats_)) {
         mark_dead(node);  // died mid-frame
         continue;
       }
@@ -238,7 +342,11 @@ Request TcpTransport::isend(ult::TaskContext& ctx, int src, int dst_ep,
   if (dst_ep < 0 || dst_ep >= opts_.nendpoints) {
     throw MpiError("tcp send: bad endpoint " + std::to_string(dst_ep));
   }
-  check_poisoned("tcp send");
+  if (context != kRecoveryContext) check_poisoned("tcp send");
+  if (node_dead(dst_ep)) {
+    throw NodeDeadError(dst_ep, "tcp send: node " + std::to_string(dst_ep) +
+                                    " unreachable");
+  }
   stats_.messages.fetch_add(1, std::memory_order_relaxed);
   auto req = std::make_shared<RequestState>();
 
@@ -260,15 +368,28 @@ Request TcpTransport::isend(ult::TaskContext& ctx, int src, int dst_ep,
   Peer& peer = *peers_[static_cast<std::size_t>(dst_ep)];
   std::byte header[kHeaderBytes];
   encode_header(header, src, tag, context, bytes);
+  const bool bounded = opts_.io_deadline_ms > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(bounded ? opts_.io_deadline_ms : 0);
   bool ok;
   {
     std::lock_guard<std::mutex> lk(peer.send_mu);
-    ok = full_send(peer.fd, header, kHeaderBytes) &&
-         (bytes == 0 || full_send(peer.fd, buf, bytes));
+    ok = full_send(peer.fd, header, kHeaderBytes, deadline, bounded,
+                   stats_) &&
+         (bytes == 0 ||
+          full_send(peer.fd, buf, bytes, deadline, bounded, stats_));
   }
   if (!ok) {
     mark_dead(dst_ep);
-    check_poisoned("tcp send");  // always throws, naming the first dead node
+    // Ordinary traffic reports the poisoning node (first-episode: the
+    // first dead node, matching pre-recovery behaviour); recovery traffic
+    // names the peer that actually failed so the agreement can suspect it.
+    const int name =
+        context == kRecoveryContext || poisoned_node() < 0 ? dst_ep
+                                                           : poisoned_node();
+    throw NodeDeadError(name, "tcp send: node " + std::to_string(name) +
+                                  " unreachable");
   }
   stats_.bytes.fetch_add(bytes, std::memory_order_relaxed);
   stats_.eager_sends.fetch_add(1, std::memory_order_relaxed);
@@ -292,12 +413,15 @@ Request TcpTransport::irecv(ult::TaskContext& ctx, int me_ep, void* buf,
   std::unique_lock<std::mutex> lk(inbox_.mu);
   // Poison check under the inbox lock (same reasoning as the simulated
   // fabric): mark_dead publishes the flag before sweeping, so this recv
-  // either sees it here or is swept.
-  const int d = first_dead_node();
-  if (d >= 0) {
-    lk.unlock();
-    throw NodeDeadError(d, "tcp recv: node " + std::to_string(d) +
-                               " unreachable");
+  // either sees it here or is swept. Recovery traffic bypasses the
+  // episode poison but never the per-node dead flags (below).
+  if (context != kRecoveryContext) {
+    const int d = poisoned_node();
+    if (d >= 0) {
+      lk.unlock();
+      throw NodeDeadError(d, "tcp recv: node " + std::to_string(d) +
+                                 " unreachable");
+    }
   }
   for (auto it = inbox_.unexpected.begin(); it != inbox_.unexpected.end();
        ++it) {
@@ -315,6 +439,16 @@ Request TcpTransport::irecv(ult::TaskContext& ctx, int me_ep, void* buf,
     if (msg.bytes > 0) std::memcpy(buf, msg.data(), msg.bytes);
     req->complete(Status{msg.src, msg.tag, msg.bytes});
     return Request(req);
+  }
+  // A recovery receive from a positively-dead node would wait forever:
+  // refuse the post, naming the dead peer (already-delivered bytes are
+  // still served above). Ordinary receives rely on the poison; their src
+  // labels are RANK labels, not node ids, so no per-node check applies.
+  if (context == kRecoveryContext && src != kAnySource && src >= 0 &&
+      src < opts_.nendpoints && node_dead(src)) {
+    lk.unlock();
+    throw NodeDeadError(src, "tcp recv: node " + std::to_string(src) +
+                                 " unreachable");
   }
   inbox_.posted.push_back(
       detail::PostedRecv{buf, capacity, src, tag, context, req});

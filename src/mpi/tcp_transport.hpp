@@ -21,9 +21,18 @@
 // Dead-node detection: EOF or a connection error on the socket of node n
 // (a SIGKILLed peer process closes its sockets; a dead host resets) marks
 // n unreachable, poisons the transport and error-completes every posted
-// receive naming the FIRST dead node — the same full-poison containment
-// model as SimFabricTransport, so ClusterComm-style supervision works
-// unchanged on top.
+// receive that can no longer be served — the same episode-poison
+// containment model as SimFabricTransport, so ClusterComm-style
+// supervision works unchanged on top. Recovery traffic
+// (context == kRecoveryContext, src labels = NODE ids by contract)
+// bypasses the poison so survivors can run the shrink agreement; heal()
+// lifts the poison once the agreement covered the death, and per-node
+// dead flags persist so a dead peer keeps failing by name.
+//
+// Transient-vs-dead classification: EINTR, EAGAIN/EWOULDBLOCK and partial
+// reads/writes are retried in place (poll()-waiting for readiness up to
+// Options::io_deadline_ms, counting stats().retries); only EOF, a socket
+// error, or the deadline expiring classify the peer as dead.
 //
 // The whole file sits behind the HLSMPC_TCP kill switch: an OFF build
 // compiles no socket code into the MPI archive (tcp_off_symbol_check).
@@ -56,6 +65,11 @@ class TcpTransport final : public Transport {
     std::vector<int> fds;
     /// Per-endpoint unexpected-queue bounds (0 = unlimited).
     TransportLimits limits;
+    /// Per-operation socket I/O deadline: how long one send/recv may
+    /// poll()-wait for readiness across EAGAIN/partial transfers before
+    /// the peer is classified dead. <= 0 waits forever (pre-recovery
+    /// behaviour).
+    int io_deadline_ms = 5000;
   };
 
   explicit TcpTransport(Options opts);
@@ -75,7 +89,8 @@ class TcpTransport final : public Transport {
   bool iprobe(int me_ep, int src, int tag, int context,
               Status* status) override;
 
-  /// First node observed unreachable (EOF/reset on its socket), or -1.
+  /// First node EVER observed unreachable (EOF/reset on its socket), or
+  /// -1; survives heal().
   int first_dead_node() const {
     return first_dead_.load(std::memory_order_acquire);
   }
@@ -83,6 +98,18 @@ class TcpTransport final : public Transport {
     return dead_[static_cast<std::size_t>(node)].load(
         std::memory_order_acquire);
   }
+  /// Node whose death poisons ordinary traffic right now, or -1 when
+  /// healthy (no death yet, or the episode was heal()ed).
+  int poisoned_node() const {
+    return poison_.load(std::memory_order_acquire);
+  }
+  /// Classify `node` as dead from above (recovery timeout escalation: a
+  /// peer that missed its agreement deadline is treated as failed). Same
+  /// effect as an observed EOF: dead flag, poison, sweep.
+  void declare_dead(int node);
+  /// Lift the current episode's poison, provided the poisoning node is
+  /// covered by `agreed_dead_mask` (bit n = node n). Dead flags persist.
+  void heal(std::uint64_t agreed_dead_mask);
 
  private:
   struct Peer {
@@ -103,6 +130,7 @@ class TcpTransport final : public Transport {
   detail::Mailbox inbox_;
   std::unique_ptr<std::atomic<bool>[]> dead_;
   std::atomic<int> first_dead_{-1};
+  std::atomic<int> poison_{-1};
   std::atomic<bool> stop_{false};
   int wake_pipe_[2] = {-1, -1};
   std::thread receiver_;

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 
 #include "fault/error.hpp"
@@ -65,7 +66,21 @@ struct TransportStats {
   /// cache; a miss re-resolved and possibly evicted.
   std::atomic<std::uint64_t> reg_cache_hits{0};
   std::atomic<std::uint64_t> reg_cache_misses{0};
+  /// Operations re-issued after a transient failure (EINTR/EAGAIN,
+  /// injected link flap). A retried op that eventually succeeds counts
+  /// here but nowhere else; exhaustion surfaces as transport_exhausted.
+  std::atomic<std::uint64_t> retries{0};
+  /// Transient link failures observed (each flap hit, whether or not the
+  /// retry budget eventually cleared it).
+  std::atomic<std::uint64_t> link_flaps{0};
 };
+
+/// Reserved context id for recovery-protocol traffic (mpi/recover.hpp).
+/// Fabric transports refuse all ordinary traffic while poisoned by a node
+/// death; messages in this context bypass the global poison check (they
+/// still fail against per-node dead flags) so surviving nodes can run the
+/// shrink agreement over the very fabric that just lost a member.
+inline constexpr int kRecoveryContext = 0x7ec0;
 
 /// Capacity bounds on queued unexpected messages, per destination
 /// endpoint. 0 = unlimited (the intra-node default: the BufferManager
@@ -149,5 +164,15 @@ class Transport {
 /// a dead-node completion as NodeDeadError and anything else as MpiError.
 void transport_wait(ult::TaskContext& ctx, Request& req,
                     Status* status = nullptr);
+
+/// Timed variant: gives up after `timeout`, returning false with the
+/// request STILL PENDING — the caller must keep the buffer alive and
+/// either wait again or escalate (declaring the silent peer dead sweeps
+/// the posted receive, after which a final transport_wait consumes the
+/// error). Returns true and behaves exactly like transport_wait on
+/// completion within the deadline.
+bool transport_wait_for(ult::TaskContext& ctx, Request& req,
+                        std::chrono::milliseconds timeout,
+                        Status* status = nullptr);
 
 }  // namespace hlsmpc::mpi

@@ -55,6 +55,9 @@ enum class Counter : int {
   rma_locks,            ///< passive-target RMA locks acquired
   net_sends,            ///< inter-node (fabric/socket) sends initiated
   net_recvs,            ///< inter-node (fabric/socket) receives completed
+  net_retries,          ///< inter-node ops re-issued after transient failure
+  recoveries,           ///< recovery episodes completed (shrink agreements)
+  ckpt_bytes,           ///< bytes written to / read from scope checkpoints
   kCount
 };
 
@@ -83,6 +86,9 @@ enum class EventKind : std::uint8_t {
   rma_epoch,    ///< one RMA epoch episode: fence enter -> exit (arg = 0)
                 ///< or lock -> unlock (arg = 1 shared / 2 exclusive,
                 ///< arg2 = target rank); instance = window id
+  recovery,     ///< one recovery episode: NodeDeadError -> shrink agreement
+                ///< installed (arg = agreed dead-node bitmask, arg2 =
+                ///< agreement attempts used)
 };
 
 const char* to_string(EventKind k);

@@ -55,6 +55,12 @@ const char* to_string(Counter c) {
       return "net_sends";
     case Counter::net_recvs:
       return "net_recvs";
+    case Counter::net_retries:
+      return "net_retries";
+    case Counter::recoveries:
+      return "recoveries";
+    case Counter::ckpt_bytes:
+      return "ckpt_bytes";
     case Counter::kCount:
       break;
   }
@@ -89,6 +95,8 @@ const char* to_string(EventKind k) {
       return "rma_op";
     case EventKind::rma_epoch:
       return "rma_epoch";
+    case EventKind::recovery:
+      return "recovery";
   }
   return "?";
 }

@@ -20,11 +20,13 @@
 #include <thread>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "memtrack/memtrack.hpp"
 #include "mpi/runtime.hpp"
 #include "mpi/shm_transport.hpp"
 #include "mpi/sim_fabric.hpp"
 
+namespace fault = hlsmpc::fault;
 namespace mpi = hlsmpc::mpi;
 
 namespace {
@@ -300,6 +302,65 @@ TEST_P(TransportConformance, LargePayloadRoundTrip) {
   mpi::transport_wait(c0_, s);
   mpi::transport_wait(c1_, r);
   EXPECT_EQ(in, out);
+}
+
+// ---- transient-failure retry (the "shm:flap" / "fabric:flap" sites) ----
+
+namespace {
+
+const char* flap_site(Kind k) {
+  return k == Kind::shm ? "shm:flap" : "fabric:flap";
+}
+
+}  // namespace
+
+TEST_P(TransportConformance, TransientFlapIsRetriedThenSucceeds) {
+  // Endpoint 1 fails transiently three times; the transport must absorb
+  // the flaps with backed-off retries and then deliver normally — the
+  // caller never sees an error.
+  fault::FaultInjector inj;
+  inj.arm(flap_site(GetParam()), /*nth=*/1, /*index=*/1, /*times=*/3);
+  fault::ScopedFaultInjection scoped(inj);
+  const int v = 7;
+  wait(c0_, t_.isend(c0_, 0, 1, 1, &v, sizeof(v), 2, kCtx));
+  int got = 0;
+  wait(c1_, t_.irecv(c1_, 1, &got, sizeof(got), 0, 2, kCtx));
+  EXPECT_EQ(got, 7);
+  EXPECT_EQ(inj.fired(flap_site(GetParam())), 3u);
+  EXPECT_EQ(t_.stats().link_flaps.load(), 3u);
+  EXPECT_EQ(t_.stats().retries.load(), 3u);
+}
+
+TEST_P(TransportConformance, PersistentFlapExhaustsBudgetWithoutPoison) {
+  // A link that never comes back must surface as transport_exhausted once
+  // the bounded retry budget runs out — a TRANSIENT-class failure, not a
+  // NodeDeadError: reclassifying a flap as a death is cluster
+  // supervision's call, never the transport's.
+  fault::FaultInjector inj;
+  inj.arm_always(flap_site(GetParam()), /*index=*/1);
+  fault::ScopedFaultInjection scoped(inj);
+  const int v = 1;
+  try {
+    t_.isend(c0_, 0, 1, 1, &v, sizeof(v), 2, kCtx);
+    FAIL() << "send through a permanently flapping link must throw";
+  } catch (const mpi::NodeDeadError&) {
+    FAIL() << "retry exhaustion must not be classified as a node death";
+  } catch (const mpi::TransportError& e) {
+    EXPECT_EQ(e.code(), hlsmpc::ErrorCode::transport_exhausted);
+    EXPECT_TRUE(hlsmpc::recoverable(e.code()));
+  }
+  EXPECT_GE(t_.stats().retries.load(), 1u);
+  if (GetParam() == Kind::fabric) {
+    auto& fab = dynamic_cast<mpi::SimFabricTransport&>(t_);
+    EXPECT_EQ(fab.first_dead_node(), -1);
+  }
+  // The flap only wedged this one operation: once the link heals, the
+  // same channel delivers.
+  inj.disarm(flap_site(GetParam()));
+  wait(c0_, t_.isend(c0_, 0, 1, 1, &v, sizeof(v), 2, kCtx));
+  int got = 0;
+  wait(c1_, t_.irecv(c1_, 1, &got, sizeof(got), 0, 2, kCtx));
+  EXPECT_EQ(got, 1);
 }
 
 // ---- CollConfig environment overrides (coll_config_from_env) ----
